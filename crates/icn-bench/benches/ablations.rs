@@ -1,0 +1,65 @@
+//! X2 bench: the §2 design ablations — buffer depth, pass-through and
+//! arbitration — timed end to end at a fixed moderate load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icn_sim::{Arbitration, ChipModel, SimConfig};
+use icn_topology::StagePlan;
+use icn_workloads::Workload;
+use std::hint::black_box;
+
+fn base_config() -> SimConfig {
+    let plan = StagePlan::uniform(16, 2); // 256 ports
+    let mut c = SimConfig::paper_baseline(
+        plan,
+        ChipModel::Dmc,
+        4,
+        Workload::uniform(0.02),
+    );
+    c.warmup_cycles = 200;
+    c.measure_cycles = 1_500;
+    c.drain_cycles = 10_000;
+    c
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    for depth in [1u32, 4] {
+        group.bench_function(format!("buffers_{depth}"), |b| {
+            b.iter(|| {
+                let mut config = base_config();
+                config.buffer_capacity = depth;
+                black_box(icn_sim::run(config))
+            });
+        });
+    }
+
+    for (name, cut_through) in [("cut_through", true), ("store_forward", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = base_config();
+                config.cut_through = cut_through;
+                black_box(icn_sim::run(config))
+            });
+        });
+    }
+
+    for (name, arb) in [
+        ("round_robin", Arbitration::RoundRobin),
+        ("fixed_priority", Arbitration::FixedPriority),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = base_config();
+                config.arbitration = arb;
+                black_box(icn_sim::run(config))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E10 bench: the full §6 design pipeline (pins → board → rack → clock →
+//! frequency fixed point → delays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icn_core::{explore, DesignPoint};
+use icn_phys::CrossbarKind;
+use icn_tech::presets;
+use std::hint::black_box;
+
+fn bench_example2048(c: &mut Criterion) {
+    let tech = presets::paper1986();
+    let mut group = c.benchmark_group("example2048");
+
+    for kind in CrossbarKind::ALL {
+        group.bench_function(format!("evaluate_{kind}"), |b| {
+            let point = DesignPoint::paper_example(tech.clone(), kind);
+            b.iter(|| black_box(&point).evaluate());
+        });
+    }
+
+    group.bench_function("explore_paper_space", |b| {
+        let spec = explore::ExploreSpec::paper_space();
+        b.iter(|| explore::explore(black_box(&tech), black_box(&spec)));
+    });
+
+    group.bench_function("experiment_record", |b| {
+        b.iter(|| icn_core::experiments::example2048(black_box(&tech)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_example2048);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E6 bench: the Figure 2 blocking sweep (Patel recurrence).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icn_topology::{blocking, StagePlan};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_blocking");
+
+    group.bench_function("single_plan", |b| {
+        let plan = StagePlan::balanced_pow2_stages(4096, 5).unwrap();
+        b.iter(|| blocking::blocking_probability(black_box(&plan), black_box(1.0)));
+    });
+
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| blocking::figure2_sweep(black_box(4096), black_box(1.0)));
+    });
+
+    group.bench_function("experiment_record", |b| {
+        b.iter(icn_core::experiments::fig2_blocking);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! X3 bench: the closed-loop round-trip simulator, plus the crosspoint-
+//! level mesh chip (E4-mesh).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icn_sim::mesh::{self, MeshPacket};
+use icn_sim::{ChipModel, RoundTripConfig, SimConfig};
+use icn_topology::StagePlan;
+use icn_workloads::Workload;
+use std::hint::black_box;
+
+fn roundtrip_config(load: f64) -> RoundTripConfig {
+    let mut net = SimConfig::paper_baseline(
+        StagePlan::uniform(16, 2),
+        ChipModel::Dmc,
+        4,
+        Workload::uniform(load),
+    );
+    net.warmup_cycles = 200;
+    net.measure_cycles = 1_000;
+    net.drain_cycles = 20_000;
+    RoundTripConfig { net, memory_cycles: 7, memory_service_cycles: 0 }
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip");
+    group.sample_size(10);
+
+    for (name, load) in [("light", 0.002), ("moderate", 0.01)] {
+        group.bench_function(format!("closed_loop_{name}"), |b| {
+            b.iter(|| black_box(icn_sim::run_roundtrip(roundtrip_config(load))));
+        });
+    }
+
+    group.bench_function("mesh_chip_single_transit", |b| {
+        b.iter(|| {
+            mesh::simulate_mesh(
+                16,
+                black_box(&[MeshPacket { row: 3, col: 12, arrival: 0, flits: 25 }]),
+            )
+        });
+    });
+
+    group.bench_function("mesh_chip_full_permutation", |b| {
+        let packets: Vec<MeshPacket> = (0..16)
+            .map(|r| MeshPacket { row: r, col: (r + 5) % 16, arrival: 0, flits: 25 })
+            .collect();
+        b.iter(|| mesh::simulate_mesh(16, black_box(&packets)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

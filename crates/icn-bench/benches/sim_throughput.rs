@@ -1,0 +1,47 @@
+//! X1 bench: cycle-level simulator throughput (cycles/second of simulated
+//! time) across network sizes and loads, plus the E4 single-packet probe.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icn_sim::{ChipModel, Engine, SimConfig};
+use icn_topology::StagePlan;
+use icn_workloads::Workload;
+use std::hint::black_box;
+
+fn sim_config(ports: u32, load: f64, cycles: u64) -> SimConfig {
+    let plan = StagePlan::balanced_pow2(ports, 16).expect("power of two");
+    let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(load));
+    c.warmup_cycles = 0;
+    c.measure_cycles = cycles;
+    c.drain_cycles = 0;
+    c
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+
+    for ports in [256u32, 1024, 2048] {
+        let cycles = 2_000u64;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(format!("ports_{ports}_load_moderate"), |b| {
+            b.iter(|| {
+                let config = sim_config(ports, 0.02, cycles);
+                black_box(Engine::new(config).run())
+            });
+        });
+    }
+
+    group.bench_function("single_packet_2048", |b| {
+        b.iter(|| {
+            let config = sim_config(2048, 0.0, 1);
+            let mut engine = Engine::new(config);
+            engine.inject(0, 2047);
+            black_box(engine.run())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

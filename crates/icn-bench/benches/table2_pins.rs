@@ -1,0 +1,53 @@
+//! E2 bench: regenerate Table 2 (pins per chip) and time the pin model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use icn_phys::pins;
+use icn_tech::presets;
+use icn_units::Frequency;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let tech = presets::paper1986();
+    let mut group = c.benchmark_group("table2_pins");
+
+    group.bench_function("single_cell", |b| {
+        b.iter(|| {
+            pins::pin_budget(
+                black_box(&tech),
+                black_box(16),
+                black_box(4),
+                Frequency::from_mhz(black_box(10.0)),
+            )
+            .total()
+        });
+    });
+
+    group.bench_function("full_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for f in [10.0, 20.0, 40.0, 80.0] {
+                for w in [1, 2, 4, 8] {
+                    for n in [16, 18, 20, 22, 24] {
+                        acc += u64::from(
+                            pins::pin_budget(&tech, n, w, Frequency::from_mhz(f)).total(),
+                        );
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("experiment_record", |b| {
+        b.iter_batched(
+            || tech.clone(),
+            |tech| icn_core::experiments::table2_pins(black_box(&tech)),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

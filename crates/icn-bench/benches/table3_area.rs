@@ -1,0 +1,38 @@
+//! E3 bench: regenerate Table 3 (largest single-chip crossbar).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icn_phys::{area, CrossbarKind};
+use icn_tech::presets;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let tech = presets::paper1986();
+    let mut group = c.benchmark_group("table3_area");
+
+    for kind in CrossbarKind::ALL {
+        group.bench_function(format!("max_crossbar_{kind}_w4"), |b| {
+            b.iter(|| area::max_crossbar(black_box(&tech), kind, black_box(4)));
+        });
+    }
+
+    group.bench_function("full_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for kind in CrossbarKind::ALL {
+                for w in [1, 2, 4, 8] {
+                    acc += area::max_crossbar(&tech, kind, w).unwrap_or(0);
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("experiment_record", |b| {
+        b.iter(|| icn_core::experiments::table3_area(black_box(&tech)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

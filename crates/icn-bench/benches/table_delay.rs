@@ -1,0 +1,55 @@
+//! E4 bench: regenerate the "Time Through Network" table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icn_core::delay;
+use icn_phys::CrossbarKind;
+use icn_units::Frequency;
+use std::hint::black_box;
+
+fn bench_delay_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_delay");
+
+    group.bench_function("single_cell", |b| {
+        b.iter(|| {
+            delay::unloaded_delay(
+                black_box(CrossbarKind::Dmc),
+                black_box(16),
+                black_box(4),
+                black_box(100),
+                black_box(4096),
+                Frequency::from_mhz(black_box(40.0)),
+            )
+        });
+    });
+
+    group.bench_function("full_table", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for kind in CrossbarKind::ALL {
+                for w in [1, 2, 4, 8] {
+                    for f in [10.0, 20.0, 30.0, 40.0, 80.0] {
+                        acc += delay::unloaded_delay(
+                            kind,
+                            16,
+                            w,
+                            100,
+                            4096,
+                            Frequency::from_mhz(f),
+                        )
+                        .micros();
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("experiment_record", |b| {
+        b.iter(icn_core::experiments::delay_table);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_delay_table);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5 bench: topology construction, routing and permutation checking.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icn_topology::{permutation, StagePlan, Topology};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+
+    let t2048 = Topology::new(StagePlan::balanced_pow2(2048, 16).unwrap());
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("route_2048", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(2654435761)).wrapping_add(12345);
+            let src = i % 2048;
+            let dest = (i / 2048) % 2048;
+            black_box(t2048.route(src, dest))
+        });
+    });
+
+    group.bench_function("routing_tags_2048", |b| {
+        let mut d = 0u32;
+        b.iter(|| {
+            d = (d + 577) % 2048;
+            black_box(t2048.routing_tags(d))
+        });
+    });
+
+    let t256 = Topology::new(StagePlan::uniform(16, 2));
+    group.bench_function("check_identity_permutation_256", |b| {
+        let perm = permutation::Permutation::identity(256);
+        b.iter(|| permutation::check_permutation(black_box(&t256), black_box(&perm)));
+    });
+
+    group.bench_function("check_bit_reversal_256", |b| {
+        let perm = permutation::Permutation::bit_reversal(256);
+        b.iter(|| permutation::check_permutation(black_box(&t256), black_box(&perm)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Benchmark harness crate — all content lives in `benches/`.
+//!
+//! One criterion bench group per paper artifact plus the simulator and
+//! ablation benches:
+//!
+//! | bench | regenerates |
+//! |---|---|
+//! | `table2_pins` | Table 2 (pins per chip) |
+//! | `table3_area` | Table 3 (largest single-chip crossbar) |
+//! | `table_delay` | the "Time Through Network" table |
+//! | `fig2_blocking` | Figure 2 (Patel recurrence sweep) |
+//! | `example2048` | the §6 design pipeline + design-space exploration |
+//! | `topology` | Figure 1-style construction, routing, permutation checks |
+//! | `sim_throughput` | cycle-level simulator across network sizes |
+//! | `ablations` | buffering / pass-through / arbitration variants |
+//! | `roundtrip` | closed-loop round trips + mesh chip transits |
+//!
+//! Run with `cargo bench --workspace` (or `-p icn-bench --bench <name>`).
+
+#![warn(missing_docs)]

@@ -1,0 +1,318 @@
+//! `icn` — regenerate the paper's tables and figures, run simulations and
+//! design-space sweeps from the command line.
+//!
+//! ```text
+//! icn list                     list available experiments
+//! icn all                      run every analytic experiment
+//! icn table1|table2-pins|table3-area|delay-table|fig1-topology|
+//!     fig2-blocking|board-layout|clock-budget|example-2048
+//!                              run one analytic experiment
+//! icn sim-validation           simulator vs analytic (cycle-exact)
+//! icn loaded [--full]          X1: load sweep + hot spot
+//! icn ablations [--full]       X2: buffering / pass-through / arbitration
+//! icn explore                  design-space sweep over (kind, N, W)
+//! icn simulate --load L [...]  one simulation run
+//!
+//! options: --tech <preset>  --json  --full
+//! ```
+
+use std::process::ExitCode;
+
+use icn_core::experiments::{self, SimEffort};
+use icn_core::{explore, table::TextTable, ExperimentRecord};
+use icn_sim::{ChipModel, SimConfig};
+use icn_tech::{presets, Technology};
+use icn_topology::StagePlan;
+use icn_workloads::Workload;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: icn <command> [--tech <preset>] [--json] [--full]\n\
+     commands: list, all, dump, report, table1, table2-pins, table3-area, delay-table,\n\
+     \t fig1-topology, fig2-blocking, board-layout, clock-budget, example-2048,\n\
+     \t cost, clock-schemes, blocking-validation, scaling, tech-evolution,\n\
+     \t sim-validation, mesh-validation, loaded, ablations, roundtrip, queueing,\n\
+     \t explore, simulate [--load L] [--ports P] [--chip mcc|dmc] [--width W] [--seed S]"
+}
+
+struct Options {
+    tech: Technology,
+    json: bool,
+    full: bool,
+    load: f64,
+    ports: u32,
+    chip: ChipModel,
+    width: u32,
+    seed: u64,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        tech: presets::paper1986(),
+        json: false,
+        full: false,
+        load: 0.01,
+        ports: 256,
+        chip: ChipModel::Dmc,
+        width: 4,
+        seed: 0x1986,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => opts.json = true,
+            "--full" => opts.full = true,
+            "--tech" => {
+                i += 1;
+                let name = args.get(i).ok_or("--tech needs a preset name")?;
+                opts.tech = presets::by_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown preset `{name}`; available: {}",
+                        presets::all()
+                            .iter()
+                            .map(|t| t.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+            }
+            "--load" => {
+                i += 1;
+                opts.load = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--load needs a number in [0,1]")?;
+            }
+            "--ports" => {
+                i += 1;
+                opts.ports = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--ports needs a power-of-two integer")?;
+            }
+            "--width" => {
+                i += 1;
+                opts.width = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--width needs an integer")?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+            }
+            "--chip" => {
+                i += 1;
+                opts.chip = match args.get(i).map(String::as_str) {
+                    Some("mcc") => ChipModel::Mcc,
+                    Some("dmc") => ChipModel::Dmc,
+                    _ => return Err("--chip needs `mcc` or `dmc`".into()),
+                };
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn emit(record: &ExperimentRecord, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(record).expect("records serialize")
+        );
+    } else {
+        println!("== {} — {} ==", record.id, record.title);
+        println!("{}", record.text);
+        for note in &record.notes {
+            println!("note: {note}");
+        }
+        println!();
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let opts = parse_options(args.get(1..).unwrap_or(&[]))?;
+    let effort = if opts.full { SimEffort::Full } else { SimEffort::Quick };
+
+    match command {
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+        }
+        "list" => {
+            for r in experiments::analytic_experiments(&opts.tech) {
+                println!("{:14} {}", r.id, r.title);
+            }
+            println!("{:14} Simulator vs analytic (sim)", "E4-validation");
+            println!("{:14} MCC crosspoint-level abstraction check (sim)", "E4-mesh");
+            println!("{:14} Loaded network (sim)", "X1");
+            println!("{:14} Ablations (sim)", "X2");
+            println!("{:14} Closed-loop round trips (sim)", "X3");
+            println!("{:14} Queueing baseline vs simulator (sim)", "X6");
+        }
+        "all" => {
+            for r in experiments::analytic_experiments(&opts.tech) {
+                emit(&r, opts.json);
+            }
+        }
+        "report" => {
+            let mut records = experiments::analytic_experiments(&opts.tech);
+            records.extend(experiments::simulation_experiments(effort));
+            let md = icn_core::report::markdown(
+                &format!(
+                    "Franklin & Dhar 1986 reproduction — full evidence ({})",
+                    opts.tech.name
+                ),
+                &records,
+            );
+            std::fs::write("REPORT.md", md).map_err(|e| format!("writing REPORT.md: {e}"))?;
+            println!("wrote REPORT.md ({} experiments)", records.len());
+        }
+        "dump" => {
+            // Write every record (analytic + simulated) as .txt and .json
+            // into ./results — the one-command reproduction package.
+            let dir = std::path::Path::new("results");
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating results/: {e}"))?;
+            let mut records = experiments::analytic_experiments(&opts.tech);
+            records.extend(experiments::simulation_experiments(effort));
+            for r in &records {
+                let stem = r.id.replace('/', "_");
+                let txt = dir.join(format!("{stem}.txt"));
+                let json = dir.join(format!("{stem}.json"));
+                let mut text = format!("== {} — {} ==\n{}\n", r.id, r.title, r.text);
+                for note in &r.notes {
+                    text.push_str(&format!("note: {note}\n"));
+                }
+                std::fs::write(&txt, text).map_err(|e| format!("writing {txt:?}: {e}"))?;
+                std::fs::write(
+                    &json,
+                    serde_json::to_string_pretty(r).expect("records serialize"),
+                )
+                .map_err(|e| format!("writing {json:?}: {e}"))?;
+                println!("wrote {} ({})", txt.display(), r.title);
+            }
+        }
+        "table1" => emit(&experiments::table1(&opts.tech), opts.json),
+        "table2-pins" => emit(&experiments::table2_pins(&opts.tech), opts.json),
+        "table3-area" => emit(&experiments::table3_area(&opts.tech), opts.json),
+        "delay-table" => emit(&experiments::delay_table(), opts.json),
+        "fig1-topology" => emit(&experiments::fig1_topology(), opts.json),
+        "fig1-dot" => {
+            // Graphviz rendering of a (small) network; --ports controls the
+            // size, default Figure 1's 16 ports of 2×2 modules.
+            let ports = if opts.ports == 256 { 16 } else { opts.ports };
+            let plan = StagePlan::balanced_pow2(ports, 2)
+                .ok_or("--ports must be a power of two for fig1-dot")?;
+            println!("{}", icn_topology::Topology::new(plan).to_dot());
+        }
+        "fig2-blocking" => emit(&experiments::fig2_blocking(), opts.json),
+        "board-layout" => emit(&experiments::board_layout(&opts.tech), opts.json),
+        "clock-budget" => emit(&experiments::clock_budget(&opts.tech), opts.json),
+        "example-2048" => emit(&experiments::example2048(&opts.tech), opts.json),
+        "cost" => emit(&experiments::cost_comparison(), opts.json),
+        "clock-schemes" => emit(&experiments::clock_schemes(&opts.tech), opts.json),
+        "blocking-validation" => emit(&experiments::blocking_validation(), opts.json),
+        "scaling" => emit(&experiments::scaling_study(&opts.tech), opts.json),
+        "tech-evolution" => emit(&experiments::tech_evolution(), opts.json),
+        "power" => emit(&experiments::power_budget(&opts.tech), opts.json),
+        "dmc-scaling" => emit(&experiments::dmc_scaling(&opts.tech), opts.json),
+        "sensitivity" => emit(&experiments::sensitivity(&opts.tech), opts.json),
+        "queueing" => emit(&experiments::queueing_model(effort), opts.json),
+        "sim-validation" => emit(&experiments::sim_validation(), opts.json),
+        "mesh-validation" => emit(&experiments::mesh_validation(), opts.json),
+        "loaded" => emit(&experiments::loaded_network(effort), opts.json),
+        "ablations" => emit(&experiments::ablations(effort), opts.json),
+        "roundtrip" => emit(&experiments::roundtrip_sim(effort), opts.json),
+        "explore" => {
+            let designs =
+                explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&designs).expect("designs serialize")
+                );
+            } else {
+                let mut t = TextTable::new(vec![
+                    "kind",
+                    "N",
+                    "W",
+                    "pins",
+                    "feasible",
+                    "F (MHz)",
+                    "one-way (µs)",
+                    "P(block)@50%",
+                ]);
+                for d in &designs {
+                    let r = &d.report;
+                    t.row(vec![
+                        r.point.kind.label().to_string(),
+                        r.point.chip_radix.to_string(),
+                        r.point.width.to_string(),
+                        r.pins.total().to_string(),
+                        if r.feasible() { "yes".into() } else { "no".into() },
+                        format!("{:.1}", r.frequency.mhz()),
+                        format!("{:.2}", r.one_way.micros()),
+                        format!("{:.3}", d.blocking_at_half_load),
+                    ]);
+                }
+                println!("{}", t.render());
+            }
+        }
+        "simulate" => {
+            let plan = StagePlan::balanced_pow2(opts.ports, 16)
+                .ok_or("--ports must be a power of two ≥ 2")?;
+            let mut config = SimConfig::paper_baseline(
+                plan,
+                opts.chip,
+                opts.width,
+                Workload::uniform(opts.load),
+            );
+            config.seed = opts.seed;
+            let result = icn_sim::run(config);
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&result).expect("results serialize")
+                );
+            } else {
+                println!(
+                    "{} ports, {} stages: injected {}, delivered {}, throughput {:.5} \
+                     pkt/port/cyc",
+                    result.ports,
+                    result.stages,
+                    result.injected_total,
+                    result.delivered_total,
+                    result.throughput
+                );
+                println!(
+                    "network latency: mean {:.1} p50 {} p99 {} max {} cycles \
+                     (unloaded analytic {})",
+                    result.network_latency.mean,
+                    result.network_latency.p50,
+                    result.network_latency.p99,
+                    result.network_latency.max,
+                    result.analytic_unloaded_cycles
+                );
+            }
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests of the `icn` binary.
+
+use std::process::Command;
+
+fn icn(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_icn"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = icn(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("table2-pins"));
+    assert!(stdout.contains("simulate"));
+}
+
+#[test]
+fn list_enumerates_experiments() {
+    let (ok, stdout, _) = icn(&["list"]);
+    assert!(ok);
+    for id in ["E1", "E2", "E3", "E4", "E5", "E6", "E9", "E10", "C1", "X1", "X3"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn table2_pins_prints_the_table() {
+    let (ok, stdout, _) = icn(&["table2-pins"]);
+    assert!(ok);
+    assert!(stdout.contains("F = 10 MHz"));
+    assert!(stdout.contains("69"));
+    assert!(stdout.contains("294!"));
+}
+
+#[test]
+fn example_2048_reports_the_conclusion() {
+    let (ok, stdout, _) = icn(&["example-2048"]);
+    assert!(ok);
+    assert!(stdout.contains("MHz"));
+    assert!(stdout.contains("round trip"));
+}
+
+#[test]
+fn json_output_is_valid_json() {
+    let (ok, stdout, _) = icn(&["fig2-blocking", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["id"], "E6");
+}
+
+#[test]
+fn simulate_runs_a_small_network() {
+    let (ok, stdout, _) = icn(&["simulate", "--ports", "64", "--load", "0.005"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("64 ports"));
+    assert!(stdout.contains("network latency"));
+}
+
+#[test]
+fn fig1_dot_emits_graphviz() {
+    let (ok, stdout, _) = icn(&["fig1-dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph network {"));
+    assert!(stdout.contains("s0m0"));
+    assert!(stdout.contains("-> out15;"));
+}
+
+#[test]
+fn dump_writes_results_files() {
+    // Run in a temp dir so the test doesn't clobber the repo's results/.
+    let dir = std::env::temp_dir().join(format!("icn-dump-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_icn"))
+        .args(["dump"])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let results = dir.join("results");
+    assert!(results.join("E2.txt").exists());
+    assert!(results.join("E2.json").exists());
+    assert!(results.join("E7_E8.txt").exists(), "slash in id must be sanitized");
+    assert!(results.join("X1.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = icn(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn unknown_tech_preset_fails_helpfully() {
+    let (ok, _, stderr) = icn(&["table1", "--tech", "vacuum-tubes"]);
+    assert!(!ok);
+    assert!(stderr.contains("paper-1986-mos-pga"));
+}
+
+#[test]
+fn tech_preset_switches_parameters() {
+    let (ok, stdout, _) = icn(&["table1", "--tech", "scaled-cmos-early90s"]);
+    assert!(ok);
+    assert!(stdout.contains("0.8 µm"), "{stdout}");
+}

@@ -1,0 +1,281 @@
+//! End-to-end design evaluation: one [`DesignPoint`] in, one fully audited
+//! [`DesignReport`] out.
+//!
+//! The evaluation chains the paper's models in dependency order, solving the
+//! one circularity by fixed-point iteration: the achievable clock frequency
+//! depends on the longest trace (board layout), the layout depends on the
+//! package size (pin count), and the pin count depends on the frequency
+//! (ground-bounce pins grow linearly with F, eq. 3.4). Package edges are
+//! quantized to whole pin rows, so the iteration settles within a few
+//! rounds.
+
+use icn_phys::{
+    area, board::BoardLayout, clock::ClockBudget, pins, rack::RackLayout, signal,
+    ClockScheme, CrossbarKind, PinBudget,
+};
+use icn_tech::Technology;
+use icn_units::{Frequency, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::delay;
+
+/// A candidate network design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The implementation technology.
+    pub tech: Technology,
+    /// Crossbar implementation style.
+    pub kind: CrossbarKind,
+    /// Chip crossbar radix `N`.
+    pub chip_radix: u32,
+    /// Data path width `W` in bits.
+    pub width: u32,
+    /// Ports per board sub-network (`B`, a power of `N`).
+    pub board_ports: u32,
+    /// Ports of the full network (`N′`).
+    pub network_ports: u32,
+    /// Packet size `P` in bits.
+    pub packet_bits: u32,
+    /// Clock distribution scheme.
+    pub clock_scheme: ClockScheme,
+    /// Memory access time for round-trip estimates.
+    pub memory_access: Time,
+}
+
+impl DesignPoint {
+    /// The paper's §6 example: 2048×2048 from 16×16, W=4 chips on 256-port
+    /// boards, 100-bit packets, 200 ns memory.
+    #[must_use]
+    pub fn paper_example(tech: Technology, kind: CrossbarKind) -> Self {
+        Self {
+            tech,
+            kind,
+            chip_radix: 16,
+            width: 4,
+            board_ports: 256,
+            network_ports: 2048,
+            packet_bits: 100,
+            clock_scheme: ClockScheme::MultiplePulse,
+            memory_access: Time::from_nanos(200.0),
+        }
+    }
+
+    /// Evaluate the design against every constraint.
+    ///
+    /// # Examples
+    /// ```
+    /// use icn_core::DesignPoint;
+    /// use icn_phys::CrossbarKind;
+    /// use icn_tech::presets;
+    ///
+    /// // The §6 pipeline in three lines: ~32 MHz, ~1 µs, feasible.
+    /// let report =
+    ///     DesignPoint::paper_example(presets::paper1986(), CrossbarKind::Dmc).evaluate();
+    /// assert!(report.feasible());
+    /// assert!((31.0..34.0).contains(&report.frequency.mhz()));
+    /// assert!(report.slowdown_vs_local > 10.0);
+    /// ```
+    #[must_use]
+    pub fn evaluate(&self) -> DesignReport {
+        // Fixed point: F → pins → package/board → trace → clock budget → F.
+        let mut f = Frequency::from_mhz(10.0);
+        let mut iterations = 0u32;
+        let (pins, board, rack, clock) = loop {
+            let pins = pins::pin_budget(&self.tech, self.chip_radix, self.width, f);
+            let rack = RackLayout::plan(
+                &self.tech,
+                self.chip_radix,
+                self.width,
+                self.board_ports,
+                self.network_ports,
+                f,
+            );
+            let board = rack.board.clone();
+            let clock = ClockBudget::compute(&self.tech, self.chip_radix, rack.longest_wire);
+            let f_next = clock.max_frequency(self.clock_scheme);
+            iterations += 1;
+            if (f_next.hz() - f.hz()).abs() <= 1.0 || iterations >= 16 {
+                break (pins, board, rack, clock);
+            }
+            f = f_next;
+        };
+        let frequency = clock.max_frequency(self.clock_scheme);
+
+        let chip_area = area::crossbar_area(&self.tech, self.kind, self.chip_radix, self.width);
+        let die_area = self.tech.process.die_area();
+
+        let mut violations = Vec::new();
+        if !pins.fits() {
+            violations.push(format!(
+                "chip needs {} pins but the package provides {}",
+                pins.total(),
+                pins.max_pins
+            ));
+        }
+        if chip_area.square_meters() > die_area.square_meters() {
+            violations.push(format!(
+                "{} crossbar needs {:.2} cm² but the die is {:.2} cm²",
+                self.kind,
+                chip_area.square_centimeters(),
+                die_area.square_centimeters()
+            ));
+        }
+        for v in &board.violations {
+            violations.push(v.to_string());
+        }
+
+        let one_way = delay::unloaded_delay(
+            self.kind,
+            self.chip_radix,
+            self.width,
+            self.packet_bits,
+            self.network_ports,
+            frequency,
+        );
+        let round_trip = delay::RoundTrip { one_way, memory_access: self.memory_access };
+
+        DesignReport {
+            point: self.clone(),
+            pins,
+            chip_area_fraction: chip_area.square_meters() / die_area.square_meters(),
+            board,
+            rack,
+            clock,
+            frequency,
+            d_l: signal::logic_memory_delay(&self.tech),
+            one_way,
+            round_trip_total: round_trip.total(),
+            slowdown_vs_local: round_trip.slowdown_vs_local(self.memory_access),
+            fixed_point_iterations: iterations,
+            violations,
+        }
+    }
+}
+
+/// The audited result of evaluating a [`DesignPoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignReport {
+    /// The design evaluated.
+    pub point: DesignPoint,
+    /// Chip pin budget at the converged frequency.
+    pub pins: PinBudget,
+    /// Chip crossbar area as a fraction of the die (> 1 means it doesn't
+    /// fit).
+    pub chip_area_fraction: f64,
+    /// Board layout.
+    pub board: BoardLayout,
+    /// Rack layout for the full network.
+    pub rack: RackLayout,
+    /// Clock delay budget.
+    pub clock: ClockBudget,
+    /// Achievable clock frequency under the chosen scheme.
+    pub frequency: Frequency,
+    /// Logic + memory delay used in the budget.
+    pub d_l: Time,
+    /// Unloaded one-way network delay at the achievable frequency.
+    pub one_way: Time,
+    /// Remote read round trip (`2·one_way + memory`).
+    pub round_trip_total: Time,
+    /// Round-trip slowdown versus a local access of the memory-access time.
+    pub slowdown_vs_local: f64,
+    /// Iterations the frequency fixed point needed.
+    pub fixed_point_iterations: u32,
+    /// Human-readable constraint violations (empty = feasible).
+    pub violations: Vec<String>,
+}
+
+impl DesignReport {
+    /// Whether every constraint is satisfied.
+    #[must_use]
+    pub fn feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_tech::presets;
+
+    fn paper_report(kind: CrossbarKind) -> DesignReport {
+        DesignPoint::paper_example(presets::paper1986(), kind).evaluate()
+    }
+
+    /// §6 end to end: ~32 MHz, ~1 µs one-way, > 2 µs round trip, > 10×
+    /// local-access slowdown, 16 boards, 384 chips — all feasible.
+    #[test]
+    fn reproduces_the_papers_conclusion() {
+        let r = paper_report(CrossbarKind::Dmc);
+        assert!(r.feasible(), "violations: {:?}", r.violations);
+        assert!(
+            (30.0..=34.0).contains(&r.frequency.mhz()),
+            "frequency {} MHz",
+            r.frequency.mhz()
+        );
+        assert!(
+            (0.85..=1.15).contains(&r.one_way.micros()),
+            "one-way {} µs",
+            r.one_way.micros()
+        );
+        assert!(r.round_trip_total.micros() > 2.0);
+        assert!(r.slowdown_vs_local > 10.0);
+        assert_eq!(r.rack.total_boards, 16);
+        assert_eq!(r.rack.total_chips, 384);
+    }
+
+    /// Both crossbar styles fit the 16×16/W=4 chip; MCC is slower end to
+    /// end because of its N-cycle per-stage fill.
+    #[test]
+    fn both_kinds_feasible_mcc_slower() {
+        let dmc = paper_report(CrossbarKind::Dmc);
+        let mcc = paper_report(CrossbarKind::Mcc);
+        assert!(mcc.feasible(), "{:?}", mcc.violations);
+        assert!(dmc.feasible(), "{:?}", dmc.violations);
+        assert!(mcc.one_way > dmc.one_way);
+        // Clock budgets are identical (§6.2: "both the MCC and DMC designs
+        // resulted in equal clock frequencies").
+        assert!(mcc.frequency.approx_eq(dmc.frequency));
+    }
+
+    #[test]
+    fn fixed_point_converges_quickly() {
+        let r = paper_report(CrossbarKind::Dmc);
+        assert!(r.fixed_point_iterations <= 6, "{} iterations", r.fixed_point_iterations);
+    }
+
+    /// An infeasible design reports *why*: W=8 chips blow the pin budget.
+    #[test]
+    fn wide_paths_violate_pins() {
+        let mut point = DesignPoint::paper_example(presets::paper1986(), CrossbarKind::Dmc);
+        point.width = 8;
+        let r = point.evaluate();
+        assert!(!r.feasible());
+        assert!(
+            r.violations.iter().any(|v| v.contains("pins")),
+            "violations: {:?}",
+            r.violations
+        );
+    }
+
+    /// The conservative technology cannot host the paper's chip at all.
+    #[test]
+    fn conservative_tech_is_infeasible() {
+        let point =
+            DesignPoint::paper_example(presets::conservative1986(), CrossbarKind::Dmc);
+        let r = point.evaluate();
+        assert!(!r.feasible());
+    }
+
+    /// Oversized crossbars violate the die area.
+    #[test]
+    fn oversized_crossbar_violates_area() {
+        let mut point = DesignPoint::paper_example(presets::paper1986(), CrossbarKind::Dmc);
+        point.chip_radix = 32;
+        point.board_ports = 1024;
+        point.network_ports = 32768;
+        let r = point.evaluate();
+        assert!(!r.feasible());
+        assert!(r.chip_area_fraction > 1.0);
+        assert!(r.violations.iter().any(|v| v.contains("cm²")), "{:?}", r.violations);
+    }
+}

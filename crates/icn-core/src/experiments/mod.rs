@@ -1,0 +1,214 @@
+//! One module per paper artifact: each regenerates its table or figure.
+//!
+//! Experiment ids follow DESIGN.md's per-experiment index:
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | E1 | Table 1 — variable definitions / typical values |
+//! | E2 | Table 2 — pins per chip `N_p(N, W, F)` |
+//! | E3 | Table 3 — largest single-chip crossbar |
+//! | E4 | Table 2′ — time through the network (µs) |
+//! | E5 | Figure 1 — the 16-port network of 2×2 modules |
+//! | E6 | Figure 2 — blocking probability vs stages, N′ = 4096 |
+//! | E7/E8 | §3.3/§3.4 — board layout and connector feasibility |
+//! | E9 | §6.2 — clock delay budget |
+//! | E10 | §6 — the 2048×2048 example, end to end |
+//! | E4-validation | simulator vs §4 analytics, cycle-exact |
+//! | E4-mesh | eq. 4.1's "N crosspoints" at crosspoint level |
+//! | E6-validation | Patel recurrence vs Monte-Carlo circuit setup |
+//! | C1 | §2's chip-cost claim (multistage vs tiled crossbar) |
+//! | P1 | power/supply-current corollary of the Appendix |
+//! | X1 | extension — loaded-network delay (simulated) |
+//! | X2 | extension — buffering/pass-through/arbitration ablations |
+//! | X3 | extension — closed-loop remote-read round trips (simulated) |
+//! | X4 | extension — Standard vs Multiple-Pulse clock crossover |
+//! | X5 | extension — parameter sensitivity of the §6 clock budget |
+//! | X6 | extension — Kruskal–Snir queueing baseline vs simulator |
+//! | X7 | extension — scaling the §6 design across network sizes |
+//! | X8 | extension — the §6 design across technology presets |
+//! | X9 | extension — §2.2's O(N²) DMC wire-delay claim |
+//!
+//! Every experiment returns an [`ExperimentRecord`]: a rendered text table
+//! (what the paper printed), a JSON value (machine-readable), and notes on
+//! any deviation from the paper.
+
+mod blocking_validation;
+mod board_layout;
+mod clock_budget;
+mod clock_schemes;
+mod cost_comparison;
+mod delay_table;
+mod dmc_scaling;
+mod example2048;
+mod fig1_topology;
+mod fig2_blocking;
+mod loaded_network;
+mod mesh_validation;
+mod power_budget;
+mod queueing_model;
+mod roundtrip_sim;
+mod scaling_study;
+mod sensitivity;
+mod sim_validation;
+mod tech_evolution;
+mod table1;
+mod table2_pins;
+mod table3_area;
+
+pub use blocking_validation::blocking_validation;
+pub use board_layout::board_layout;
+pub use clock_budget::clock_budget;
+pub use clock_schemes::clock_schemes;
+pub use cost_comparison::cost_comparison;
+pub use delay_table::delay_table;
+pub use dmc_scaling::dmc_scaling;
+pub use example2048::example2048;
+pub use fig1_topology::fig1_topology;
+pub use fig2_blocking::fig2_blocking;
+pub use loaded_network::{ablations, loaded_network, SimEffort};
+pub use mesh_validation::mesh_validation;
+pub use power_budget::power_budget;
+pub use queueing_model::queueing_model;
+pub use roundtrip_sim::roundtrip_sim;
+pub use scaling_study::scaling_study;
+pub use sensitivity::sensitivity;
+pub use sim_validation::sim_validation;
+pub use tech_evolution::tech_evolution;
+pub use table1::table1;
+pub use table2_pins::table2_pins;
+pub use table3_area::table3_area;
+
+use icn_tech::Technology;
+use serde::{Deserialize, Serialize};
+
+/// A regenerated paper artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (see the module docs).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Rendered text (tables/figures as the paper prints them).
+    pub text: String,
+    /// Machine-readable payload.
+    pub json: serde_json::Value,
+    /// Deviations from the paper, calibration notes, caveats.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentRecord {
+    pub(crate) fn new(
+        id: &str,
+        title: &str,
+        text: String,
+        json: serde_json::Value,
+        notes: Vec<String>,
+    ) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            text,
+            json,
+            notes,
+        }
+    }
+}
+
+/// Identifier + constructor pairs for every experiment that needs only a
+/// technology (the analytic set; the simulation experiments take an effort
+/// level and are listed separately).
+#[must_use]
+pub fn analytic_experiments(tech: &Technology) -> Vec<ExperimentRecord> {
+    vec![
+        table1(tech),
+        table2_pins(tech),
+        table3_area(tech),
+        delay_table(),
+        fig1_topology(),
+        fig2_blocking(),
+        board_layout(tech),
+        clock_budget(tech),
+        example2048(tech),
+        cost_comparison(),
+        clock_schemes(tech),
+        blocking_validation(),
+        scaling_study(tech),
+        tech_evolution(),
+        power_budget(tech),
+        dmc_scaling(tech),
+        sensitivity(tech),
+    ]
+}
+
+/// Simulation-backed experiments (E4 validation plus the X extensions) at
+/// the chosen effort.
+#[must_use]
+pub fn simulation_experiments(effort: SimEffort) -> Vec<ExperimentRecord> {
+    vec![
+        sim_validation(),
+        mesh_validation(),
+        loaded_network(effort),
+        ablations(effort),
+        roundtrip_sim(effort),
+        queueing_model(effort),
+    ]
+}
+
+/// A trait alias for convenience in generic drivers (CLI, benches).
+pub trait Experiment {
+    /// Produce the record.
+    fn record(&self) -> ExperimentRecord;
+}
+
+impl<F: Fn() -> ExperimentRecord> Experiment for F {
+    fn record(&self) -> ExperimentRecord {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_tech::presets;
+
+    #[test]
+    fn all_analytic_experiments_render() {
+        let records = analytic_experiments(&presets::paper1986());
+        assert_eq!(records.len(), 17);
+        for r in &records {
+            assert!(!r.text.is_empty(), "{} produced no text", r.id);
+            assert!(!r.title.is_empty());
+            assert!(r.json.is_object() || r.json.is_array(), "{} has no payload", r.id);
+        }
+        // The Experiment trait lets generic drivers hold heterogeneous
+        // experiment thunks.
+        let thunks: Vec<Box<dyn Experiment>> =
+            vec![Box::new(delay_table), Box::new(fig2_blocking)];
+        assert_eq!(thunks[0].record().id, "E4");
+        assert_eq!(thunks[1].record().id, "E6");
+
+        let ids: Vec<&str> = records.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "E1",
+                "E2",
+                "E3",
+                "E4",
+                "E5",
+                "E6",
+                "E7/E8",
+                "E9",
+                "E10",
+                "C1",
+                "X4",
+                "E6-validation",
+                "X7",
+                "X8",
+                "P1",
+                "X9",
+                "X5"
+            ]
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Chip-count cost model (§2's justification for the multistage topology).
+//!
+//! The paper: "Across the network as a whole, however, use of a Boolean
+//! hypercube structure is significantly less costly in terms of the total
+//! number of chips required [7]." This module quantifies that claim: an
+//! N′×N′ delta network of N×N chips needs `⌈log_N N′⌉ · ⌈N′/N⌉` chips
+//! (linear-log in N′), while tiling a full N′×N′ crossbar out of the same
+//! N×N chips needs `⌈N′/N⌉²` (quadratic).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rack::ceil_log;
+
+/// Chips to build an N′-port multistage (delta) network from N×N chips.
+///
+/// # Panics
+/// Panics if `chip_radix < 2` or `network_ports == 0`.
+#[must_use]
+pub fn delta_network_chips(network_ports: u32, chip_radix: u32) -> u64 {
+    let stages = u64::from(ceil_log(network_ports, chip_radix));
+    stages * u64::from(network_ports.div_ceil(chip_radix))
+}
+
+/// Chips to tile a full N′×N′ crossbar from N×N chip tiles.
+///
+/// # Panics
+/// Panics if `chip_radix` is zero or `network_ports == 0`.
+#[must_use]
+pub fn crossbar_tile_chips(network_ports: u32, chip_radix: u32) -> u64 {
+    assert!(chip_radix >= 1, "chip radix must be at least 1");
+    assert!(network_ports >= 1, "network must have at least one port");
+    let tiles_per_side = u64::from(network_ports.div_ceil(chip_radix));
+    tiles_per_side * tiles_per_side
+}
+
+/// A delta-vs-crossbar chip-cost comparison at one network size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostComparison {
+    /// Network ports N′.
+    pub network_ports: u32,
+    /// Chip radix N.
+    pub chip_radix: u32,
+    /// Chips for the multistage network.
+    pub delta_chips: u64,
+    /// Chips for the tiled full crossbar.
+    pub crossbar_chips: u64,
+}
+
+impl CostComparison {
+    /// Compare the two constructions at one design point.
+    #[must_use]
+    pub fn compute(network_ports: u32, chip_radix: u32) -> Self {
+        Self {
+            network_ports,
+            chip_radix,
+            delta_chips: delta_network_chips(network_ports, chip_radix),
+            crossbar_chips: crossbar_tile_chips(network_ports, chip_radix),
+        }
+    }
+
+    /// How many times more chips the full crossbar costs.
+    #[must_use]
+    pub fn crossbar_overhead(&self) -> f64 {
+        self.crossbar_chips as f64 / self.delta_chips as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_2048_network_costs() {
+        // 3 stages × 128 chips = 384 (matches §6.1's rack inventory);
+        // a tiled 2048×2048 crossbar would need 128² = 16384 chips.
+        let c = CostComparison::compute(2048, 16);
+        assert_eq!(c.delta_chips, 384);
+        assert_eq!(c.crossbar_chips, 16_384);
+        assert!((c.crossbar_overhead() - 42.67).abs() < 0.1);
+    }
+
+    #[test]
+    fn single_chip_network_is_free_either_way() {
+        let c = CostComparison::compute(16, 16);
+        assert_eq!(c.delta_chips, 1);
+        assert_eq!(c.crossbar_chips, 1);
+    }
+
+    #[test]
+    fn crossbar_overhead_grows_with_network_size() {
+        let mut prev = 0.0;
+        for ports in [256u32, 1024, 4096, 16384] {
+            let c = CostComparison::compute(ports, 16);
+            assert!(
+                c.crossbar_overhead() > prev,
+                "overhead not growing at {ports}"
+            );
+            prev = c.crossbar_overhead();
+        }
+    }
+
+    #[test]
+    fn delta_cost_is_stages_times_chips_per_stage() {
+        assert_eq!(delta_network_chips(4096, 16), 3 * 256);
+        assert_eq!(delta_network_chips(256, 16), 2 * 16);
+        // Non-power networks round chips up.
+        assert_eq!(delta_network_chips(2048, 16), 3 * 128);
+    }
+}

@@ -1,0 +1,43 @@
+//! Physical design models for crossbar-module interconnection networks.
+//!
+//! This crate implements §3–§6 of Franklin & Dhar (1986):
+//!
+//! * [`pins`] — the chip pin budget: data, control and power/ground pins
+//!   (eq. 3.1–3.4), including the Appendix's inductive ground-bounce model.
+//! * [`area`] — chip area estimates for the two crossbar implementations:
+//!   mesh-connected (MCC, eq. 3.5) and DMUX/MUX (DMC, eq. 3.6–3.9), plus
+//!   largest-feasible-crossbar searches (Table 3).
+//! * [`board`] — board-level layout: chip placement, inter-stage wire
+//!   routing area (eq. 3.7 at board scale), board dimensions, longest trace,
+//!   and edge-connector feasibility (§3.3–3.4).
+//! * [`rack`] — 3-D board racking for networks too large for one board
+//!   (§6.1, Figure 5).
+//! * [`signal`] — information-signal path delay D_P (driver + trace, §6).
+//! * [`clock`] — clock distribution: H-tree on-chip delay (eq. 6.1), board
+//!   clock delay, the Wann–Franklin skew model (eq. 5.3), and the data-rate /
+//!   maximum-frequency solver for the Standard and Multiple-Pulse clocking
+//!   schemes (eq. 5.2/5.4, §6.2).
+//!
+//! All models take an [`icn_tech::Technology`] and plain design parameters
+//! (`N`, `W`, `F`, …) and return rich result structs rather than bare
+//! numbers, so that feasibility *reasons* are inspectable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod area;
+pub mod board;
+pub mod clock;
+pub mod cost;
+pub mod pins;
+pub mod power;
+pub mod rack;
+pub mod signal;
+pub mod tline;
+
+pub use area::{dmc_area, max_crossbar, mcc_area, CrossbarKind};
+pub use board::BoardLayout;
+pub use clock::{ClockBudget, ClockScheme};
+pub use pins::PinBudget;
+pub use rack::RackLayout;
+pub use signal::PathDelay;

@@ -1,0 +1,84 @@
+//! Information-signal path delay `D_P` (§6).
+//!
+//! The pipelined network only cares about the *largest* chip-to-chip delay:
+//! the path that leaves a chip, crosses the longest board trace, and enters
+//! the next chip. That delay is the time to drive the 50 Ω line driver
+//! (3 ns in the paper) plus the trace propagation time (0.15 ns/in over up
+//! to 35 in), giving the paper's `D_P = 3 + 0.15·35 ≈ 8.3 ns`.
+
+use icn_tech::Technology;
+use icn_units::{Length, Time};
+use serde::{Deserialize, Serialize};
+
+/// The worst-case information-signal path delay between communicating chips.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathDelay {
+    /// Time to drive the off-chip line driver.
+    pub driver: Time,
+    /// Propagation time over the longest trace.
+    pub propagation: Time,
+    /// The trace length the propagation term was computed for.
+    pub trace_length: Length,
+}
+
+impl PathDelay {
+    /// Total path delay `D_P = driver + propagation`.
+    #[must_use]
+    pub fn total(&self) -> Time {
+        self.driver + self.propagation
+    }
+}
+
+/// Compute the worst-case path delay for a longest trace of `trace_length`.
+#[must_use]
+pub fn path_delay(tech: &Technology, trace_length: Length) -> PathDelay {
+    PathDelay {
+        driver: tech.packaging.driver_delay,
+        propagation: tech.board.trace_delay(trace_length),
+        trace_length,
+    }
+}
+
+/// Combinational plus storage delay `D_L` of the switch chips' finite-state
+/// machines (logic + memory; 12 + 2 = 14 ns in §6).
+#[must_use]
+pub fn logic_memory_delay(tech: &Technology) -> Time {
+    tech.process.logic_delay + tech.process.memory_delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_tech::presets::paper1986;
+
+    #[test]
+    fn reproduces_paper_dp() {
+        // D_P = 3 + 0.15·35 = 8.25 ns (printed as 8.3 in §6).
+        let d = path_delay(&paper1986(), Length::from_inches(35.0));
+        assert!((d.total().nanos() - 8.25).abs() < 1e-9);
+        assert!((d.driver.nanos() - 3.0).abs() < 1e-12);
+        assert!((d.propagation.nanos() - 5.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reproduces_paper_dl() {
+        assert!((logic_memory_delay(&paper1986()).nanos() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_delay_grows_with_trace_length() {
+        let tech = paper1986();
+        let short = path_delay(&tech, Length::from_inches(5.0));
+        let long = path_delay(&tech, Length::from_inches(35.0));
+        assert!(long.total() > short.total());
+        // Driver term is length-independent.
+        assert_eq!(long.driver, short.driver);
+    }
+
+    #[test]
+    fn zero_length_path_is_just_the_driver() {
+        let tech = paper1986();
+        let d = path_delay(&tech, Length::ZERO);
+        assert!(d.total().approx_eq(tech.packaging.driver_delay));
+    }
+}

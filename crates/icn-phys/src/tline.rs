@@ -1,0 +1,264 @@
+//! Transmission-line behaviour of long clock and signal traces (§5).
+//!
+//! The Multiple-Pulse clocking scheme "treats clock lines as transmission
+//! lines and, using the memory properties of the line, places multiple
+//! pulses on the line at the same time instant. Naturally appropriate
+//! matched loading and driving techniques must be employed to prevent pulse
+//! reflections from causing excessive signal deterioration." This module
+//! quantifies that requirement with the classic lossless-line bounce
+//! analysis: launch amplitude from the source divider, reflection
+//! coefficients at both ends, and the number of end-to-end transits until
+//! the load voltage settles within a tolerance band.
+//!
+//! A matched line settles on the first wave arrival — one line delay — and
+//! can therefore carry a new pulse every clock period regardless of length.
+//! A mismatched line rings; its settling time (several round trips) becomes
+//! the real `τ` of eq. 5.2 and erodes the Multiple-Pulse advantage.
+
+use icn_units::{Length, Resistance, Time, Voltage};
+use serde::{Deserialize, Serialize};
+
+/// A lossless transmission line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionLine {
+    /// Characteristic impedance Z₀ (50 Ω for the paper's board traces).
+    pub z0: Resistance,
+    /// One-way propagation delay of the full line.
+    pub delay: Time,
+}
+
+impl TransmissionLine {
+    /// Build from geometry: a trace of `length` at `delay_per_length` per
+    /// `reference` (the paper's 0.15 ns/in).
+    #[must_use]
+    pub fn from_trace(
+        z0: Resistance,
+        length: Length,
+        delay_per_length: Time,
+        reference: Length,
+    ) -> Self {
+        Self { z0, delay: length.propagation_delay(delay_per_length, reference) }
+    }
+
+    /// Voltage reflection coefficient of a resistive termination `r`:
+    /// `ρ = (r − Z₀) / (r + Z₀)`.
+    ///
+    /// # Panics
+    /// Panics on a negative resistance.
+    #[must_use]
+    pub fn reflection_coefficient(&self, r: Resistance) -> f64 {
+        assert!(r.ohms() >= 0.0, "resistance cannot be negative");
+        let z0 = self.z0.ohms();
+        if r.ohms().is_infinite() {
+            return 1.0;
+        }
+        (r.ohms() - z0) / (r.ohms() + z0)
+    }
+
+    /// Whether `r` matches the line (|ρ| below one percent).
+    #[must_use]
+    pub fn is_matched(&self, r: Resistance) -> bool {
+        self.reflection_coefficient(r).abs() < 0.01
+    }
+}
+
+/// The result of a step-response bounce analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SettlingReport {
+    /// Final (DC) load voltage.
+    pub final_voltage: Voltage,
+    /// Load voltage after the first wave arrival.
+    pub first_incident_voltage: Voltage,
+    /// End-to-end transits until the load stays within the tolerance band
+    /// (1 = settles on arrival, i.e. effectively matched).
+    pub transits: u32,
+    /// Time from the step until settled: `(2·transits − 1) · line delay`.
+    pub settling_time: Time,
+}
+
+/// Step-response settling analysis of a line driven by a source of output
+/// resistance `source_r` into a resistive load `load_r`, with tolerance
+/// `tol` (fraction of the step amplitude, e.g. 0.05 for a 5 % band).
+///
+/// # Panics
+/// Panics if `tol` is not in `(0, 1)`, if the step is non-positive, or if
+/// the analysis fails to settle within 10⁴ transits (a lossless line with
+/// |ρ_s·ρ_l| ≈ 1; physically it would ring for a very long time).
+#[must_use]
+pub fn step_settling(
+    line: &TransmissionLine,
+    source_r: Resistance,
+    load_r: Resistance,
+    step: Voltage,
+    tol: f64,
+) -> SettlingReport {
+    assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0,1), got {tol}");
+    assert!(step.volts() > 0.0, "step amplitude must be positive");
+    let rho_s = line.reflection_coefficient(source_r);
+    let rho_l = line.reflection_coefficient(load_r);
+    // Launch amplitude from the source divider.
+    let launch = step.volts() * line.z0.ohms() / (source_r.ohms() + line.z0.ohms());
+    // DC steady state from the resistive divider (open load → full swing).
+    let final_v = if load_r.ohms().is_infinite() {
+        step.volts()
+    } else {
+        step.volts() * load_r.ohms() / (source_r.ohms() + load_r.ohms())
+    };
+
+    // Load voltage after k arrivals: launch · (1 + ρ_l) · Σ_{i<k} (ρ_s·ρ_l)^i.
+    let per_arrival = launch * (1.0 + rho_l);
+    let ratio = rho_s * rho_l;
+    let band = tol * step.volts();
+    let mut sum = 0.0;
+    let mut term = 1.0;
+    let mut first_incident = 0.0;
+    for k in 1..=10_000u32 {
+        sum += term;
+        term *= ratio;
+        let v = per_arrival * sum;
+        if k == 1 {
+            first_incident = v;
+        }
+        // Settled when this and every future value stay inside the band:
+        // the residual tail is a geometric series bounded by
+        // |per_arrival·term / (1 − |ratio|)|.
+        let tail = if ratio.abs() < 1.0 {
+            (per_arrival * term / (1.0 - ratio.abs())).abs()
+        } else {
+            f64::INFINITY
+        };
+        if (v - final_v).abs() <= band && tail <= band {
+            return SettlingReport {
+                final_voltage: Voltage::from_volts(final_v),
+                first_incident_voltage: Voltage::from_volts(first_incident),
+                transits: k,
+                settling_time: line.delay * f64::from(2 * k - 1),
+            };
+        }
+    }
+    panic!(
+        "line did not settle within 10000 transits (|ρ_s·ρ_l| = {:.4})",
+        ratio.abs()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_line(inches: f64) -> TransmissionLine {
+        TransmissionLine::from_trace(
+            Resistance::from_ohms(50.0),
+            Length::from_inches(inches),
+            Time::from_nanos(0.15),
+            Length::from_inches(1.0),
+        )
+    }
+
+    #[test]
+    fn line_delay_from_geometry() {
+        let line = paper_line(35.0);
+        assert!((line.delay.nanos() - 5.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reflection_coefficients() {
+        let line = paper_line(10.0);
+        assert!((line.reflection_coefficient(Resistance::from_ohms(50.0))).abs() < 1e-12);
+        assert!(
+            (line.reflection_coefficient(Resistance::from_ohms(f64::INFINITY)) - 1.0).abs()
+                < 1e-12
+        );
+        assert!((line.reflection_coefficient(Resistance::ZERO) + 1.0).abs() < 1e-12);
+        assert!(line.is_matched(Resistance::from_ohms(50.2)));
+        assert!(!line.is_matched(Resistance::from_ohms(75.0)));
+    }
+
+    /// The paper's design intent: a 50 Ω driver into a matched 50 Ω load
+    /// settles on the first arrival — one line delay — so pulses can be
+    /// pipelined onto the line (the Multiple-Pulse scheme).
+    #[test]
+    fn matched_line_settles_in_one_transit() {
+        let line = paper_line(35.0);
+        let r = step_settling(
+            &line,
+            Resistance::from_ohms(50.0),
+            Resistance::from_ohms(50.0),
+            Voltage::from_volts(5.0),
+            0.05,
+        );
+        assert_eq!(r.transits, 1);
+        assert!(r.settling_time.approx_eq(line.delay));
+        // Matched divider: half the swing at the load.
+        assert!((r.final_voltage.volts() - 2.5).abs() < 1e-9);
+        assert!((r.first_incident_voltage.volts() - 2.5).abs() < 1e-9);
+    }
+
+    /// Series termination: matched source, open (CMOS gate) load also
+    /// settles at first arrival, at the full swing.
+    #[test]
+    fn series_terminated_open_line_settles_in_one_transit() {
+        let line = paper_line(35.0);
+        let r = step_settling(
+            &line,
+            Resistance::from_ohms(50.0),
+            Resistance::from_ohms(f64::INFINITY),
+            Voltage::from_volts(5.0),
+            0.05,
+        );
+        assert_eq!(r.transits, 1);
+        assert!((r.final_voltage.volts() - 5.0).abs() < 1e-9);
+        assert!((r.first_incident_voltage.volts() - 5.0).abs() < 1e-9);
+    }
+
+    /// A badly mismatched line (strong driver, open load) rings for several
+    /// round trips; its settling time dwarfs the one-way delay.
+    #[test]
+    fn mismatched_line_rings() {
+        let line = paper_line(35.0);
+        let r = step_settling(
+            &line,
+            Resistance::from_ohms(10.0), // ρ_s = −2/3
+            Resistance::from_ohms(f64::INFINITY), // ρ_l = 1
+            Voltage::from_volts(5.0),
+            0.05,
+        );
+        assert!(r.transits >= 3, "expected ringing, got {} transits", r.transits);
+        assert!(r.settling_time > line.delay * 4.0);
+        // A strong driver into an open line overshoots on the first arrival
+        // (launch · (1 + ρ_l) = 8.33 V against a 5 V final value).
+        assert!(r.first_incident_voltage.volts() > r.final_voltage.volts());
+    }
+
+    /// Settling transits grow as the mismatch worsens.
+    #[test]
+    fn settling_monotone_in_mismatch() {
+        let line = paper_line(35.0);
+        let transits = |rs: f64| {
+            step_settling(
+                &line,
+                Resistance::from_ohms(rs),
+                Resistance::from_ohms(f64::INFINITY),
+                Voltage::from_volts(5.0),
+                0.05,
+            )
+            .transits
+        };
+        assert!(transits(50.0) <= transits(25.0));
+        assert!(transits(25.0) <= transits(10.0));
+        assert!(transits(10.0) <= transits(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be in (0,1)")]
+    fn bad_tolerance_panics() {
+        let line = paper_line(1.0);
+        let _ = step_settling(
+            &line,
+            Resistance::from_ohms(50.0),
+            Resistance::from_ohms(50.0),
+            Voltage::from_volts(5.0),
+            1.5,
+        );
+    }
+}

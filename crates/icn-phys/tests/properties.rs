@@ -1,0 +1,112 @@
+//! Property-based tests over the physical design models.
+
+use icn_phys::{area, clock, pins, rack, signal, ClockBudget, ClockScheme, CrossbarKind};
+use icn_tech::presets;
+use icn_units::{Frequency, Length, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sized power/ground allocation always keeps the rail bounce
+    /// within budget (the Appendix inequality, solved and re-checked).
+    #[test]
+    fn sized_ground_pins_bound_the_bounce(
+        n in 2u32..40,
+        w in 1u32..10,
+        f_mhz in 1.0f64..200.0,
+    ) {
+        let tech = presets::paper1986();
+        let f = Frequency::from_mhz(f_mhz);
+        let budget = pins::pin_budget(&tech, n, w, f);
+        let bounce = pins::rail_bounce(&tech, n, w, f, budget.power_ground);
+        prop_assert!(
+            bounce.volts() <= tech.clocking.rail_bounce_budget.volts() + 1e-9,
+            "bounce {} V with {} pins", bounce.volts(), budget.power_ground
+        );
+    }
+
+    /// Pin components always follow eq. 3.2/3.3 exactly.
+    #[test]
+    fn pin_components_exact(n in 1u32..60, w in 1u32..12) {
+        let tech = presets::paper1986();
+        let b = pins::pin_budget(&tech, n, w, Frequency::from_mhz(10.0));
+        prop_assert_eq!(b.data, 2 * w * n);
+        prop_assert_eq!(b.control, 2 * n + 3);
+        prop_assert!(b.power_ground >= 2);
+    }
+
+    /// Crossbar area grows strictly with radix and width for both designs.
+    #[test]
+    fn area_strictly_monotone(n in 2u32..30, w in 1u32..8) {
+        let tech = presets::paper1986();
+        for kind in CrossbarKind::ALL {
+            let a = area::crossbar_area(&tech, kind, n, w).square_meters();
+            let an = area::crossbar_area(&tech, kind, n + 1, w).square_meters();
+            let aw = area::crossbar_area(&tech, kind, n, w + 1).square_meters();
+            prop_assert!(an > a, "{kind} not monotone in N at {n}");
+            prop_assert!(aw > a, "{kind} not monotone in W at {w}");
+        }
+    }
+
+    /// `max_crossbar` is exactly the boundary: the returned radix fits and
+    /// the next one does not.
+    #[test]
+    fn max_crossbar_is_tight(w in 1u32..9) {
+        let tech = presets::paper1986();
+        for kind in CrossbarKind::ALL {
+            if let Some(n) = area::max_crossbar(&tech, kind, w) {
+                prop_assert!(area::fits_on_die(&tech, kind, n, w));
+                prop_assert!(!area::fits_on_die(&tech, kind, n + 1, w));
+            }
+        }
+    }
+
+    /// Clock skew is bounded above by the clock delay itself for realistic
+    /// variations (τ is an upper bound on δ, §5), and scales linearly in τ.
+    #[test]
+    fn skew_bounded_and_linear(tau_ns in 0.1f64..100.0) {
+        let tech = presets::paper1986();
+        let tau = Time::from_nanos(tau_ns);
+        let skew = clock::clock_skew(&tech, tau);
+        prop_assert!(skew.secs() >= 0.0);
+        prop_assert!(skew <= tau, "skew {} exceeds tau {}", skew, tau);
+        let skew2 = clock::clock_skew(&tech, tau * 2.0);
+        prop_assert!(skew2.approx_eq_rel(skew * 2.0, 1e-9));
+    }
+
+    /// Longer traces can only lower the achievable frequency.
+    #[test]
+    fn frequency_monotone_in_trace_length(a in 1.0f64..200.0, b in 1.0f64..200.0) {
+        let tech = presets::paper1986();
+        let (short, long) = if a < b { (a, b) } else { (b, a) };
+        for scheme in ClockScheme::ALL {
+            let fs = ClockBudget::compute(&tech, 16, Length::from_inches(short))
+                .max_frequency(scheme);
+            let fl = ClockBudget::compute(&tech, 16, Length::from_inches(long))
+                .max_frequency(scheme);
+            prop_assert!(fl.hz() <= fs.hz() + 1e-6);
+        }
+    }
+
+    /// Path delay decomposes exactly into driver + propagation.
+    #[test]
+    fn path_delay_decomposition(len_in in 0.0f64..500.0) {
+        let tech = presets::paper1986();
+        let d = signal::path_delay(&tech, Length::from_inches(len_in));
+        prop_assert!(d.total().approx_eq_rel(d.driver + d.propagation, 1e-12));
+        prop_assert!((d.propagation.nanos() - 0.15 * len_in).abs() < 1e-9);
+    }
+
+    /// ceil_log is the exact integer ceiling of the real logarithm.
+    #[test]
+    fn ceil_log_matches_float(value in 1u32..1_000_000, base in 2u32..64) {
+        let s = rack::ceil_log(value, base);
+        // s is minimal with base^s >= value.
+        let pow = |e: u32| -> u128 { (0..e).fold(1u128, |a, _| a * u128::from(base)) };
+        prop_assert!(pow(s) >= u128::from(value));
+        if s > 0 {
+            prop_assert!(pow(s - 1) < u128::from(value));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Lock-step cycle-level simulator of the paper's modified packet-switched
+//! network (§2).
+//!
+//! The paper's switch architecture, reproduced faithfully:
+//!
+//! * every network node is a crossbar *module* (one per chip, or several
+//!   logical modules per chip in mixed-radix stages);
+//! * each module input has a small number of **packet buffers** (one in the
+//!   paper's baseline) with a **pass-through** mechanism that lets a packet
+//!   stream straight through without a buffer-fill delay when its output and
+//!   the downstream buffer are free;
+//! * **within** a module, switching is circuit-held: a packet holds its
+//!   input→output path for its entire duration, releasing it as its tail
+//!   leaves (the module-output is the unit of contention);
+//! * a **buffer-full** line feeds back from every input buffer to the
+//!   upstream output, so blocked packets are held upstream (back-pressure);
+//! * everything advances in lock step on a single network-wide clock, one
+//!   `W`-bit flit per data path per cycle; a `P`-bit packet is
+//!   `⌈P/W⌉` flits;
+//! * chip implementations differ only in their **head latency** per module:
+//!   MCC pays ~`N` crosspoint-pipeline cycles, DMC pays the
+//!   `M_sx = ⌈log₂N / W⌉` setup cycles plus one output-register cycle
+//!   (§4, eq. 4.2/4.5).
+//!
+//! Under zero contention the simulator reproduces the paper's delay
+//! expressions **cycle-exactly** (this is asserted in tests and used as the
+//! validation anchor for experiment E4); under load it measures everything
+//! the paper set aside — queueing, blocking, saturation, hot spots.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+pub mod dmux;
+mod engine;
+pub mod mesh;
+mod metrics;
+mod module;
+mod packet;
+mod roundtrip;
+mod runner;
+mod trace;
+
+pub use config::{Arbitration, ChipModel, SimConfig};
+pub use engine::{Delivery, Engine};
+pub use metrics::{LatencyStats, SimResult, StageCounters};
+pub use packet::{Packet, PacketStatus};
+pub use roundtrip::{run_roundtrip, RoundTripConfig, RoundTripResult};
+pub use runner::{run, run_parallel, run_trace, LoadSweepPoint, sweep_load};
+pub use trace::{HopTrace, PacketTrace};

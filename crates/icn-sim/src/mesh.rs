@@ -1,0 +1,360 @@
+//! Crosspoint-level simulation of one mesh-connected crossbar chip
+//! (Figure 4a).
+//!
+//! The network-level engine abstracts an MCC chip as "head latency = N
+//! cycles" (eq. 4.1's "the average number of crosspoint switches per chip
+//! that a packet passes through is N"). This module builds the chip the
+//! paper actually describes — an N×N grid of 2×2 crosspoint switches, each
+//! with local routing and one bit of pipeline buffering — and simulates it
+//! cycle by cycle, so that the abstraction can be *checked* rather than
+//! assumed:
+//!
+//! * a packet entering input row `r` for output column `c` crosses
+//!   `(c + 1) + (N − 1 − r)` crosspoints (east along its row, then south
+//!   down its column);
+//! * averaged over uniform (r, c) that is exactly `N` — the paper's
+//!   number — but the worst case is `2N − 1`, which a synchronous design
+//!   must still absorb in its pipeline;
+//! * within the chip the path is circuit-held: every crosspoint output on
+//!   the path is claimed until the packet's tail passes, so two packets
+//!   may share a column only one behind the other.
+//!
+//! Geometry: inputs enter on the west edge (one per row), outputs leave on
+//! the south edge (one per column). A packet at crosspoint `(row, col)`
+//! travels east until it reaches its destination column, then turns south —
+//! the local, header-driven decision of Figure 4a(d).
+
+use serde::{Deserialize, Serialize};
+
+/// The result of routing one packet through the mesh chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeshTransit {
+    /// Input row the packet entered on.
+    pub row: u32,
+    /// Output column it left by.
+    pub col: u32,
+    /// Cycle the head entered the chip.
+    pub head_in: u64,
+    /// Cycle the head left the chip's south edge.
+    pub head_out: u64,
+    /// Cycle the tail left the chip.
+    pub tail_out: u64,
+    /// Crosspoints crossed.
+    pub crosspoints: u32,
+}
+
+impl MeshTransit {
+    /// Head latency through the chip in cycles.
+    #[must_use]
+    pub fn head_latency(&self) -> u64 {
+        self.head_out - self.head_in
+    }
+}
+
+/// Number of crosspoints on the unique path from input row `row` to output
+/// column `col` in an `n × n` mesh.
+///
+/// # Panics
+/// Panics if `row` or `col` is out of range.
+#[must_use]
+pub fn path_crosspoints(n: u32, row: u32, col: u32) -> u32 {
+    assert!(row < n && col < n, "row/col out of range for an {n}x{n} mesh");
+    (col + 1) + (n - 1 - row)
+}
+
+/// Mean crosspoints per packet over uniform (row, col) — analytically
+/// `(N + 1)/2 + (N − 1)/2 = N`, the figure eq. 4.1 uses.
+#[must_use]
+pub fn mean_crosspoints(n: u32) -> f64 {
+    let n_f = f64::from(n);
+    // E[col + 1] + E[N − 1 − row] over uniform row, col in 0..N.
+    (n_f + 1.0) / 2.0 + (n_f - 1.0) / 2.0
+}
+
+/// One packet to drive through the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshPacket {
+    /// Input row (west edge).
+    pub row: u32,
+    /// Output column (south edge).
+    pub col: u32,
+    /// Cycle the head is offered at the west edge.
+    pub arrival: u64,
+    /// Packet length in flits.
+    pub flits: u64,
+}
+
+/// Cycle-level simulation of an `n × n` mesh chip carrying `packets`.
+///
+/// # Examples
+/// ```
+/// use icn_sim::mesh::{simulate_mesh, MeshPacket};
+///
+/// // One packet across a 16×16 mesh chip: head latency equals the
+/// // crosspoint count of its dimension-ordered path.
+/// let t = simulate_mesh(16, &[MeshPacket { row: 7, col: 9, arrival: 0, flits: 25 }]);
+/// assert_eq!(t[0].head_latency(), 18); // (9+1) + (16−1−7)
+/// ```
+///
+/// Semantics: the head advances one crosspoint per cycle when the next
+/// output resource (the east or south link it needs) is free; each claimed
+/// link is held until the packet's tail has passed it (`flits` cycles after
+/// the head crossed it). Packets block in place when contended.
+///
+/// Simplification: a blocked head does not stall its own tail — upstream
+/// links free on the original schedule (ideal elastic buffering). This is
+/// optimistic for heavily contended meshes but exact for the unloaded and
+/// lightly loaded cases the abstraction check needs; the network-level
+/// engine models full back-pressure where it matters (between chips).
+///
+/// Returns one [`MeshTransit`] per packet, in input order.
+///
+/// # Panics
+/// Panics on out-of-range coordinates, zero-flit packets, two packets on
+/// one input row offered at overlapping times, or a simulation exceeding an
+/// internal safety bound (which would indicate deadlock — impossible under
+/// dimension-ordered routing, and asserted as such).
+#[must_use]
+pub fn simulate_mesh(n: u32, packets: &[MeshPacket]) -> Vec<MeshTransit> {
+    #[derive(Debug)]
+    struct InFlight {
+        idx: usize,
+        row: u32,
+        col: u32,
+        flits: u64,
+        // Position: the crosspoint the head currently occupies, plus phase.
+        cur_row: u32,
+        cur_col: u32,
+        heading_south: bool,
+        head_in: u64,
+        done: bool,
+        head_out: u64,
+        crosspoints: u32,
+        started: bool,
+        arrival: u64,
+    }
+
+    for p in packets {
+        assert!(p.row < n && p.col < n, "packet coordinates out of range");
+        assert!(p.flits >= 1, "packets need at least one flit");
+    }
+
+    // Link occupancy: east links (n rows × n cols) and south links
+    // (n rows × n cols), each free at cycle `free_at`.
+    let idx2 = |r: u32, c: u32| (r * n + c) as usize;
+    let mut east_free = vec![0u64; (n * n) as usize];
+    let mut south_free = vec![0u64; (n * n) as usize];
+    // West-edge entry links, one per row.
+    let mut entry_free = vec![0u64; n as usize];
+
+    let mut flights: Vec<InFlight> = packets
+        .iter()
+        .enumerate()
+        .map(|(idx, p)| InFlight {
+            idx,
+            row: p.row,
+            col: p.col,
+            flits: p.flits,
+            cur_row: p.row,
+            cur_col: 0,
+            heading_south: p.col == 0,
+            head_in: 0,
+            done: false,
+            head_out: 0,
+            crosspoints: 0,
+            started: false,
+            arrival: p.arrival,
+        })
+        .collect();
+
+    let safety_bound = 4 * u64::from(n)
+        + packets.iter().map(|p| p.flits).sum::<u64>()
+        + packets.iter().map(|p| p.arrival).max().unwrap_or(0)
+        + 16;
+    let mut now = 0u64;
+    while flights.iter().any(|f| !f.done) {
+        assert!(
+            now <= safety_bound * (packets.len() as u64 + 1),
+            "mesh simulation exceeded its safety bound — deadlock?"
+        );
+        // Advance heads in a fixed order; each move claims the link it
+        // crosses until the tail passes (head time + flits).
+        for f in &mut flights {
+            if f.done || f.arrival > now {
+                continue;
+            }
+            if !f.started {
+                // Enter the chip through the west edge of (row, 0).
+                if entry_free[f.row as usize] <= now {
+                    entry_free[f.row as usize] = now + f.flits;
+                    f.started = true;
+                    f.head_in = now;
+                    f.crosspoints = 1;
+                    f.heading_south = f.col == 0;
+                    // Head occupies crosspoint (row, 0) this cycle.
+                }
+                continue;
+            }
+            // Decide the link out of the current crosspoint.
+            if !f.heading_south {
+                // Need the east link of (cur_row, cur_col).
+                let link = idx2(f.cur_row, f.cur_col);
+                if east_free[link] <= now {
+                    east_free[link] = now + f.flits;
+                    f.cur_col += 1;
+                    f.crosspoints += 1;
+                    if f.cur_col == f.col {
+                        f.heading_south = true;
+                    }
+                }
+            } else {
+                // Need the south link of (cur_row, cur_col).
+                let link = idx2(f.cur_row, f.cur_col);
+                if south_free[link] <= now {
+                    south_free[link] = now + f.flits;
+                    if f.cur_row + 1 == n {
+                        // Left the chip through the south edge this cycle.
+                        f.done = true;
+                        f.head_out = now;
+                    } else {
+                        f.cur_row += 1;
+                        f.crosspoints += 1;
+                    }
+                }
+            }
+        }
+        now += 1;
+    }
+
+    // Flights were built in input order and never reordered.
+    debug_assert!(flights.windows(2).all(|w| w[0].idx < w[1].idx));
+    flights
+        .iter()
+        .map(|f| MeshTransit {
+            row: f.row,
+            col: f.col,
+            head_in: f.head_in,
+            head_out: f.head_out,
+            tail_out: f.head_out + f.flits - 1,
+            crosspoints: f.crosspoints,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_lengths_match_geometry() {
+        // Corner cases of the (col + 1) + (N − 1 − row) formula.
+        assert_eq!(path_crosspoints(16, 15, 0), 1); // bottom-left: straight out
+        assert_eq!(path_crosspoints(16, 0, 15), 31); // top-right: 2N − 1
+        assert_eq!(path_crosspoints(16, 0, 0), 16);
+        assert_eq!(path_crosspoints(16, 15, 15), 16);
+    }
+
+    /// The paper's eq. 4.1 assumption: the mean over uniform (row, col) is
+    /// exactly N — verified against the exhaustive enumeration.
+    #[test]
+    fn mean_crosspoints_is_n() {
+        for n in [2u32, 4, 8, 16, 32] {
+            assert!((mean_crosspoints(n) - f64::from(n)).abs() < 1e-12);
+            let total: u64 = (0..n)
+                .flat_map(|r| (0..n).map(move |c| u64::from(path_crosspoints(n, r, c))))
+                .sum();
+            let mean = total as f64 / f64::from(n * n);
+            assert!((mean - f64::from(n)).abs() < 1e-9, "N={n}: {mean}");
+        }
+    }
+
+    /// A single packet's head transit equals its crosspoint count (one
+    /// crosspoint per cycle), and the tail follows `flits − 1` later.
+    #[test]
+    fn single_packet_transit_is_path_length() {
+        for (row, col) in [(0u32, 0u32), (0, 15), (15, 0), (7, 9), (3, 12)] {
+            let t = simulate_mesh(
+                16,
+                &[MeshPacket { row, col, arrival: 0, flits: 25 }],
+            );
+            assert_eq!(t.len(), 1);
+            let expected = u64::from(path_crosspoints(16, row, col));
+            assert_eq!(t[0].head_latency(), expected, "({row},{col})");
+            assert_eq!(t[0].crosspoints, path_crosspoints(16, row, col));
+            assert_eq!(t[0].tail_out - t[0].head_out, 24);
+        }
+    }
+
+    /// Disjoint rows and columns flow concurrently: a full permutation with
+    /// distinct columns finishes in (worst path + flits), not serialized.
+    #[test]
+    fn identity_permutation_is_concurrent() {
+        let n = 8u32;
+        let packets: Vec<MeshPacket> = (0..n)
+            .map(|r| MeshPacket { row: r, col: r, arrival: 0, flits: 10 })
+            .collect();
+        let transits = simulate_mesh(n, &packets);
+        // Paths (r → col r) pairwise share no link: row r's east run is in
+        // row r, the south run is in column r entered from row r.
+        for t in &transits {
+            assert_eq!(t.head_latency(), u64::from(path_crosspoints(n, t.row, t.col)));
+        }
+    }
+
+    /// Two packets into the same output column serialize on the shared
+    /// south links: the second's completion is delayed by roughly a packet
+    /// time.
+    #[test]
+    fn column_contention_serializes() {
+        let n = 8u32;
+        let flits = 10;
+        let packets = vec![
+            MeshPacket { row: 0, col: 4, arrival: 0, flits },
+            MeshPacket { row: 1, col: 4, arrival: 0, flits },
+        ];
+        let t = simulate_mesh(n, &packets);
+        let unblocked_0 = u64::from(path_crosspoints(n, 0, 4));
+        let unblocked_1 = u64::from(path_crosspoints(n, 1, 4));
+        // Row 1 reaches the turn first (shorter east run) and wins; row 0
+        // must wait for the column.
+        let fast = t[1].head_latency();
+        let slow = t[0].head_latency();
+        assert_eq!(fast, unblocked_1);
+        assert!(
+            slow >= unblocked_0 + flits - 1,
+            "loser should wait about a packet time: {slow} vs {unblocked_0}"
+        );
+    }
+
+    /// Back-to-back packets on one input row respect the entry link's
+    /// bandwidth (the row can accept a new packet every `flits` cycles).
+    #[test]
+    fn entry_link_paces_same_row_packets() {
+        let n = 4u32;
+        let flits = 6;
+        let packets = vec![
+            MeshPacket { row: 2, col: 0, arrival: 0, flits },
+            MeshPacket { row: 2, col: 1, arrival: 0, flits },
+        ];
+        let t = simulate_mesh(n, &packets);
+        assert!(t[1].head_in >= t[0].head_in + flits);
+    }
+
+    /// The worst-case head latency is 2N − 1, not N — the gap between the
+    /// paper's average-case pipeline-fill figure and a worst-case design.
+    #[test]
+    fn worst_case_is_twice_the_average() {
+        let n = 16u32;
+        let worst = simulate_mesh(
+            n,
+            &[MeshPacket { row: 0, col: n - 1, arrival: 0, flits: 1 }],
+        );
+        assert_eq!(worst[0].head_latency(), u64::from(2 * n - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_packet_panics() {
+        let _ = simulate_mesh(4, &[MeshPacket { row: 4, col: 0, arrival: 0, flits: 1 }]);
+    }
+}

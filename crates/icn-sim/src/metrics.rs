@@ -1,0 +1,177 @@
+//! Measurement collection and summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a set of latencies (in cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl LatencyStats {
+    /// Build from raw samples (consumes and sorts the vector).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        let pct = |q: f64| -> u64 {
+            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+            samples[idx]
+        };
+        Self {
+            count,
+            mean: sum as f64 / count as f64,
+            min: samples[0],
+            max: *samples.last().expect("non-empty"),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// Per-stage contention counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StageCounters {
+    /// Output circuits granted in this stage.
+    pub grants: u64,
+    /// Request-cycles a ready head spent waiting because the output was
+    /// still held by another packet.
+    pub blocked_output_busy: u64,
+    /// Request-cycles a ready head spent waiting on a full downstream
+    /// buffer (the buffer-full back-pressure of §2.1).
+    pub blocked_downstream_full: u64,
+}
+
+impl StageCounters {
+    /// Total blocked request-cycles.
+    #[must_use]
+    pub fn blocked(&self) -> u64 {
+        self.blocked_output_busy + self.blocked_downstream_full
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Ports in the simulated network.
+    pub ports: u32,
+    /// Stages in the simulated network.
+    pub stages: u32,
+    /// Cycles actually simulated (may stop early once every tracked packet
+    /// drains).
+    pub cycles_run: u64,
+    /// All packets generated.
+    pub injected_total: u64,
+    /// All packets fully delivered.
+    pub delivered_total: u64,
+    /// Packets generated inside the measurement window.
+    pub tracked_injected: u64,
+    /// Tracked packets delivered before the run ended.
+    pub tracked_delivered: u64,
+    /// Tracked packets still undelivered at the end (saturation indicator).
+    pub tracked_lost: u64,
+    /// Deliveries whose completion fell inside the measurement window
+    /// (basis of the throughput figure).
+    pub delivered_in_window: u64,
+    /// Source→destination latency (includes source queueing).
+    pub total_latency: LatencyStats,
+    /// Network-entry→destination latency (excludes source queueing).
+    pub network_latency: LatencyStats,
+    /// Delivered packets per port per cycle over the measurement window.
+    pub throughput: f64,
+    /// Peak total source-queue backlog observed.
+    pub peak_source_backlog: u64,
+    /// Total source-queue backlog when the run ended.
+    pub final_source_backlog: u64,
+    /// Contention counters per stage.
+    pub stage_counters: Vec<StageCounters>,
+    /// The paper's §4 unloaded prediction for this configuration, in cycles.
+    pub analytic_unloaded_cycles: u64,
+}
+
+impl SimResult {
+    /// Fraction of tracked packets delivered.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.tracked_injected == 0 {
+            1.0
+        } else {
+            self.tracked_delivered as f64 / self.tracked_injected as f64
+        }
+    }
+
+    /// Mean network latency normalized by the unloaded analytic delay —
+    /// 1.0 means the network behaves exactly as the paper's best-case
+    /// formulas predict.
+    #[must_use]
+    pub fn latency_expansion(&self) -> f64 {
+        if self.analytic_unloaded_cycles == 0 {
+            return f64::NAN;
+        }
+        self.network_latency.mean / self.analytic_unloaded_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_samples() {
+        let s = LatencyStats::from_samples(vec![10, 20, 30, 40, 50]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 30.0).abs() < 1e-12);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 50);
+        assert_eq!(s.p50, 30);
+    }
+
+    #[test]
+    fn empty_samples_are_zeroed() {
+        let s = LatencyStats::from_samples(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(vec![42]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 42);
+        assert_eq!(s.p99, 42);
+        assert!((s.mean - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_on_large_sets() {
+        let s = LatencyStats::from_samples((1..=1000).collect());
+        // Nearest-rank on the 0-based index: idx = round(999·q).
+        assert_eq!(s.p50, 501);
+        assert_eq!(s.p95, 950);
+        assert_eq!(s.p99, 990);
+    }
+
+    #[test]
+    fn counters_sum() {
+        let c = StageCounters { grants: 5, blocked_output_busy: 2, blocked_downstream_full: 3 };
+        assert_eq!(c.blocked(), 5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-module simulation state: input buffers, circuit-held outputs.
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+
+/// A packet occupying (or reserved into) one input-buffer slot.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    /// The packet itself.
+    pub packet: Packet,
+    /// Cycle its head arrives (reservations are pushed at upstream grant
+    /// time with a future arrival).
+    pub head_arrival: u64,
+    /// Set once the packet has been granted its onward output; the slot then
+    /// drains until `vacate_at`.
+    pub granted: bool,
+    /// Cycle the slot is freed (tail has left the buffer); meaningful only
+    /// once granted.
+    pub vacate_at: u64,
+}
+
+/// One module input port: a FIFO of buffer slots with back-pressure.
+///
+/// Occupancy counts both resident packets and in-flight reservations, which
+/// is exactly what the paper's buffer-full line signals upstream.
+#[derive(Debug, Default)]
+pub(crate) struct InputPort {
+    pub queue: VecDeque<Slot>,
+}
+
+impl InputPort {
+    /// Whether a new packet (or reservation) can be accepted.
+    pub fn has_space(&self, capacity: u32) -> bool {
+        self.queue.len() < capacity as usize
+    }
+
+    /// Drop front slots whose tails have fully left the buffer.
+    pub fn vacate(&mut self, now: u64) {
+        while let Some(front) = self.queue.front() {
+            if front.granted && front.vacate_at <= now {
+                self.queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The front packet if it is ready to request its output this cycle:
+    /// present, not yet granted, and its head (cut-through) or tail
+    /// (store-and-forward) has arrived.
+    pub fn requesting_head(&self, now: u64, ready_offset: u64) -> Option<&Packet> {
+        let front = self.queue.front()?;
+        if front.granted || front.head_arrival + ready_offset > now {
+            None
+        } else {
+            Some(&front.packet)
+        }
+    }
+
+    /// Mark the front slot granted; it will vacate at `vacate_at` and the
+    /// packet moves on. Returns a clone of the packet for downstream
+    /// insertion.
+    ///
+    /// # Panics
+    /// Panics if there is no eligible front slot (programming error).
+    pub fn grant_front(&mut self, vacate_at: u64) -> Packet {
+        let front = self.queue.front_mut().expect("grant on empty input port");
+        assert!(!front.granted, "double grant on input port");
+        front.granted = true;
+        front.vacate_at = vacate_at;
+        front.packet.clone()
+    }
+
+    /// Accept a packet (reservation) whose head arrives at `head_arrival`.
+    pub fn push(&mut self, packet: Packet, head_arrival: u64) {
+        self.queue.push_back(Slot { packet, head_arrival, granted: false, vacate_at: 0 });
+    }
+}
+
+/// One module output port: the unit of circuit-held contention.
+#[derive(Debug, Default)]
+pub(crate) struct OutputPort {
+    /// The output is held until this cycle (tail has passed).
+    pub busy_until: u64,
+    /// Round-robin pointer for arbitration.
+    pub rr_next: u32,
+}
+
+impl OutputPort {
+    /// Whether the output can accept a new circuit this cycle.
+    pub fn free(&self, now: u64) -> bool {
+        self.busy_until <= now
+    }
+}
+
+/// One crossbar module: `radix` inputs and outputs.
+#[derive(Debug)]
+pub(crate) struct Module {
+    pub inputs: Vec<InputPort>,
+    pub outputs: Vec<OutputPort>,
+}
+
+impl Module {
+    pub fn new(radix: u32) -> Self {
+        Self {
+            inputs: (0..radix).map(|_| InputPort::default()).collect(),
+            outputs: (0..radix).map(|_| OutputPort::default()).collect(),
+        }
+    }
+}
+
+/// One network stage: `ports / radix` modules of the stage's radix.
+#[derive(Debug)]
+pub(crate) struct Stage {
+    pub radix: u32,
+    pub head_latency: u64,
+    pub modules: Vec<Module>,
+}
+
+impl Stage {
+    pub fn new(radix: u32, module_count: u32, head_latency: u64) -> Self {
+        Self {
+            radix,
+            head_latency,
+            modules: (0..module_count).map(|_| Module::new(radix)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(id: u64) -> Packet {
+        Packet {
+            id,
+            src: 0,
+            dest: 0,
+            tags: vec![0],
+            injected_at: 0,
+            entered_at: None,
+            tracked: false,
+        }
+    }
+
+    #[test]
+    fn space_accounting_includes_reservations() {
+        let mut port = InputPort::default();
+        assert!(port.has_space(1));
+        port.push(packet(0), 10); // reservation, head arrives later
+        assert!(!port.has_space(1));
+        assert!(port.has_space(2));
+    }
+
+    #[test]
+    fn head_not_ready_until_arrival() {
+        let mut port = InputPort::default();
+        port.push(packet(0), 10);
+        assert!(port.requesting_head(9, 0).is_none());
+        assert!(port.requesting_head(10, 0).is_some());
+        // Store-and-forward: ready only after the tail (offset) arrives.
+        assert!(port.requesting_head(10, 24).is_none());
+        assert!(port.requesting_head(34, 24).is_some());
+    }
+
+    #[test]
+    fn granted_head_stops_requesting_and_vacates() {
+        let mut port = InputPort::default();
+        port.push(packet(0), 0);
+        let p = port.grant_front(25);
+        assert_eq!(p.id, 0);
+        assert!(port.requesting_head(30, 0).is_none());
+        port.vacate(24);
+        assert_eq!(port.queue.len(), 1);
+        port.vacate(25);
+        assert!(port.queue.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut port = InputPort::default();
+        port.push(packet(0), 0);
+        port.push(packet(1), 0);
+        assert_eq!(port.requesting_head(0, 0).unwrap().id, 0);
+        port.grant_front(5);
+        // Second packet cannot request while the first still drains.
+        assert!(port.requesting_head(3, 0).is_none());
+        port.vacate(5);
+        assert_eq!(port.requesting_head(5, 0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn output_busy_window() {
+        let mut out = OutputPort::default();
+        assert!(out.free(0));
+        out.busy_until = 7;
+        assert!(!out.free(6));
+        assert!(out.free(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "grant on empty")]
+    fn grant_on_empty_port_panics() {
+        let mut port = InputPort::default();
+        let _ = port.grant_front(1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Packets and their lifecycle bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a packet is in its lifecycle (recorded for tracked packets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketStatus {
+    /// Generated, waiting in the source queue.
+    Queued,
+    /// Somewhere inside the network.
+    InFlight,
+    /// Tail fully delivered to the destination.
+    Delivered {
+        /// Cycle at which the tail cleared the destination port.
+        at: u64,
+    },
+}
+
+/// A fixed-size packet travelling through the network.
+///
+/// The paper's packets are 100 bits carrying data, memory-module address,
+/// intra-module address and return-processor address; here the payload is
+/// abstract and only the routing information is materialized.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id (injection order).
+    pub id: u64,
+    /// Source port.
+    pub src: u32,
+    /// Destination port.
+    pub dest: u32,
+    /// Per-stage routing tags (destination digits, MSB first).
+    pub tags: Vec<u32>,
+    /// Cycle the packet was generated (entered the source queue).
+    pub injected_at: u64,
+    /// Cycle the packet's head entered the first-stage buffer.
+    pub entered_at: Option<u64>,
+    /// Whether this packet was generated inside the measurement window and
+    /// therefore contributes to statistics.
+    pub tracked: bool,
+}
+
+impl Packet {
+    /// The routing tag (output port) at `stage`.
+    ///
+    /// # Panics
+    /// Panics if `stage` is out of range.
+    #[must_use]
+    pub fn tag(&self, stage: u32) -> u32 {
+        self.tags[stage as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_lookup() {
+        let p = Packet {
+            id: 0,
+            src: 1,
+            dest: 9,
+            tags: vec![2, 1],
+            injected_at: 5,
+            entered_at: None,
+            tracked: true,
+        };
+        assert_eq!(p.tag(0), 2);
+        assert_eq!(p.tag(1), 1);
+    }
+}

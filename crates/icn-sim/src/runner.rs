@@ -1,0 +1,223 @@
+//! Batch execution: single runs, parallel fan-out, and load sweeps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::metrics::SimResult;
+
+/// Run one configuration to completion.
+#[must_use]
+pub fn run(config: SimConfig) -> SimResult {
+    Engine::new(config).run()
+}
+
+/// Replay a recorded [`icn_workloads::TrafficTrace`] through the network:
+/// the trace drives injection (the config's workload load is ignored), so
+/// the *same arrivals* can be replayed against different switch designs —
+/// buffer depths, chip models, arbitration — for apples-to-apples
+/// comparisons.
+///
+/// # Panics
+/// Panics if the trace's port count does not match the plan.
+#[must_use]
+pub fn run_trace(mut config: SimConfig, trace: &icn_workloads::TrafficTrace) -> SimResult {
+    assert_eq!(
+        trace.ports(),
+        config.plan.ports(),
+        "trace recorded for a different network size"
+    );
+    config.workload.load = 0.0; // injections come from the trace
+    let measure_end = config.warmup_cycles + config.measure_cycles;
+    let hard_end = measure_end + config.drain_cycles;
+    let mut engine = Engine::new(config);
+    let entries = trace.entries();
+    let mut next = 0usize;
+    while engine.now() < hard_end {
+        while next < entries.len() && entries[next].cycle == engine.now() {
+            engine.inject(entries[next].src, entries[next].dest);
+            next += 1;
+        }
+        let exhausted = next >= entries.len();
+        if exhausted && engine.now() >= measure_end && engine.pending_tracked() == 0 {
+            break;
+        }
+        engine.step();
+    }
+    engine.finish()
+}
+
+/// Run many configurations concurrently, one OS thread per configuration up
+/// to the machine's parallelism, preserving input order in the output.
+///
+/// Simulations are embarrassingly parallel (each engine owns its state and
+/// RNG), so plain scoped threads over a shared work counter suffice — no
+/// shared mutable simulation state exists by construction.
+#[must_use]
+pub fn run_parallel(configs: Vec<SimConfig>) -> Vec<SimResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+        .min(configs.len());
+    if workers <= 1 {
+        return configs.into_iter().map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<SimResult>> = (0..configs.len()).map(|_| None).collect();
+    let slots: Vec<parking_lot::Mutex<&mut Option<SimResult>>> =
+        results.iter_mut().map(parking_lot::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let result = run(configs[i].clone());
+                **slots[i].lock() = Some(result);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot is filled by a worker"))
+        .collect()
+}
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSweepPoint {
+    /// Offered load (injection probability per port per cycle).
+    pub offered_load: f64,
+    /// The full result at this load.
+    pub result: SimResult,
+}
+
+/// Sweep offered load over `loads`, holding everything else in `base`
+/// fixed, running points in parallel.
+///
+/// # Panics
+/// Panics if any load is outside `[0, 1]`.
+#[must_use]
+pub fn sweep_load(base: &SimConfig, loads: &[f64]) -> Vec<LoadSweepPoint> {
+    let configs: Vec<SimConfig> = loads
+        .iter()
+        .map(|&load| {
+            assert!((0.0..=1.0).contains(&load), "load {load} out of range");
+            let mut c = base.clone();
+            c.workload.load = load;
+            c
+        })
+        .collect();
+    run_parallel(configs)
+        .into_iter()
+        .zip(loads)
+        .map(|(result, &offered_load)| LoadSweepPoint { offered_load, result })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChipModel;
+    use icn_topology::StagePlan;
+    use icn_workloads::Workload;
+
+    fn small_config(load: f64, seed: u64) -> SimConfig {
+        let mut c = SimConfig::paper_baseline(
+            StagePlan::uniform(4, 2),
+            ChipModel::Dmc,
+            4,
+            Workload::uniform(load),
+        );
+        c.seed = seed;
+        c.warmup_cycles = 200;
+        c.measure_cycles = 2_000;
+        c.drain_cycles = 30_000;
+        c
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let configs: Vec<SimConfig> = (0..6).map(|i| small_config(0.01, i)).collect();
+        let serial: Vec<_> = configs.iter().cloned().map(run).collect();
+        let parallel = run_parallel(configs);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_parallel(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn load_sweep_latency_is_monotonic_at_the_ends() {
+        let points = sweep_load(&small_config(0.0, 3), &[0.002, 0.3]);
+        assert_eq!(points.len(), 2);
+        let light = &points[0].result;
+        let heavy = &points[1].result;
+        assert!(light.tracked_delivered > 0 && heavy.tracked_delivered > 0);
+        assert!(
+            heavy.network_latency.mean > light.network_latency.mean,
+            "latency must grow with load: light {} heavy {}",
+            light.network_latency.mean,
+            heavy.network_latency.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_sweep_load_panics() {
+        let _ = sweep_load(&small_config(0.0, 0), &[1.5]);
+    }
+
+    #[test]
+    fn trace_replay_injects_exactly_the_trace() {
+        use icn_workloads::TrafficTrace;
+        use rand::SeedableRng;
+        let config = small_config(0.0, 1);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let trace = TrafficTrace::synthesize(
+            &Workload::uniform(0.01),
+            config.plan.ports(),
+            config.warmup_cycles + config.measure_cycles,
+            &mut rng,
+        );
+        let result = run_trace(config, &trace);
+        assert_eq!(result.injected_total, trace.len() as u64);
+        assert_eq!(result.tracked_lost, 0);
+        assert_eq!(result.delivered_total, trace.len() as u64);
+    }
+
+    /// The same trace replayed against different switch configurations sees
+    /// identical arrivals — the whole point of trace-driven comparison.
+    #[test]
+    fn same_trace_different_switches_same_arrivals() {
+        use icn_workloads::TrafficTrace;
+        use rand::SeedableRng;
+        let base = small_config(0.0, 1);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let trace = TrafficTrace::synthesize(
+            &Workload::uniform(0.02),
+            base.plan.ports(),
+            base.warmup_cycles + base.measure_cycles,
+            &mut rng,
+        );
+        let mut deep = base.clone();
+        deep.buffer_capacity = 8;
+        let a = run_trace(base, &trace);
+        let b = run_trace(deep, &trace);
+        assert_eq!(a.injected_total, b.injected_total);
+        assert_eq!(a.tracked_injected, b.tracked_injected);
+        // Different switch, same packets: both deliver everything.
+        assert_eq!(a.delivered_total, b.delivered_total);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the simulation engine.
+
+use icn_sim::{Arbitration, ChipModel, Engine, SimConfig};
+use icn_topology::StagePlan;
+use icn_workloads::{TrafficTrace, Workload};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arbitrary_plan() -> impl Strategy<Value = StagePlan> {
+    prop_oneof![
+        Just(StagePlan::uniform(2, 3)),
+        Just(StagePlan::uniform(4, 2)),
+        Just(StagePlan::uniform(8, 2)),
+        Just(StagePlan::from_radices(vec![4, 2, 4])),
+        Just(StagePlan::from_radices(vec![16, 4])),
+    ]
+}
+
+fn arbitrary_chip() -> impl Strategy<Value = ChipModel> {
+    prop_oneof![Just(ChipModel::Mcc), Just(ChipModel::Dmc)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Mesh chip: single-packet transits always match the path-geometry
+    /// formula, for random sizes and coordinates.
+    #[test]
+    fn mesh_single_transit_matches_formula(
+        n in 2u32..24,
+        row_frac in 0.0f64..1.0,
+        col_frac in 0.0f64..1.0,
+        flits in 1u64..40,
+    ) {
+        use icn_sim::mesh::{path_crosspoints, simulate_mesh, MeshPacket};
+        let row = ((row_frac * f64::from(n)) as u32).min(n - 1);
+        let col = ((col_frac * f64::from(n)) as u32).min(n - 1);
+        let t = simulate_mesh(n, &[MeshPacket { row, col, arrival: 0, flits }]);
+        prop_assert_eq!(t[0].head_latency(), u64::from(path_crosspoints(n, row, col)));
+        prop_assert_eq!(t[0].tail_out - t[0].head_out, flits - 1);
+    }
+
+    /// Mesh chip: batches with distinct rows and distinct columns are
+    /// conflict-free (disjoint east runs and south runs), so every transit
+    /// is unblocked.
+    #[test]
+    fn mesh_distinct_rows_and_columns_do_not_block(
+        n in 2u32..16,
+        shift in 0u32..16,
+        flits in 1u64..20,
+    ) {
+        use icn_sim::mesh::{path_crosspoints, simulate_mesh, MeshPacket};
+        let shift = shift % n;
+        let packets: Vec<MeshPacket> = (0..n)
+            .map(|r| MeshPacket { row: r, col: (r + shift) % n, arrival: 0, flits })
+            .collect();
+        for t in simulate_mesh(n, &packets) {
+            prop_assert_eq!(
+                t.head_latency(),
+                u64::from(path_crosspoints(n, t.row, t.col)),
+                "({}, {}) blocked in an n={} mesh with shift {}",
+                t.row,
+                t.col,
+                n,
+                shift
+            );
+        }
+    }
+
+    /// Conservation: every packet of every random trace is delivered
+    /// exactly once, for any buffer depth, chip model, arbitration and
+    /// cut-through setting.
+    #[test]
+    fn conservation_under_random_configs(
+        plan in arbitrary_plan(),
+        chip in arbitrary_chip(),
+        width in prop_oneof![Just(1u32), Just(4)],
+        buffers in 1u32..5,
+        cut_through in any::<bool>(),
+        fixed_priority in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut config = SimConfig::paper_baseline(
+            plan.clone(), chip, width, Workload::uniform(0.0));
+        config.buffer_capacity = buffers;
+        config.cut_through = cut_through;
+        config.arbitration = if fixed_priority {
+            Arbitration::FixedPriority
+        } else {
+            Arbitration::RoundRobin
+        };
+        config.warmup_cycles = 0;
+        config.measure_cycles = 300;
+        config.drain_cycles = 400_000;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = TrafficTrace::synthesize(
+            &Workload::uniform(0.01), plan.ports(), 300, &mut rng);
+        let result = icn_sim::run_trace(config, &trace);
+        prop_assert_eq!(result.injected_total, trace.len() as u64);
+        prop_assert_eq!(result.delivered_total, trace.len() as u64);
+        prop_assert_eq!(result.tracked_lost, 0);
+    }
+
+    /// The analytic unloaded delay is a hard floor on every delivery.
+    #[test]
+    fn latency_floor_holds(
+        plan in arbitrary_plan(),
+        chip in arbitrary_chip(),
+        seed in any::<u64>(),
+    ) {
+        let mut config = SimConfig::paper_baseline(
+            plan.clone(), chip, 4, Workload::uniform(0.01));
+        config.seed = seed;
+        config.warmup_cycles = 100;
+        config.measure_cycles = 800;
+        config.drain_cycles = 200_000;
+        let floor = config.analytic_unloaded_cycles();
+        let result = icn_sim::run(config);
+        if result.tracked_delivered > 0 {
+            prop_assert!(result.network_latency.min >= floor);
+        }
+    }
+
+    /// Stage grant counts are consistent: every delivered packet was
+    /// granted exactly once per stage, so grants per stage ≥ deliveries.
+    #[test]
+    fn grants_cover_deliveries(seed in any::<u64>()) {
+        let plan = StagePlan::uniform(4, 2);
+        let mut config = SimConfig::paper_baseline(
+            plan, ChipModel::Dmc, 4, Workload::uniform(0.02));
+        config.seed = seed;
+        config.warmup_cycles = 0;
+        config.measure_cycles = 1_000;
+        config.drain_cycles = 100_000;
+        let result = icn_sim::run(config);
+        for (i, counters) in result.stage_counters.iter().enumerate() {
+            prop_assert!(
+                counters.grants >= result.delivered_total,
+                "stage {i}: {} grants < {} deliveries",
+                counters.grants,
+                result.delivered_total
+            );
+        }
+    }
+
+    /// Traces survive the engine unchanged: a traced packet's recorded hops
+    /// always form a strictly time-ordered chain ending in delivery.
+    #[test]
+    fn traces_are_well_formed(seed in any::<u64>()) {
+        let plan = StagePlan::uniform(4, 3);
+        let mut config = SimConfig::paper_baseline(
+            plan, ChipModel::Mcc, 4, Workload::uniform(0.01));
+        config.seed = seed;
+        config.trace_packets = 8;
+        config.warmup_cycles = 0;
+        config.measure_cycles = 500;
+        config.drain_cycles = 200_000;
+        let mut engine = Engine::new(config);
+        for _ in 0..300_000 {
+            engine.step();
+            if engine.now() >= 500 && engine.pending_tracked() == 0 {
+                break;
+            }
+        }
+        for trace in engine.take_traces() {
+            prop_assert!(trace.complete(), "{trace}");
+            prop_assert_eq!(trace.hops.len(), 3);
+            let mut prev_out = trace.entered_at.unwrap();
+            for hop in &trace.hops {
+                prop_assert!(hop.granted_at >= prev_out, "{trace}");
+                prop_assert!(hop.head_out_at > hop.granted_at);
+                prev_out = hop.head_out_at;
+            }
+            prop_assert!(trace.delivered_at.unwrap() > prev_out);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Scenario-level integration tests: the simulator against the topology
+//! crate's conflict analysis and the paper's qualitative claims.
+
+use icn_sim::{Arbitration, ChipModel, Engine, SimConfig, StageCounters};
+use icn_topology::permutation::{check_permutation, Permutation};
+use icn_topology::{StagePlan, Topology};
+use icn_workloads::Workload;
+
+fn quiet(plan: StagePlan, chip: ChipModel, width: u32) -> SimConfig {
+    let mut c = SimConfig::paper_baseline(plan, chip, width, Workload::uniform(0.0));
+    c.warmup_cycles = 0;
+    c.measure_cycles = 1;
+    c.drain_cycles = 500_000;
+    c
+}
+
+/// An omega-admissible permutation injected simultaneously streams through
+/// with *zero* contention: every packet finishes in exactly the unloaded
+/// time, and no stage counts a blocked grant.
+#[test]
+fn admissible_permutation_is_contention_free() {
+    let plan = StagePlan::uniform(2, 4); // 16 ports
+    let topology = Topology::new(plan.clone());
+    // Cyclic shift by 5 — admissible (checked against the analysis crate).
+    let perm = Permutation::new((0..16).map(|p| (p + 5) % 16).collect());
+    assert!(check_permutation(&topology, &perm).admissible());
+
+    let config = quiet(plan, ChipModel::Dmc, 4);
+    let unloaded = config.analytic_unloaded_cycles();
+    let mut engine = Engine::new(config);
+    for src in 0..16 {
+        engine.inject(src, perm.target(src));
+    }
+    let r = engine.run();
+    assert_eq!(r.tracked_delivered, 16);
+    assert_eq!(r.network_latency.min, unloaded);
+    assert_eq!(
+        r.network_latency.max, unloaded,
+        "an admissible permutation must not serialize"
+    );
+    let blocked: u64 = r.stage_counters.iter().map(StageCounters::blocked).sum();
+    assert_eq!(blocked, 0, "no grant should ever be blocked");
+}
+
+/// Bit reversal — the canonical omega-blocking permutation — must show
+/// contention in the simulator exactly where the analysis says paths
+/// collide.
+#[test]
+fn blocking_permutation_serializes() {
+    let plan = StagePlan::uniform(2, 4);
+    let topology = Topology::new(plan.clone());
+    let perm = Permutation::bit_reversal(16);
+    let report = check_permutation(&topology, &perm);
+    assert!(!report.admissible());
+
+    let config = quiet(plan, ChipModel::Dmc, 4);
+    let unloaded = config.analytic_unloaded_cycles();
+    let mut engine = Engine::new(config);
+    for src in 0..16 {
+        engine.inject(src, perm.target(src));
+    }
+    let r = engine.run();
+    assert_eq!(r.tracked_delivered, 16, "blocked packets must still deliver");
+    assert!(
+        r.network_latency.max > unloaded,
+        "colliding paths must serialize: max {} vs unloaded {unloaded}",
+        r.network_latency.max
+    );
+    let blocked: u64 = r.stage_counters.iter().map(StageCounters::blocked).sum();
+    assert!(blocked > 0);
+}
+
+/// Deeper input buffers raise accepted throughput under uniform load, with
+/// diminishing returns — §2's "most of the potential gain ... with a
+/// limited number of buffers (about 4)".
+#[test]
+fn buffering_gain_saturates() {
+    let run_with_buffers = |depth: u32| {
+        let plan = StagePlan::uniform(16, 2);
+        let mut c = SimConfig::paper_baseline(
+            plan,
+            ChipModel::Dmc,
+            4,
+            Workload::uniform(0.03), // near saturation for 25-flit packets
+        );
+        c.buffer_capacity = depth;
+        c.warmup_cycles = 2_000;
+        c.measure_cycles = 6_000;
+        c.drain_cycles = 0;
+        c.seed = 424_242;
+        icn_sim::run(c).throughput
+    };
+    let t1 = run_with_buffers(1);
+    let t4 = run_with_buffers(4);
+    let t8 = run_with_buffers(8);
+    assert!(t4 > t1, "4 buffers should beat 1: {t4} vs {t1}");
+    let gain_1_to_4 = t4 - t1;
+    let gain_4_to_8 = t8 - t4;
+    assert!(
+        gain_4_to_8 < gain_1_to_4,
+        "returns must diminish: 1->4 {gain_1_to_4}, 4->8 {gain_4_to_8}"
+    );
+}
+
+/// Fixed-priority arbitration starves high-index inputs relative to
+/// round-robin under sustained contention: its worst-case latency is at
+/// least as bad.
+#[test]
+fn fixed_priority_tail_no_better_than_round_robin() {
+    let run_with = |arb: Arbitration| {
+        let plan = StagePlan::uniform(16, 2);
+        let mut c = SimConfig::paper_baseline(
+            plan,
+            ChipModel::Dmc,
+            4,
+            Workload::uniform(0.035),
+        );
+        c.arbitration = arb;
+        c.warmup_cycles = 2_000;
+        c.measure_cycles = 6_000;
+        c.drain_cycles = 40_000;
+        c.seed = 7_777;
+        icn_sim::run(c)
+    };
+    let rr = run_with(Arbitration::RoundRobin);
+    let fx = run_with(Arbitration::FixedPriority);
+    assert!(rr.tracked_delivered > 0 && fx.tracked_delivered > 0);
+    assert!(
+        fx.network_latency.max >= rr.network_latency.max,
+        "fixed priority max {} should be ≥ round robin max {}",
+        fx.network_latency.max,
+        rr.network_latency.max
+    );
+}
+
+/// The mixed-radix 2048-port paper network under light uniform load:
+/// everything delivers and the mean stays near the analytic floor.
+#[test]
+fn paper_network_light_load_sanity() {
+    let plan = StagePlan::balanced_pow2(2048, 16).unwrap();
+    let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(0.002));
+    c.warmup_cycles = 500;
+    c.measure_cycles = 2_000;
+    c.drain_cycles = 40_000;
+    let r = icn_sim::run(c);
+    assert!(r.tracked_injected > 1_000, "expected plenty of traffic");
+    assert_eq!(r.tracked_lost, 0);
+    let expansion = r.latency_expansion();
+    assert!(
+        (1.0..1.25).contains(&expansion),
+        "light-load expansion {expansion}"
+    );
+}
+
+/// Hot-spot traffic degrades the *whole* network, not just the hot port —
+/// tree saturation (§2's Pfister–Norton citation).
+#[test]
+fn hot_spot_causes_tree_saturation() {
+    let base = |pattern: Workload| {
+        let plan = StagePlan::uniform(16, 2);
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, pattern);
+        c.warmup_cycles = 3_000;
+        c.measure_cycles = 8_000;
+        c.drain_cycles = 0;
+        c.seed = 11;
+        icn_sim::run(c)
+    };
+    let load = 0.02;
+    let uniform = base(Workload::uniform(load));
+    let hot = base(Workload::hot_spot(load, 0.10, 0));
+    // Under a saturated hot port the delivered-only latency statistics are
+    // survivorship-biased (stuck packets never get counted in a fixed
+    // window), so the honest saturation metrics are accepted throughput and
+    // the buffer-full back-pressure counters.
+    assert!(
+        hot.throughput < 0.8 * uniform.throughput,
+        "hot spot should collapse accepted throughput: {} vs {}",
+        hot.throughput,
+        uniform.throughput
+    );
+    assert!(
+        hot.final_source_backlog > uniform.final_source_backlog,
+        "hot spot should back traffic up into the sources: {} vs {}",
+        hot.final_source_backlog,
+        uniform.final_source_backlog
+    );
+    // The tree-saturation signature is specifically the *buffer-full*
+    // back-pressure line firing (downstream-full blocks), not generic
+    // output-busy serialization, which heavy uniform traffic also shows.
+    let hot_df: u64 = hot
+        .stage_counters
+        .iter()
+        .map(|s| s.blocked_downstream_full)
+        .sum();
+    let uni_df: u64 = uniform
+        .stage_counters
+        .iter()
+        .map(|s| s.blocked_downstream_full)
+        .sum();
+    assert!(
+        hot_df > 2 * uni_df,
+        "buffer-full back-pressure should flood the tree: hot {hot_df} vs uniform {uni_df}"
+    );
+}

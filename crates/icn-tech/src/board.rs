@@ -1,0 +1,136 @@
+//! Board-level parameters (§3.3–3.4).
+
+use icn_units::{Length, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_positive, TechError};
+
+/// Parameters of a board edge connector.
+///
+/// §3.4: "Commercially available connectors are able to connect up to 100
+/// lines from one side of a board and are no more than 4 inches long", and
+/// connectors may use both sides of the board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectorParams {
+    /// Signal lines per connector per board side.
+    pub lines_per_side: u32,
+    /// Whether both faces of the board edge can carry connectors.
+    pub double_sided: bool,
+    /// Physical length of one connector along the board edge.
+    pub length: Length,
+}
+
+impl ConnectorParams {
+    /// Signal lines one connector carries in total.
+    #[must_use]
+    pub fn lines(&self) -> u32 {
+        if self.double_sided {
+            self.lines_per_side * 2
+        } else {
+            self.lines_per_side
+        }
+    }
+
+    /// Validate all fields.
+    ///
+    /// # Errors
+    /// Returns [`TechError::InvalidField`] for the first non-physical value.
+    pub fn validate(&self) -> Result<(), TechError> {
+        if self.lines_per_side == 0 {
+            return Err(TechError::InvalidField {
+                field: "board.connector.lines_per_side",
+                reason: "must be at least 1".into(),
+            });
+        }
+        require_positive("board.connector.length", self.length.meters())?;
+        Ok(())
+    }
+}
+
+/// Board-level routing and signalling parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardParams {
+    /// Minimum trace separation keeping crosstalk acceptable
+    /// (d = 50 mil, §3.3–3.4).
+    pub wire_pitch: Length,
+    /// Number of signal layers available for inter-stage routing (2 in §3.3).
+    pub signal_layers: u32,
+    /// Signal propagation delay per unit length on board traces
+    /// (0.15 ns/in in §6).
+    pub propagation_delay_per_length: Time,
+    /// Reference length for `propagation_delay_per_length` (1 in).
+    pub propagation_reference: Length,
+    /// Maximum manufacturable board edge. The paper's 256×256 board needs a
+    /// 32 in edge — large, but treated as buildable; we default to 40 in so
+    /// the paper's design is feasible while absurd layouts are rejected.
+    pub max_edge: Length,
+    /// Edge connector characteristics.
+    pub connector: ConnectorParams,
+}
+
+impl BoardParams {
+    /// Propagation delay over a trace of length `l`.
+    #[must_use]
+    pub fn trace_delay(&self, l: Length) -> Time {
+        l.propagation_delay(self.propagation_delay_per_length, self.propagation_reference)
+    }
+
+    /// Validate all fields.
+    ///
+    /// # Errors
+    /// Returns [`TechError::InvalidField`] for the first non-physical value.
+    pub fn validate(&self) -> Result<(), TechError> {
+        require_positive("board.wire_pitch", self.wire_pitch.meters())?;
+        if self.signal_layers == 0 {
+            return Err(TechError::InvalidField {
+                field: "board.signal_layers",
+                reason: "must be at least 1".into(),
+            });
+        }
+        require_positive(
+            "board.propagation_delay_per_length",
+            self.propagation_delay_per_length.secs(),
+        )?;
+        require_positive(
+            "board.propagation_reference",
+            self.propagation_reference.meters(),
+        )?;
+        require_positive("board.max_edge", self.max_edge.meters())?;
+        self.connector.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn trace_delay_matches_paper() {
+        // 35 in at 0.15 ns/in = 5.25 ns (§6).
+        let b = presets::paper1986().board;
+        let d = b.trace_delay(Length::from_inches(35.0));
+        assert!((d.nanos() - 5.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_sided_connector_doubles_lines() {
+        let c = presets::paper1986().board.connector;
+        assert!(c.double_sided);
+        assert_eq!(c.lines(), 2 * c.lines_per_side);
+    }
+
+    #[test]
+    fn zero_layers_rejected() {
+        let mut b = presets::paper1986().board;
+        b.signal_layers = 0;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn zero_connector_lines_rejected() {
+        let mut b = presets::paper1986().board;
+        b.connector.lines_per_side = 0;
+        assert!(b.validate().is_err());
+    }
+}

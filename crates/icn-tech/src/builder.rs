@@ -1,0 +1,196 @@
+//! Fluent construction of custom technology parameter sets.
+//!
+//! Exploration workflows usually start from a preset and vary a handful of
+//! parameters ("what if the package had 300 pins and the process were one
+//! λ step denser?"). [`TechnologyBuilder`] makes those one-liners, renames
+//! the result so derived parameter sets are distinguishable in reports, and
+//! validates on `build` so an invalid combination fails at construction
+//! rather than deep inside a model.
+
+use icn_units::{Inductance, Length, Time, Voltage};
+
+use crate::{TechError, Technology};
+
+/// Builder over a base [`Technology`].
+///
+/// ```
+/// use icn_tech::{presets, TechnologyBuilder};
+///
+/// let tech = TechnologyBuilder::from(presets::paper1986())
+///     .name("denser-package")
+///     .max_pins(300)
+///     .pin_inductance_nh(3.5)
+///     .logic_delay_ns(10.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(tech.name, "denser-package");
+/// assert_eq!(tech.packaging.max_pins, 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyBuilder {
+    tech: Technology,
+}
+
+impl From<Technology> for TechnologyBuilder {
+    fn from(tech: Technology) -> Self {
+        Self { tech }
+    }
+}
+
+impl TechnologyBuilder {
+    /// Rename the parameter set.
+    #[must_use]
+    pub fn name(mut self, name: &str) -> Self {
+        self.tech.name = name.to_string();
+        self
+    }
+
+    /// Layout scale factor λ in microns.
+    #[must_use]
+    pub fn lambda_um(mut self, um: f64) -> Self {
+        self.tech.process.lambda = Length::from_microns(um);
+        self
+    }
+
+    /// Die edge in centimetres.
+    #[must_use]
+    pub fn die_edge_cm(mut self, cm: f64) -> Self {
+        self.tech.process.die_edge = Length::from_centimeters(cm);
+        self
+    }
+
+    /// Combinational logic delay in nanoseconds.
+    #[must_use]
+    pub fn logic_delay_ns(mut self, ns: f64) -> Self {
+        self.tech.process.logic_delay = Time::from_nanos(ns);
+        self
+    }
+
+    /// Register/memory delay in nanoseconds.
+    #[must_use]
+    pub fn memory_delay_ns(mut self, ns: f64) -> Self {
+        self.tech.process.memory_delay = Time::from_nanos(ns);
+        self
+    }
+
+    /// Maximum usable package pins.
+    #[must_use]
+    pub fn max_pins(mut self, pins: u32) -> Self {
+        self.tech.packaging.max_pins = pins;
+        self
+    }
+
+    /// Pin inductance in nanohenries.
+    #[must_use]
+    pub fn pin_inductance_nh(mut self, nh: f64) -> Self {
+        self.tech.packaging.pin_inductance = Inductance::from_nanohenries(nh);
+        self
+    }
+
+    /// Off-chip driver delay in nanoseconds.
+    #[must_use]
+    pub fn driver_delay_ns(mut self, ns: f64) -> Self {
+        self.tech.packaging.driver_delay = Time::from_nanos(ns);
+        self
+    }
+
+    /// Board signal layers.
+    #[must_use]
+    pub fn signal_layers(mut self, layers: u32) -> Self {
+        self.tech.board.signal_layers = layers;
+        self
+    }
+
+    /// Board wire pitch in mils.
+    #[must_use]
+    pub fn board_wire_pitch_mils(mut self, mils: f64) -> Self {
+        self.tech.board.wire_pitch = Length::from_mils(mils);
+        self
+    }
+
+    /// Supply voltage in volts.
+    #[must_use]
+    pub fn supply_v(mut self, v: f64) -> Self {
+        self.tech.clocking.supply = Voltage::from_volts(v);
+        self
+    }
+
+    /// Allowed rail bounce in volts.
+    #[must_use]
+    pub fn rail_bounce_v(mut self, v: f64) -> Self {
+        self.tech.clocking.rail_bounce_budget = Voltage::from_volts(v);
+        self
+    }
+
+    /// Arbitrary access for adjustments without a dedicated setter.
+    #[must_use]
+    pub fn tweak(mut self, f: impl FnOnce(&mut Technology)) -> Self {
+        f(&mut self.tech);
+        self
+    }
+
+    /// Validate and return the technology.
+    ///
+    /// # Errors
+    /// Returns the first [`TechError`] if the combination is inconsistent.
+    pub fn build(self) -> Result<Technology, TechError> {
+        self.tech.validate()?;
+        Ok(self.tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn builder_round_trip_without_changes() {
+        let base = presets::paper1986();
+        let built = TechnologyBuilder::from(base.clone()).build().unwrap();
+        assert_eq!(base, built);
+    }
+
+    #[test]
+    fn setters_apply() {
+        let t = TechnologyBuilder::from(presets::paper1986())
+            .name("custom")
+            .lambda_um(1.0)
+            .die_edge_cm(1.2)
+            .logic_delay_ns(8.0)
+            .memory_delay_ns(1.5)
+            .max_pins(320)
+            .pin_inductance_nh(3.0)
+            .driver_delay_ns(2.5)
+            .signal_layers(4)
+            .board_wire_pitch_mils(25.0)
+            .supply_v(5.0)
+            .rail_bounce_v(0.75)
+            .build()
+            .unwrap();
+        assert_eq!(t.name, "custom");
+        assert!((t.process.lambda.microns() - 1.0).abs() < 1e-12);
+        assert_eq!(t.packaging.max_pins, 320);
+        assert_eq!(t.board.signal_layers, 4);
+        assert!((t.clocking.rail_bounce_budget.volts() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_combination_fails_at_build() {
+        // Threshold (2.5 V nominal, +20 % → 3 V) above a 2.4 V supply.
+        let err = TechnologyBuilder::from(presets::paper1986())
+            .supply_v(2.4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TechError::Inconsistent(_)));
+    }
+
+    #[test]
+    fn tweak_reaches_everything() {
+        let t = TechnologyBuilder::from(presets::paper1986())
+            .tweak(|t| t.packaging.clock_pins = 4)
+            .build()
+            .unwrap();
+        assert_eq!(t.packaging.fixed_control_pins(), 5);
+    }
+}

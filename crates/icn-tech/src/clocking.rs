@@ -1,0 +1,116 @@
+//! Supply, threshold and clock-variation parameters (§5, Appendix).
+
+use icn_units::Voltage;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_non_negative, require_positive, TechError};
+
+/// Supply-rail and clock-distribution variation parameters.
+///
+/// These feed two models:
+///
+/// * the Appendix's ground-bounce pin model (supply voltage and the allowed
+///   rail excursion ΔV_max), and
+/// * the Wann–Franklin clock-skew model of eq. 5.3, which needs the nominal
+///   FET threshold voltage and the fractional process variations of both the
+///   clock-line rise time τ and the threshold voltage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockingParams {
+    /// Supply voltage V_DD (5 V, Table 1).
+    pub supply: Voltage,
+    /// Allowable power/ground rail excursion ΔV_max (1 V, Table 1).
+    pub rail_bounce_budget: Voltage,
+    /// Nominal FET threshold voltage (2.5 V in §6's skew evaluation, where
+    /// ±20 % variation spans 2–3 V, i.e. V_T/V_DD from 2/5 to 3/5).
+    pub threshold_nominal: Voltage,
+    /// Fractional variation of the clock rise/fall time constant τ
+    /// (0.20 in §6: τ_min = 0.8τ, τ_max = 1.2τ).
+    pub tau_variation: f64,
+    /// Fractional variation of the FET threshold voltage (0.20 in §6).
+    pub threshold_variation: f64,
+}
+
+impl ClockingParams {
+    /// Minimum threshold voltage under process variation.
+    #[must_use]
+    pub fn threshold_min(&self) -> Voltage {
+        self.threshold_nominal * (1.0 - self.threshold_variation)
+    }
+
+    /// Maximum threshold voltage under process variation.
+    #[must_use]
+    pub fn threshold_max(&self) -> Voltage {
+        self.threshold_nominal * (1.0 + self.threshold_variation)
+    }
+
+    /// Validate all fields.
+    ///
+    /// # Errors
+    /// Returns [`TechError::InvalidField`] for the first non-physical value.
+    pub fn validate(&self) -> Result<(), TechError> {
+        require_positive("clocking.supply", self.supply.volts())?;
+        require_positive("clocking.rail_bounce_budget", self.rail_bounce_budget.volts())?;
+        require_positive("clocking.threshold_nominal", self.threshold_nominal.volts())?;
+        require_non_negative("clocking.tau_variation", self.tau_variation)?;
+        require_non_negative("clocking.threshold_variation", self.threshold_variation)?;
+        if self.tau_variation >= 1.0 {
+            return Err(TechError::InvalidField {
+                field: "clocking.tau_variation",
+                reason: format!(
+                    "a fractional variation of {} would allow a non-positive rise time",
+                    self.tau_variation
+                ),
+            });
+        }
+        if self.threshold_variation >= 1.0 {
+            return Err(TechError::InvalidField {
+                field: "clocking.threshold_variation",
+                reason: format!(
+                    "a fractional variation of {} would allow a non-positive threshold",
+                    self.threshold_variation
+                ),
+            });
+        }
+        // The skew model takes ln(1 - V_Tmax/V_DD): the worst-case threshold
+        // must stay below the supply or the clock edge never crosses it.
+        if self.threshold_max().volts() >= self.supply.volts() {
+            return Err(TechError::Inconsistent(format!(
+                "worst-case threshold {} reaches the supply {}; clock edges would never trigger",
+                self.threshold_max(),
+                self.supply
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn paper_threshold_band_is_two_to_three_volts() {
+        let c = presets::paper1986().clocking;
+        assert!((c.threshold_min().volts() - 2.0).abs() < 1e-12);
+        assert!((c.threshold_max().volts() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_of_one_or_more_is_rejected() {
+        let mut c = presets::paper1986().clocking;
+        c.tau_variation = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = presets::paper1986().clocking;
+        c.threshold_variation = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn threshold_reaching_supply_is_rejected() {
+        let mut c = presets::paper1986().clocking;
+        c.threshold_nominal = Voltage::from_volts(4.5);
+        // 4.5 * 1.2 = 5.4 V > 5 V supply.
+        assert!(matches!(c.validate(), Err(TechError::Inconsistent(_))));
+    }
+}

@@ -1,0 +1,87 @@
+//! Validation errors for technology parameter sets.
+
+/// Error returned when a parameter set fails validation or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechError {
+    /// A single field has a physically meaningless value.
+    InvalidField {
+        /// Dotted path of the offending field, e.g. `process.lambda`.
+        field: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+    /// Two or more fields are individually valid but mutually inconsistent.
+    Inconsistent(String),
+    /// JSON deserialization failed.
+    Parse(String),
+}
+
+impl core::fmt::Display for TechError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidField { field, reason } => {
+                write!(f, "invalid technology parameter `{field}`: {reason}")
+            }
+            Self::Inconsistent(msg) => write!(f, "inconsistent technology parameters: {msg}"),
+            Self::Parse(msg) => write!(f, "failed to parse technology parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TechError {}
+
+/// Internal helper: require `value > 0`, else produce an `InvalidField`.
+pub(crate) fn require_positive(
+    field: &'static str,
+    value: f64,
+) -> Result<(), TechError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(TechError::InvalidField {
+            field,
+            reason: format!("must be positive and finite, got {value}"),
+        })
+    }
+}
+
+/// Internal helper: require `value >= 0`, else produce an `InvalidField`.
+pub(crate) fn require_non_negative(
+    field: &'static str,
+    value: f64,
+) -> Result<(), TechError> {
+    if value >= 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(TechError::InvalidField {
+            field,
+            reason: format!("must be non-negative and finite, got {value}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TechError::InvalidField {
+            field: "process.lambda",
+            reason: "must be positive and finite, got 0".into(),
+        };
+        assert!(e.to_string().contains("process.lambda"));
+        assert!(TechError::Inconsistent("x".into()).to_string().contains("inconsistent"));
+        assert!(TechError::Parse("y".into()).to_string().contains("parse"));
+    }
+
+    #[test]
+    fn positivity_helpers() {
+        assert!(require_positive("f", 1.0).is_ok());
+        assert!(require_positive("f", 0.0).is_err());
+        assert!(require_positive("f", f64::NAN).is_err());
+        assert!(require_non_negative("f", 0.0).is_ok());
+        assert!(require_non_negative("f", -1.0).is_err());
+        assert!(require_non_negative("f", f64::INFINITY).is_err());
+    }
+}

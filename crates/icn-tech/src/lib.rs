@@ -1,0 +1,178 @@
+//! Technology, packaging, board and clocking parameter sets.
+//!
+//! Every numeric assumption of Franklin & Dhar's design study lives here, in
+//! one of four parameter groups:
+//!
+//! * [`ProcessParams`] — the chip fabrication process (λ, logic/memory delay,
+//!   clock-tree branch RC, layout-rule constants of the MCC/DMC estimates).
+//! * [`PackagingParams`] — the chip package (pin count ceiling, pin
+//!   inductance, pin pitch, line driver characteristics).
+//! * [`BoardParams`] — the PC board (wire pitch, signal layers, propagation
+//!   speed, edge connectors).
+//! * [`ClockingParams`] — supply/threshold voltages, allowed rail bounce, and
+//!   process-variation fractions feeding the skew model.
+//!
+//! [`Technology`] aggregates the four groups, and [`presets::paper1986`]
+//! reproduces Table 1 of the paper exactly. Everything is serde-serializable
+//! so parameter sets can be stored, diffed and swapped; validation is explicit
+//! via [`Technology::validate`].
+//!
+//! ## Calibrated constants
+//!
+//! Two constants are *calibrated* rather than quoted, because the paper's
+//! printed Table 3 cannot be reproduced from its printed formulas alone (see
+//! DESIGN.md §2):
+//!
+//! * [`ProcessParams::mcc_area_overhead`] — effective area overhead of the
+//!   mesh-connected crossbar layout (pad ring, drivers, the paper's "+1/3");
+//!   default 2.1609 (linear factor 1.47), which reproduces every MCC entry of
+//!   Table 3.
+//! * [`ProcessParams::dmc_wire_pitch_lambda`] — on-chip wire pitch `d` of the
+//!   DMUX/MUX wiring estimate (eq. 3.6), never stated in the paper; default
+//!   6 λ, which reproduces the paper's "18×18 at W=4" DMC limit.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod board;
+mod builder;
+mod clocking;
+mod error;
+mod packaging;
+pub mod presets;
+mod process;
+
+pub use board::{BoardParams, ConnectorParams};
+pub use builder::TechnologyBuilder;
+pub use clocking::ClockingParams;
+pub use error::TechError;
+pub use packaging::PackagingParams;
+pub use process::ProcessParams;
+
+use serde::{Deserialize, Serialize};
+
+/// A complete technology description: process + packaging + board + clocking.
+///
+/// This is the single input every model in `icn-phys` takes. Construct one
+/// from a preset and adjust fields, or deserialize from JSON:
+///
+/// ```
+/// use icn_tech::presets;
+///
+/// let mut tech = presets::paper1986();
+/// tech.packaging.max_pins = 300; // explore a denser package
+/// tech.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Short human-readable name of the parameter set.
+    pub name: String,
+    /// Chip fabrication process parameters.
+    pub process: ProcessParams,
+    /// Chip packaging parameters.
+    pub packaging: PackagingParams,
+    /// Board-level parameters.
+    pub board: BoardParams,
+    /// Clocking and supply parameters.
+    pub clocking: ClockingParams,
+}
+
+impl Technology {
+    /// Check the whole parameter set for internal consistency.
+    ///
+    /// # Errors
+    /// Returns the first [`TechError`] found; each group validates its own
+    /// fields and the aggregate checks a few cross-group relations (for
+    /// example the threshold voltage must be below the supply voltage).
+    pub fn validate(&self) -> Result<(), TechError> {
+        self.process.validate()?;
+        self.packaging.validate()?;
+        self.board.validate()?;
+        self.clocking.validate()?;
+        if self.clocking.threshold_nominal.volts() >= self.clocking.supply.volts() {
+            return Err(TechError::Inconsistent(format!(
+                "nominal FET threshold ({}) must be below the supply voltage ({})",
+                self.clocking.threshold_nominal, self.clocking.supply
+            )));
+        }
+        if self.clocking.rail_bounce_budget.volts() >= self.clocking.supply.volts() {
+            return Err(TechError::Inconsistent(format!(
+                "allowed rail bounce ({}) must be below the supply voltage ({})",
+                self.clocking.rail_bounce_budget, self.clocking.supply
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serialize to a pretty JSON string (for archival next to results).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("Technology is always serializable")
+    }
+
+    /// Deserialize from JSON produced by [`Technology::to_json`].
+    ///
+    /// # Errors
+    /// Returns a [`TechError::Parse`] for malformed input and propagates
+    /// validation failures.
+    pub fn from_json(json: &str) -> Result<Self, TechError> {
+        let tech: Self =
+            serde_json::from_str(json).map_err(|e| TechError::Parse(e.to_string()))?;
+        tech.validate()?;
+        Ok(tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_validates() {
+        presets::paper1986().validate().unwrap();
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for tech in presets::all() {
+            tech.validate()
+                .unwrap_or_else(|e| panic!("preset {} invalid: {e}", tech.name));
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let tech = presets::paper1986();
+        let json = tech.to_json();
+        let back = Technology::from_json(&json).unwrap();
+        // Serialization is a fixpoint after one round trip (floats may lose
+        // one ulp going through the textual representation the first time).
+        assert_eq!(back.to_json(), Technology::from_json(&back.to_json()).unwrap().to_json());
+        assert_eq!(back.name, tech.name);
+        assert_eq!(back.packaging.max_pins, tech.packaging.max_pins);
+        assert!(back.process.lambda.approx_eq(tech.process.lambda));
+        assert!(back.packaging.driver_delay.approx_eq(tech.packaging.driver_delay));
+    }
+
+    #[test]
+    fn threshold_above_supply_is_rejected() {
+        let mut tech = presets::paper1986();
+        tech.clocking.threshold_nominal = icn_units::Voltage::from_volts(6.0);
+        assert!(matches!(tech.validate(), Err(TechError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn rail_bounce_above_supply_is_rejected() {
+        let mut tech = presets::paper1986();
+        tech.clocking.rail_bounce_budget = icn_units::Voltage::from_volts(5.5);
+        assert!(matches!(tech.validate(), Err(TechError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        assert!(matches!(
+            Technology::from_json("{not json"),
+            Err(TechError::Parse(_))
+        ));
+    }
+}

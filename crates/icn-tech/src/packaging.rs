@@ -1,0 +1,134 @@
+//! Chip packaging parameters (pin grid array model, §3.1/§3.3).
+
+use icn_units::{Inductance, Length, Resistance, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{require_positive, TechError};
+
+/// Parameters of the chip package and its line drivers.
+///
+/// The paper assumes an "aggressive but currently realizable" pin grid array:
+/// up to 240 usable pins, three rows of pins at 100 mil pitch (so a ≥175-pin
+/// package is about 2 in on a side), 5 nH of inductance per pin, and 50 Ω
+/// output drivers that take 3 ns to be driven.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackagingParams {
+    /// Maximum usable pins per package (240 in §3.1's feasibility cut).
+    pub max_pins: u32,
+    /// Number of concentric pin rows in the grid array (3 in §3.3).
+    pub pin_rows: u32,
+    /// Pitch between adjacent pins (100 mil in §3.3).
+    pub pin_pitch: Length,
+    /// Package body margin beyond the pin field (seating plane, corner
+    /// keep-outs). 0.5 in reproduces the paper's "a package with at least
+    /// 175 pins is about 2 inches on a side".
+    pub body_margin: Length,
+    /// Parasitic inductance of one package pin (L = 5 nH, Table 1).
+    pub pin_inductance: Inductance,
+    /// Output impedance of the off-chip line drivers (Z₀ = 50 Ω, Table 1),
+    /// matched to the board traces.
+    pub driver_impedance: Resistance,
+    /// Time to drive the off-chip driver itself (3 ns in §6's D_P budget).
+    pub driver_delay: Time,
+    /// Pins dedicated to the two-phase clock (2 in §2.1).
+    pub clock_pins: u32,
+    /// Pins dedicated to network reset / path clearing (1 in §2.1).
+    pub reset_pins: u32,
+}
+
+impl PackagingParams {
+    /// Edge length of a package that must expose `pins` pins with this
+    /// pin-row/pitch configuration (perimeter pin grid array).
+    ///
+    /// With `r` rows of pins around a square package of side `s`, each side
+    /// carries `⌈pins / (4r)⌉` pins per row at the pin pitch, plus the body
+    /// margin. The paper uses this to size a ≥175-pin package at about 2 in
+    /// (⌈175/12⌉ = 15 pins × 100 mil + 0.5 in margin).
+    ///
+    /// # Panics
+    /// Panics if `pins` is zero.
+    #[must_use]
+    pub fn package_edge(&self, pins: u32) -> Length {
+        assert!(pins > 0, "a package with zero pins has no meaningful size");
+        let per_row_side = pins.div_ceil(4 * self.pin_rows);
+        self.pin_pitch * f64::from(per_row_side) + self.body_margin
+    }
+
+    /// Total control-pin overhead that is independent of crossbar size:
+    /// clock plus reset (the "+3" of eq. 3.3 is `2N` buffer-full lines plus
+    /// these three pins).
+    #[must_use]
+    pub fn fixed_control_pins(&self) -> u32 {
+        self.clock_pins + self.reset_pins
+    }
+
+    /// Validate all fields.
+    ///
+    /// # Errors
+    /// Returns [`TechError::InvalidField`] for the first non-physical value.
+    pub fn validate(&self) -> Result<(), TechError> {
+        if self.max_pins == 0 {
+            return Err(TechError::InvalidField {
+                field: "packaging.max_pins",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.pin_rows == 0 {
+            return Err(TechError::InvalidField {
+                field: "packaging.pin_rows",
+                reason: "must be at least 1".into(),
+            });
+        }
+        require_positive("packaging.pin_pitch", self.pin_pitch.meters())?;
+        if !(self.body_margin.meters() >= 0.0 && self.body_margin.meters().is_finite()) {
+            return Err(TechError::InvalidField {
+                field: "packaging.body_margin",
+                reason: format!(
+                    "must be non-negative and finite, got {} m",
+                    self.body_margin.meters()
+                ),
+            });
+        }
+        require_positive("packaging.pin_inductance", self.pin_inductance.henries())?;
+        require_positive("packaging.driver_impedance", self.driver_impedance.ohms())?;
+        require_positive("packaging.driver_delay", self.driver_delay.secs())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn paper_package_size_is_about_two_inches() {
+        // §3.3: "The size of a package with at least 175 pins is about
+        // 2 inches on a side" for 3 rows at 100 mil pitch.
+        let p = presets::paper1986().packaging;
+        let edge = p.package_edge(175);
+        assert!(
+            (edge.inches() - 2.0).abs() < 1e-9,
+            "unexpected package edge {} in",
+            edge.inches()
+        );
+    }
+
+    #[test]
+    fn fixed_control_pins_is_three() {
+        // Two clock phases + one reset = the "+3" of eq. 3.3.
+        assert_eq!(presets::paper1986().packaging.fixed_control_pins(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pins")]
+    fn zero_pin_package_panics() {
+        let _ = presets::paper1986().packaging.package_edge(0);
+    }
+
+    #[test]
+    fn zero_max_pins_rejected() {
+        let mut p = presets::paper1986().packaging;
+        p.max_pins = 0;
+        assert!(p.validate().is_err());
+    }
+}

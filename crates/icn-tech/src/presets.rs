@@ -1,0 +1,164 @@
+//! Ready-made technology parameter sets.
+
+use icn_units::{Inductance, Length, Resistance, Time, Voltage};
+
+use crate::{
+    BoardParams, ClockingParams, ConnectorParams, PackagingParams, ProcessParams, Technology,
+};
+
+/// The paper's 1986 MOS + pin-grid-array technology, exactly as tabulated in
+/// Table 1 and used throughout §3–§6:
+///
+/// | quantity | value |
+/// |---|---|
+/// | λ | 1.5 µm |
+/// | die | 1 cm × 1 cm |
+/// | logic / memory delay | 12 ns / 2 ns |
+/// | H-tree branch R₀C₀ | 0.244 ps |
+/// | max pins | 240 (3 rows @ 100 mil) |
+/// | pin inductance L | 5 nH |
+/// | driver Z₀ / drive delay | 50 Ω / 3 ns |
+/// | board wire pitch | 50 mil, 2 signal layers |
+/// | board propagation | 0.15 ns/in |
+/// | connectors | 100 lines/side, double-sided, 4 in |
+/// | V_DD / ΔV_max / V_T | 5 V / 1 V / 2.5 V ± 20 % |
+#[must_use]
+pub fn paper1986() -> Technology {
+    Technology {
+        name: "paper-1986-mos-pga".to_string(),
+        process: ProcessParams {
+            lambda: Length::from_microns(1.5),
+            die_edge: Length::from_centimeters(1.0),
+            logic_delay: Time::from_nanos(12.0),
+            memory_delay: Time::from_nanos(2.0),
+            htree_branch_rc: Time::from_picos(0.244),
+            mcc_switch_core_lambda: 100.0,
+            mcc_line_pitch_lambda: 20.0,
+            mcc_area_overhead: 2.1609,
+            dmc_wire_pitch_lambda: 6.0,
+            dmc_mux_cell_area_coeff: 360.0,
+            dmc_area_overhead: 4.0 / 3.0,
+        },
+        packaging: PackagingParams {
+            max_pins: 240,
+            pin_rows: 3,
+            pin_pitch: Length::from_mils(100.0),
+            body_margin: Length::from_inches(0.5),
+            pin_inductance: Inductance::from_nanohenries(5.0),
+            driver_impedance: Resistance::from_ohms(50.0),
+            driver_delay: Time::from_nanos(3.0),
+            clock_pins: 2,
+            reset_pins: 1,
+        },
+        board: BoardParams {
+            wire_pitch: Length::from_mils(50.0),
+            signal_layers: 2,
+            propagation_delay_per_length: Time::from_nanos(0.15),
+            propagation_reference: Length::from_inches(1.0),
+            max_edge: Length::from_inches(40.0),
+            connector: ConnectorParams {
+                lines_per_side: 100,
+                double_sided: true,
+                length: Length::from_inches(4.0),
+            },
+        },
+        clocking: ClockingParams {
+            supply: Voltage::from_volts(5.0),
+            rail_bounce_budget: Voltage::from_volts(1.0),
+            threshold_nominal: Voltage::from_volts(2.5),
+            tau_variation: 0.20,
+            threshold_variation: 0.20,
+        },
+    }
+}
+
+/// A hypothetical early-1990s CMOS scaling of the paper's technology,
+/// provided for *extension* studies ("what would the paper's conclusion look
+/// like one process generation later?"). Not taken from the paper.
+///
+/// Scaling choices: λ 1.5 → 0.8 µm, logic 12 → 5 ns, memory 2 → 1 ns,
+/// denser packaging (400 pins, 4 nH, 50 mil pitch over 4 rows), 8 board
+/// layers at 25 mil pitch, and denser edge connectors (150 lines per side
+/// over 2 in — the smaller packages shorten the board edge, so the 1986
+/// connectors would otherwise become the binding constraint). Board
+/// propagation speed and voltages are unchanged (5 V CMOS).
+#[must_use]
+pub fn scaled_cmos_early90s() -> Technology {
+    let mut tech = paper1986();
+    tech.name = "scaled-cmos-early90s".to_string();
+    tech.process.lambda = Length::from_microns(0.8);
+    tech.process.logic_delay = Time::from_nanos(5.0);
+    tech.process.memory_delay = Time::from_nanos(1.0);
+    tech.process.htree_branch_rc = Time::from_picos(0.15);
+    tech.packaging.max_pins = 400;
+    tech.packaging.pin_rows = 4;
+    tech.packaging.pin_pitch = Length::from_mils(50.0);
+    tech.packaging.body_margin = Length::from_inches(0.3);
+    tech.packaging.pin_inductance = Inductance::from_nanohenries(4.0);
+    tech.packaging.driver_delay = Time::from_nanos(2.0);
+    tech.board.wire_pitch = Length::from_mils(25.0);
+    tech.board.signal_layers = 8;
+    tech.board.connector.lines_per_side = 150;
+    tech.board.connector.length = Length::from_inches(2.0);
+    tech
+}
+
+/// A deliberately constrained "conservative 1986" variant: 144-pin package,
+/// 10 nH pins, single routing layer. Useful in tests and examples as a
+/// technology in which the paper's 16×16/W=4 chip does *not* fit.
+#[must_use]
+pub fn conservative1986() -> Technology {
+    let mut tech = paper1986();
+    tech.name = "conservative-1986".to_string();
+    tech.packaging.max_pins = 144;
+    tech.packaging.pin_inductance = Inductance::from_nanohenries(10.0);
+    tech.board.signal_layers = 1;
+    tech
+}
+
+/// All built-in presets.
+#[must_use]
+pub fn all() -> Vec<Technology> {
+    vec![paper1986(), scaled_cmos_early90s(), conservative1986()]
+}
+
+/// Look up a preset by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Technology> {
+    all().into_iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_encoded_exactly() {
+        let t = paper1986();
+        assert!((t.process.lambda.microns() - 1.5).abs() < 1e-12);
+        assert_eq!(t.packaging.max_pins, 240);
+        assert!((t.packaging.pin_inductance.nanohenries() - 5.0).abs() < 1e-12);
+        assert!((t.packaging.driver_impedance.ohms() - 50.0).abs() < 1e-12);
+        assert!((t.clocking.supply.volts() - 5.0).abs() < 1e-12);
+        assert!((t.clocking.rail_bounce_budget.volts() - 1.0).abs() < 1e-12);
+        assert!((t.board.wire_pitch.mils() - 50.0).abs() < 1e-9);
+        assert!((t.process.logic_delay.nanos() - 12.0).abs() < 1e-12);
+        assert!((t.process.memory_delay.nanos() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("paper-1986-mos-pga").is_some());
+        assert!(by_name("scaled-cmos-early90s").is_some());
+        assert!(by_name("no-such-preset").is_none());
+    }
+
+    #[test]
+    fn preset_names_are_unique() {
+        let names: Vec<_> = all().into_iter().map(|t| t.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

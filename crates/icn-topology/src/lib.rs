@@ -1,0 +1,36 @@
+//! Multistage interconnection network topology.
+//!
+//! Franklin & Dhar's networks are *generalized delta networks*: `s` stages of
+//! `r_i × r_i` crossbar modules (all hosted on identical N×N chips), joined
+//! by perfect-shuffle wiring, carrying `N′ = r_0·r_1·…·r_{s−1}` ports end to
+//! end. Packets self-route: at stage `i` the switch examines one radix-`r_i`
+//! digit of the destination address and selects that output port.
+//!
+//! This crate provides:
+//!
+//! * [`StagePlan`] — the stage radix sequence, including the balanced
+//!   power-of-two splits the paper uses (2048 = 16·16·8; Figure 2's 4096-port
+//!   networks at 1–12 stages);
+//! * [`Topology`] — the wiring itself: shuffles, modules, and exact
+//!   source→destination path computation ([`Path`]);
+//! * [`verify`] — the delta-network invariants (full access, unique path,
+//!   link-permutation sanity) checked exhaustively;
+//! * [`permutation`] — classic permutation patterns and a conflict checker
+//!   that decides whether a permutation is routable without blocking;
+//! * [`blocking`] — the Patel acceptance recurrence behind the paper's
+//!   Figure 2, for uniform and mixed-radix stage plans.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod blocking;
+pub mod permutation;
+pub mod queueing;
+mod plan;
+mod route;
+mod topology;
+pub mod verify;
+
+pub use plan::StagePlan;
+pub use route::{Hop, Path};
+pub use topology::Topology;

@@ -1,0 +1,406 @@
+//! Permutation traffic patterns and conflict analysis.
+//!
+//! A delta network is *blocking*: not every permutation of inputs to outputs
+//! can be routed simultaneously. The conflict checker here decides, for a
+//! concrete permutation, whether the unique paths collide at any module
+//! output — the exact criterion under the paper's circuit-held switching
+//! (§2: "a packet holds an entire path within each switch module").
+
+use serde::{Deserialize, Serialize};
+
+use crate::Topology;
+
+/// A permutation of the network's ports (`targets[src] = dest`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    targets: Vec<u32>,
+}
+
+impl Permutation {
+    /// Build from an explicit target vector.
+    ///
+    /// # Panics
+    /// Panics if `targets` is not a permutation of `0..len`.
+    #[must_use]
+    pub fn new(targets: Vec<u32>) -> Self {
+        let n = targets.len();
+        let mut seen = vec![false; n];
+        for &t in &targets {
+            assert!(
+                (t as usize) < n && !seen[t as usize],
+                "targets are not a permutation"
+            );
+            seen[t as usize] = true;
+        }
+        Self { targets }
+    }
+
+    /// The identity permutation on `n` ports.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn identity(n: u32) -> Self {
+        assert!(n > 0, "empty permutation");
+        Self { targets: (0..n).collect() }
+    }
+
+    /// Bit reversal on a power-of-two port count — the classic FFT traffic
+    /// pattern, notoriously hard on multistage networks.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn bit_reversal(n: u32) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "bit reversal needs a power of two");
+        let bits = n.trailing_zeros();
+        Self {
+            targets: (0..n).map(|p| p.reverse_bits() >> (32 - bits)).collect(),
+        }
+    }
+
+    /// Perfect shuffle (rotate address bits left by one).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    #[must_use]
+    pub fn perfect_shuffle(n: u32) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "perfect shuffle needs a power of two");
+        let bits = n.trailing_zeros();
+        Self {
+            targets: (0..n)
+                .map(|p| ((p << 1) | (p >> (bits - 1))) & (n - 1))
+                .collect(),
+        }
+    }
+
+    /// Matrix transpose (swap the high and low halves of the address bits);
+    /// `n` must be an even power of two.
+    ///
+    /// # Panics
+    /// Panics otherwise.
+    #[must_use]
+    pub fn transpose(n: u32) -> Self {
+        assert!(n.is_power_of_two(), "transpose needs a power of two");
+        let bits = n.trailing_zeros();
+        assert!(bits.is_multiple_of(2), "transpose needs an even number of address bits");
+        let half = bits / 2;
+        let mask = (1u32 << half) - 1;
+        Self {
+            targets: (0..n).map(|p| ((p & mask) << half) | (p >> half)).collect(),
+        }
+    }
+
+    /// Butterfly (swap the most and least significant address bits).
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two ≥ 4.
+    #[must_use]
+    pub fn butterfly(n: u32) -> Self {
+        assert!(n.is_power_of_two() && n >= 4, "butterfly needs a power of two ≥ 4");
+        let bits = n.trailing_zeros();
+        let hi = 1u32 << (bits - 1);
+        Self {
+            targets: (0..n)
+                .map(|p| {
+                    let lo_bit = p & 1;
+                    let hi_bit = (p & hi) >> (bits - 1);
+                    (p & !(hi | 1)) | (lo_bit << (bits - 1)) | hi_bit
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of ports.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.targets.len() as u32
+    }
+
+    /// True if the permutation is empty (never constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The destination of `src`.
+    #[must_use]
+    pub fn target(&self, src: u32) -> u32 {
+        self.targets[src as usize]
+    }
+
+    /// The underlying target slice.
+    #[must_use]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+}
+
+/// The outcome of routing a full permutation through the network at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictReport {
+    /// Module-output collisions: (stage, module, out_port) claimed by more
+    /// than one path, with the contending sources.
+    pub collisions: Vec<Collision>,
+}
+
+/// A single contended module output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Collision {
+    /// Stage index.
+    pub stage: u32,
+    /// Module index within the stage.
+    pub module: u32,
+    /// Output port within the module.
+    pub out_port: u32,
+    /// Sources whose paths claim this output.
+    pub sources: Vec<u32>,
+}
+
+impl ConflictReport {
+    /// Whether the permutation is routable without blocking.
+    #[must_use]
+    pub fn admissible(&self) -> bool {
+        self.collisions.is_empty()
+    }
+
+    /// Number of distinct contended outputs.
+    #[must_use]
+    pub fn collision_count(&self) -> usize {
+        self.collisions.len()
+    }
+}
+
+/// Route every source's packet simultaneously and report all module-output
+/// collisions. O(N′ · stages) time and memory.
+///
+/// # Panics
+/// Panics if the permutation size does not match the network.
+#[must_use]
+pub fn check_permutation(topology: &Topology, perm: &Permutation) -> ConflictReport {
+    assert_eq!(
+        perm.len(),
+        topology.ports(),
+        "permutation size must match the network"
+    );
+    let stages = topology.stages();
+    // owners[stage][line] = sources claiming that module-output line.
+    let mut owners: Vec<Vec<Vec<u32>>> =
+        (0..stages).map(|_| vec![Vec::new(); topology.ports() as usize]).collect();
+    for src in 0..topology.ports() {
+        let path = topology.route(src, perm.target(src));
+        for hop in &path.hops {
+            let line = hop.output_line(topology.stage_radix(hop.stage));
+            owners[hop.stage as usize][line as usize].push(src);
+        }
+    }
+    let mut collisions = Vec::new();
+    for (stage, lines) in owners.iter().enumerate() {
+        let stage = stage as u32;
+        let r = topology.stage_radix(stage);
+        for (line, sources) in lines.iter().enumerate() {
+            if sources.len() > 1 {
+                let line = line as u32;
+                collisions.push(Collision {
+                    stage,
+                    module: line / r,
+                    out_port: line % r,
+                    sources: sources.clone(),
+                });
+            }
+        }
+    }
+    ConflictReport { collisions }
+}
+
+/// Decompose a permutation into conflict-free *rounds*: each round is a set
+/// of sources whose paths are mutually disjoint at every module output, so
+/// the round can be launched simultaneously without blocking. Greedy
+/// first-fit in source order.
+///
+/// Delta networks cannot pass every permutation in one pass (Figure 2's
+/// whole point); this scheduler answers the operational question "how many
+/// network passes does pattern X cost?" — e.g. bit reversal on an omega
+/// network needs several rounds while the identity needs one.
+///
+/// # Panics
+/// Panics if the permutation size does not match the network.
+#[must_use]
+pub fn schedule_rounds(topology: &Topology, perm: &Permutation) -> Vec<Vec<u32>> {
+    assert_eq!(
+        perm.len(),
+        topology.ports(),
+        "permutation size must match the network"
+    );
+    let stages = topology.stages() as usize;
+    let ports = topology.ports() as usize;
+    let paths: Vec<_> = (0..topology.ports())
+        .map(|src| topology.route(src, perm.target(src)))
+        .collect();
+
+    let mut remaining: Vec<u32> = (0..topology.ports()).collect();
+    let mut rounds = Vec::new();
+    let mut claimed = vec![false; stages * ports];
+    while !remaining.is_empty() {
+        claimed.iter_mut().for_each(|c| *c = false);
+        let mut round = Vec::new();
+        let mut deferred = Vec::new();
+        for &src in &remaining {
+            let path = &paths[src as usize];
+            let fits = path.hops.iter().all(|hop| {
+                let line = hop.output_line(topology.stage_radix(hop.stage)) as usize;
+                !claimed[hop.stage as usize * ports + line]
+            });
+            if fits {
+                for hop in &path.hops {
+                    let line = hop.output_line(topology.stage_radix(hop.stage)) as usize;
+                    claimed[hop.stage as usize * ports + line] = true;
+                }
+                round.push(src);
+            } else {
+                deferred.push(src);
+            }
+        }
+        debug_assert!(!round.is_empty(), "greedy rounds always make progress");
+        rounds.push(round);
+        remaining = deferred;
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StagePlan;
+
+    fn omega(radix: u32, stages: u32) -> Topology {
+        Topology::new(StagePlan::uniform(radix, stages))
+    }
+
+    #[test]
+    fn identity_is_admissible_in_omega() {
+        // The identity is a classic omega-passable permutation.
+        for (r, s) in [(2u32, 4u32), (4, 2), (16, 2)] {
+            let t = omega(r, s);
+            let report = check_permutation(&t, &Permutation::identity(t.ports()));
+            assert!(report.admissible(), "identity blocked in {r}^{s}");
+        }
+    }
+
+    #[test]
+    fn cyclic_shifts_are_admissible_in_omega() {
+        // Uniform shifts are the classic omega-passable family.
+        let t = omega(2, 4);
+        for k in [1u32, 3, 7, 8, 15] {
+            let shift =
+                Permutation::new((0..16).map(|p| (p + k) % 16).collect());
+            let report = check_permutation(&t, &shift);
+            assert!(report.admissible(), "shift by {k} blocked");
+        }
+    }
+
+    #[test]
+    fn bit_reversal_blocks_in_omega() {
+        // Bit reversal is the canonical omega-blocking permutation.
+        let t = omega(2, 4);
+        let report = check_permutation(&t, &Permutation::bit_reversal(16));
+        assert!(!report.admissible());
+        // Collisions come with their contending sources.
+        assert!(report.collisions.iter().all(|c| c.sources.len() >= 2));
+    }
+
+    #[test]
+    fn transpose_blocks_in_omega() {
+        let t = omega(2, 4);
+        let report = check_permutation(&t, &Permutation::transpose(16));
+        assert!(!report.admissible());
+    }
+
+    #[test]
+    fn permutation_constructors_are_permutations() {
+        for p in [
+            Permutation::identity(16),
+            Permutation::bit_reversal(16),
+            Permutation::perfect_shuffle(16),
+            Permutation::transpose(16),
+            Permutation::butterfly(16),
+        ] {
+            let mut targets: Vec<u32> = p.targets().to_vec();
+            targets.sort_unstable();
+            assert_eq!(targets, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn butterfly_swaps_end_bits() {
+        let p = Permutation::butterfly(8);
+        assert_eq!(p.target(0b001), 0b100);
+        assert_eq!(p.target(0b100), 0b001);
+        assert_eq!(p.target(0b010), 0b010);
+        assert_eq!(p.target(0b101), 0b101);
+    }
+
+    #[test]
+    fn transpose_swaps_halves() {
+        let p = Permutation::transpose(16);
+        assert_eq!(p.target(0b0011), 0b1100);
+        assert_eq!(p.target(0b0110), 0b1001);
+    }
+
+    #[test]
+    fn identity_schedules_in_one_round() {
+        let t = omega(2, 4);
+        let rounds = schedule_rounds(&t, &Permutation::identity(16));
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0].len(), 16);
+    }
+
+    #[test]
+    fn bit_reversal_needs_multiple_rounds_that_partition_sources() {
+        let t = omega(2, 4);
+        let perm = Permutation::bit_reversal(16);
+        let rounds = schedule_rounds(&t, &perm);
+        assert!(rounds.len() >= 2, "bit reversal blocks, needs >1 round");
+        // Partition: every source exactly once.
+        let mut all: Vec<u32> = rounds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+        // Each round is genuinely conflict-free (pairwise path check).
+        for round in &rounds {
+            let paths: Vec<_> =
+                round.iter().map(|&s| t.route(s, perm.target(s))).collect();
+            for i in 0..paths.len() {
+                for j in (i + 1)..paths.len() {
+                    assert!(
+                        !paths[i].conflicts_with(&paths[j]),
+                        "round contains conflicting sources {} and {}",
+                        round[i],
+                        round[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admissible_permutations_schedule_in_one_round() {
+        let t = omega(4, 2);
+        let shift = Permutation::new((0..16).map(|p| (p + 3) % 16).collect());
+        if check_permutation(&t, &shift).admissible() {
+            assert_eq!(schedule_rounds(&t, &shift).len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn duplicate_targets_panic() {
+        let _ = Permutation::new(vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn size_mismatch_panics() {
+        let t = omega(2, 2);
+        let _ = check_permutation(&t, &Permutation::identity(8));
+    }
+}

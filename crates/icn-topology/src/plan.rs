@@ -1,0 +1,231 @@
+//! Stage radix plans: how many stages, and how wide each stage's switches
+//! are.
+
+use serde::{Deserialize, Serialize};
+
+/// The radix sequence of a multistage network: stage `i` consists of
+/// `ports / radices[i]` crossbar modules of size `radices[i] × radices[i]`.
+///
+/// Invariant: every radix is ≥ 2 and their product equals the port count.
+///
+/// ```
+/// use icn_topology::StagePlan;
+///
+/// // The paper's 2048-port network on 16×16 chips: 16·16·8.
+/// let plan = StagePlan::balanced_pow2(2048, 16).unwrap();
+/// assert_eq!(plan.radices(), &[16, 16, 8]);
+/// assert_eq!(plan.ports(), 2048);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StagePlan {
+    radices: Vec<u32>,
+}
+
+impl StagePlan {
+    /// Build a plan from an explicit radix sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty, any radix is < 2, or the product
+    /// overflows `u32`.
+    #[must_use]
+    pub fn from_radices(radices: Vec<u32>) -> Self {
+        assert!(!radices.is_empty(), "a network needs at least one stage");
+        let mut ports: u64 = 1;
+        for (i, &r) in radices.iter().enumerate() {
+            assert!(r >= 2, "stage {i} radix must be at least 2, got {r}");
+            ports = ports
+                .checked_mul(u64::from(r))
+                .filter(|&p| p <= u64::from(u32::MAX))
+                .unwrap_or_else(|| panic!("port count overflows u32"));
+        }
+        Self { radices }
+    }
+
+    /// A uniform plan: `stages` stages of radix `radix`
+    /// (an `radix^stages`-port network).
+    ///
+    /// # Panics
+    /// Panics if `stages` is zero, `radix < 2`, or the port count overflows.
+    #[must_use]
+    pub fn uniform(radix: u32, stages: u32) -> Self {
+        assert!(stages >= 1, "a network needs at least one stage");
+        Self::from_radices(vec![radix; stages as usize])
+    }
+
+    /// The balanced plan for a power-of-two port count on chips of at most
+    /// `max_radix` (itself a power of two): the minimum number of stages,
+    /// with the address bits split as evenly as possible, wider stages first.
+    ///
+    /// This is how the paper sizes its networks: 2048 ports on 16×16 chips
+    /// becomes ⌈11/4⌉ = 3 stages with bit split 4+4+3, i.e. radices
+    /// 16·16·8; Figure 2's 4096-port network at 5 stages splits 12 bits as
+    /// 3+3+2+2+2, i.e. 8·8·4·4·4.
+    ///
+    /// Returns `None` if either argument is not a power of two or is < 2.
+    #[must_use]
+    pub fn balanced_pow2(ports: u32, max_radix: u32) -> Option<Self> {
+        if !ports.is_power_of_two() || !max_radix.is_power_of_two() {
+            return None;
+        }
+        if ports < 2 || max_radix < 2 {
+            return None;
+        }
+        let total_bits = ports.trailing_zeros();
+        let max_bits = max_radix.trailing_zeros();
+        let stages = total_bits.div_ceil(max_bits);
+        Some(Self::from_radices(split_bits(total_bits, stages)))
+    }
+
+    /// A balanced plan for a power-of-two port count with an *exact* stage
+    /// count (used to sweep Figure 2's x-axis). Returns `None` if `ports` is
+    /// not a power of two or has fewer bits than stages.
+    #[must_use]
+    pub fn balanced_pow2_stages(ports: u32, stages: u32) -> Option<Self> {
+        if !ports.is_power_of_two() || ports < 2 || stages == 0 {
+            return None;
+        }
+        let total_bits = ports.trailing_zeros();
+        if total_bits < stages {
+            return None;
+        }
+        Some(Self::from_radices(split_bits(total_bits, stages)))
+    }
+
+    /// The stage radices, first stage first.
+    #[must_use]
+    pub fn radices(&self) -> &[u32] {
+        &self.radices
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        self.radices.len() as u32
+    }
+
+    /// Total ports `N′ = ∏ r_i`.
+    #[must_use]
+    pub fn ports(&self) -> u32 {
+        self.radices.iter().copied().product()
+    }
+
+    /// The largest stage radix (determines the chip size needed).
+    #[must_use]
+    pub fn max_radix(&self) -> u32 {
+        *self.radices.iter().max().expect("plans are non-empty")
+    }
+
+    /// Crossbar modules in stage `i` (`ports / r_i`).
+    ///
+    /// # Panics
+    /// Panics if `stage` is out of range.
+    #[must_use]
+    pub fn modules_in_stage(&self, stage: u32) -> u32 {
+        let r = self.radices[stage as usize];
+        self.ports() / r
+    }
+
+    /// Total crossbar modules across all stages.
+    #[must_use]
+    pub fn total_modules(&self) -> u32 {
+        (0..self.stages()).map(|i| self.modules_in_stage(i)).sum()
+    }
+}
+
+impl core::fmt::Display for StagePlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let parts: Vec<String> = self.radices.iter().map(ToString::to_string).collect();
+        write!(f, "{}-port [{}]", self.ports(), parts.join("x"))
+    }
+}
+
+/// Split `total_bits` address bits across `stages` stages as evenly as
+/// possible, wider stages first, and return the per-stage radices `2^bits`.
+fn split_bits(total_bits: u32, stages: u32) -> Vec<u32> {
+    let base = total_bits / stages;
+    let extra = total_bits % stages;
+    (0..stages)
+        .map(|i| {
+            let bits = base + u32::from(i < extra);
+            assert!(bits >= 1, "more stages than address bits");
+            1u32 << bits
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_2048_plan() {
+        let plan = StagePlan::balanced_pow2(2048, 16).unwrap();
+        assert_eq!(plan.radices(), &[16, 16, 8]);
+        assert_eq!(plan.stages(), 3);
+        assert_eq!(plan.ports(), 2048);
+        assert_eq!(plan.max_radix(), 16);
+        // Chips per stage at radix 16: 128; the radix-8 stage has 256
+        // logical modules (two per 16×16 chip).
+        assert_eq!(plan.modules_in_stage(0), 128);
+        assert_eq!(plan.modules_in_stage(2), 256);
+    }
+
+    #[test]
+    fn figure2_5_stage_plan_for_4096() {
+        let plan = StagePlan::balanced_pow2_stages(4096, 5).unwrap();
+        assert_eq!(plan.radices(), &[8, 8, 4, 4, 4]);
+        assert_eq!(plan.ports(), 4096);
+    }
+
+    #[test]
+    fn figure2_extreme_plans() {
+        assert_eq!(
+            StagePlan::balanced_pow2_stages(4096, 12).unwrap().radices(),
+            &[2; 12]
+        );
+        assert_eq!(
+            StagePlan::balanced_pow2_stages(4096, 1).unwrap().radices(),
+            &[4096]
+        );
+    }
+
+    #[test]
+    fn exact_power_networks_are_uniform() {
+        let plan = StagePlan::balanced_pow2(4096, 16).unwrap();
+        assert_eq!(plan.radices(), &[16, 16, 16]);
+        assert_eq!(plan, StagePlan::uniform(16, 3));
+    }
+
+    #[test]
+    fn non_power_of_two_is_rejected() {
+        assert!(StagePlan::balanced_pow2(1000, 16).is_none());
+        assert!(StagePlan::balanced_pow2(1024, 12).is_none());
+        assert!(StagePlan::balanced_pow2_stages(4096, 13).is_none());
+    }
+
+    #[test]
+    fn total_modules() {
+        // Figure 1: a 16-port network of 2×2 modules has 4 stages × 8 = 32.
+        let plan = StagePlan::uniform(2, 4);
+        assert_eq!(plan.ports(), 16);
+        assert_eq!(plan.total_modules(), 32);
+    }
+
+    #[test]
+    fn display() {
+        let plan = StagePlan::balanced_pow2(2048, 16).unwrap();
+        assert_eq!(plan.to_string(), "2048-port [16x16x8]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn radix_one_panics() {
+        let _ = StagePlan::from_radices(vec![16, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_plan_panics() {
+        let _ = StagePlan::from_radices(vec![]);
+    }
+}

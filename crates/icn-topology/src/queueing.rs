@@ -1,0 +1,108 @@
+//! Analytic queueing baseline for *buffered* delta networks.
+//!
+//! The paper's §4 delays are zero-load; its §2 cites earlier studies for
+//! the behaviour of buffered switches under load. The standard analytic
+//! baseline for that regime is the Kruskal–Snir asymptotic for banyan
+//! networks of k×k buffered crossbars with uniform traffic: the mean wait
+//! per stage, in packet-service times, is
+//!
+//! ```text
+//! W(ρ, k) = ρ · (1 − 1/k) / (2 · (1 − ρ))
+//! ```
+//!
+//! where `ρ` is the utilization (offered packets per service time). The
+//! model assumes effectively unbounded buffering and steady state below
+//! saturation, so it is a *baseline* to hold the cycle-level simulator
+//! against (experiment X6), not a replacement for it: with the paper's
+//! single input buffer the simulator saturates earlier, and above ρ ≈ the
+//! Patel acceptance the model's assumptions break entirely.
+
+use crate::StagePlan;
+
+/// Kruskal–Snir mean wait per stage in packet-service times.
+///
+/// # Panics
+/// Panics if `utilization` is not in `[0, 1)` or `radix` is zero.
+#[must_use]
+pub fn kruskal_snir_wait(utilization: f64, radix: u32) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&utilization),
+        "utilization must be in [0,1) for the steady-state model, got {utilization}"
+    );
+    assert!(radix >= 1, "radix must be at least 1");
+    utilization * (1.0 - 1.0 / f64::from(radix)) / (2.0 * (1.0 - utilization))
+}
+
+/// Predicted mean network transit in clock cycles for a plan carrying
+/// `load` packets per port per cycle with `flits`-cycle packets, on top of
+/// the zero-load transit `unloaded_cycles`.
+///
+/// The per-stage wait is `flits · W(ρ, r_i)` with `ρ = load · flits`.
+///
+/// # Panics
+/// Panics if the implied utilization reaches 1 (saturated: no steady
+/// state), or if `flits` is zero.
+#[must_use]
+pub fn predicted_mean_cycles(
+    plan: &StagePlan,
+    load: f64,
+    flits: u64,
+    unloaded_cycles: u64,
+) -> f64 {
+    assert!(flits >= 1, "packets need at least one flit");
+    let rho = load * flits as f64;
+    let wait: f64 = plan
+        .radices()
+        .iter()
+        .map(|&r| flits as f64 * kruskal_snir_wait(rho, r))
+        .sum();
+    unloaded_cycles as f64 + wait
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_is_the_unloaded_transit() {
+        let plan = StagePlan::uniform(16, 2);
+        assert!((predicted_mean_cycles(&plan, 0.0, 25, 29) - 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_grows_with_load_and_diverges_toward_saturation() {
+        let mut prev = 0.0;
+        for rho in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let w = kruskal_snir_wait(rho, 16);
+            assert!(w > prev);
+            prev = w;
+        }
+        assert!(kruskal_snir_wait(0.99, 16) > 40.0, "near saturation the wait blows up");
+    }
+
+    #[test]
+    fn bigger_switches_wait_longer_at_equal_utilization() {
+        // The (1 − 1/k) factor: a 2×2 switch has less output contention
+        // variance than a 16×16 one.
+        assert!(kruskal_snir_wait(0.5, 16) > kruskal_snir_wait(0.5, 2));
+        assert!((kruskal_snir_wait(0.5, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_stage_waits_add_across_mixed_radix_plans() {
+        let plan = StagePlan::from_radices(vec![16, 16, 8]);
+        let flits = 25;
+        let load = 0.01;
+        let rho = load * flits as f64;
+        let manual = 98.0
+            + flits as f64
+                * (2.0 * kruskal_snir_wait(rho, 16) + kruskal_snir_wait(rho, 8));
+        assert!((predicted_mean_cycles(&plan, load, flits, 98) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in [0,1)")]
+    fn saturation_panics() {
+        let _ = kruskal_snir_wait(1.0, 16);
+    }
+}

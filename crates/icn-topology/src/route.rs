@@ -1,0 +1,140 @@
+//! Paths through the network.
+
+use serde::{Deserialize, Serialize};
+
+/// One stage crossing of a path: which module the packet entered, on which
+/// port, and which output port its routing tag selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hop {
+    /// Stage index (0 = first stage).
+    pub stage: u32,
+    /// Module index within the stage.
+    pub module: u32,
+    /// Input port within the module.
+    pub in_port: u32,
+    /// Output port within the module (the routing tag).
+    pub out_port: u32,
+}
+
+impl Hop {
+    /// The global line index this hop's output drives
+    /// (`module · r + out_port`); callers must know the stage radix `r`.
+    #[must_use]
+    pub fn output_line(&self, stage_radix: u32) -> u32 {
+        self.module * stage_radix + self.out_port
+    }
+}
+
+/// The unique source→destination path of a delta network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Source port.
+    pub src: u32,
+    /// Destination port.
+    pub dest: u32,
+    /// One hop per stage, in order.
+    pub hops: Vec<Hop>,
+    /// The line the packet exits on (equals `dest` iff routing is correct —
+    /// asserted by the topology tests, carried here for auditability).
+    pub exit_line: u32,
+}
+
+impl Path {
+    /// Number of stages crossed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for degenerate zero-stage paths (never produced by `Topology`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Whether this path and `other` would contend for a module output —
+    /// the circuit-switching conflict of the paper's §2 (each packet holds
+    /// an entire path within each chip module it crosses).
+    #[must_use]
+    pub fn conflicts_with(&self, other: &Self) -> bool {
+        self.hops.iter().zip(&other.hops).any(|(a, b)| {
+            a.stage == b.stage && a.module == b.module && a.out_port == b.out_port
+        })
+    }
+}
+
+impl core::fmt::Display for Path {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} -> {}:", self.src, self.dest)?;
+        for hop in &self.hops {
+            write!(
+                f,
+                " [s{} m{} p{}->{}]",
+                hop.stage, hop.module, hop.in_port, hop.out_port
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(stage: u32, module: u32, in_port: u32, out_port: u32) -> Hop {
+        Hop { stage, module, in_port, out_port }
+    }
+
+    #[test]
+    fn identical_last_hops_conflict() {
+        let a = Path {
+            src: 0,
+            dest: 5,
+            hops: vec![hop(0, 0, 0, 1), hop(1, 1, 0, 1)],
+            exit_line: 5,
+        };
+        let b = Path {
+            src: 2,
+            dest: 5,
+            hops: vec![hop(0, 1, 0, 0), hop(1, 1, 1, 1)],
+            exit_line: 5,
+        };
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_conflict() {
+        let a = Path {
+            src: 0,
+            dest: 0,
+            hops: vec![hop(0, 0, 0, 0), hop(1, 0, 0, 0)],
+            exit_line: 0,
+        };
+        let b = Path {
+            src: 3,
+            dest: 3,
+            hops: vec![hop(0, 1, 1, 1), hop(1, 1, 1, 1)],
+            exit_line: 3,
+        };
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn same_module_different_outputs_do_not_conflict() {
+        let a = Path { src: 0, dest: 0, hops: vec![hop(0, 0, 0, 0)], exit_line: 0 };
+        let b = Path { src: 1, dest: 1, hops: vec![hop(0, 0, 1, 1)], exit_line: 1 };
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn output_line() {
+        assert_eq!(hop(0, 3, 0, 2).output_line(4), 14);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Path { src: 1, dest: 2, hops: vec![hop(0, 0, 1, 0)], exit_line: 2 };
+        assert_eq!(p.to_string(), "1 -> 2: [s0 m0 p1->0]");
+    }
+}

@@ -1,0 +1,118 @@
+//! Exhaustive verification of the delta-network invariants.
+//!
+//! These checks are the ground truth the rest of the workspace leans on: the
+//! simulator assumes the topology delivers every packet, and the analytics
+//! assume the unique-path property. They are exhaustive (O(N′²) routes), so
+//! they are meant for construction-time validation of moderate networks and
+//! for tests, not for inner loops.
+
+use crate::Topology;
+
+/// The result of a full invariant check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Ports checked.
+    pub ports: u32,
+    /// (src, dest) pairs whose packet did not arrive at `dest`.
+    pub misroutes: Vec<(u32, u32)>,
+    /// Stages whose entry shuffle was not a permutation.
+    pub broken_shuffles: Vec<u32>,
+}
+
+impl VerifyReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.misroutes.is_empty() && self.broken_shuffles.is_empty()
+    }
+}
+
+/// Check full access (every source reaches every destination) and shuffle
+/// bijectivity, exhaustively.
+#[must_use]
+pub fn verify(topology: &Topology) -> VerifyReport {
+    let n = topology.ports();
+    let mut misroutes = Vec::new();
+    for src in 0..n {
+        for dest in 0..n {
+            if topology.route(src, dest).exit_line != dest {
+                misroutes.push((src, dest));
+            }
+        }
+    }
+    let mut broken_shuffles = Vec::new();
+    let mut seen = vec![false; n as usize];
+    for stage in 0..topology.stages() {
+        seen.iter_mut().for_each(|s| *s = false);
+        for line in 0..n {
+            let out = topology.shuffle(stage, line) as usize;
+            if seen[out] {
+                broken_shuffles.push(stage);
+                break;
+            }
+            seen[out] = true;
+        }
+    }
+    VerifyReport { ports: n, misroutes, broken_shuffles }
+}
+
+/// Check the *unique path* property: distinct sources reaching the same
+/// destination must merge (share a module output) at some stage — in a delta
+/// network all paths to one destination form a tree. Conversely, paths to
+/// distinct destinations must never share the final stage's output.
+///
+/// Exhaustive over destination pairs for each source; O(N′²).
+#[must_use]
+pub fn verify_output_tree(topology: &Topology) -> bool {
+    let n = topology.ports();
+    for src in 0..n {
+        for dest in 0..n {
+            let path = topology.route(src, dest);
+            let last = path.hops.last().expect("paths have at least one hop");
+            let radix = topology.stage_radix(path.hops.len() as u32 - 1);
+            if last.output_line(radix) != dest {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StagePlan;
+
+    #[test]
+    fn small_networks_verify() {
+        for radices in [vec![2u32, 2], vec![4, 4], vec![2, 4, 2], vec![8, 8], vec![3, 5]] {
+            let t = Topology::new(StagePlan::from_radices(radices.clone()));
+            let report = verify(&t);
+            assert!(report.ok(), "{radices:?}: {report:?}");
+            assert!(verify_output_tree(&t), "{radices:?} output tree broken");
+        }
+    }
+
+    #[test]
+    fn figure1_network_verifies() {
+        let t = Topology::new(StagePlan::uniform(2, 4));
+        assert!(verify(&t).ok());
+    }
+
+    #[test]
+    fn a_256_port_board_network_verifies() {
+        // The paper's single-board 256×256 sub-network (16·16).
+        let t = Topology::new(StagePlan::uniform(16, 2));
+        let report = verify(&t);
+        assert!(report.ok(), "{report:?}");
+    }
+
+    #[test]
+    fn report_fields_populate() {
+        let t = Topology::new(StagePlan::uniform(2, 2));
+        let r = verify(&t);
+        assert_eq!(r.ports, 4);
+        assert!(r.misroutes.is_empty());
+        assert!(r.broken_shuffles.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Areas at chip scale (square lambda, square microns) and board scale
+//! (square inches).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Length;
+
+/// An area, stored in square metres.
+///
+/// §3.2's chip-area estimates are naturally in λ² (eq. 3.5, 3.9), while
+/// §3.3's board routing estimate comes out in square inches (73 in² for the
+/// 256×256 board). Both views are provided, with λ² conversions taking the
+/// process λ explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Area(pub(crate) f64);
+
+impl_quantity!(Area, "square metres");
+
+impl Area {
+    /// Construct from square metres.
+    #[must_use]
+    pub const fn from_square_meters(m2: f64) -> Self {
+        Self(m2)
+    }
+
+    /// Construct from square centimetres.
+    #[must_use]
+    pub const fn from_square_centimeters(cm2: f64) -> Self {
+        Self(cm2 * 1e-4)
+    }
+
+    /// Construct from square inches.
+    #[must_use]
+    pub const fn from_square_inches(in2: f64) -> Self {
+        Self(in2 * (crate::length::METERS_PER_INCH * crate::length::METERS_PER_INCH))
+    }
+
+    /// Construct from a count of λ², given the process λ.
+    #[must_use]
+    pub fn from_square_lambda(count: f64, lambda: Length) -> Self {
+        Self(count * lambda.0 * lambda.0)
+    }
+
+    /// Magnitude in square metres.
+    #[must_use]
+    pub const fn square_meters(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in square centimetres.
+    #[must_use]
+    pub fn square_centimeters(self) -> f64 {
+        self.0 * 1e4
+    }
+
+    /// Magnitude in square inches.
+    #[must_use]
+    pub fn square_inches(self) -> f64 {
+        self.0 / (crate::length::METERS_PER_INCH * crate::length::METERS_PER_INCH)
+    }
+
+    /// Magnitude in square lambda of the given process.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is non-positive.
+    #[must_use]
+    pub fn in_square_lambda(self, lambda: Length) -> f64 {
+        assert!(lambda.0 > 0.0, "lambda must be positive, got {} m", lambda.0);
+        self.0 / (lambda.0 * lambda.0)
+    }
+
+    /// Side length of a square of this area.
+    ///
+    /// # Panics
+    /// Panics on a negative area.
+    #[must_use]
+    pub fn square_side(self) -> Length {
+        assert!(self.0 >= 0.0, "cannot take the side of a negative area");
+        Length(self.0.sqrt())
+    }
+}
+
+impl core::ops::Div<Length> for Area {
+    type Output = Length;
+
+    /// Area ÷ Length = Length — used when a routing area of known length
+    /// determines a layout width (§3.3: 73 in² over a 32 in edge ≈ 3 in wide).
+    fn div(self, rhs: Length) -> Length {
+        Length(self.0 / rhs.0)
+    }
+}
+
+impl core::fmt::Display for Area {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "m²"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_lambda_round_trips() {
+        let lambda = Length::from_microns(1.5);
+        let chip = Area::from_square_centimeters(1.0);
+        let in_l2 = chip.in_square_lambda(lambda);
+        // (10^4 µm / 1.5 µm)² ≈ 4.444e7 λ².
+        assert!((in_l2 - (1e4f64 / 1.5).powi(2)).abs() / in_l2 < 1e-12);
+        assert!(Area::from_square_lambda(in_l2, lambda).approx_eq(chip));
+    }
+
+    #[test]
+    fn square_inches_round_trip() {
+        let a = Area::from_square_inches(73.0);
+        assert!((a.square_inches() - 73.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width_from_area_over_edge() {
+        // The §3.3 computation: 73 in² of routing along a 32 in edge is
+        // about 2.3 in of width (the paper rounds up to "about 3 inches").
+        let width = Area::from_square_inches(73.0) / Length::from_inches(32.0);
+        assert!((width.inches() - 73.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn square_side() {
+        let a = Area::from_square_centimeters(1.0);
+        assert!(a.square_side().approx_eq(Length::from_centimeters(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative area")]
+    fn negative_area_has_no_side() {
+        let _ = (-Area::from_square_meters(1.0)).square_side();
+    }
+}

@@ -1,0 +1,248 @@
+//! Electrical quantities used by the pin-inductance (Appendix) and clock
+//! distribution (§5–6) models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Time;
+
+/// Electric potential, stored in volts.
+///
+/// The paper's V_DD = 5 V supply, ΔV_max = 1 V allowable rail bounce, and the
+/// FET threshold voltages of the skew model (eq. 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Voltage(pub(crate) f64);
+
+impl_quantity!(Voltage, "volts");
+
+impl Voltage {
+    /// Construct from volts.
+    #[must_use]
+    pub const fn from_volts(v: f64) -> Self {
+        Self(v)
+    }
+
+    /// Magnitude in volts.
+    #[must_use]
+    pub const fn volts(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Voltage {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "V"))
+    }
+}
+
+/// Electric current, stored in amperes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Current(pub(crate) f64);
+
+impl_quantity!(Current, "amperes");
+
+impl Current {
+    /// Construct from amperes.
+    #[must_use]
+    pub const fn from_amps(a: f64) -> Self {
+        Self(a)
+    }
+
+    /// Magnitude in amperes.
+    #[must_use]
+    pub const fn amps(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Current {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "A"))
+    }
+}
+
+/// Inductance, stored in henries. The paper assumes L = 5 nH per package pin.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Inductance(pub(crate) f64);
+
+impl_quantity!(Inductance, "henries");
+
+impl Inductance {
+    /// Construct from henries.
+    #[must_use]
+    pub const fn from_henries(h: f64) -> Self {
+        Self(h)
+    }
+
+    /// Construct from nanohenries.
+    #[must_use]
+    pub const fn from_nanohenries(nh: f64) -> Self {
+        Self(nh * 1e-9)
+    }
+
+    /// Magnitude in henries.
+    #[must_use]
+    pub const fn henries(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in nanohenries.
+    #[must_use]
+    pub fn nanohenries(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The inductive voltage `V = L · Δi / Δt` developed across this
+    /// inductance by a current swing `di` in time `dt` (Appendix).
+    ///
+    /// # Panics
+    /// Panics if `dt` is non-positive.
+    #[must_use]
+    pub fn induced_voltage(self, di: Current, dt: Time) -> Voltage {
+        assert!(dt.secs() > 0.0, "Δt must be positive, got {} s", dt.secs());
+        Voltage(self.0 * di.amps() / dt.secs())
+    }
+}
+
+impl core::fmt::Display for Inductance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "H"))
+    }
+}
+
+/// Resistance, stored in ohms. Used for the H-tree branch resistance R₀ of
+/// eq. 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Resistance(pub(crate) f64);
+
+impl_quantity!(Resistance, "ohms");
+
+impl Resistance {
+    /// Construct from ohms.
+    #[must_use]
+    pub const fn from_ohms(ohms: f64) -> Self {
+        Self(ohms)
+    }
+
+    /// Magnitude in ohms.
+    #[must_use]
+    pub const fn ohms(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Resistance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "Ω"))
+    }
+}
+
+/// Capacitance, stored in farads. Used for the H-tree branch capacitance C₀
+/// of eq. 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Capacitance(pub(crate) f64);
+
+impl_quantity!(Capacitance, "farads");
+
+impl Capacitance {
+    /// Construct from farads.
+    #[must_use]
+    pub const fn from_farads(f: f64) -> Self {
+        Self(f)
+    }
+
+    /// Construct from picofarads.
+    #[must_use]
+    pub const fn from_picofarads(pf: f64) -> Self {
+        Self(pf * 1e-12)
+    }
+
+    /// Magnitude in farads.
+    #[must_use]
+    pub const fn farads(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Capacitance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "F"))
+    }
+}
+
+impl core::ops::Mul<Capacitance> for Resistance {
+    type Output = Time;
+
+    /// `R · C` — the RC time constant of a clock-tree branch (eq. 6.1's R₀C₀).
+    fn mul(self, rhs: Capacitance) -> Time {
+        Time::from_secs(self.0 * rhs.0)
+    }
+}
+
+impl core::ops::Div<Resistance> for Voltage {
+    type Output = Current;
+
+    /// Ohm's law `I = V / Z` — the Appendix's per-pin current swing
+    /// `V_DD / Z₀` into a matched line.
+    fn div(self, rhs: Resistance) -> Current {
+        assert!(rhs.0 != 0.0, "division by zero resistance");
+        Current(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_matches_appendix_per_pin_current() {
+        // V_DD / Z₀ = 5 V / 50 Ω = 100 mA per switching output pin.
+        let i = Voltage::from_volts(5.0) / Resistance::from_ohms(50.0);
+        assert!((i.amps() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_voltage_formula() {
+        // A 5 nH pin carrying a 100 mA swing in half a 10 MHz clock period
+        // (50 ns) bounces by 5e-9 * 0.1 / 50e-9 = 10 mV.
+        let v = Inductance::from_nanohenries(5.0)
+            .induced_voltage(Current::from_amps(0.1), Time::from_nanos(50.0));
+        assert!((v.volts() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        // Eq. 6.1's R₀C₀ = 0.244 ps building block.
+        let rc = Resistance::from_ohms(244.0) * Capacitance::from_farads(1e-15);
+        assert!((rc.picos() - 0.244).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nanohenries_round_trip() {
+        assert!((Inductance::from_nanohenries(5.0).nanohenries() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Δt must be positive")]
+    fn induced_voltage_rejects_zero_dt() {
+        let _ = Inductance::from_nanohenries(5.0)
+            .induced_voltage(Current::from_amps(0.1), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero resistance")]
+    fn ohms_law_rejects_zero_resistance() {
+        let _ = Voltage::from_volts(5.0) / Resistance::ZERO;
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Voltage::from_volts(5.0).to_string(), "5.00 V");
+        assert_eq!(Inductance::from_nanohenries(5.0).to_string(), "5.00 nH");
+        assert_eq!(Resistance::from_ohms(50.0).to_string(), "50.0 Ω");
+    }
+}

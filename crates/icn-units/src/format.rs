@@ -1,0 +1,82 @@
+//! Engineering-notation formatting shared by the quantity `Display` impls.
+
+/// Format `value` (in the base unit named `unit`) using engineering prefixes.
+///
+/// Picks the prefix that puts the mantissa in `[1, 1000)` where possible and
+/// prints three significant digits. Values of exactly zero print as `0 unit`.
+///
+/// ```
+/// use icn_units::eng_format;
+/// assert_eq!(eng_format(3.2e7, "Hz"), "32.0 MHz");
+/// assert_eq!(eng_format(1.48e-6, "s"), "1.48 µs");
+/// assert_eq!(eng_format(0.0, "V"), "0 V");
+/// ```
+#[must_use]
+pub fn eng_format(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let magnitude = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(scale, _)| magnitude >= *scale)
+        .copied()
+        .unwrap_or((1e-12, "p"));
+    let mantissa = value / scale;
+    // Three significant digits: choose decimals based on the mantissa size.
+    let decimals = if mantissa.abs() >= 100.0 {
+        0
+    } else if mantissa.abs() >= 10.0 {
+        1
+    } else {
+        2
+    };
+    format!("{mantissa:.decimals$} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_prints_plainly() {
+        assert_eq!(eng_format(0.0, "s"), "0 s");
+    }
+
+    #[test]
+    fn chooses_prefix_by_magnitude() {
+        assert_eq!(eng_format(5e-9, "H"), "5.00 nH");
+        assert_eq!(eng_format(2.048e3, "port"), "2.05 kport");
+        assert_eq!(eng_format(50.0, "Ω"), "50.0 Ω");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(eng_format(-3.2e7, "Hz"), "-32.0 MHz");
+    }
+
+    #[test]
+    fn tiny_values_clamp_to_pico() {
+        assert_eq!(eng_format(2.44e-13, "s"), "0.24 ps");
+    }
+
+    #[test]
+    fn non_finite_values_do_not_panic() {
+        assert_eq!(eng_format(f64::INFINITY, "s"), "inf s");
+        assert!(eng_format(f64::NAN, "s").starts_with("NaN"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Lengths at chip scale (microns, lambda) and board scale (mils, inches).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Area, Time};
+
+/// Metres per inch (exact).
+pub const METERS_PER_INCH: f64 = 0.0254;
+/// Metres per mil (one thousandth of an inch, exact).
+pub const METERS_PER_MIL: f64 = METERS_PER_INCH / 1000.0;
+
+/// A length, stored in metres.
+///
+/// The paper's geometry spans seven orders of magnitude: λ = 1.5 µm layout
+/// units on chip, 100 mil pin pitches on the package, and 35 inch worst-case
+/// traces across a 32 inch board edge. Constructors exist for each.
+///
+/// Lambda (the scalable layout unit of Mead–Conway design rules) is *not* a
+/// fixed length; conversions to and from lambda take the process's λ value
+/// explicitly so the dependency is visible at the call site.
+///
+/// ```
+/// use icn_units::Length;
+/// let lambda = Length::from_microns(1.5);
+/// let chip_edge = Length::from_centimeters(1.0);
+/// assert!((chip_edge.in_lambda(lambda) - 6666.66).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Length(pub(crate) f64);
+
+impl_quantity!(Length, "metres");
+
+impl Length {
+    /// Construct from metres.
+    #[must_use]
+    pub const fn from_meters(m: f64) -> Self {
+        Self(m)
+    }
+
+    /// Construct from centimetres.
+    #[must_use]
+    pub const fn from_centimeters(cm: f64) -> Self {
+        Self(cm * 1e-2)
+    }
+
+    /// Construct from millimetres.
+    #[must_use]
+    pub const fn from_millimeters(mm: f64) -> Self {
+        Self(mm * 1e-3)
+    }
+
+    /// Construct from microns.
+    #[must_use]
+    pub const fn from_microns(um: f64) -> Self {
+        Self(um * 1e-6)
+    }
+
+    /// Construct from inches.
+    #[must_use]
+    pub const fn from_inches(inches: f64) -> Self {
+        Self(inches * METERS_PER_INCH)
+    }
+
+    /// Construct from mils (thousandths of an inch).
+    #[must_use]
+    pub const fn from_mils(mils: f64) -> Self {
+        Self(mils * METERS_PER_MIL)
+    }
+
+    /// Construct from a count of lambda units, given the process λ.
+    #[must_use]
+    pub fn from_lambda(count: f64, lambda: Length) -> Self {
+        Self(count * lambda.0)
+    }
+
+    /// Magnitude in metres.
+    #[must_use]
+    pub const fn meters(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in centimetres.
+    #[must_use]
+    pub fn centimeters(self) -> f64 {
+        self.0 * 1e2
+    }
+
+    /// Magnitude in microns.
+    #[must_use]
+    pub fn microns(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Magnitude in inches.
+    #[must_use]
+    pub fn inches(self) -> f64 {
+        self.0 / METERS_PER_INCH
+    }
+
+    /// Magnitude in mils.
+    #[must_use]
+    pub fn mils(self) -> f64 {
+        self.0 / METERS_PER_MIL
+    }
+
+    /// This length expressed as a count of lambda units of the given process.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is non-positive.
+    #[must_use]
+    pub fn in_lambda(self, lambda: Length) -> f64 {
+        assert!(lambda.0 > 0.0, "lambda must be positive, got {} m", lambda.0);
+        self.0 / lambda.0
+    }
+
+    /// Signal propagation delay over this length at `delay_per_length`
+    /// (e.g. the paper's 0.15 ns/inch board trace speed).
+    #[must_use]
+    pub fn propagation_delay(self, delay_per_length: crate::Time, per: Length) -> Time {
+        assert!(per.0 > 0.0, "reference length must be positive");
+        delay_per_length * (self.0 / per.0)
+    }
+}
+
+impl core::ops::Mul for Length {
+    type Output = Area;
+
+    /// Length × Length = Area — the fundamental layout computation of §3.2.
+    fn mul(self, rhs: Self) -> Area {
+        Area(self.0 * rhs.0)
+    }
+}
+
+impl core::fmt::Display for Length {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "m"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert!((Length::from_inches(35.0).mils() - 35000.0).abs() < 1e-6);
+        assert!((Length::from_mils(50.0).inches() - 0.05).abs() < 1e-12);
+        assert!((Length::from_microns(1.5).meters() - 1.5e-6).abs() < 1e-18);
+        assert!((Length::from_centimeters(1.0).microns() - 1e4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda_conversion_matches_paper_chip() {
+        // 1 cm chip edge at λ = 1.5 µm is ~6667 λ (§3.2 / Table 3 geometry).
+        let lambda = Length::from_microns(1.5);
+        let edge = Length::from_centimeters(1.0);
+        assert!((edge.in_lambda(lambda) - 10_000.0 / 1.5).abs() < 1e-9);
+        let back = Length::from_lambda(edge.in_lambda(lambda), lambda);
+        assert!(back.approx_eq(edge));
+    }
+
+    #[test]
+    fn area_from_length_product() {
+        let a = Length::from_centimeters(1.0) * Length::from_centimeters(1.0);
+        assert!((a.square_centimeters() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_matches_section_6() {
+        // 0.15 ns/inch over 35 inches = 5.25 ns (part of D_P in §6).
+        let d = Length::from_inches(35.0)
+            .propagation_delay(Time::from_nanos(0.15), Length::from_inches(1.0));
+        assert!((d.nanos() - 5.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_rejected() {
+        let _ = Length::from_inches(1.0).in_lambda(Length::ZERO);
+    }
+}

@@ -1,0 +1,123 @@
+//! Internal boilerplate macro shared by the quantity newtypes.
+
+/// Implement the arithmetic and comparison surface common to every quantity:
+///
+/// * `Add`/`Sub` between two values of the same quantity,
+/// * `Mul<f64>`/`Div<f64>` scaling (both orders for `Mul`),
+/// * division of two like quantities yielding a dimensionless `f64`,
+/// * `Neg`, `Sum`, `PartialOrd`, and an `approx_eq` helper.
+///
+/// Quantities store their base-unit magnitude in field `.0`.
+macro_rules! impl_quantity {
+    ($ty:ident, $base_doc:expr) => {
+        impl $ty {
+            #[doc = concat!("Raw magnitude in the base unit (", $base_doc, ").")]
+            #[must_use]
+            pub const fn base(self) -> f64 {
+                self.0
+            }
+
+            /// A value of exactly zero.
+            pub const ZERO: Self = Self(0.0);
+
+            /// True if the two values agree to within relative tolerance
+            /// [`crate::DEFAULT_REL_TOL`].
+            #[must_use]
+            pub fn approx_eq(self, other: Self) -> bool {
+                crate::approx_eq_f64(self.0, other.0, crate::DEFAULT_REL_TOL)
+            }
+
+            /// True if the two values agree to within the given relative
+            /// tolerance.
+            #[must_use]
+            pub fn approx_eq_rel(self, other: Self, rel_tol: f64) -> bool {
+                crate::approx_eq_f64(self.0, other.0, rel_tol)
+            }
+
+            /// True if the magnitude is finite (not NaN or infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// The larger of two values.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// The smaller of two values.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl core::ops::Add for $ty {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $ty {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $ty {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $ty {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$ty> for f64 {
+            type Output = $ty;
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $ty {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $ty {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::ops::Neg for $ty {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::iter::Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |acc, x| acc + x)
+            }
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Power and energy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Capacitance, Current, Frequency, Time, Voltage};
+
+/// Power, stored in watts.
+///
+/// Not used by the paper directly, but implied by its Appendix: the same
+/// per-pin switching currents that size the ground pins dissipate power in
+/// the matched line drivers, and at hundreds of chips the totals matter.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Power(pub(crate) f64);
+
+impl_quantity!(Power, "watts");
+
+impl Power {
+    /// Construct from watts.
+    #[must_use]
+    pub const fn from_watts(w: f64) -> Self {
+        Self(w)
+    }
+
+    /// Construct from milliwatts.
+    #[must_use]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Magnitude in watts.
+    #[must_use]
+    pub const fn watts(self) -> f64 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for Power {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "W"))
+    }
+}
+
+impl core::ops::Mul<Current> for Voltage {
+    type Output = Power;
+
+    /// `P = V · I`.
+    fn mul(self, rhs: Current) -> Power {
+        Power(self.volts() * rhs.amps())
+    }
+}
+
+/// Energy, stored in joules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Energy(pub(crate) f64);
+
+impl_quantity!(Energy, "joules");
+
+impl Energy {
+    /// Construct from joules.
+    #[must_use]
+    pub const fn from_joules(j: f64) -> Self {
+        Self(j)
+    }
+
+    /// Magnitude in joules.
+    #[must_use]
+    pub const fn joules(self) -> f64 {
+        self.0
+    }
+
+    /// The CV² switching energy of charging a capacitance to a voltage and
+    /// discharging it (one full cycle).
+    #[must_use]
+    pub fn switching(c: Capacitance, v: Voltage) -> Self {
+        Self(c.farads() * v.volts() * v.volts())
+    }
+
+    /// Average power when this energy is spent every cycle of `f`.
+    #[must_use]
+    pub fn at_rate(self, f: Frequency) -> Power {
+        Power(self.0 * f.hz())
+    }
+}
+
+impl core::fmt::Display for Energy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "J"))
+    }
+}
+
+impl core::ops::Mul<Time> for Power {
+    type Output = Energy;
+
+    /// `E = P · t`.
+    fn mul(self, rhs: Time) -> Energy {
+        Energy(self.0 * rhs.secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resistance;
+
+    #[test]
+    fn volt_amp_is_watt() {
+        let p = Voltage::from_volts(5.0) * Current::from_amps(0.1);
+        assert!((p.watts() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn appendix_chip_switching_power_scale() {
+        // The Appendix's worst case: 80 output pins × 100 mA at 5 V is
+        // 40 W of transient drive on one chip — the reason ΔV_max matters.
+        let per_pin = Voltage::from_volts(5.0) / Resistance::from_ohms(50.0);
+        let chip = Voltage::from_volts(5.0) * (per_pin * 80.0);
+        assert!((chip.watts() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_energy_and_rate() {
+        // 1 pF at 5 V = 25 pJ per cycle; at 32 MHz that is 0.8 mW.
+        let e = Energy::switching(Capacitance::from_picofarads(1.0), Voltage::from_volts(5.0));
+        assert!((e.joules() - 25e-12).abs() < 1e-18);
+        let p = e.at_rate(Frequency::from_mhz(32.0));
+        assert!((p.watts() - 8e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_watts(2.0) * Time::from_micros(3.0);
+        assert!((e.joules() - 6e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Power::from_milliwatts(800.0).to_string(), "800 mW");
+        assert_eq!(Energy::from_joules(25e-12).to_string(), "25.0 pJ");
+    }
+}

@@ -1,0 +1,153 @@
+//! Time durations (delays, clock periods, time constants).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Frequency;
+
+/// A duration, stored in seconds.
+///
+/// Franklin & Dhar quote delays in nanoseconds (logic, memory, skew, clock
+/// tree) and network transit times in microseconds; eq. 6.1's `R₀C₀` time
+/// constant is 0.244 picoseconds. All of these round-trip exactly through the
+/// corresponding constructors.
+///
+/// ```
+/// use icn_units::Time;
+/// let logic = Time::from_nanos(12.0);
+/// let memory = Time::from_nanos(2.0);
+/// assert!((logic + memory).approx_eq(Time::from_nanos(14.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(pub(crate) f64);
+
+impl_quantity!(Time, "seconds");
+
+impl Time {
+    /// Construct from seconds.
+    #[must_use]
+    pub const fn from_secs(s: f64) -> Self {
+        Self(s)
+    }
+
+    /// Construct from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Construct from nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Construct from picoseconds.
+    #[must_use]
+    pub const fn from_picos(ps: f64) -> Self {
+        Self(ps * 1e-12)
+    }
+
+    /// Magnitude in seconds.
+    #[must_use]
+    pub const fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Magnitude in microseconds.
+    #[must_use]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Magnitude in nanoseconds.
+    #[must_use]
+    pub fn nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Magnitude in picoseconds.
+    #[must_use]
+    pub fn picos(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// The frequency whose period is this duration (`f = 1/T`).
+    ///
+    /// This is the paper's eq. 6.3 step: the maximum clock frequency is the
+    /// reciprocal of the worst-case inter-module delay sum.
+    ///
+    /// # Panics
+    /// Panics if the duration is zero or negative — a zero-delay clocked
+    /// design is a modelling bug, not a valid operating point.
+    #[must_use]
+    pub fn as_frequency(self) -> Frequency {
+        assert!(
+            self.0 > 0.0,
+            "cannot form the reciprocal frequency of a non-positive duration ({} s)",
+            self.0
+        );
+        Frequency::from_hz(1.0 / self.0)
+    }
+}
+
+impl core::fmt::Display for Time {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", crate::eng_format(self.0, "s"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        assert!((Time::from_nanos(14.0).nanos() - 14.0).abs() < 1e-12);
+        assert!((Time::from_micros(1.48).micros() - 1.48).abs() < 1e-12);
+        assert!((Time::from_picos(0.244).picos() - 0.244).abs() < 1e-12);
+        assert!((Time::from_secs(2e-6).micros() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_matches_paper_section_6() {
+        // D_L + D_P + δ = 14 + 8.25 + 8.68 ns ≈ 30.9 ns → ~32 MHz.
+        let total = Time::from_nanos(14.0) + Time::from_nanos(8.25) + Time::from_nanos(8.68);
+        let f = total.as_frequency();
+        assert!((f.mhz() - 32.3).abs() < 0.2, "got {} MHz", f.mhz());
+    }
+
+    #[test]
+    fn reciprocal_of_period_is_frequency() {
+        let f = Frequency::from_mhz(40.0);
+        assert!(f.period().as_frequency().approx_eq(f));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive duration")]
+    fn zero_duration_has_no_frequency() {
+        let _ = Time::ZERO.as_frequency();
+    }
+
+    #[test]
+    fn display_uses_engineering_prefixes() {
+        assert_eq!(Time::from_nanos(8.3).to_string(), "8.30 ns");
+        assert_eq!(Time::from_micros(1.48).to_string(), "1.48 µs");
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = Time::from_nanos(14.0);
+        let b = Time::from_nanos(24.8);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = [Time::from_nanos(3.0), Time::from_nanos(5.25)];
+        let total: Time = parts.iter().copied().sum();
+        assert!(total.approx_eq(Time::from_nanos(8.25)));
+    }
+}

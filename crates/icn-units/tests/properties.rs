@@ -1,0 +1,82 @@
+//! Property-based tests over the quantity algebra.
+
+use icn_units::{Area, Frequency, Length, Time};
+use proptest::prelude::*;
+
+/// Strategy for "physically plausible" positive magnitudes: wide enough to
+/// cover everything in the paper (picoseconds to seconds, microns to metres)
+/// without hitting float extremes.
+fn magnitude() -> impl Strategy<Value = f64> {
+    (1e-12_f64..1e6).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn time_frequency_are_inverses(x in magnitude()) {
+        let t = Time::from_secs(x);
+        prop_assert!(t.as_frequency().period().approx_eq(t));
+    }
+
+    #[test]
+    fn addition_commutes(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Time::from_secs(a), Time::from_secs(b));
+        prop_assert!((x + y).approx_eq(y + x));
+    }
+
+    #[test]
+    fn addition_associates(a in magnitude(), b in magnitude(), c in magnitude()) {
+        let (x, y, z) = (Time::from_secs(a), Time::from_secs(b), Time::from_secs(c));
+        prop_assert!(((x + y) + z).approx_eq_rel(x + (y + z), 1e-12));
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition(a in magnitude(), b in magnitude(), k in 1e-6_f64..1e6) {
+        let (x, y) = (Length::from_meters(a), Length::from_meters(b));
+        prop_assert!(((x + y) * k).approx_eq_rel(x * k + y * k, 1e-12));
+    }
+
+    #[test]
+    fn like_quantity_ratio_is_scale_free(a in magnitude(), k in 1e-3_f64..1e3) {
+        let x = Frequency::from_hz(a);
+        let r = (x * k) / x;
+        prop_assert!((r - k).abs() <= 1e-9 * k);
+    }
+
+    #[test]
+    fn length_square_then_side_round_trips(a in magnitude()) {
+        let l = Length::from_meters(a);
+        let side = (l * l).square_side();
+        prop_assert!(side.approx_eq(l));
+    }
+
+    #[test]
+    fn unit_conversions_round_trip(a in magnitude()) {
+        prop_assert!(Length::from_inches(Length::from_meters(a).inches()).approx_eq(Length::from_meters(a)));
+        prop_assert!(Length::from_mils(Length::from_meters(a).mils()).approx_eq(Length::from_meters(a)));
+        prop_assert!(Time::from_nanos(Time::from_secs(a).nanos()).approx_eq(Time::from_secs(a)));
+        prop_assert!(Area::from_square_inches(Area::from_square_meters(a).square_inches())
+            .approx_eq(Area::from_square_meters(a)));
+    }
+
+    #[test]
+    fn lambda_round_trips(a in magnitude(), lam in 1e-7_f64..1e-5) {
+        let lambda = Length::from_meters(lam);
+        let l = Length::from_meters(a);
+        prop_assert!(Length::from_lambda(l.in_lambda(lambda), lambda).approx_eq(l));
+    }
+
+    #[test]
+    fn max_min_partition(a in magnitude(), b in magnitude()) {
+        let (x, y) = (Time::from_secs(a), Time::from_secs(b));
+        prop_assert!((x.max(y) + x.min(y)).approx_eq(x + y));
+        prop_assert!(x.max(y) >= x.min(y));
+    }
+
+    #[test]
+    fn cycles_is_linear_in_count(f in 1e3_f64..1e9, n in 0.0_f64..1e6) {
+        let clock = Frequency::from_hz(f);
+        let t1 = clock.cycles(n);
+        let t2 = clock.cycles(2.0 * n);
+        prop_assert!(t2.approx_eq_rel(t1 * 2.0, 1e-12));
+    }
+}

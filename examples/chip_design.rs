@@ -1,0 +1,124 @@
+//! Design one crossbar switch chip, the way §3 does — then look inside it.
+//!
+//! Walks the chip-level models for a candidate N×N, W-bit crossbar: pin
+//! budget (with the Appendix's ground-bounce sizing), silicon area for both
+//! implementations, I/O power, the transmission-line behaviour of its
+//! off-chip drivers, and finally a crosspoint-level simulation of the MCC
+//! mesh showing the transit-time distribution behind eq. 4.1's "average N
+//! crosspoints".
+//!
+//! ```sh
+//! cargo run --release --example chip_design
+//! ```
+
+use icn_phys::{area, pins, power, tline, CrossbarKind};
+use icn_sim::mesh::{self, MeshPacket};
+use icn_tech::presets;
+use icn_units::{Frequency, Length, Resistance, Time, Voltage};
+
+fn main() {
+    let tech = presets::paper1986();
+    let (n, w) = (16u32, 4u32);
+    let clock = Frequency::from_mhz(32.0);
+
+    println!("candidate chip: {n}x{n} crossbar, W={w}, clocked at {:.0} MHz\n", clock.mhz());
+
+    // Pins (§3.1 + Appendix).
+    let budget = pins::pin_budget(&tech, n, w, clock);
+    println!(
+        "pins: {} data + {} control + {} power/ground = {} of {} ({})",
+        budget.data,
+        budget.control,
+        budget.power_ground,
+        budget.total(),
+        budget.max_pins,
+        if budget.fits() { "fits" } else { "OVER BUDGET" },
+    );
+    let di = pins::switching_current(&tech, n, w);
+    let bounce = pins::rail_bounce(&tech, n, w, clock, budget.power_ground);
+    println!(
+        "      worst-case simultaneous switching {di}, rail bounce {bounce} \
+         (budget {})",
+        tech.clocking.rail_bounce_budget
+    );
+
+    // Area (§3.2), both implementations.
+    let die = tech.process.die_area();
+    for kind in CrossbarKind::ALL {
+        let a = area::crossbar_area(&tech, kind, n, w);
+        println!(
+            "area: {kind} needs {:.2} cm² of the {:.2} cm² die ({:.0}%), max radix at W={w}: {}",
+            a.square_centimeters(),
+            die.square_centimeters(),
+            100.0 * a.square_meters() / die.square_meters(),
+            area::max_crossbar(&tech, kind, w).map_or("-".into(), |m| m.to_string()),
+        );
+    }
+
+    // I/O power (Appendix corollary).
+    let io = power::io_power_budget(&tech, n, w, 1, 0.5);
+    println!(
+        "power: {} per chip at 50% output activity ({} output pins x {} each)",
+        io.chip_power,
+        io.output_pins_per_chip,
+        power::pin_drive_power(&tech, 0.5),
+    );
+
+    // Off-chip drivers as transmission lines (§5's matching requirement).
+    let line = tline::TransmissionLine::from_trace(
+        tech.packaging.driver_impedance,
+        Length::from_inches(35.0),
+        Time::from_nanos(0.15),
+        Length::from_inches(1.0),
+    );
+    for (label, load) in [
+        ("matched 50 Ω", Resistance::from_ohms(50.0)),
+        ("open (CMOS gate)", Resistance::from_ohms(f64::INFINITY)),
+    ] {
+        let s = tline::step_settling(
+            &line,
+            tech.packaging.driver_impedance,
+            load,
+            Voltage::from_volts(5.0),
+            0.05,
+        );
+        println!(
+            "line: 35 in trace into {label}: settles in {} transit(s), {:.1} ns",
+            s.transits,
+            s.settling_time.nanos(),
+        );
+    }
+    let bad = tline::step_settling(
+        &line,
+        Resistance::from_ohms(10.0),
+        Resistance::from_ohms(f64::INFINITY),
+        Voltage::from_volts(5.0),
+        0.05,
+    );
+    println!(
+        "line: same trace with a mismatched 10 Ω driver: {} transits, {:.1} ns — \
+         why §5's multiple-pulse scheme demands matched loading",
+        bad.transits,
+        bad.settling_time.nanos(),
+    );
+
+    // Inside the MCC mesh: transit distribution over all (row, col).
+    println!("\ncrosspoint-level MCC transit distribution ({n}x{n} mesh, one packet per pair):");
+    let mut counts = vec![0u32; (2 * n) as usize];
+    for row in 0..n {
+        for col in 0..n {
+            let t = mesh::simulate_mesh(n, &[MeshPacket { row, col, arrival: 0, flits: 25 }]);
+            counts[t[0].head_latency() as usize - 1] += 1;
+        }
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            println!("  {:>2} cycles: {:>2} paths {}", i + 1, c, "#".repeat(c as usize));
+        }
+    }
+    println!(
+        "  mean = {} cycles = N (the figure eq. 4.1 budgets); worst case {} = 2N-1",
+        mesh::mean_crosspoints(n),
+        2 * n - 1,
+    );
+}

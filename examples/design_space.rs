@@ -1,0 +1,68 @@
+//! Design-space exploration: walk §3's narrative automatically.
+//!
+//! The paper reasons its way to a 16×16, W=4 chip by checking pin limits
+//! (Table 2), chip area (Table 3) and board constraints by hand. This
+//! example enumerates the whole (kind, N, W) space for a 2048-port network,
+//! ranks the feasible designs by one-way delay, and shows where the paper's
+//! choice lands — and what a different packaging generation would change.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use icn_core::explore::{best, explore, ExploreSpec};
+use icn_tech::presets;
+
+fn print_space(tech_name: &str, designs: &[icn_core::explore::ExploredDesign]) {
+    println!("== {tech_name} ==");
+    println!(
+        "{:<5} {:>3} {:>2} {:>5} {:>9} {:>8} {:>12} {:>13}",
+        "kind", "N", "W", "pins", "feasible", "F (MHz)", "one-way (µs)", "P(block)@50%"
+    );
+    for d in designs {
+        let r = &d.report;
+        println!(
+            "{:<5} {:>3} {:>2} {:>5} {:>9} {:>8.1} {:>12.2} {:>13.3}",
+            r.point.kind.label(),
+            r.point.chip_radix,
+            r.point.width,
+            r.pins.total(),
+            if r.feasible() { "yes" } else { "no" },
+            r.frequency.mhz(),
+            r.one_way.micros(),
+            d.blocking_at_half_load,
+        );
+    }
+    match best(designs) {
+        Some(d) => {
+            let r = &d.report;
+            println!(
+                "best feasible: {} N={} W={} -> {:.2} µs one-way at {:.1} MHz\n",
+                r.point.kind,
+                r.point.chip_radix,
+                r.point.width,
+                r.one_way.micros(),
+                r.frequency.mhz()
+            );
+        }
+        None => println!("no feasible design in this space\n"),
+    }
+}
+
+fn main() {
+    let spec = ExploreSpec::paper_space();
+
+    // The paper's technology: the winner should be in the same family as
+    // the paper's own 16×16 / W=4 / DMC choice.
+    let designs = explore(&presets::paper1986(), &spec);
+    print_space("paper-1986-mos-pga", &designs);
+
+    // One process generation later: denser packages admit wider paths and
+    // larger crossbars — watch the feasible frontier move.
+    let designs = explore(&presets::scaled_cmos_early90s(), &spec);
+    print_space("scaled-cmos-early90s", &designs);
+
+    // A conservative 144-pin package: the paper's design stops fitting.
+    let designs = explore(&presets::conservative1986(), &spec);
+    print_space("conservative-1986", &designs);
+}

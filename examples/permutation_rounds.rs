@@ -1,0 +1,86 @@
+//! Permutation traffic: which patterns block, and what blocking costs.
+//!
+//! The network is a blocking network (§2): not every permutation of
+//! processors onto memories can be routed at once. This example analyses
+//! the classic patterns on a 256-port board network — which are
+//! conflict-free, how many network passes a greedy scheduler needs for the
+//! ones that aren't — then *simulates* a blocking pattern to show the
+//! serialization actually happening.
+//!
+//! ```sh
+//! cargo run --release --example permutation_rounds
+//! ```
+
+use icn_sim::{ChipModel, Engine, SimConfig, StageCounters};
+use icn_topology::permutation::{check_permutation, schedule_rounds, Permutation};
+use icn_topology::{StagePlan, Topology};
+use icn_workloads::Workload;
+
+fn main() {
+    let plan = StagePlan::uniform(16, 2); // 256 ports of 16×16 chips
+    let topology = Topology::new(plan.clone());
+    let n = topology.ports();
+
+    let patterns: Vec<(&str, Permutation)> = vec![
+        ("identity", Permutation::identity(n)),
+        ("shift+1", Permutation::new((0..n).map(|p| (p + 1) % n).collect())),
+        ("bit reversal", Permutation::bit_reversal(n)),
+        ("transpose", Permutation::transpose(n)),
+        ("butterfly", Permutation::butterfly(n)),
+        ("perfect shuffle", Permutation::perfect_shuffle(n)),
+    ];
+
+    println!("pattern admissibility and greedy round counts ({n}-port, 16x16 chips):");
+    println!(
+        "{:>16} {:>12} {:>12} {:>8}",
+        "pattern", "admissible", "collisions", "rounds"
+    );
+    for (name, perm) in &patterns {
+        let report = check_permutation(&topology, perm);
+        let rounds = schedule_rounds(&topology, perm);
+        println!(
+            "{:>16} {:>12} {:>12} {:>8}",
+            name,
+            report.admissible(),
+            report.collision_count(),
+            rounds.len()
+        );
+    }
+
+    // Simulate the worst of them: all sources fire their bit-reversal
+    // packet in the same cycle, and the circuit-held outputs serialize the
+    // colliding paths.
+    println!("\nsimulating a simultaneous bit-reversal burst:");
+    let mut config = SimConfig::paper_baseline(
+        plan,
+        ChipModel::Dmc,
+        4,
+        Workload::uniform(0.0),
+    );
+    config.warmup_cycles = 0;
+    config.measure_cycles = 1;
+    config.drain_cycles = 1_000_000;
+    let unloaded = config.analytic_unloaded_cycles();
+    let reversal = Permutation::bit_reversal(n);
+    let mut engine = Engine::new(config);
+    for src in 0..n {
+        engine.inject(src, reversal.target(src));
+    }
+    let result = engine.run();
+    println!(
+        "  {} packets: min {} cycles (= unloaded {}), mean {:.1}, max {} cycles",
+        result.tracked_delivered,
+        result.network_latency.min,
+        unloaded,
+        result.network_latency.mean,
+        result.network_latency.max,
+    );
+    let blocked: u64 = result.stage_counters.iter().map(StageCounters::blocked).sum();
+    println!(
+        "  {} blocked request-cycles across {} stages — the price of one-pass\n  \
+         delivery; the greedy scheduler above shows how many clean passes the\n  \
+         pattern needs instead",
+        blocked,
+        result.stage_counters.len(),
+    );
+}

@@ -1,0 +1,84 @@
+//! Trace-driven comparison: identical arrivals, different switch designs.
+//!
+//! Comparing switch configurations under independently generated random
+//! traffic confounds design effects with sampling noise. The trace-driven
+//! path removes it: synthesize one injection trace, then replay the *same
+//! packets* against every design variant. Here: buffer depth and
+//! pass-through, on the paper's 256-port board network.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use icn_sim::{ChipModel, SimConfig};
+use icn_topology::StagePlan;
+use icn_workloads::{TrafficTrace, Workload};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn base_config() -> SimConfig {
+    let mut c = SimConfig::paper_baseline(
+        StagePlan::uniform(16, 2),
+        ChipModel::Dmc,
+        4,
+        Workload::uniform(0.0), // the trace drives injection
+    );
+    c.warmup_cycles = 1_000;
+    c.measure_cycles = 8_000;
+    c.drain_cycles = 200_000;
+    c
+}
+
+fn main() {
+    let base = base_config();
+    let horizon = base.warmup_cycles + base.measure_cycles;
+    // One trace at ~60% of line capacity, shared by every variant.
+    let load = 0.6 / base.flits_per_packet() as f64;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x1986);
+    let trace = TrafficTrace::synthesize(
+        &Workload::uniform(load),
+        base.plan.ports(),
+        horizon,
+        &mut rng,
+    );
+    println!(
+        "trace: {} packets over {} cycles ({} ports, mean load {:.4} pkt/port/cyc)\n",
+        trace.len(),
+        horizon,
+        trace.ports(),
+        trace.mean_load(),
+    );
+
+    println!(
+        "{:<28} {:>10} {:>12} {:>10} {:>10}",
+        "variant", "delivered", "throughput", "mean lat", "p99 lat"
+    );
+    let mut variants: Vec<(String, SimConfig)> = Vec::new();
+    for buffers in [1u32, 2, 4, 8] {
+        let mut c = base_config();
+        c.buffer_capacity = buffers;
+        variants.push((format!("{buffers} buffer(s), cut-through"), c));
+    }
+    let mut sf = base_config();
+    sf.cut_through = false;
+    variants.push(("1 buffer, store-and-forward".into(), sf));
+
+    for (name, config) in variants {
+        let r = icn_sim::run_trace(config, &trace);
+        println!(
+            "{:<28} {:>10} {:>12.5} {:>10.1} {:>10}",
+            name,
+            r.delivered_total,
+            r.throughput,
+            r.network_latency.mean,
+            r.network_latency.p99,
+        );
+    }
+    println!(
+        "\nevery variant saw the same {} packets at the same cycles — the\n\
+         differences are pure switch design: buffers buy throughput at a latency\n\
+         cost (sec. 2's \"about 4 buffers\"), and pass-through removes a full\n\
+         packet time per stage at light-to-moderate load.",
+        trace.len(),
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the Franklin & Dhar (ICPP 1986) reproduction.
+//!
+//! Re-exports the workspace members under one roof so downstream users can
+//! depend on a single crate:
+//!
+//! * [`units`] — unit-safe physical quantities;
+//! * [`tech`] — technology/packaging/board/clocking parameter sets;
+//! * [`phys`] — pin, area, board, rack and clock models (§3–§6);
+//! * [`topology`] — delta-network construction, routing, blocking (Fig. 1/2);
+//! * [`workloads`] — traffic generators;
+//! * [`sim`] — the lock-step cycle-level network simulator (§2);
+//! * [`core`] — design evaluation, exploration, and the experiment harness
+//!   regenerating every table and figure.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use icn_core as core;
+pub use icn_phys as phys;
+pub use icn_sim as sim;
+pub use icn_tech as tech;
+pub use icn_topology as topology;
+pub use icn_units as units;
+pub use icn_workloads as workloads;
