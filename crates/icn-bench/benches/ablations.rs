@@ -9,12 +9,7 @@ use std::hint::black_box;
 
 fn base_config() -> SimConfig {
     let plan = StagePlan::uniform(16, 2); // 256 ports
-    let mut c = SimConfig::paper_baseline(
-        plan,
-        ChipModel::Dmc,
-        4,
-        Workload::uniform(0.02),
-    );
+    let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(0.02));
     c.warmup_cycles = 200;
     c.measure_cycles = 1_500;
     c.drain_cycles = 10_000;

@@ -18,7 +18,11 @@ fn roundtrip_config(load: f64) -> RoundTripConfig {
     net.warmup_cycles = 200;
     net.measure_cycles = 1_000;
     net.drain_cycles = 20_000;
-    RoundTripConfig { net, memory_cycles: 7, memory_service_cycles: 0 }
+    RoundTripConfig {
+        net,
+        memory_cycles: 7,
+        memory_service_cycles: 0,
+    }
 }
 
 fn bench_roundtrip(c: &mut Criterion) {
@@ -35,14 +39,24 @@ fn bench_roundtrip(c: &mut Criterion) {
         b.iter(|| {
             mesh::simulate_mesh(
                 16,
-                black_box(&[MeshPacket { row: 3, col: 12, arrival: 0, flits: 25 }]),
+                black_box(&[MeshPacket {
+                    row: 3,
+                    col: 12,
+                    arrival: 0,
+                    flits: 25,
+                }]),
             )
         });
     });
 
     group.bench_function("mesh_chip_full_permutation", |b| {
         let packets: Vec<MeshPacket> = (0..16)
-            .map(|r| MeshPacket { row: r, col: (r + 5) % 16, arrival: 0, flits: 25 })
+            .map(|r| MeshPacket {
+                row: r,
+                col: (r + 5) % 16,
+                arrival: 0,
+                flits: 25,
+            })
             .collect();
         b.iter(|| mesh::simulate_mesh(16, black_box(&packets)));
     });

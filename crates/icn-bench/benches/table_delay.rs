@@ -28,15 +28,9 @@ fn bench_delay_table(c: &mut Criterion) {
             for kind in CrossbarKind::ALL {
                 for w in [1, 2, 4, 8] {
                     for f in [10.0, 20.0, 30.0, 40.0, 80.0] {
-                        acc += delay::unloaded_delay(
-                            kind,
-                            16,
-                            w,
-                            100,
-                            4096,
-                            Frequency::from_mhz(f),
-                        )
-                        .micros();
+                        acc +=
+                            delay::unloaded_delay(kind, 16, w, 100, 4096, Frequency::from_mhz(f))
+                                .micros();
                     }
                 }
             }

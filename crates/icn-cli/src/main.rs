@@ -10,8 +10,11 @@
 //! icn sim-validation           simulator vs analytic (cycle-exact)
 //! icn loaded [--full]          X1: load sweep + hot spot
 //! icn ablations [--full]       X2: buffering / pass-through / arbitration
+//! icn fault-tolerance [--full] X10: failed-module degradation sweep
 //! icn explore                  design-space sweep over (kind, N, W)
-//! icn simulate --load L [...]  one simulation run
+//! icn simulate --load L [...]  one simulation run; --fail-modules/--fail-links
+//!                              inject faults, --retry-limit/--watchdog-cycles
+//!                              tune degraded operation
 //!
 //! options: --tech <preset>  --json  --full
 //! ```
@@ -20,7 +23,7 @@ use std::process::ExitCode;
 
 use icn_core::experiments::{self, SimEffort};
 use icn_core::{explore, table::TextTable, ExperimentRecord};
-use icn_sim::{ChipModel, SimConfig};
+use icn_sim::{ChipModel, Engine, FaultPlan, RetryPolicy, SimConfig};
 use icn_tech::{presets, Technology};
 use icn_topology::StagePlan;
 use icn_workloads::Workload;
@@ -44,7 +47,10 @@ fn usage() -> &'static str {
      \t fig1-topology, fig2-blocking, board-layout, clock-budget, example-2048,\n\
      \t cost, clock-schemes, blocking-validation, scaling, tech-evolution,\n\
      \t sim-validation, mesh-validation, loaded, ablations, roundtrip, queueing,\n\
-     \t explore, simulate [--load L] [--ports P] [--chip mcc|dmc] [--width W] [--seed S]"
+     \t fault-tolerance, explore,\n\
+     \t simulate [--load L] [--ports P] [--chip mcc|dmc] [--width W] [--seed S]\n\
+     \t          [--fail-modules N] [--fail-links N] [--fault-seed S]\n\
+     \t          [--retry-limit N] [--watchdog-cycles N]"
 }
 
 struct Options {
@@ -56,6 +62,11 @@ struct Options {
     chip: ChipModel,
     width: u32,
     seed: u64,
+    fail_modules: u32,
+    fail_links: u32,
+    fault_seed: u64,
+    retry_limit: u32,
+    watchdog_cycles: Option<u64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,6 +79,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         chip: ChipModel::Dmc,
         width: 4,
         seed: 0x1986,
+        fail_modules: 0,
+        fail_links: 0,
+        fault_seed: 0xF417,
+        retry_limit: 0,
+        watchdog_cycles: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -116,6 +132,42 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--seed needs an integer")?;
             }
+            "--fail-modules" => {
+                i += 1;
+                opts.fail_modules = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--fail-modules needs a count")?;
+            }
+            "--fail-links" => {
+                i += 1;
+                opts.fail_links = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--fail-links needs a count")?;
+            }
+            "--fault-seed" => {
+                i += 1;
+                opts.fault_seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--fault-seed needs an integer")?;
+            }
+            "--retry-limit" => {
+                i += 1;
+                opts.retry_limit = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--retry-limit needs a count")?;
+            }
+            "--watchdog-cycles" => {
+                i += 1;
+                opts.watchdog_cycles = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--watchdog-cycles needs a cycle count (0 disables)")?,
+                );
+            }
             "--chip" => {
                 i += 1;
                 opts.chip = match args.get(i).map(String::as_str) {
@@ -150,7 +202,11 @@ fn emit(record: &ExperimentRecord, json: bool) {
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let opts = parse_options(args.get(1..).unwrap_or(&[]))?;
-    let effort = if opts.full { SimEffort::Full } else { SimEffort::Quick };
+    let effort = if opts.full {
+        SimEffort::Full
+    } else {
+        SimEffort::Quick
+    };
 
     match command {
         "help" | "--help" | "-h" => {
@@ -161,11 +217,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{:14} {}", r.id, r.title);
             }
             println!("{:14} Simulator vs analytic (sim)", "E4-validation");
-            println!("{:14} MCC crosspoint-level abstraction check (sim)", "E4-mesh");
+            println!(
+                "{:14} MCC crosspoint-level abstraction check (sim)",
+                "E4-mesh"
+            );
             println!("{:14} Loaded network (sim)", "X1");
             println!("{:14} Ablations (sim)", "X2");
             println!("{:14} Closed-loop round trips (sim)", "X3");
             println!("{:14} Queueing baseline vs simulator (sim)", "X6");
+            println!("{:14} Fault tolerance / graceful degradation (sim)", "X10");
         }
         "all" => {
             for r in experiments::analytic_experiments(&opts.tech) {
@@ -240,9 +300,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "loaded" => emit(&experiments::loaded_network(effort), opts.json),
         "ablations" => emit(&experiments::ablations(effort), opts.json),
         "roundtrip" => emit(&experiments::roundtrip_sim(effort), opts.json),
+        "fault-tolerance" => emit(&experiments::fault_tolerance(effort), opts.json),
         "explore" => {
-            let designs =
-                explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
+            let designs = explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
             if opts.json {
                 println!(
                     "{}",
@@ -266,7 +326,11 @@ fn run(args: &[String]) -> Result<(), String> {
                         r.point.chip_radix.to_string(),
                         r.point.width.to_string(),
                         r.pins.total().to_string(),
-                        if r.feasible() { "yes".into() } else { "no".into() },
+                        if r.feasible() {
+                            "yes".into()
+                        } else {
+                            "no".into()
+                        },
                         format!("{:.1}", r.frequency.mhz()),
                         format!("{:.2}", r.one_way.micros()),
                         format!("{:.3}", d.blocking_at_half_load),
@@ -285,7 +349,27 @@ fn run(args: &[String]) -> Result<(), String> {
                 Workload::uniform(opts.load),
             );
             config.seed = opts.seed;
-            let result = icn_sim::run(config);
+            if opts.fail_modules > 0 || opts.fail_links > 0 {
+                config.faults = FaultPlan::random_module_failures(
+                    &config.plan,
+                    opts.fail_modules,
+                    0,
+                    opts.fault_seed,
+                )
+                .merged(FaultPlan::random_link_failures(
+                    &config.plan,
+                    opts.fail_links,
+                    0,
+                    opts.fault_seed,
+                ));
+            }
+            config.retry = RetryPolicy::retries(opts.retry_limit);
+            if let Some(bound) = opts.watchdog_cycles {
+                config.watchdog_cycles = bound;
+            }
+            // try_new validates the config and fault plan; a bad request is
+            // a typed error and a nonzero exit, never a panic.
+            let result = Engine::try_new(config).map_err(|e| e.to_string())?.run();
             if opts.json {
                 println!(
                     "{}",
@@ -310,6 +394,33 @@ fn run(args: &[String]) -> Result<(), String> {
                     result.network_latency.max,
                     result.analytic_unloaded_cycles
                 );
+                if result.dropped_total > 0 || result.unreachable_pairs > 0 {
+                    println!(
+                        "faults: dropped {} ({} tracked), retries {}, unreachable \
+                         pairs {}/{}, conservation {}",
+                        result.dropped_total,
+                        result.tracked_dropped,
+                        result.retries_total,
+                        result.unreachable_pairs,
+                        u64::from(result.ports) * u64::from(result.ports),
+                        if result.conservation_ok() {
+                            "ok"
+                        } else {
+                            "VIOLATED"
+                        }
+                    );
+                }
+                if let Some(stall) = &result.stall {
+                    println!(
+                        "watchdog: stalled at cycle {} (last progress {}, {} live, \
+                         {} in retry backoff, {} queued at sources)",
+                        stall.at_cycle,
+                        stall.last_progress_cycle,
+                        stall.live_packets,
+                        stall.retry_waiting,
+                        stall.source_backlog
+                    );
+                }
             }
         }
         other => return Err(format!("unknown command `{other}`")),

@@ -26,7 +26,9 @@ fn help_lists_commands() {
 fn list_enumerates_experiments() {
     let (ok, stdout, _) = icn(&["list"]);
     assert!(ok);
-    for id in ["E1", "E2", "E3", "E4", "E5", "E6", "E9", "E10", "C1", "X1", "X3"] {
+    for id in [
+        "E1", "E2", "E3", "E4", "E5", "E6", "E9", "E10", "C1", "X1", "X3",
+    ] {
         assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
     }
 }
@@ -65,6 +67,48 @@ fn simulate_runs_a_small_network() {
 }
 
 #[test]
+fn simulate_with_faults_reports_degradation() {
+    let (ok, stdout, _) = icn(&[
+        "simulate",
+        "--ports",
+        "64",
+        "--load",
+        "0.005",
+        "--fail-modules",
+        "2",
+        "--retry-limit",
+        "2",
+        "--watchdog-cycles",
+        "5000",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("faults: dropped"), "{stdout}");
+    assert!(stdout.contains("unreachable pairs"), "{stdout}");
+    assert!(stdout.contains("conservation ok"), "{stdout}");
+}
+
+#[test]
+fn invalid_config_exits_nonzero_without_panicking() {
+    // The typed validation error must surface as a clean nonzero exit,
+    // not a panic backtrace.
+    let (ok, _, stderr) = icn(&[
+        "simulate", "--ports", "16", "--load", "0.005", "--width", "0",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("error: invalid configuration"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn fault_tolerance_experiment_renders() {
+    let (ok, stdout, _) = icn(&["fault-tolerance", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["id"], "X10");
+    assert_eq!(v["json"]["sweep"].as_array().unwrap().len(), 5);
+}
+
+#[test]
 fn fig1_dot_emits_graphviz() {
     let (ok, stdout, _) = icn(&["fig1-dot"]);
     assert!(ok);
@@ -87,7 +131,10 @@ fn dump_writes_results_files() {
     let results = dir.join("results");
     assert!(results.join("E2.txt").exists());
     assert!(results.join("E2.json").exists());
-    assert!(results.join("E7_E8.txt").exists(), "slash in id must be sanitized");
+    assert!(
+        results.join("E7_E8.txt").exists(),
+        "slash in id must be sanitized"
+    );
     assert!(results.join("X1.json").exists());
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 pub fn dmc_setup_cycles(chip_radix: u32, width: u32) -> u32 {
     assert!(chip_radix >= 2, "chip radix must be at least 2");
     assert!(width >= 1, "width must be at least 1");
-    (f64::from(chip_radix).log2() / f64::from(width)).ceil().max(1.0) as u32
+    (f64::from(chip_radix).log2() / f64::from(width))
+        .ceil()
+        .max(1.0) as u32
 }
 
 /// Number of stages `⌈log_N N′⌉` a packet crosses.
@@ -67,7 +69,13 @@ pub fn unloaded_delay(
     network_ports: u32,
     f: Frequency,
 ) -> Time {
-    f.cycles(unloaded_cycles(kind, chip_radix, width, packet_bits, network_ports))
+    f.cycles(unloaded_cycles(
+        kind,
+        chip_radix,
+        width,
+        packet_bits,
+        network_ports,
+    ))
 }
 
 /// A remote memory read: request across the network, memory access, reply
@@ -169,8 +177,15 @@ mod tests {
             "one-way {} µs",
             one_way.micros()
         );
-        let rt = RoundTrip { one_way, memory_access: Time::from_nanos(200.0) };
-        assert!(rt.total().micros() > 2.0, "round trip {} µs", rt.total().micros());
+        let rt = RoundTrip {
+            one_way,
+            memory_access: Time::from_nanos(200.0),
+        };
+        assert!(
+            rt.total().micros() > 2.0,
+            "round trip {} µs",
+            rt.total().micros()
+        );
         // More than an order of magnitude slower than a 200 ns local access.
         let slowdown = rt.slowdown_vs_local(Time::from_nanos(200.0));
         assert!(slowdown > 10.0, "slowdown {slowdown}");

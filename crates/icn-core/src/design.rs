@@ -10,8 +10,8 @@
 //! rounds.
 
 use icn_phys::{
-    area, board::BoardLayout, clock::ClockBudget, pins, rack::RackLayout, signal,
-    ClockScheme, CrossbarKind, PinBudget,
+    area, board::BoardLayout, clock::ClockBudget, pins, rack::RackLayout, signal, ClockScheme,
+    CrossbarKind, PinBudget,
 };
 use icn_tech::Technology;
 use icn_units::{Frequency, Time};
@@ -132,7 +132,10 @@ impl DesignPoint {
             self.network_ports,
             frequency,
         );
-        let round_trip = delay::RoundTrip { one_way, memory_access: self.memory_access };
+        let round_trip = delay::RoundTrip {
+            one_way,
+            memory_access: self.memory_access,
+        };
 
         DesignReport {
             point: self.clone(),
@@ -240,7 +243,11 @@ mod tests {
     #[test]
     fn fixed_point_converges_quickly() {
         let r = paper_report(CrossbarKind::Dmc);
-        assert!(r.fixed_point_iterations <= 6, "{} iterations", r.fixed_point_iterations);
+        assert!(
+            r.fixed_point_iterations <= 6,
+            "{} iterations",
+            r.fixed_point_iterations
+        );
     }
 
     /// An infeasible design reports *why*: W=8 chips blow the pin budget.
@@ -260,8 +267,7 @@ mod tests {
     /// The conservative technology cannot host the paper's chip at all.
     #[test]
     fn conservative_tech_is_infeasible() {
-        let point =
-            DesignPoint::paper_example(presets::conservative1986(), CrossbarKind::Dmc);
+        let point = DesignPoint::paper_example(presets::conservative1986(), CrossbarKind::Dmc);
         let r = point.evaluate();
         assert!(!r.feasible());
     }
@@ -276,6 +282,10 @@ mod tests {
         let r = point.evaluate();
         assert!(!r.feasible());
         assert!(r.chip_area_fraction > 1.0);
-        assert!(r.violations.iter().any(|v| v.contains("cm²")), "{:?}", r.violations);
+        assert!(
+            r.violations.iter().any(|v| v.contains("cm²")),
+            "{:?}",
+            r.violations
+        );
     }
 }

@@ -37,7 +37,11 @@ pub fn board_layout(tech: &Technology) -> ExperimentRecord {
         ),
         (
             "routing width",
-            format!("{:.2} in (allow {:.0})", b.routing_width.inches(), b.routing_allowance.inches()),
+            format!(
+                "{:.2} in (allow {:.0})",
+                b.routing_width.inches(),
+                b.routing_allowance.inches()
+            ),
             "~3 in",
         ),
         (
@@ -62,9 +66,7 @@ pub fn board_layout(tech: &Technology) -> ExperimentRecord {
         "Board layout (sec. 3.3) and connector feasibility (sec. 3.4)",
         t.render(),
         json,
-        vec![
-            "connectors: ceil(1280 / 200) = 7; the paper allocates 8".into(),
-        ],
+        vec!["connectors: ceil(1280 / 200) = 7; the paper allocates 8".into()],
     )
 }
 

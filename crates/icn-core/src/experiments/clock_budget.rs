@@ -21,7 +21,11 @@ pub fn clock_budget(tech: &Technology) -> ExperimentRecord {
         ("tau_board", b.tau_board.nanos(), "8.3"),
         ("tau total", b.tau.nanos(), "12.4"),
         ("skew delta (eq 5.3)", b.skew.nanos(), "8.7"),
-        ("signal constraint D_L+D_P+delta", b.signal_constraint().nanos(), "31"),
+        (
+            "signal constraint D_L+D_P+delta",
+            b.signal_constraint().nanos(),
+            "31",
+        ),
         ("tree constraint 2*tau", b.tree_constraint().nanos(), "24.8"),
     ];
     for (term, v, p) in rows {

@@ -78,7 +78,13 @@ mod tests {
     fn crossover_exists_and_is_beyond_35_inches() {
         let r = clock_schemes(&presets::paper1986());
         let crossover = r.json["crossover_in"].as_f64();
-        assert!(crossover.is_some(), "expected a tree-limited point in the sweep");
-        assert!(crossover.unwrap() > 35.0, "paper's 35 in must be signal-limited");
+        assert!(
+            crossover.is_some(),
+            "expected a tree-limited point in the sweep"
+        );
+        assert!(
+            crossover.unwrap() > 35.0,
+            "paper's 35 in must be signal-limited"
+        );
     }
 }

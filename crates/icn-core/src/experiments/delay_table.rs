@@ -25,15 +25,8 @@ pub fn delay_table() -> ExperimentRecord {
         for w in WIDTHS {
             let mut row = vec![w.to_string()];
             for f_mhz in FREQS_MHZ {
-                let us = delay::unloaded_delay(
-                    kind,
-                    16,
-                    w,
-                    100,
-                    4096,
-                    Frequency::from_mhz(f_mhz),
-                )
-                .micros();
+                let us = delay::unloaded_delay(kind, 16, w, 100, 4096, Frequency::from_mhz(f_mhz))
+                    .micros();
                 row.push(trim_float(us, 2));
                 cells.push(serde_json::json!({
                     "kind": kind.label(),

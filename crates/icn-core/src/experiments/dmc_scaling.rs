@@ -44,7 +44,11 @@ pub fn dmc_scaling(tech: &Technology) -> ExperimentRecord {
             trim_float(wire_norm, 1),
             trim_float(gates, 0),
             trim_float(gate_norm, 2),
-            if wire_norm > gate_norm { "wires".into() } else { "gates".into() },
+            if wire_norm > gate_norm {
+                "wires".into()
+            } else {
+                "gates".into()
+            },
         ]);
         rows.push(serde_json::json!({
             "n": n,

@@ -25,8 +25,14 @@ pub fn fig2_blocking() -> ExperimentRecord {
             bar,
         ]);
     }
-    let five = points.iter().find(|p| p.stages == 5).expect("5-stage point");
-    let three = points.iter().find(|p| p.stages == 3).expect("3-stage point");
+    let five = points
+        .iter()
+        .find(|p| p.stages == 5)
+        .expect("5-stage point");
+    let three = points
+        .iter()
+        .find(|p| p.stages == 3)
+        .expect("3-stage point");
     let cut = (five.blocking - three.blocking) / five.blocking;
     let text = format!(
         "Blocking probability vs stages, N' = 4096, full load (Patel recurrence)\n\n{}\n\

@@ -40,7 +40,7 @@ impl SimEffort {
         }
     }
 
-    fn base_config(self, workload: Workload) -> SimConfig {
+    pub(crate) fn base_config(self, workload: Workload) -> SimConfig {
         let (warmup, measure, drain) = self.windows();
         let mut c = SimConfig::paper_baseline(self.plan(), ChipModel::Dmc, 4, workload);
         c.warmup_cycles = warmup;
@@ -220,9 +220,16 @@ mod tests {
         let r = loaded_network(SimEffort::Quick);
         let sweep = r.json["sweep"].as_array().unwrap();
         assert_eq!(sweep.len(), 6);
-        let first = sweep[0]["result"]["network_latency"]["mean"].as_f64().unwrap();
-        let last = sweep[5]["result"]["network_latency"]["mean"].as_f64().unwrap();
-        assert!(last > first, "latency must grow with load: {first} -> {last}");
+        let first = sweep[0]["result"]["network_latency"]["mean"]
+            .as_f64()
+            .unwrap();
+        let last = sweep[5]["result"]["network_latency"]["mean"]
+            .as_f64()
+            .unwrap();
+        assert!(
+            last > first,
+            "latency must grow with load: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub fn mesh_validation() -> ExperimentRecord {
         for col in 0..n {
             let t = mesh::simulate_mesh(
                 n,
-                &[MeshPacket { row, col, arrival: 0, flits: 25 }],
+                &[MeshPacket {
+                    row,
+                    col,
+                    arrival: 0,
+                    flits: 25,
+                }],
             );
             let expected = u64::from(mesh::path_crosspoints(n, row, col));
             all_match &= t[0].head_latency() == expected;

@@ -27,6 +27,7 @@
 //! | X7 | extension — scaling the §6 design across network sizes |
 //! | X8 | extension — the §6 design across technology presets |
 //! | X9 | extension — §2.2's O(N²) DMC wire-delay claim |
+//! | X10 | extension — graceful degradation under module failures (simulated) |
 //!
 //! Every experiment returns an [`ExperimentRecord`]: a rendered text table
 //! (what the paper printed), a JSON value (machine-readable), and notes on
@@ -40,6 +41,7 @@ mod cost_comparison;
 mod delay_table;
 mod dmc_scaling;
 mod example2048;
+mod fault_tolerance;
 mod fig1_topology;
 mod fig2_blocking;
 mod loaded_network;
@@ -50,10 +52,10 @@ mod roundtrip_sim;
 mod scaling_study;
 mod sensitivity;
 mod sim_validation;
-mod tech_evolution;
 mod table1;
 mod table2_pins;
 mod table3_area;
+mod tech_evolution;
 
 pub use blocking_validation::blocking_validation;
 pub use board_layout::board_layout;
@@ -63,6 +65,7 @@ pub use cost_comparison::cost_comparison;
 pub use delay_table::delay_table;
 pub use dmc_scaling::dmc_scaling;
 pub use example2048::example2048;
+pub use fault_tolerance::fault_tolerance;
 pub use fig1_topology::fig1_topology;
 pub use fig2_blocking::fig2_blocking;
 pub use loaded_network::{ablations, loaded_network, SimEffort};
@@ -73,10 +76,10 @@ pub use roundtrip_sim::roundtrip_sim;
 pub use scaling_study::scaling_study;
 pub use sensitivity::sensitivity;
 pub use sim_validation::sim_validation;
-pub use tech_evolution::tech_evolution;
 pub use table1::table1;
 pub use table2_pins::table2_pins;
 pub use table3_area::table3_area;
+pub use tech_evolution::tech_evolution;
 
 use icn_tech::Technology;
 use serde::{Deserialize, Serialize};
@@ -151,6 +154,7 @@ pub fn simulation_experiments(effort: SimEffort) -> Vec<ExperimentRecord> {
         ablations(effort),
         roundtrip_sim(effort),
         queueing_model(effort),
+        fault_tolerance(effort),
     ]
 }
 
@@ -178,12 +182,15 @@ mod tests {
         for r in &records {
             assert!(!r.text.is_empty(), "{} produced no text", r.id);
             assert!(!r.title.is_empty());
-            assert!(r.json.is_object() || r.json.is_array(), "{} has no payload", r.id);
+            assert!(
+                r.json.is_object() || r.json.is_array(),
+                "{} has no payload",
+                r.id
+            );
         }
         // The Experiment trait lets generic drivers hold heterogeneous
         // experiment thunks.
-        let thunks: Vec<Box<dyn Experiment>> =
-            vec![Box::new(delay_table), Box::new(fig2_blocking)];
+        let thunks: Vec<Box<dyn Experiment>> = vec![Box::new(delay_table), Box::new(fig2_blocking)];
         assert_eq!(thunks[0].record().id, "E4");
         assert_eq!(thunks[1].record().id, "E6");
 

@@ -35,12 +35,8 @@ pub fn queueing_model(effort: SimEffort) -> ExperimentRecord {
     ]);
     let mut rows = Vec::new();
     for rho in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
-        let mut c = SimConfig::paper_baseline(
-            plan.clone(),
-            ChipModel::Dmc,
-            4,
-            Workload::uniform(0.0),
-        );
+        let mut c =
+            SimConfig::paper_baseline(plan.clone(), ChipModel::Dmc, 4, Workload::uniform(0.0));
         let flits = c.flits_per_packet();
         c.workload.load = rho / flits as f64;
         c.buffer_capacity = 8;
@@ -96,8 +92,16 @@ mod tests {
         let rows = r.json["rows"].as_array().unwrap();
         let ratio = |i: usize| rows[i]["ratio"].as_f64().unwrap();
         // Low load: close agreement.
-        assert!((0.85..=1.35).contains(&ratio(0)), "rho=0.1 ratio {}", ratio(0));
-        assert!((0.9..=1.8).contains(&ratio(2)), "rho=0.3 ratio {}", ratio(2));
+        assert!(
+            (0.85..=1.35).contains(&ratio(0)),
+            "rho=0.1 ratio {}",
+            ratio(0)
+        );
+        assert!(
+            (0.9..=1.8).contains(&ratio(2)),
+            "rho=0.3 ratio {}",
+            ratio(2)
+        );
         // Saturation: the simulator is much slower than the model.
         assert!(ratio(5) > 2.0, "rho=0.6 ratio {}", ratio(5));
         // Ratios grow with load.

@@ -29,7 +29,11 @@ fn config_for(effort: SimEffort, load: f64, memory_cycles: u64) -> RoundTripConf
     net.warmup_cycles = warmup;
     net.measure_cycles = measure;
     net.drain_cycles = drain;
-    RoundTripConfig { net, memory_cycles, memory_service_cycles: 0 }
+    RoundTripConfig {
+        net,
+        memory_cycles,
+        memory_service_cycles: 0,
+    }
 }
 
 /// Run the closed-loop round-trip study: latency vs offered load, with the
@@ -37,7 +41,10 @@ fn config_for(effort: SimEffort, load: f64, memory_cycles: u64) -> RoundTripConf
 #[must_use]
 pub fn roundtrip_sim(effort: SimEffort) -> ExperimentRecord {
     let memory_cycles = 7;
-    let flit_cap = 1.0 / config_for(effort, 0.0, memory_cycles).net.flits_per_packet() as f64;
+    let flit_cap = 1.0
+        / config_for(effort, 0.0, memory_cycles)
+            .net
+            .flits_per_packet() as f64;
     let mut t = TextTable::new(vec![
         "offered",
         "completed",
@@ -92,11 +99,21 @@ mod tests {
         let rows = r.json["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 4);
         // Light-load expansion near 1; heavier loads not below it.
-        let first = rows[0]["result"]["round_trip_latency"]["mean"].as_f64().unwrap();
-        let last = rows[3]["result"]["round_trip_latency"]["mean"].as_f64().unwrap();
+        let first = rows[0]["result"]["round_trip_latency"]["mean"]
+            .as_f64()
+            .unwrap();
+        let last = rows[3]["result"]["round_trip_latency"]["mean"]
+            .as_f64()
+            .unwrap();
         assert!(last >= first, "round trip should not shrink with load");
         let analytic = rows[0]["analytic_cycles"].as_f64().unwrap();
-        assert!(first >= analytic * 0.999, "mean {first} below floor {analytic}");
-        assert!(first <= analytic * 1.35, "light-load mean {first} too far above {analytic}");
+        assert!(
+            first >= analytic * 0.999,
+            "mean {first} below floor {analytic}"
+        );
+        assert!(
+            first <= analytic * 1.35,
+            "light-load mean {first} too far above {analytic}"
+        );
     }
 }

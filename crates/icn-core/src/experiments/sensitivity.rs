@@ -23,8 +23,7 @@ fn frequency_with(tech: &Technology, param: &str, factor: f64) -> f64 {
         "memory_delay" => t.process.memory_delay = t.process.memory_delay * factor,
         "driver_delay" => t.packaging.driver_delay = t.packaging.driver_delay * factor,
         "board_speed" => {
-            t.board.propagation_delay_per_length =
-                t.board.propagation_delay_per_length * factor;
+            t.board.propagation_delay_per_length = t.board.propagation_delay_per_length * factor;
         }
         "htree_rc" => t.process.htree_branch_rc = t.process.htree_branch_rc * factor,
         "tau_variation" => t.clocking.tau_variation *= factor,
@@ -89,8 +88,7 @@ pub fn sensitivity(tech: &Technology) -> ExperimentRecord {
     let mut improved = tech.clone();
     improved.process.logic_delay = improved.process.logic_delay * 0.8;
     let base_report = DesignPoint::paper_example(tech.clone(), CrossbarKind::Dmc).evaluate();
-    let better_report =
-        DesignPoint::paper_example(improved, CrossbarKind::Dmc).evaluate();
+    let better_report = DesignPoint::paper_example(improved, CrossbarKind::Dmc).evaluate();
     let text = format!(
         "Sensitivity of the achievable frequency (base {base:.1} MHz, 16x16 chip, \
          35 in trace)\n\n{}\n\

@@ -30,12 +30,8 @@ pub fn sim_validation() -> ExperimentRecord {
     for chip in [ChipModel::Mcc, ChipModel::Dmc] {
         for width in [1u32, 2, 4, 8] {
             let plan = StagePlan::uniform(16, 3);
-            let mut config = SimConfig::paper_baseline(
-                plan.clone(),
-                chip,
-                width,
-                Workload::uniform(0.0),
-            );
+            let mut config =
+                SimConfig::paper_baseline(plan.clone(), chip, width, Workload::uniform(0.0));
             config.warmup_cycles = 0;
             config.measure_cycles = 1;
             config.drain_cycles = 100_000;

@@ -12,7 +12,11 @@ use super::ExperimentRecord;
 pub fn table1(tech: &Technology) -> ExperimentRecord {
     let mut t = TextTable::new(vec!["variable", "typical value", "definition"]);
     let rows: Vec<(&str, String, &str)> = vec![
-        ("N'", "2048".into(), "Size of overall interconnection network"),
+        (
+            "N'",
+            "2048".into(),
+            "Size of overall interconnection network",
+        ),
         ("N", "16x16".into(), "Size of crossbar switch module (NxN)"),
         (
             "Np",
@@ -22,11 +26,7 @@ pub fn table1(tech: &Technology) -> ExperimentRecord {
         ("W", "1,2,4,8".into(), "Width (lines) of a data path"),
         ("P", "100".into(), "Packet size in bits"),
         ("F", "10..80 MHz".into(), "Clock frequency"),
-        (
-            "VDD",
-            format!("{}", tech.clocking.supply),
-            "Supply voltage",
-        ),
+        ("VDD", format!("{}", tech.clocking.supply), "Supply voltage"),
         (
             "dVmax",
             format!("{}", tech.clocking.rail_bounce_budget),

@@ -57,8 +57,7 @@ pub fn table2_pins(tech: &Technology) -> ExperimentRecord {
         text,
         serde_json::json!({ "cells": cells }),
         vec![
-            "rounding rule N_pg = max(2, ceil(N_g)) reproduces 38/40 printed cells exactly"
-                .into(),
+            "rounding rule N_pg = max(2, ceil(N_g)) reproduces 38/40 printed cells exactly".into(),
             "paper prints 442/472 at (N=24, W=8); eq. 3.1-3.4 give 440/470 (paper slop, \
              infeasible region)"
                 .into(),

@@ -40,9 +40,7 @@ pub fn tech_evolution() -> ExperimentRecord {
                 (
                     format!(
                         "{} N={} W={}",
-                        d.report.point.kind,
-                        d.report.point.chip_radix,
-                        d.report.point.width
+                        d.report.point.kind, d.report.point.chip_radix, d.report.point.width
                     ),
                     trim_float(d.report.one_way.micros(), 2),
                 )
@@ -99,7 +97,10 @@ mod tests {
             .as_array()
             .unwrap()
             .is_empty();
-        assert!(scaled_feasible, "scaled tech should host the paper's design");
+        assert!(
+            scaled_feasible,
+            "scaled tech should host the paper's design"
+        );
         // But not by an order of magnitude: distance doesn't scale.
         assert!(scaled_delay > paper_delay / 4.0);
         // The conservative package cannot host the paper's chip.

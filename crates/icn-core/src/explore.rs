@@ -165,7 +165,11 @@ mod tests {
                 p.kind == CrossbarKind::Dmc && p.chip_radix == 16 && p.width == 4
             })
             .expect("paper's design is in the space");
-        assert!(paper_pick.report.feasible(), "{:?}", paper_pick.report.violations);
+        assert!(
+            paper_pick.report.feasible(),
+            "{:?}",
+            paper_pick.report.violations
+        );
     }
 
     #[test]

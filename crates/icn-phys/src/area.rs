@@ -120,8 +120,7 @@ pub fn dmc_wire_length(tech: &Technology, radix: u32, width: u32) -> icn_units::
     let p = &tech.process;
     let n = f64::from(radix);
     let w = f64::from(width);
-    let lambda_count =
-        (n - 1.0).powi(4) * w * p.dmc_wire_pitch_lambda / (3f64.sqrt() * n * n);
+    let lambda_count = (n - 1.0).powi(4) * w * p.dmc_wire_pitch_lambda / (3f64.sqrt() * n * n);
     icn_units::Length::from_lambda(lambda_count, p.lambda)
 }
 
@@ -242,7 +241,10 @@ mod tests {
         let muxes = 360.0 * 4.0 * 256.0 * 4.0;
         let expected = (harness + muxes) * 4.0 / 3.0;
         let got = a.in_square_lambda(tech.process.lambda);
-        assert!((got - expected).abs() / expected < 1e-12, "got {got}, want {expected}");
+        assert!(
+            (got - expected).abs() / expected < 1e-12,
+            "got {got}, want {expected}"
+        );
     }
 
     #[test]
@@ -300,6 +302,9 @@ mod tests {
         let area_l2 = 15.0f64.powi(4) * (4.0 * 6.0f64).powi(2) / 3.0f64.sqrt();
         let width_l = 4.0 * n * n * 6.0;
         let expected = area_l2 / width_l * 1.5; // λ → µm
-        assert!((l16 - expected).abs() / expected < 1e-9, "{l16} vs {expected}");
+        assert!(
+            (l16 - expected).abs() / expected < 1e-9,
+            "{l16} vs {expected}"
+        );
     }
 }

@@ -44,11 +44,17 @@ pub enum BoardConstraint {
 impl core::fmt::Display for BoardConstraint {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            Self::EdgeTooLong { required_mils, max_mils } => write!(
+            Self::EdgeTooLong {
+                required_mils,
+                max_mils,
+            } => write!(
                 f,
                 "board edge of {required_mils} mil exceeds the {max_mils} mil maximum"
             ),
-            Self::WirePitchTooFine { available_mils, required_mils } => write!(
+            Self::WirePitchTooFine {
+                available_mils,
+                required_mils,
+            } => write!(
                 f,
                 "inter-stage wires would sit {available_mils} mil apart, below the \
                  {required_mils} mil crosstalk limit"
@@ -357,9 +363,15 @@ mod tests {
 
     #[test]
     fn constraint_display() {
-        let c = BoardConstraint::EdgeTooLong { required_mils: 50000, max_mils: 40000 };
+        let c = BoardConstraint::EdgeTooLong {
+            required_mils: 50000,
+            max_mils: 40000,
+        };
         assert!(c.to_string().contains("50000"));
-        let c = BoardConstraint::ConnectorsDontFit { needed: 9, capacity: 8 };
+        let c = BoardConstraint::ConnectorsDontFit {
+            needed: 9,
+            capacity: 8,
+        };
         assert!(c.to_string().contains('9'));
     }
 }

@@ -112,7 +112,14 @@ impl ClockBudget {
         let tau_board = signal::path_delay(tech, longest_trace).total();
         let tau = tau_chip + tau_board;
         let skew = clock_skew(tech, tau);
-        Self { d_l, d_p, tau_chip, tau_board, tau, skew }
+        Self {
+            d_l,
+            d_p,
+            tau_chip,
+            tau_board,
+            tau,
+            skew,
+        }
     }
 
     /// The information-signal constraint `D_L + D_P + δ` (one clock cycle
@@ -165,11 +172,23 @@ mod tests {
     #[test]
     fn reproduces_section_6_2() {
         let b = paper_budget();
-        assert!((b.tau_chip.nanos() - 4.1).abs() < 0.05, "τ_chip {}", b.tau_chip);
-        assert!((b.tau_board.nanos() - 8.25).abs() < 0.01, "τ_board {}", b.tau_board);
+        assert!(
+            (b.tau_chip.nanos() - 4.1).abs() < 0.05,
+            "τ_chip {}",
+            b.tau_chip
+        );
+        assert!(
+            (b.tau_board.nanos() - 8.25).abs() < 0.01,
+            "τ_board {}",
+            b.tau_board
+        );
         assert!((b.tau.nanos() - 12.35).abs() < 0.1, "τ {}", b.tau);
         // Skew ratio ≈ 0.691.
-        assert!(((b.skew / b.tau) - 0.691).abs() < 0.005, "δ/τ = {}", b.skew / b.tau);
+        assert!(
+            ((b.skew / b.tau) - 0.691).abs() < 0.005,
+            "δ/τ = {}",
+            b.skew / b.tau
+        );
         assert!((b.skew.nanos() - 8.54).abs() < 0.2, "δ {}", b.skew);
         // Signal constraint dominates the tree constraint, so both schemes
         // land at the same ≈32 MHz.
@@ -214,7 +233,10 @@ mod tests {
         tech.clocking.tau_variation = 0.0;
         tech.clocking.threshold_variation = 0.0;
         let skew = clock_skew(&tech, Time::from_nanos(12.4));
-        assert!(skew.nanos().abs() < 1e-9, "zero variation must give zero skew, got {skew}");
+        assert!(
+            skew.nanos().abs() < 1e-9,
+            "zero variation must give zero skew, got {skew}"
+        );
     }
 
     #[test]

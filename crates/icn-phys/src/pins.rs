@@ -223,7 +223,10 @@ mod tests {
         // grid as 22×22; the exact formula also admits the odd 23×23
         // (2·4·23 + 2·23+3 + 3 = 236 ≤ 240), which the table's granularity
         // hides. We assert the formula-exact answer.
-        assert_eq!(max_radix_for_pins(&tech, 4, Frequency::from_mhz(10.0)), Some(23));
+        assert_eq!(
+            max_radix_for_pins(&tech, 4, Frequency::from_mhz(10.0)),
+            Some(23)
+        );
         // Wider paths shrink the feasible radix.
         let w8 = max_radix_for_pins(&tech, 8, Frequency::from_mhz(10.0)).unwrap();
         assert!(w8 < 16, "W=8 should not admit a 16x16 crossbar, got {w8}");

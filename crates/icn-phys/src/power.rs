@@ -22,7 +22,10 @@ use crate::pins;
 /// Panics if `activity` is outside `[0, 1]`.
 #[must_use]
 pub fn pin_drive_power(tech: &Technology, activity: f64) -> Power {
-    assert!((0.0..=1.0).contains(&activity), "activity must be in [0,1], got {activity}");
+    assert!(
+        (0.0..=1.0).contains(&activity),
+        "activity must be in [0,1], got {activity}"
+    );
     let v = tech.clocking.supply.volts();
     let z0 = tech.packaging.driver_impedance.ohms();
     Power::from_watts(activity * v * v / (4.0 * z0))

@@ -186,7 +186,11 @@ mod tests {
         let r = paper_rack();
         let (w, d, h) = r.stack_dimensions(Length::from_inches(1.0));
         assert!((w.inches() - 32.0).abs() < 2.0);
-        assert!((5.0..=12.0).contains(&d.inches()), "depth {} in", d.inches());
+        assert!(
+            (5.0..=12.0).contains(&d.inches()),
+            "depth {} in",
+            d.inches()
+        );
         assert!((h.inches() - 16.0).abs() < 1e-9);
     }
 

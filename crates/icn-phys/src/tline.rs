@@ -37,7 +37,10 @@ impl TransmissionLine {
         delay_per_length: Time,
         reference: Length,
     ) -> Self {
-        Self { z0, delay: length.propagation_delay(delay_per_length, reference) }
+        Self {
+            z0,
+            delay: length.propagation_delay(delay_per_length, reference),
+        }
     }
 
     /// Voltage reflection coefficient of a resistive termination `r`:
@@ -92,7 +95,10 @@ pub fn step_settling(
     step: Voltage,
     tol: f64,
 ) -> SettlingReport {
-    assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0,1), got {tol}");
+    assert!(
+        tol > 0.0 && tol < 1.0,
+        "tolerance must be in (0,1), got {tol}"
+    );
     assert!(step.volts() > 0.0, "step amplitude must be positive");
     let rho_s = line.reflection_coefficient(source_r);
     let rho_l = line.reflection_coefficient(load_r);
@@ -166,8 +172,7 @@ mod tests {
         let line = paper_line(10.0);
         assert!((line.reflection_coefficient(Resistance::from_ohms(50.0))).abs() < 1e-12);
         assert!(
-            (line.reflection_coefficient(Resistance::from_ohms(f64::INFINITY)) - 1.0).abs()
-                < 1e-12
+            (line.reflection_coefficient(Resistance::from_ohms(f64::INFINITY)) - 1.0).abs() < 1e-12
         );
         assert!((line.reflection_coefficient(Resistance::ZERO) + 1.0).abs() < 1e-12);
         assert!(line.is_matched(Resistance::from_ohms(50.2)));
@@ -218,12 +223,16 @@ mod tests {
         let line = paper_line(35.0);
         let r = step_settling(
             &line,
-            Resistance::from_ohms(10.0), // ρ_s = −2/3
+            Resistance::from_ohms(10.0),          // ρ_s = −2/3
             Resistance::from_ohms(f64::INFINITY), // ρ_l = 1
             Voltage::from_volts(5.0),
             0.05,
         );
-        assert!(r.transits >= 3, "expected ringing, got {} transits", r.transits);
+        assert!(
+            r.transits >= 3,
+            "expected ringing, got {} transits",
+            r.transits
+        );
         assert!(r.settling_time > line.delay * 4.0);
         // A strong driver into an open line overshoots on the first arrival
         // (launch · (1 + ρ_l) = 8.33 V against a 5 V final value).

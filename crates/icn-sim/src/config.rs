@@ -4,6 +4,9 @@ use icn_topology::StagePlan;
 use icn_workloads::Workload;
 use serde::{Deserialize, Serialize};
 
+use crate::error::SimError;
+use crate::fault::{FaultPlan, RetryPolicy};
+
 /// Which chip implementation's timing the modules use (§2.2/§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ChipModel {
@@ -92,6 +95,17 @@ pub struct SimConfig {
     /// Extra cycles after the measurement window to let tracked packets
     /// drain (injection continues, keeping back-pressure realistic).
     pub drain_cycles: u64,
+    /// Scheduled component failures (empty = fault-free, zero-cost).
+    #[serde(default)]
+    pub faults: FaultPlan,
+    /// Source-side timeout/retry behaviour for packets lost to faults.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+    /// Watchdog bound: terminate with a [`crate::StallReport`] if live
+    /// packets make no forward progress for this many cycles
+    /// (0 disables the watchdog).
+    #[serde(default)]
+    pub watchdog_cycles: u64,
 }
 
 impl SimConfig {
@@ -117,7 +131,12 @@ impl SimConfig {
     /// assert!(result.network_latency.min >= 29); // DMC unloaded floor
     /// ```
     #[must_use]
-    pub fn paper_baseline(plan: StagePlan, chip: ChipModel, width: u32, workload: Workload) -> Self {
+    pub fn paper_baseline(
+        plan: StagePlan,
+        chip: ChipModel,
+        width: u32,
+        workload: Workload,
+    ) -> Self {
         Self {
             plan,
             chip,
@@ -132,6 +151,9 @@ impl SimConfig {
             warmup_cycles: 2_000,
             measure_cycles: 10_000,
             drain_cycles: 20_000,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            watchdog_cycles: 10_000,
         }
     }
 
@@ -163,16 +185,33 @@ impl SimConfig {
         fill + self.flits_per_packet()
     }
 
-    /// Sanity-check the configuration.
+    /// Sanity-check the configuration, including the fault plan against
+    /// the network it targets.
     ///
-    /// # Panics
-    /// Panics on invalid parameters (zero width, zero packet, zero buffers,
-    /// or a measurement window of zero cycles).
-    pub fn validate(&self) {
-        assert!(self.width >= 1, "width must be at least 1");
-        assert!(self.packet_bits >= 1, "packets must carry at least one bit");
-        assert!(self.buffer_capacity >= 1, "each input needs at least one buffer");
-        assert!(self.measure_cycles >= 1, "measurement window must be non-empty");
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] on a parameter outside its
+    /// domain (zero width, zero packet, zero buffers, a measurement window
+    /// of zero cycles) and [`SimError::InvalidFault`] if the fault plan
+    /// names hardware the stage plan does not have.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn require(ok: bool, msg: &str) -> Result<(), SimError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SimError::InvalidConfig(msg.into()))
+            }
+        }
+        require(self.width >= 1, "width must be at least 1")?;
+        require(self.packet_bits >= 1, "packets must carry at least one bit")?;
+        require(
+            self.buffer_capacity >= 1,
+            "each input needs at least one buffer",
+        )?;
+        require(
+            self.measure_cycles >= 1,
+            "measurement window must be non-empty",
+        )?;
+        self.faults.validate(&self.plan)
     }
 }
 
@@ -199,12 +238,8 @@ mod tests {
         // Paper delay table at N=16, 3 stages: MCC W=1 → 16·3 + 100 = 148
         // cycles (14.8 µs at 10 MHz); DMC W=2 → 3·3 + 50 = 59 (5.9 µs).
         let plan = StagePlan::uniform(16, 3);
-        let mcc = SimConfig::paper_baseline(
-            plan.clone(),
-            ChipModel::Mcc,
-            1,
-            Workload::uniform(0.0),
-        );
+        let mcc =
+            SimConfig::paper_baseline(plan.clone(), ChipModel::Mcc, 1, Workload::uniform(0.0));
         assert_eq!(mcc.analytic_unloaded_cycles(), 148);
         let dmc = SimConfig::paper_baseline(plan, ChipModel::Dmc, 2, Workload::uniform(0.0));
         assert_eq!(dmc.analytic_unloaded_cycles(), 59);
@@ -227,5 +262,28 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn radix_one_head_latency_panics() {
         let _ = ChipModel::Mcc.head_latency(1, 1);
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        use crate::fault::{FaultEvent, FaultTarget};
+        let mut c = SimConfig::paper_baseline(
+            StagePlan::uniform(4, 2),
+            ChipModel::Mcc,
+            1,
+            Workload::uniform(0.0),
+        );
+        assert!(c.validate().is_ok());
+        c.width = 0;
+        assert!(matches!(c.validate(), Err(SimError::InvalidConfig(_))));
+        c.width = 1;
+        c.faults = FaultPlan::new(vec![FaultEvent::permanent(
+            FaultTarget::Module {
+                stage: 9,
+                module: 0,
+            },
+            0,
+        )]);
+        assert!(matches!(c.validate(), Err(SimError::InvalidFault(_))));
     }
 }

@@ -132,9 +132,7 @@ pub fn simulate_dmc(radix: u32, width: u32, packets: &[DmcPacket]) -> Vec<DmcTra
             let ready = flights
                 .iter_mut()
                 .enumerate()
-                .filter(|(_, f)| {
-                    f.output == out && f.granted_at.is_none() && f.setup_done <= now
-                })
+                .filter(|(_, f)| f.output == out && f.granted_at.is_none() && f.setup_done <= now)
                 .min_by_key(|(i, _)| *i);
             if let Some((i, flight)) = ready {
                 flight.granted_at = Some(now);
@@ -186,7 +184,12 @@ mod tests {
                 let t = simulate_dmc(
                     radix,
                     width,
-                    &[DmcPacket { input: 0, output: radix - 1, arrival: 0, flits: 25 }],
+                    &[DmcPacket {
+                        input: 0,
+                        output: radix - 1,
+                        arrival: 0,
+                        flits: 25,
+                    }],
                 );
                 assert_eq!(
                     t[0].head_latency(),
@@ -203,7 +206,12 @@ mod tests {
     #[test]
     fn permutation_is_concurrent() {
         let packets: Vec<DmcPacket> = (0..16)
-            .map(|i| DmcPacket { input: i, output: (i + 7) % 16, arrival: 0, flits: 10 })
+            .map(|i| DmcPacket {
+                input: i,
+                output: (i + 7) % 16,
+                arrival: 0,
+                flits: 10,
+            })
             .collect();
         for t in simulate_dmc(16, 4, &packets) {
             assert_eq!(t.mux_wait(), 0);
@@ -216,8 +224,18 @@ mod tests {
     fn output_contention_serializes_by_packet_time() {
         let flits = 10;
         let packets = vec![
-            DmcPacket { input: 2, output: 5, arrival: 0, flits },
-            DmcPacket { input: 9, output: 5, arrival: 0, flits },
+            DmcPacket {
+                input: 2,
+                output: 5,
+                arrival: 0,
+                flits,
+            },
+            DmcPacket {
+                input: 9,
+                output: 5,
+                arrival: 0,
+                flits,
+            },
         ];
         let t = simulate_dmc(16, 4, &packets);
         // Fixed priority: the lower input index wins.
@@ -231,7 +249,12 @@ mod tests {
         let t = simulate_dmc(
             16,
             2,
-            &[DmcPacket { input: 1, output: 3, arrival: 100, flits: 50 }],
+            &[DmcPacket {
+                input: 1,
+                output: 3,
+                arrival: 100,
+                flits: 50,
+            }],
         );
         assert_eq!(t[0].setup_done, 102);
         assert_eq!(t[0].head_out, 103);
@@ -241,6 +264,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_port_panics() {
-        let _ = simulate_dmc(4, 1, &[DmcPacket { input: 4, output: 0, arrival: 0, flits: 1 }]);
+        let _ = simulate_dmc(
+            4,
+            1,
+            &[DmcPacket {
+                input: 4,
+                output: 0,
+                arrival: 0,
+                flits: 1,
+            }],
+        );
     }
 }

@@ -25,13 +25,16 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use icn_topology::Topology;
 
 use std::collections::HashMap;
 
 use crate::config::{Arbitration, SimConfig};
+use crate::error::SimError;
+use crate::fault::{FaultState, Health, StallReport};
 use crate::metrics::{LatencyStats, SimResult, StageCounters};
 use crate::module::Stage;
 use crate::packet::Packet;
@@ -63,6 +66,55 @@ pub struct Delivery {
     pub tracked: bool,
 }
 
+/// A packet finally lost to a fault (retries exhausted or source dead),
+/// reported through [`Engine::take_drops`] when delivery collection is
+/// enabled, so closed-loop drivers can stop waiting for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DroppedPacket {
+    /// Packet id (as returned by [`Engine::inject`]).
+    pub id: u64,
+    /// Source port.
+    pub src: u32,
+    /// Destination port.
+    pub dest: u32,
+    /// Cycle the packet was generated.
+    pub injected_at: u64,
+    /// Cycle the loss became final.
+    pub dropped_at: u64,
+    /// How many retries it had consumed.
+    pub attempts: u32,
+    /// Whether the packet was statistics-tracked.
+    pub tracked: bool,
+}
+
+/// A fault-dropped packet waiting out its retry backoff; ordered by
+/// release cycle (then id, for determinism) in a min-heap.
+#[derive(Debug)]
+struct RetryEntry {
+    retry_at: u64,
+    packet: Packet,
+}
+
+impl PartialEq for RetryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.retry_at == other.retry_at && self.packet.id == other.packet.id
+    }
+}
+
+impl Eq for RetryEntry {}
+
+impl PartialOrd for RetryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RetryEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.retry_at, self.packet.id).cmp(&(other.retry_at, other.packet.id))
+    }
+}
+
 /// The simulation engine. See the module docs for the cycle structure.
 #[derive(Debug)]
 pub struct Engine {
@@ -91,19 +143,45 @@ pub struct Engine {
     collect_deliveries: bool,
     recent_deliveries: Vec<Delivery>,
     traces: HashMap<u64, PacketTrace>,
+    // Fault machinery (None for an empty fault plan: the zero-cost path).
+    faults: Option<Box<FaultState>>,
+    retry_queue: BinaryHeap<Reverse<RetryEntry>>,
+    dropped_total: u64,
+    tracked_dropped: u64,
+    retries_total: u64,
+    last_progress: u64,
+    stall: Option<StallReport>,
+    recent_drops: Vec<DroppedPacket>,
 }
 
 impl Engine {
     /// Build an engine for the given configuration.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+    /// Panics if the configuration is invalid (see [`SimConfig::validate`]);
+    /// use [`Engine::try_new`] for a typed error instead.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
-        config.validate();
+        match Self::try_new(config) {
+            Ok(engine) => engine,
+            Err(e) => panic!("invalid simulation config: {e}"),
+        }
+    }
+
+    /// Build an engine for the given configuration, reporting an invalid
+    /// configuration (including an invalid fault plan) as a typed error.
+    ///
+    /// # Errors
+    /// Returns whatever [`SimConfig::validate`] rejects.
+    pub fn try_new(config: SimConfig) -> Result<Self, SimError> {
+        config.validate()?;
         let topology = Topology::new(config.plan.clone());
         let flits = config.flits_per_packet();
-        let ready_offset = if config.cut_through { 0 } else { flits.saturating_sub(1) };
+        let ready_offset = if config.cut_through {
+            0
+        } else {
+            flits.saturating_sub(1)
+        };
         let stages = config
             .plan
             .radices()
@@ -117,10 +195,13 @@ impl Engine {
                 )
             })
             .collect();
-        let sources = (0..config.plan.ports()).map(|_| Source::default()).collect();
+        let sources = (0..config.plan.ports())
+            .map(|_| Source::default())
+            .collect();
         let stage_counters = vec![StageCounters::default(); config.plan.stages() as usize];
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
-        Self {
+        let faults = FaultState::build(&config.faults, &config.plan);
+        Ok(Self {
             topology,
             stages,
             sources,
@@ -144,8 +225,16 @@ impl Engine {
             collect_deliveries: false,
             recent_deliveries: Vec::new(),
             traces: HashMap::new(),
+            faults,
+            retry_queue: BinaryHeap::new(),
+            dropped_total: 0,
+            tracked_dropped: 0,
+            retries_total: 0,
+            last_progress: 0,
+            stall: None,
+            recent_drops: Vec::new(),
             config,
-        }
+        })
     }
 
     /// Current cycle.
@@ -186,6 +275,20 @@ impl Engine {
         std::mem::take(&mut self.recent_deliveries)
     }
 
+    /// Drain the final fault drops recorded since the last call (only
+    /// populated while delivery collection is enabled).
+    pub fn take_drops(&mut self) -> Vec<DroppedPacket> {
+        std::mem::take(&mut self.recent_drops)
+    }
+
+    /// The watchdog's stall report, if it has fired (see
+    /// [`SimConfig::watchdog_cycles`]). A stalled engine stops simulating:
+    /// [`Engine::run`] returns at the next loop check.
+    #[must_use]
+    pub fn stall(&self) -> Option<&StallReport> {
+        self.stall.as_ref()
+    }
+
     /// Stop automatic workload injection (manual [`Engine::inject`] still
     /// works). Used by closed-loop drivers to drain the network.
     pub fn stop_injection(&mut self) {
@@ -212,7 +315,34 @@ impl Engine {
     /// # Panics
     /// Panics if either port is out of range.
     pub fn inject_tracked(&mut self, src: u32, dest: u32, tracked: bool) -> u64 {
-        assert!(src < self.topology.ports(), "source {src} out of range");
+        match self.try_inject(src, dest, tracked) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Engine::inject_tracked`] with both ports validated up front and
+    /// reported as a typed error instead of a panic.
+    ///
+    /// # Errors
+    /// Returns [`SimError::PortOutOfRange`] if `src` or `dest` exceeds the
+    /// network's port count.
+    pub fn try_inject(&mut self, src: u32, dest: u32, tracked: bool) -> Result<u64, SimError> {
+        let ports = self.topology.ports();
+        if src >= ports {
+            return Err(SimError::PortOutOfRange {
+                role: "source",
+                port: src,
+                ports,
+            });
+        }
+        if dest >= ports {
+            return Err(SimError::PortOutOfRange {
+                role: "destination",
+                port: dest,
+                ports,
+            });
+        }
         let id = self.next_id;
         let packet = Packet {
             id,
@@ -221,11 +351,17 @@ impl Engine {
             tags: self.topology.routing_tags(dest),
             injected_at: self.now,
             entered_at: None,
+            attempts: 0,
             tracked,
         };
         self.next_id += 1;
         self.injected_total += 1;
         self.live_packets += 1;
+        if self.live_packets == 1 {
+            // The watchdog's progress timer is meaningless across an idle
+            // gap; restart it when the network goes from empty to busy.
+            self.last_progress = self.now;
+        }
         if tracked {
             self.tracked_injected += 1;
             self.pending_tracked += 1;
@@ -237,24 +373,30 @@ impl Engine {
         self.sources[src as usize].queue.push_back(packet);
         self.source_backlog += 1;
         self.peak_source_backlog = self.peak_source_backlog.max(self.source_backlog);
-        id
+        Ok(id)
     }
 
     /// Drain the event traces recorded so far (ordered by packet id).
     /// Tracing is enabled by setting [`SimConfig::trace_packets`].
     pub fn take_traces(&mut self) -> Vec<PacketTrace> {
-        let mut traces: Vec<PacketTrace> =
-            std::mem::take(&mut self.traces).into_values().collect();
+        let mut traces: Vec<PacketTrace> = std::mem::take(&mut self.traces).into_values().collect();
         traces.sort_by_key(|t| t.id);
         traces
     }
 
     /// Advance one clock cycle.
     pub fn step(&mut self) {
+        if let Some(faults) = self.faults.as_deref_mut() {
+            faults.apply(self.now);
+        }
         self.vacate_all();
+        self.release_retries();
         self.workload_inject();
         self.source_grants();
         self.module_grants();
+        self.check_watchdog();
+        #[cfg(debug_assertions)]
+        self.debug_assert_conservation();
         self.now += 1;
     }
 
@@ -266,6 +408,12 @@ impl Engine {
         let measure_end = self.config.warmup_cycles + self.config.measure_cycles;
         let hard_end = measure_end + self.config.drain_cycles;
         while self.now < hard_end {
+            // A fired watchdog means no forward progress is possible (or
+            // worth waiting for); stop with the diagnostic instead of
+            // spinning out the remaining drain budget.
+            if self.stall.is_some() {
+                break;
+            }
             if self.now >= measure_end && self.pending_tracked == 0 {
                 break;
             }
@@ -300,6 +448,15 @@ impl Engine {
             final_source_backlog: self.source_backlog,
             stage_counters: self.stage_counters,
             analytic_unloaded_cycles: self.config.analytic_unloaded_cycles(),
+            dropped_total: self.dropped_total,
+            tracked_dropped: self.tracked_dropped,
+            retries_total: self.retries_total,
+            live_at_end: self.live_packets,
+            unreachable_pairs: self
+                .faults
+                .as_deref()
+                .map_or(0, |f| f.unreachable_pairs(&self.topology)),
+            stall: self.stall,
         }
     }
 
@@ -329,9 +486,49 @@ impl Engine {
         }
     }
 
+    /// Move retry-backoff packets whose release cycle has arrived back to
+    /// their source queues (in deterministic release/id order).
+    fn release_retries(&mut self) {
+        let now = self.now;
+        while self
+            .retry_queue
+            .peek()
+            .is_some_and(|Reverse(entry)| entry.retry_at <= now)
+        {
+            let Reverse(entry) = self.retry_queue.pop().expect("peeked non-empty");
+            self.sources[entry.packet.src as usize]
+                .queue
+                .push_back(entry.packet);
+            self.source_backlog += 1;
+            self.peak_source_backlog = self.peak_source_backlog.max(self.source_backlog);
+            self.last_progress = now;
+        }
+    }
+
     fn source_grants(&mut self) {
         let now = self.now;
+        let mut drops: Vec<Packet> = Vec::new();
         for line in 0..self.topology.ports() {
+            match self
+                .faults
+                .as_deref()
+                .map_or(Health::Up, |f| f.source_health(line, now))
+            {
+                Health::Up => {}
+                // A transiently failed source just pauses; its queue keeps.
+                Health::TransientDown => continue,
+                // A permanently dead source can never send again: its whole
+                // queue is lost, with no retry (there is nothing to retry
+                // from).
+                Health::PermanentDown => {
+                    let source = &mut self.sources[line as usize];
+                    while let Some(packet) = source.queue.pop_front() {
+                        self.source_backlog -= 1;
+                        drops.push(packet);
+                    }
+                    continue;
+                }
+            }
             let source = &mut self.sources[line as usize];
             if source.queue.is_empty() || source.busy_until > now {
                 continue;
@@ -349,21 +546,29 @@ impl Engine {
                 trace.entered_at = Some(now);
             }
             input.push(packet, now);
+            self.last_progress = now;
+        }
+        for packet in drops {
+            self.finalize_drop(packet);
         }
     }
 
     fn module_grants(&mut self) {
         for stage_idx in 0..self.stages.len() {
-            let deliveries = self.grant_stage(stage_idx);
+            let (deliveries, drops) = self.grant_stage(stage_idx);
             for (packet, out_line, delivered_at) in deliveries {
                 self.deliver(packet, out_line, delivered_at);
+            }
+            for packet in drops {
+                self.drop_packet(packet);
             }
         }
     }
 
     /// Arbitrate and grant every free output of stage `stage_idx`; returns
-    /// the packets that left the network this cycle (last stage only).
-    fn grant_stage(&mut self, stage_idx: usize) -> Vec<(Packet, u32, u64)> {
+    /// the packets that left the network this cycle (last stage only) and
+    /// the packets dropped by permanent faults in this stage.
+    fn grant_stage(&mut self, stage_idx: usize) -> (Vec<(Packet, u32, u64)>, Vec<Packet>) {
         let now = self.now;
         let flits = self.flits;
         let ready_offset = self.ready_offset;
@@ -371,6 +576,8 @@ impl Engine {
         let is_last = stage_idx + 1 == self.stages.len();
 
         let mut deliveries = Vec::new();
+        let mut drops: Vec<Packet> = Vec::new();
+        let faults = self.faults.as_deref();
         let (left, right) = self.stages.split_at_mut(stage_idx + 1);
         let stage = &mut left[stage_idx];
         let mut next_stage = right.first_mut();
@@ -379,7 +586,67 @@ impl Engine {
         let counters = &mut self.stage_counters[stage_idx];
 
         for (module_idx, module) in stage.modules.iter_mut().enumerate() {
+            match faults.map_or(Health::Up, |f| {
+                f.module_health(stage_idx as u32, module_idx as u32, now)
+            }) {
+                Health::Up => {}
+                // A transiently failed module refuses all grants: ready
+                // heads wait it out under ordinary back-pressure.
+                Health::TransientDown => {
+                    for in_port in 0..radix {
+                        if module.inputs[in_port as usize]
+                            .requesting_head(now, ready_offset)
+                            .is_some()
+                        {
+                            counters.blocked_fault += 1;
+                        }
+                    }
+                    continue;
+                }
+                // A permanently dead module severs the unique path of every
+                // packet inside it: drain each input's ready heads as drops.
+                // (Heads arriving later drop on the cycle they become ready.)
+                Health::PermanentDown => {
+                    for in_port in 0..radix {
+                        let input = &mut module.inputs[in_port as usize];
+                        while input.requesting_head(now, ready_offset).is_some() {
+                            drops.push(input.drop_front());
+                            counters.dropped += 1;
+                        }
+                    }
+                    continue;
+                }
+            }
             for out_port in 0..radix {
+                let out_line = module_idx as u32 * radix + out_port;
+                match faults.map_or(Health::Up, |f| {
+                    f.link_health(stage_idx as u32, out_line, now)
+                }) {
+                    Health::Up => {}
+                    Health::TransientDown => {
+                        if module.inputs.iter().any(|input| {
+                            input
+                                .requesting_head(now, ready_offset)
+                                .is_some_and(|p| p.tag(stage_idx as u32) == out_port)
+                        }) {
+                            counters.blocked_fault += 1;
+                        }
+                        continue;
+                    }
+                    Health::PermanentDown => {
+                        for in_port in 0..radix {
+                            let input = &mut module.inputs[in_port as usize];
+                            while input
+                                .requesting_head(now, ready_offset)
+                                .is_some_and(|p| p.tag(stage_idx as u32) == out_port)
+                            {
+                                drops.push(input.drop_front());
+                                counters.dropped += 1;
+                            }
+                        }
+                        continue;
+                    }
+                }
                 // Collect ready heads requesting this output.
                 let mut candidates: Vec<u32> = Vec::new();
                 let mut output_was_busy = false;
@@ -404,7 +671,6 @@ impl Engine {
                 }
 
                 // Back-pressure: the downstream buffer must accept a packet.
-                let out_line = module_idx as u32 * radix + out_port;
                 if let Some(next) = next_stage.as_ref() {
                     let (dm, dp) = self.topology.stage_input(stage_idx as u32 + 1, out_line);
                     let downstream = &next.modules[dm as usize].inputs[dp as usize];
@@ -430,11 +696,11 @@ impl Engine {
                 output.rr_next = (winner + 1) % radix;
                 output.busy_until = now + head_latency + flits;
                 counters.grants += 1;
+                self.last_progress = now;
                 // Count the losers as output-busy blocked for this cycle.
                 counters.blocked_output_busy += (candidates.len() - 1) as u64;
 
-                let packet =
-                    module.inputs[winner as usize].grant_front(now + flits);
+                let packet = module.inputs[winner as usize].grant_front(now + flits);
                 let head_arrival = now + head_latency;
                 if let Some(trace) = self.traces.get_mut(&packet.id) {
                     trace.hops.push(HopTrace {
@@ -448,8 +714,7 @@ impl Engine {
                 }
                 match next_stage.as_deref_mut() {
                     Some(next) if !is_last => {
-                        let (dm, dp) =
-                            self.topology.stage_input(stage_idx as u32 + 1, out_line);
+                        let (dm, dp) = self.topology.stage_input(stage_idx as u32 + 1, out_line);
                         next.modules[dm as usize].inputs[dp as usize].push(packet, head_arrival);
                     }
                     _ => {
@@ -459,7 +724,7 @@ impl Engine {
                 }
             }
         }
-        deliveries
+        (deliveries, drops)
     }
 
     fn deliver(&mut self, packet: Packet, out_line: u32, delivered_at: u64) {
@@ -497,6 +762,116 @@ impl Engine {
                 .expect("delivered packets have entered the network");
             self.latencies_net.push(delivered_at - entered);
         }
+    }
+
+    /// Handle a packet dropped by a fault: re-offer it through its source
+    /// if it has retry budget left (and the source is alive), otherwise
+    /// make the loss final.
+    fn drop_packet(&mut self, mut packet: Packet) {
+        let source_dead = self.faults.as_deref().is_some_and(|f| {
+            matches!(f.source_health(packet.src, self.now), Health::PermanentDown)
+        });
+        if !source_dead && packet.attempts < self.config.retry.max_retries {
+            packet.attempts += 1;
+            packet.entered_at = None;
+            let retry_at = self.now + self.config.retry.backoff(packet.attempts - 1);
+            self.retries_total += 1;
+            self.last_progress = self.now;
+            self.retry_queue
+                .push(Reverse(RetryEntry { retry_at, packet }));
+        } else {
+            self.finalize_drop(packet);
+        }
+    }
+
+    /// Account a final fault loss. Counts as forward progress for the
+    /// watchdog: the network's state changed, and the conservation sum
+    /// still closes.
+    fn finalize_drop(&mut self, packet: Packet) {
+        self.dropped_total += 1;
+        self.live_packets -= 1;
+        self.last_progress = self.now;
+        if packet.tracked {
+            self.tracked_dropped += 1;
+            self.pending_tracked -= 1;
+        }
+        if let Some(trace) = self.traces.get_mut(&packet.id) {
+            trace.dropped_at = Some(self.now);
+        }
+        if self.collect_deliveries {
+            self.recent_drops.push(DroppedPacket {
+                id: packet.id,
+                src: packet.src,
+                dest: packet.dest,
+                injected_at: packet.injected_at,
+                dropped_at: self.now,
+                attempts: packet.attempts,
+                tracked: packet.tracked,
+            });
+        }
+    }
+
+    /// Fire the watchdog if live packets have made no forward progress
+    /// (grant, delivery, final drop, or retry release) for the configured
+    /// bound. Packets waiting out a retry backoff are *scheduled* to be
+    /// idle and do not count as wedged.
+    fn check_watchdog(&mut self) {
+        let bound = self.config.watchdog_cycles;
+        if bound == 0 || self.stall.is_some() {
+            return;
+        }
+        let retry_waiting = self.retry_queue.len() as u64;
+        if self.live_packets <= retry_waiting {
+            return;
+        }
+        if self.now.saturating_sub(self.last_progress) < bound {
+            return;
+        }
+        self.stall = Some(StallReport {
+            at_cycle: self.now,
+            last_progress_cycle: self.last_progress,
+            live_packets: self.live_packets,
+            retry_waiting,
+            source_backlog: self.source_backlog,
+            stage_occupancy: self
+                .stages
+                .iter()
+                .map(|stage| {
+                    stage
+                        .modules
+                        .iter()
+                        .flat_map(|m| &m.inputs)
+                        .map(|input| input.queue.len() as u64)
+                        .sum()
+                })
+                .collect(),
+        });
+    }
+
+    /// The conservation invariant, checked every cycle in debug builds:
+    /// every packet ever injected is delivered, finally dropped, or still
+    /// live — for the full population and the tracked subset — and the
+    /// source-backlog counter matches the queues it summarizes.
+    #[cfg(debug_assertions)]
+    fn debug_assert_conservation(&self) {
+        debug_assert_eq!(
+            self.injected_total,
+            self.delivered_total + self.dropped_total + self.live_packets,
+            "packet conservation violated at cycle {}",
+            self.now
+        );
+        debug_assert_eq!(
+            self.tracked_injected,
+            self.tracked_delivered + self.tracked_dropped + self.pending_tracked,
+            "tracked-packet conservation violated at cycle {}",
+            self.now
+        );
+        let queued: u64 = self.sources.iter().map(|s| s.queue.len() as u64).sum();
+        debug_assert_eq!(
+            queued, self.source_backlog,
+            "source backlog drifted at {}",
+            self.now
+        );
     }
 }
 
@@ -548,22 +923,14 @@ mod tests {
     #[test]
     fn packet_conservation_under_load() {
         let plan = StagePlan::uniform(4, 3); // 64 ports
-        let mut c = SimConfig::paper_baseline(
-            plan,
-            ChipModel::Dmc,
-            4,
-            Workload::uniform(0.02),
-        );
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(0.02));
         c.warmup_cycles = 500;
         c.measure_cycles = 3_000;
         c.drain_cycles = 60_000;
         c.seed = 7;
         let result = Engine::new(c).run();
         assert!(result.tracked_injected > 0);
-        assert_eq!(
-            result.tracked_lost, 0,
-            "tracked packets lost: {result:?}"
-        );
+        assert_eq!(result.tracked_lost, 0, "tracked packets lost: {result:?}");
         assert_eq!(result.tracked_delivered, result.tracked_injected);
     }
 
@@ -572,12 +939,7 @@ mod tests {
     #[test]
     fn vanishing_load_approaches_analytic_delay() {
         let plan = StagePlan::uniform(4, 2);
-        let mut c = SimConfig::paper_baseline(
-            plan,
-            ChipModel::Dmc,
-            4,
-            Workload::uniform(0.001),
-        );
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(0.001));
         c.warmup_cycles = 200;
         c.measure_cycles = 30_000;
         c.drain_cycles = 30_000;
@@ -622,7 +984,11 @@ mod tests {
         }
         let result = engine.run();
         assert_eq!(result.tracked_delivered, 4);
-        let blocked: u64 = result.stage_counters.iter().map(StageCounters::blocked).sum();
+        let blocked: u64 = result
+            .stage_counters
+            .iter()
+            .map(StageCounters::blocked)
+            .sum();
         assert!(blocked > 0, "expected contention counters to fire");
         // Packets serialized on the final output: spread ≥ 3 packet times.
         let spread = result.network_latency.max - result.network_latency.min;
@@ -660,12 +1026,7 @@ mod tests {
     #[test]
     fn same_seed_same_result() {
         let plan = StagePlan::uniform(4, 2);
-        let mut c = SimConfig::paper_baseline(
-            plan,
-            ChipModel::Mcc,
-            4,
-            Workload::uniform(0.05),
-        );
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Mcc, 4, Workload::uniform(0.05));
         c.warmup_cycles = 100;
         c.measure_cycles = 2_000;
         c.drain_cycles = 20_000;
@@ -681,17 +1042,15 @@ mod tests {
     #[test]
     fn full_load_saturates() {
         let plan = StagePlan::uniform(4, 2);
-        let mut c = SimConfig::paper_baseline(
-            plan,
-            ChipModel::Mcc,
-            4,
-            Workload::uniform(1.0),
-        );
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Mcc, 4, Workload::uniform(1.0));
         c.warmup_cycles = 200;
         c.measure_cycles = 2_000;
         c.drain_cycles = 0;
         let result = Engine::new(c).run();
-        assert!(result.final_source_backlog > 0, "expected saturation backlog");
+        assert!(
+            result.final_source_backlog > 0,
+            "expected saturation backlog"
+        );
         assert!(result.throughput < 0.05, "flit-serialized throughput bound");
     }
 
@@ -727,8 +1086,10 @@ mod tests {
         let expected = Topology::new(plan).route(11, 50);
         assert_eq!(trace.hops.len(), expected.hops.len());
         for (got, want) in trace.hops.iter().zip(&expected.hops) {
-            assert_eq!((got.stage, got.module, got.in_port, got.out_port),
-                (want.stage, want.module, want.in_port, want.out_port));
+            assert_eq!(
+                (got.stage, got.module, got.in_port, got.out_port),
+                (want.stage, want.module, want.in_port, want.out_port)
+            );
         }
         // Grant spacing is exactly the head latency; delivery is the last
         // head-out plus the packet transfer time.

@@ -26,6 +26,15 @@
 //! expressions **cycle-exactly** (this is asserted in tests and used as the
 //! validation anchor for experiment E4); under load it measures everything
 //! the paper set aside — queueing, blocking, saturation, hot spots.
+//!
+//! The simulator also models **faults and graceful degradation** (see
+//! [`FaultPlan`]): deterministic, seed-replayable permanent or transient
+//! failures of modules, links, and source ports; source-side timeout/retry
+//! with bounded exponential backoff ([`RetryPolicy`]); and a watchdog that
+//! terminates wedged runs with a [`StallReport`] instead of spinning.
+//! Every run satisfies the conservation invariant
+//! `injected == delivered + dropped + live`
+//! (see [`SimResult::conservation_ok`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +42,8 @@
 mod config;
 pub mod dmux;
 mod engine;
+mod error;
+mod fault;
 pub mod mesh;
 mod metrics;
 mod module;
@@ -42,9 +53,14 @@ mod runner;
 mod trace;
 
 pub use config::{Arbitration, ChipModel, SimConfig};
-pub use engine::{Delivery, Engine};
+pub use engine::{Delivery, DroppedPacket, Engine};
+pub use error::SimError;
+pub use fault::{FaultEvent, FaultPlan, FaultTarget, RetryPolicy, StallReport};
 pub use metrics::{LatencyStats, SimResult, StageCounters};
 pub use packet::{Packet, PacketStatus};
 pub use roundtrip::{run_roundtrip, RoundTripConfig, RoundTripResult};
-pub use runner::{run, run_parallel, run_trace, LoadSweepPoint, sweep_load};
+pub use runner::{
+    run, run_parallel, run_trace, sweep_load, sweep_module_failures, FaultSweepPoint,
+    LoadSweepPoint,
+};
 pub use trace::{HopTrace, PacketTrace};

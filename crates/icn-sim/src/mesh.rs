@@ -58,7 +58,10 @@ impl MeshTransit {
 /// Panics if `row` or `col` is out of range.
 #[must_use]
 pub fn path_crosspoints(n: u32, row: u32, col: u32) -> u32 {
-    assert!(row < n && col < n, "row/col out of range for an {n}x{n} mesh");
+    assert!(
+        row < n && col < n,
+        "row/col out of range for an {n}x{n} mesh"
+    );
     (col + 1) + (n - 1 - row)
 }
 
@@ -275,7 +278,12 @@ mod tests {
         for (row, col) in [(0u32, 0u32), (0, 15), (15, 0), (7, 9), (3, 12)] {
             let t = simulate_mesh(
                 16,
-                &[MeshPacket { row, col, arrival: 0, flits: 25 }],
+                &[MeshPacket {
+                    row,
+                    col,
+                    arrival: 0,
+                    flits: 25,
+                }],
             );
             assert_eq!(t.len(), 1);
             let expected = u64::from(path_crosspoints(16, row, col));
@@ -291,13 +299,21 @@ mod tests {
     fn identity_permutation_is_concurrent() {
         let n = 8u32;
         let packets: Vec<MeshPacket> = (0..n)
-            .map(|r| MeshPacket { row: r, col: r, arrival: 0, flits: 10 })
+            .map(|r| MeshPacket {
+                row: r,
+                col: r,
+                arrival: 0,
+                flits: 10,
+            })
             .collect();
         let transits = simulate_mesh(n, &packets);
         // Paths (r → col r) pairwise share no link: row r's east run is in
         // row r, the south run is in column r entered from row r.
         for t in &transits {
-            assert_eq!(t.head_latency(), u64::from(path_crosspoints(n, t.row, t.col)));
+            assert_eq!(
+                t.head_latency(),
+                u64::from(path_crosspoints(n, t.row, t.col))
+            );
         }
     }
 
@@ -309,8 +325,18 @@ mod tests {
         let n = 8u32;
         let flits = 10;
         let packets = vec![
-            MeshPacket { row: 0, col: 4, arrival: 0, flits },
-            MeshPacket { row: 1, col: 4, arrival: 0, flits },
+            MeshPacket {
+                row: 0,
+                col: 4,
+                arrival: 0,
+                flits,
+            },
+            MeshPacket {
+                row: 1,
+                col: 4,
+                arrival: 0,
+                flits,
+            },
         ];
         let t = simulate_mesh(n, &packets);
         let unblocked_0 = u64::from(path_crosspoints(n, 0, 4));
@@ -333,8 +359,18 @@ mod tests {
         let n = 4u32;
         let flits = 6;
         let packets = vec![
-            MeshPacket { row: 2, col: 0, arrival: 0, flits },
-            MeshPacket { row: 2, col: 1, arrival: 0, flits },
+            MeshPacket {
+                row: 2,
+                col: 0,
+                arrival: 0,
+                flits,
+            },
+            MeshPacket {
+                row: 2,
+                col: 1,
+                arrival: 0,
+                flits,
+            },
         ];
         let t = simulate_mesh(n, &packets);
         assert!(t[1].head_in >= t[0].head_in + flits);
@@ -347,7 +383,12 @@ mod tests {
         let n = 16u32;
         let worst = simulate_mesh(
             n,
-            &[MeshPacket { row: 0, col: n - 1, arrival: 0, flits: 1 }],
+            &[MeshPacket {
+                row: 0,
+                col: n - 1,
+                arrival: 0,
+                flits: 1,
+            }],
         );
         assert_eq!(worst[0].head_latency(), u64::from(2 * n - 1));
     }
@@ -355,6 +396,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_packet_panics() {
-        let _ = simulate_mesh(4, &[MeshPacket { row: 4, col: 0, arrival: 0, flits: 1 }]);
+        let _ = simulate_mesh(
+            4,
+            &[MeshPacket {
+                row: 4,
+                col: 0,
+                arrival: 0,
+                flits: 1,
+            }],
+        );
     }
 }

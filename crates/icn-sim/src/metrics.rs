@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::StallReport;
+
 /// Summary statistics over a set of latencies (in cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct LatencyStats {
@@ -58,13 +60,22 @@ pub struct StageCounters {
     /// Request-cycles a ready head spent waiting on a full downstream
     /// buffer (the buffer-full back-pressure of §2.1).
     pub blocked_downstream_full: u64,
+    /// Request-cycles a ready head spent blocked by a transiently failed
+    /// module or link in this stage.
+    #[serde(default)]
+    pub blocked_fault: u64,
+    /// Packet-drop events in this stage (unique onward path permanently
+    /// severed). A packet that is retried and fails again counts once per
+    /// failure, so this can exceed the run's final-loss total.
+    #[serde(default)]
+    pub dropped: u64,
 }
 
 impl StageCounters {
     /// Total blocked request-cycles.
     #[must_use]
     pub fn blocked(&self) -> u64 {
-        self.blocked_output_busy + self.blocked_downstream_full
+        self.blocked_output_busy + self.blocked_downstream_full + self.blocked_fault
     }
 }
 
@@ -86,7 +97,8 @@ pub struct SimResult {
     pub tracked_injected: u64,
     /// Tracked packets delivered before the run ended.
     pub tracked_delivered: u64,
-    /// Tracked packets still undelivered at the end (saturation indicator).
+    /// Tracked packets still live at the end — neither delivered nor
+    /// fault-dropped (saturation indicator).
     pub tracked_lost: u64,
     /// Deliveries whose completion fell inside the measurement window
     /// (basis of the throughput figure).
@@ -105,6 +117,28 @@ pub struct SimResult {
     pub stage_counters: Vec<StageCounters>,
     /// The paper's §4 unloaded prediction for this configuration, in cycles.
     pub analytic_unloaded_cycles: u64,
+    /// Packets finally dropped by faults (after exhausting any retries).
+    #[serde(default)]
+    pub dropped_total: u64,
+    /// Of those, packets generated inside the measurement window.
+    #[serde(default)]
+    pub tracked_dropped: u64,
+    /// Fault-dropped packets re-offered by their sources (retry events,
+    /// not distinct packets).
+    #[serde(default)]
+    pub retries_total: u64,
+    /// Packets still alive (queued, buffered, or awaiting retry) when the
+    /// run ended.
+    #[serde(default)]
+    pub live_at_end: u64,
+    /// (src, dest) pairs whose unique path crosses a permanently failed
+    /// component — connectivity lost to faults, out of `ports²`.
+    #[serde(default)]
+    pub unreachable_pairs: u64,
+    /// Set if the watchdog terminated the run: live packets made no
+    /// forward progress for the configured bound.
+    #[serde(default)]
+    pub stall: Option<StallReport>,
 }
 
 impl SimResult {
@@ -127,6 +161,28 @@ impl SimResult {
             return f64::NAN;
         }
         self.network_latency.mean / self.analytic_unloaded_cycles as f64
+    }
+
+    /// The conservation invariant: every packet ever injected is either
+    /// delivered, finally dropped by a fault, or still alive at the end —
+    /// for the full population and for the tracked subset. The engine
+    /// debug-asserts this every cycle; results carry it so callers (and
+    /// CI) can check it on release builds too.
+    #[must_use]
+    pub fn conservation_ok(&self) -> bool {
+        self.injected_total == self.delivered_total + self.dropped_total + self.live_at_end
+            && self.tracked_injected
+                == self.tracked_delivered + self.tracked_dropped + self.tracked_lost
+    }
+
+    /// Fraction of tracked packets finally dropped by faults.
+    #[must_use]
+    pub fn drop_ratio(&self) -> f64 {
+        if self.tracked_injected == 0 {
+            0.0
+        } else {
+            self.tracked_dropped as f64 / self.tracked_injected as f64
+        }
     }
 }
 
@@ -171,7 +227,13 @@ mod tests {
 
     #[test]
     fn counters_sum() {
-        let c = StageCounters { grants: 5, blocked_output_busy: 2, blocked_downstream_full: 3 };
-        assert_eq!(c.blocked(), 5);
+        let c = StageCounters {
+            grants: 5,
+            blocked_output_busy: 2,
+            blocked_downstream_full: 3,
+            blocked_fault: 4,
+            dropped: 1,
+        };
+        assert_eq!(c.blocked(), 9);
     }
 }

@@ -74,7 +74,24 @@ impl InputPort {
 
     /// Accept a packet (reservation) whose head arrives at `head_arrival`.
     pub fn push(&mut self, packet: Packet, head_arrival: u64) {
-        self.queue.push_back(Slot { packet, head_arrival, granted: false, vacate_at: 0 });
+        self.queue.push_back(Slot {
+            packet,
+            head_arrival,
+            granted: false,
+            vacate_at: 0,
+        });
+    }
+
+    /// Remove and return the front packet without granting it — the
+    /// fault path for a packet whose onward route is permanently severed.
+    ///
+    /// # Panics
+    /// Panics if the port is empty; debug-asserts the front was not
+    /// already granted (a granted head is mid-transfer, not droppable).
+    pub fn drop_front(&mut self) -> Packet {
+        let slot = self.queue.pop_front().expect("drop on empty input port");
+        debug_assert!(!slot.granted, "dropped a granted (in-transfer) packet");
+        slot.packet
     }
 }
 
@@ -140,8 +157,19 @@ mod tests {
             tags: vec![0],
             injected_at: 0,
             entered_at: None,
+            attempts: 0,
             tracked: false,
         }
+    }
+
+    #[test]
+    fn drop_front_removes_ungranted_head() {
+        let mut port = InputPort::default();
+        port.push(packet(3), 0);
+        port.push(packet(4), 0);
+        let dropped = port.drop_front();
+        assert_eq!(dropped.id, 3);
+        assert_eq!(port.requesting_head(0, 0).unwrap().id, 4);
     }
 
     #[test]

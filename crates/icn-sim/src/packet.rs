@@ -35,6 +35,9 @@ pub struct Packet {
     pub injected_at: u64,
     /// Cycle the packet's head entered the first-stage buffer.
     pub entered_at: Option<u64>,
+    /// How many times this packet has been dropped by a fault and
+    /// re-offered by its source (see [`crate::RetryPolicy`]).
+    pub attempts: u32,
     /// Whether this packet was generated inside the measurement window and
     /// therefore contributes to statistics.
     pub tracked: bool,
@@ -64,6 +67,7 @@ mod tests {
             tags: vec![2, 1],
             injected_at: 5,
             entered_at: None,
+            attempts: 0,
             tracked: true,
         };
         assert_eq!(p.tag(0), 2);

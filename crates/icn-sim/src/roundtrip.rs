@@ -27,7 +27,9 @@ use crate::metrics::{LatencyStats, SimResult};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundTripConfig {
     /// Network configuration; the workload drives *request* injection, and
-    /// an identical (reversed-role) network carries replies.
+    /// an identical (reversed-role) network carries replies. Any fault
+    /// plan applies to *both* networks (symmetric degradation: the paper's
+    /// request and reply networks are physically identical twins).
     pub net: SimConfig,
     /// Memory access latency in clock cycles (§6's 200 ns is about 6–7
     /// cycles at 32 MHz).
@@ -54,6 +56,11 @@ pub struct RoundTripResult {
     pub tracked_requests: u64,
     /// Round trips completed for tracked requests.
     pub tracked_completed: u64,
+    /// Tracked round trips that can never complete: the request or the
+    /// reply was finally dropped by a fault. The closed-loop driver stops
+    /// waiting for these (a dropped request must not wedge the drain).
+    #[serde(default)]
+    pub tracked_failed: u64,
     /// Request-injection → reply-delivery latency (cycles).
     pub round_trip_latency: LatencyStats,
     /// Unloaded analytic round trip (cycles) for comparison.
@@ -116,7 +123,9 @@ struct PendingAccess {
 /// Panics if the configuration is invalid.
 #[must_use]
 pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
-    config.net.validate();
+    if let Err(e) = config.net.validate() {
+        panic!("invalid round-trip configuration: {e}");
+    }
     let ports = config.net.plan.ports();
 
     let mut fwd = Engine::new(config.net.clone());
@@ -126,8 +135,7 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
     fwd.collect_deliveries(true);
     rev.collect_deliveries(true);
 
-    let mut memories: Vec<MemoryModule> =
-        (0..ports).map(|_| MemoryModule::default()).collect();
+    let mut memories: Vec<MemoryModule> = (0..ports).map(|_| MemoryModule::default()).collect();
     // Deliveries are reported by the engine at grant time with a future
     // tail-arrival timestamp; requests reach memory only at that timestamp.
     // The last stage's latency is constant, so this queue stays
@@ -141,6 +149,7 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
     let mut samples: Vec<u64> = Vec::new();
     let mut tracked_requests = 0u64;
     let mut tracked_completed = 0u64;
+    let mut tracked_failed = 0u64;
     let mut outstanding_tracked = 0u64;
 
     let measure_end = config.net.warmup_cycles + config.net.measure_cycles;
@@ -159,9 +168,23 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
             // Stop offering new requests so the tracked population drains.
             fwd.stop_injection();
         }
+        // If either network's watchdog fired, no forward progress is
+        // coming: stop with whatever completed (the stall reports ride
+        // along in the per-network results).
+        if fwd.stall().is_some() || rev.stall().is_some() {
+            break;
+        }
         // 1. Advance the request network one cycle.
         fwd.step();
-        // 2a. Collect deliveries (timestamped with their tail arrival).
+        // 2a. A finally dropped request can never produce a reply; count
+        //     the round trip as failed rather than waiting forever. (The
+        //     engine already removed it from its pending-tracked set.)
+        for d in fwd.take_drops() {
+            if d.tracked {
+                tracked_failed += 1;
+            }
+        }
+        // 2b. Collect deliveries (timestamped with their tail arrival).
         for d in fwd.take_deliveries() {
             if d.tracked {
                 tracked_requests += 1;
@@ -177,13 +200,15 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
                 },
             ));
         }
-        // 2b. Requests whose tails have arrived enter the service queues.
+        // 2c. Requests whose tails have arrived enter the service queues.
         while let Some(&(at, access)) = arriving.front() {
             if at > now {
                 break;
             }
             arriving.pop_front();
-            memories[access.memory_port as usize].queue.push_back(access);
+            memories[access.memory_port as usize]
+                .queue
+                .push_back(access);
         }
         // 3. Memory modules start accesses respecting their service rate.
         //    (in_flight stays completion-ordered because memory_cycles is
@@ -211,12 +236,21 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
             in_flight.pop_front();
             // The reply travels from the memory module back to the
             // requesting processor through the reverse network.
-            let id =
-                rev.inject_tracked(access.memory_port, access.reply_dest, access.tracked);
+            let id = rev.inject_tracked(access.memory_port, access.reply_dest, access.tracked);
             reply_meta.insert(id, (access.request_injected_at, access.tracked));
         }
         // 5. Advance the reply network.
         rev.step();
+        // A finally dropped reply orphans its round trip: the requester
+        // will never hear back. Fail it so the drain can still finish.
+        for d in rev.take_drops() {
+            if let Some((_, tracked)) = reply_meta.remove(&d.id) {
+                if tracked {
+                    tracked_failed += 1;
+                    outstanding_tracked -= 1;
+                }
+            }
+        }
         for d in rev.take_deliveries() {
             if let Some((request_at, tracked)) = reply_meta.remove(&d.id) {
                 if tracked {
@@ -232,6 +266,7 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
     RoundTripResult {
         tracked_requests,
         tracked_completed,
+        tracked_failed,
         round_trip_latency: LatencyStats::from_samples(samples),
         analytic_unloaded_cycles: config.analytic_unloaded_cycles(),
         forward: fwd.finish(),
@@ -248,16 +283,15 @@ mod tests {
 
     fn base(load: f64) -> RoundTripConfig {
         let plan = StagePlan::uniform(4, 2); // 16 ports
-        let mut net = SimConfig::paper_baseline(
-            plan,
-            ChipModel::Dmc,
-            4,
-            Workload::uniform(load),
-        );
+        let mut net = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(load));
         net.warmup_cycles = 200;
         net.measure_cycles = 2_000;
         net.drain_cycles = 60_000;
-        RoundTripConfig { net, memory_cycles: 7, memory_service_cycles: 0 }
+        RoundTripConfig {
+            net,
+            memory_cycles: 7,
+            memory_service_cycles: 0,
+        }
     }
 
     /// A conflict-free burst (identity traffic: processor i reads memory i)
@@ -307,6 +341,34 @@ mod tests {
             heavy.round_trip_latency.mean,
             light.round_trip_latency.mean
         );
+    }
+
+    /// With a permanently dead module, dropped requests and orphaned
+    /// replies are failed — the closed loop drains instead of waiting
+    /// forever for round trips that can never complete.
+    #[test]
+    fn dropped_round_trips_do_not_wedge_the_closed_loop() {
+        use crate::fault::{FaultEvent, FaultPlan, FaultTarget};
+        let mut config = base(0.01);
+        // Stage-1 module 2 serves destinations 8..12 exclusively; killing
+        // it (in both directions) severs requests to those memories and
+        // replies to those processors.
+        config.net.faults = FaultPlan::new(vec![FaultEvent::permanent(
+            FaultTarget::Module {
+                stage: 1,
+                module: 2,
+            },
+            0,
+        )]);
+        let result = run_roundtrip(config);
+        assert!(result.tracked_failed > 0, "expected failed round trips");
+        assert!(
+            result.tracked_completed > 0,
+            "unaffected pairs must still complete"
+        );
+        assert!(result.forward.conservation_ok(), "{:?}", result.forward);
+        assert!(result.reverse.conservation_ok(), "{:?}", result.reverse);
+        assert_eq!(result.forward.unreachable_pairs, 64);
     }
 
     /// A slow single-ported memory serializes colocated requests.

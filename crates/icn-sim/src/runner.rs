@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
 use crate::engine::Engine;
+use crate::fault::FaultPlan;
 use crate::metrics::SimResult;
 
 /// Run one configuration to completion.
@@ -120,7 +121,49 @@ pub fn sweep_load(base: &SimConfig, loads: &[f64]) -> Vec<LoadSweepPoint> {
     run_parallel(configs)
         .into_iter()
         .zip(loads)
-        .map(|(result, &offered_load)| LoadSweepPoint { offered_load, result })
+        .map(|(result, &offered_load)| LoadSweepPoint {
+            offered_load,
+            result,
+        })
+        .collect()
+}
+
+/// One point of a module-failure sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweepPoint {
+    /// How many modules were permanently failed (from cycle 0).
+    pub failed_modules: u32,
+    /// The full result at this failure count.
+    pub result: SimResult,
+}
+
+/// Sweep the number of permanently failed modules over `counts`, holding
+/// everything else in `base` fixed (any faults already in `base` are
+/// replaced), running points in parallel. Failed modules are drawn
+/// deterministically from `fault_seed`, with each count's set nested in
+/// the next where the shuffle allows — the comparison is across failure
+/// *counts*, not across unrelated fault draws.
+#[must_use]
+pub fn sweep_module_failures(
+    base: &SimConfig,
+    counts: &[u32],
+    fault_seed: u64,
+) -> Vec<FaultSweepPoint> {
+    let configs: Vec<SimConfig> = counts
+        .iter()
+        .map(|&count| {
+            let mut c = base.clone();
+            c.faults = FaultPlan::random_module_failures(&c.plan, count, 0, fault_seed);
+            c
+        })
+        .collect();
+    run_parallel(configs)
+        .into_iter()
+        .zip(counts)
+        .map(|(result, &failed_modules)| FaultSweepPoint {
+            failed_modules,
+            result,
+        })
         .collect()
 }
 
@@ -177,6 +220,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_sweep_load_panics() {
         let _ = sweep_load(&small_config(0.0, 0), &[1.5]);
+    }
+
+    #[test]
+    fn module_failure_sweep_degrades_monotonically_in_connectivity() {
+        let points = sweep_module_failures(&small_config(0.02, 11), &[0, 1, 4], 99);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].result.unreachable_pairs, 0);
+        assert_eq!(points[0].result.dropped_total, 0);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].result.unreachable_pairs > pair[0].result.unreachable_pairs,
+                "more failed modules must sever more pairs"
+            );
+        }
+        for p in &points {
+            assert!(p.result.conservation_ok(), "conservation failed: {p:?}");
+        }
+        // Replays are deterministic in the fault seed.
+        let again = sweep_module_failures(&small_config(0.02, 11), &[0, 1, 4], 99);
+        assert_eq!(points, again);
     }
 
     #[test]

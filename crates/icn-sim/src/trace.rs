@@ -42,6 +42,9 @@ pub struct PacketTrace {
     pub entered_at: Option<u64>,
     /// Cycle the tail cleared the destination.
     pub delivered_at: Option<u64>,
+    /// Cycle the packet was finally dropped by a fault (after exhausting
+    /// retries), if it was.
+    pub dropped_at: Option<u64>,
     /// Module crossings, in stage order.
     pub hops: Vec<HopTrace>,
 }
@@ -55,6 +58,7 @@ impl PacketTrace {
             injected_at,
             entered_at: None,
             delivered_at: None,
+            dropped_at: None,
             hops: Vec::new(),
         }
     }
@@ -86,7 +90,11 @@ impl PacketTrace {
 
 impl core::fmt::Display for PacketTrace {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "#{} {}->{} t={}", self.id, self.src, self.dest, self.injected_at)?;
+        write!(
+            f,
+            "#{} {}->{} t={}",
+            self.id, self.src, self.dest, self.injected_at
+        )?;
         for hop in &self.hops {
             write!(
                 f,
@@ -101,6 +109,9 @@ impl core::fmt::Display for PacketTrace {
         }
         if let Some(d) = self.delivered_at {
             write!(f, " done@{d}")?;
+        }
+        if let Some(d) = self.dropped_at {
+            write!(f, " dropped@{d}")?;
         }
         Ok(())
     }

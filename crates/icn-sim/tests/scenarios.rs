@@ -60,7 +60,10 @@ fn blocking_permutation_serializes() {
         engine.inject(src, perm.target(src));
     }
     let r = engine.run();
-    assert_eq!(r.tracked_delivered, 16, "blocked packets must still deliver");
+    assert_eq!(
+        r.tracked_delivered, 16,
+        "blocked packets must still deliver"
+    );
     assert!(
         r.network_latency.max > unloaded,
         "colliding paths must serialize: max {} vs unloaded {unloaded}",
@@ -109,12 +112,7 @@ fn buffering_gain_saturates() {
 fn fixed_priority_tail_no_better_than_round_robin() {
     let run_with = |arb: Arbitration| {
         let plan = StagePlan::uniform(16, 2);
-        let mut c = SimConfig::paper_baseline(
-            plan,
-            ChipModel::Dmc,
-            4,
-            Workload::uniform(0.035),
-        );
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(0.035));
         c.arbitration = arb;
         c.warmup_cycles = 2_000;
         c.measure_cycles = 6_000;

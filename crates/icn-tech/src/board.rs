@@ -72,7 +72,10 @@ impl BoardParams {
     /// Propagation delay over a trace of length `l`.
     #[must_use]
     pub fn trace_delay(&self, l: Length) -> Time {
-        l.propagation_delay(self.propagation_delay_per_length, self.propagation_reference)
+        l.propagation_delay(
+            self.propagation_delay_per_length,
+            self.propagation_reference,
+        )
     }
 
     /// Validate all fields.

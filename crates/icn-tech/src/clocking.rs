@@ -49,7 +49,10 @@ impl ClockingParams {
     /// Returns [`TechError::InvalidField`] for the first non-physical value.
     pub fn validate(&self) -> Result<(), TechError> {
         require_positive("clocking.supply", self.supply.volts())?;
-        require_positive("clocking.rail_bounce_budget", self.rail_bounce_budget.volts())?;
+        require_positive(
+            "clocking.rail_bounce_budget",
+            self.rail_bounce_budget.volts(),
+        )?;
         require_positive("clocking.threshold_nominal", self.threshold_nominal.volts())?;
         require_non_negative("clocking.tau_variation", self.tau_variation)?;
         require_non_negative("clocking.threshold_variation", self.threshold_variation)?;

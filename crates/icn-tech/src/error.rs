@@ -31,10 +31,7 @@ impl core::fmt::Display for TechError {
 impl std::error::Error for TechError {}
 
 /// Internal helper: require `value > 0`, else produce an `InvalidField`.
-pub(crate) fn require_positive(
-    field: &'static str,
-    value: f64,
-) -> Result<(), TechError> {
+pub(crate) fn require_positive(field: &'static str, value: f64) -> Result<(), TechError> {
     if value > 0.0 && value.is_finite() {
         Ok(())
     } else {
@@ -46,10 +43,7 @@ pub(crate) fn require_positive(
 }
 
 /// Internal helper: require `value >= 0`, else produce an `InvalidField`.
-pub(crate) fn require_non_negative(
-    field: &'static str,
-    value: f64,
-) -> Result<(), TechError> {
+pub(crate) fn require_non_negative(field: &'static str, value: f64) -> Result<(), TechError> {
     if value >= 0.0 && value.is_finite() {
         Ok(())
     } else {
@@ -71,7 +65,9 @@ mod tests {
             reason: "must be positive and finite, got 0".into(),
         };
         assert!(e.to_string().contains("process.lambda"));
-        assert!(TechError::Inconsistent("x".into()).to_string().contains("inconsistent"));
+        assert!(TechError::Inconsistent("x".into())
+            .to_string()
+            .contains("inconsistent"));
         assert!(TechError::Parse("y".into()).to_string().contains("parse"));
     }
 

@@ -116,8 +116,7 @@ impl Technology {
     /// Returns a [`TechError::Parse`] for malformed input and propagates
     /// validation failures.
     pub fn from_json(json: &str) -> Result<Self, TechError> {
-        let tech: Self =
-            serde_json::from_str(json).map_err(|e| TechError::Parse(e.to_string()))?;
+        let tech: Self = serde_json::from_str(json).map_err(|e| TechError::Parse(e.to_string()))?;
         tech.validate()?;
         Ok(tech)
     }
@@ -147,11 +146,17 @@ mod tests {
         let back = Technology::from_json(&json).unwrap();
         // Serialization is a fixpoint after one round trip (floats may lose
         // one ulp going through the textual representation the first time).
-        assert_eq!(back.to_json(), Technology::from_json(&back.to_json()).unwrap().to_json());
+        assert_eq!(
+            back.to_json(),
+            Technology::from_json(&back.to_json()).unwrap().to_json()
+        );
         assert_eq!(back.name, tech.name);
         assert_eq!(back.packaging.max_pins, tech.packaging.max_pins);
         assert!(back.process.lambda.approx_eq(tech.process.lambda));
-        assert!(back.packaging.driver_delay.approx_eq(tech.packaging.driver_delay));
+        assert!(back
+            .packaging
+            .driver_delay
+            .approx_eq(tech.packaging.driver_delay));
     }
 
     #[test]

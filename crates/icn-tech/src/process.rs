@@ -74,7 +74,10 @@ impl ProcessParams {
         require_positive("process.logic_delay", self.logic_delay.secs())?;
         require_positive("process.memory_delay", self.memory_delay.secs())?;
         require_positive("process.htree_branch_rc", self.htree_branch_rc.secs())?;
-        require_positive("process.mcc_switch_core_lambda", self.mcc_switch_core_lambda)?;
+        require_positive(
+            "process.mcc_switch_core_lambda",
+            self.mcc_switch_core_lambda,
+        )?;
         require_positive("process.mcc_line_pitch_lambda", self.mcc_line_pitch_lambda)?;
         require_positive("process.mcc_area_overhead", self.mcc_area_overhead)?;
         require_positive("process.dmc_wire_pitch_lambda", self.dmc_wire_pitch_lambda)?;
@@ -86,8 +89,7 @@ impl ProcessParams {
         if self.mcc_area_overhead < 1.0 || self.dmc_area_overhead < 1.0 {
             return Err(TechError::InvalidField {
                 field: "process.*_area_overhead",
-                reason: "an area overhead multiplier below 1 would mean negative overhead"
-                    .into(),
+                reason: "an area overhead multiplier below 1 would mean negative overhead".into(),
             });
         }
         Ok(())
@@ -119,7 +121,10 @@ mod tests {
         p.lambda = Length::ZERO;
         assert!(matches!(
             p.validate(),
-            Err(TechError::InvalidField { field: "process.lambda", .. })
+            Err(TechError::InvalidField {
+                field: "process.lambda",
+                ..
+            })
         ));
     }
 }

@@ -33,7 +33,10 @@ use crate::StagePlan;
 /// Panics if `p` is outside `[0, 1]` or `radix` is zero.
 #[must_use]
 pub fn patel_stage(p: f64, radix: u32) -> f64 {
-    assert!((0.0..=1.0).contains(&p), "request rate must be in [0,1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "request rate must be in [0,1], got {p}"
+    );
     assert!(radix >= 1, "radix must be at least 1");
     let r = f64::from(radix);
     1.0 - (1.0 - p / r).powi(radix as i32)
@@ -103,7 +106,10 @@ pub struct BlockingPoint {
 /// ```
 #[must_use]
 pub fn figure2_sweep(ports: u32, offered: f64) -> Vec<BlockingPoint> {
-    assert!(ports.is_power_of_two() && ports >= 2, "ports must be a power of two");
+    assert!(
+        ports.is_power_of_two() && ports >= 2,
+        "ports must be a power of two"
+    );
     let max_stages = ports.trailing_zeros();
     (1..=max_stages)
         .filter_map(|s| StagePlan::balanced_pow2_stages(ports, s))
@@ -226,8 +232,7 @@ pub fn monte_carlo_acceptance_parallel(
             .map(|&(chunk_id, n)| {
                 scope.spawn(move || {
                     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(
-                        seed ^ (0x9E37_79B9_7F4A_7C15u64
-                            .wrapping_mul(u64::from(chunk_id) + 1)),
+                        seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(chunk_id) + 1)),
                     );
                     monte_carlo_acceptance(plan, offered, n, &mut rng) * f64::from(n)
                 })
@@ -273,14 +278,8 @@ mod tests {
     /// relative at full load).
     #[test]
     fn five_to_three_stages_cuts_blocking_about_ten_percent() {
-        let five = blocking_probability(
-            &StagePlan::balanced_pow2_stages(4096, 5).unwrap(),
-            1.0,
-        );
-        let three = blocking_probability(
-            &StagePlan::balanced_pow2_stages(4096, 3).unwrap(),
-            1.0,
-        );
+        let five = blocking_probability(&StagePlan::balanced_pow2_stages(4096, 5).unwrap(), 1.0);
+        let three = blocking_probability(&StagePlan::balanced_pow2_stages(4096, 3).unwrap(), 1.0);
         // Absolute values from the recurrence.
         assert!((five - 0.6897).abs() < 5e-3, "5-stage blocking {five}");
         assert!((three - 0.6129).abs() < 5e-3, "3-stage blocking {three}");
@@ -384,10 +383,17 @@ mod tests {
         let plan = StagePlan::uniform(16, 2);
         let a = monte_carlo_acceptance_parallel(&plan, 0.8, 128, 42);
         let b = monte_carlo_acceptance_parallel(&plan, 0.8, 128, 42);
-        assert_eq!(a.to_bits(), b.to_bits(), "same (seed, trials) must replay exactly");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "same (seed, trials) must replay exactly"
+        );
         // Agrees with the recurrence like the serial estimator does.
         let analytic = acceptance(&plan, 0.8);
-        assert!((a - analytic).abs() < 0.05, "parallel MC {a} vs analytic {analytic}");
+        assert!(
+            (a - analytic).abs() < 0.05,
+            "parallel MC {a} vs analytic {analytic}"
+        );
         // Different seeds give (almost surely) different estimates.
         let c = monte_carlo_acceptance_parallel(&plan, 0.8, 128, 43);
         assert_ne!(a.to_bits(), c.to_bits());

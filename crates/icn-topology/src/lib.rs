@@ -25,8 +25,8 @@
 
 pub mod blocking;
 pub mod permutation;
-pub mod queueing;
 mod plan;
+pub mod queueing;
 mod route;
 mod topology;
 pub mod verify;

@@ -42,7 +42,9 @@ impl Permutation {
     #[must_use]
     pub fn identity(n: u32) -> Self {
         assert!(n > 0, "empty permutation");
-        Self { targets: (0..n).collect() }
+        Self {
+            targets: (0..n).collect(),
+        }
     }
 
     /// Bit reversal on a power-of-two port count — the classic FFT traffic
@@ -52,7 +54,10 @@ impl Permutation {
     /// Panics if `n` is not a power of two.
     #[must_use]
     pub fn bit_reversal(n: u32) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "bit reversal needs a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "bit reversal needs a power of two"
+        );
         let bits = n.trailing_zeros();
         Self {
             targets: (0..n).map(|p| p.reverse_bits() >> (32 - bits)).collect(),
@@ -65,7 +70,10 @@ impl Permutation {
     /// Panics if `n` is not a power of two.
     #[must_use]
     pub fn perfect_shuffle(n: u32) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "perfect shuffle needs a power of two");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "perfect shuffle needs a power of two"
+        );
         let bits = n.trailing_zeros();
         Self {
             targets: (0..n)
@@ -83,7 +91,10 @@ impl Permutation {
     pub fn transpose(n: u32) -> Self {
         assert!(n.is_power_of_two(), "transpose needs a power of two");
         let bits = n.trailing_zeros();
-        assert!(bits.is_multiple_of(2), "transpose needs an even number of address bits");
+        assert!(
+            bits.is_multiple_of(2),
+            "transpose needs an even number of address bits"
+        );
         let half = bits / 2;
         let mask = (1u32 << half) - 1;
         Self {
@@ -97,7 +108,10 @@ impl Permutation {
     /// Panics if `n` is not a power of two ≥ 4.
     #[must_use]
     pub fn butterfly(n: u32) -> Self {
-        assert!(n.is_power_of_two() && n >= 4, "butterfly needs a power of two ≥ 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "butterfly needs a power of two ≥ 4"
+        );
         let bits = n.trailing_zeros();
         let hi = 1u32 << (bits - 1);
         Self {
@@ -185,8 +199,9 @@ pub fn check_permutation(topology: &Topology, perm: &Permutation) -> ConflictRep
     );
     let stages = topology.stages();
     // owners[stage][line] = sources claiming that module-output line.
-    let mut owners: Vec<Vec<Vec<u32>>> =
-        (0..stages).map(|_| vec![Vec::new(); topology.ports() as usize]).collect();
+    let mut owners: Vec<Vec<Vec<u32>>> = (0..stages)
+        .map(|_| vec![Vec::new(); topology.ports() as usize])
+        .collect();
     for src in 0..topology.ports() {
         let path = topology.route(src, perm.target(src));
         for hop in &path.hops {
@@ -292,8 +307,7 @@ mod tests {
         // Uniform shifts are the classic omega-passable family.
         let t = omega(2, 4);
         for k in [1u32, 3, 7, 8, 15] {
-            let shift =
-                Permutation::new((0..16).map(|p| (p + k) % 16).collect());
+            let shift = Permutation::new((0..16).map(|p| (p + k) % 16).collect());
             let report = check_permutation(&t, &shift);
             assert!(report.admissible(), "shift by {k} blocked");
         }
@@ -367,8 +381,7 @@ mod tests {
         assert_eq!(all, (0..16).collect::<Vec<_>>());
         // Each round is genuinely conflict-free (pairwise path check).
         for round in &rounds {
-            let paths: Vec<_> =
-                round.iter().map(|&s| t.route(s, perm.target(s))).collect();
+            let paths: Vec<_> = round.iter().map(|&s| t.route(s, perm.target(s))).collect();
             for i in 0..paths.len() {
                 for j in (i + 1)..paths.len() {
                     assert!(

@@ -43,12 +43,7 @@ pub fn kruskal_snir_wait(utilization: f64, radix: u32) -> f64 {
 /// Panics if the implied utilization reaches 1 (saturated: no steady
 /// state), or if `flits` is zero.
 #[must_use]
-pub fn predicted_mean_cycles(
-    plan: &StagePlan,
-    load: f64,
-    flits: u64,
-    unloaded_cycles: u64,
-) -> f64 {
+pub fn predicted_mean_cycles(plan: &StagePlan, load: f64, flits: u64, unloaded_cycles: u64) -> f64 {
     assert!(flits >= 1, "packets need at least one flit");
     let rho = load * flits as f64;
     let wait: f64 = plan
@@ -77,7 +72,10 @@ mod tests {
             assert!(w > prev);
             prev = w;
         }
-        assert!(kruskal_snir_wait(0.99, 16) > 40.0, "near saturation the wait blows up");
+        assert!(
+            kruskal_snir_wait(0.99, 16) > 40.0,
+            "near saturation the wait blows up"
+        );
     }
 
     #[test]
@@ -94,9 +92,8 @@ mod tests {
         let flits = 25;
         let load = 0.01;
         let rho = load * flits as f64;
-        let manual = 98.0
-            + flits as f64
-                * (2.0 * kruskal_snir_wait(rho, 16) + kruskal_snir_wait(rho, 8));
+        let manual =
+            98.0 + flits as f64 * (2.0 * kruskal_snir_wait(rho, 16) + kruskal_snir_wait(rho, 8));
         assert!((predicted_mean_cycles(&plan, load, flits, 98) - manual).abs() < 1e-9);
     }
 

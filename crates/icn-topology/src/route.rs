@@ -57,9 +57,10 @@ impl Path {
     /// an entire path within each chip module it crosses).
     #[must_use]
     pub fn conflicts_with(&self, other: &Self) -> bool {
-        self.hops.iter().zip(&other.hops).any(|(a, b)| {
-            a.stage == b.stage && a.module == b.module && a.out_port == b.out_port
-        })
+        self.hops
+            .iter()
+            .zip(&other.hops)
+            .any(|(a, b)| a.stage == b.stage && a.module == b.module && a.out_port == b.out_port)
     }
 }
 
@@ -82,7 +83,12 @@ mod tests {
     use super::*;
 
     fn hop(stage: u32, module: u32, in_port: u32, out_port: u32) -> Hop {
-        Hop { stage, module, in_port, out_port }
+        Hop {
+            stage,
+            module,
+            in_port,
+            out_port,
+        }
     }
 
     #[test]
@@ -122,8 +128,18 @@ mod tests {
 
     #[test]
     fn same_module_different_outputs_do_not_conflict() {
-        let a = Path { src: 0, dest: 0, hops: vec![hop(0, 0, 0, 0)], exit_line: 0 };
-        let b = Path { src: 1, dest: 1, hops: vec![hop(0, 0, 1, 1)], exit_line: 1 };
+        let a = Path {
+            src: 0,
+            dest: 0,
+            hops: vec![hop(0, 0, 0, 0)],
+            exit_line: 0,
+        };
+        let b = Path {
+            src: 1,
+            dest: 1,
+            hops: vec![hop(0, 0, 1, 1)],
+            exit_line: 1,
+        };
         assert!(!a.conflicts_with(&b));
     }
 
@@ -134,7 +150,12 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let p = Path { src: 1, dest: 2, hops: vec![hop(0, 0, 1, 0)], exit_line: 2 };
+        let p = Path {
+            src: 1,
+            dest: 2,
+            hops: vec![hop(0, 0, 1, 0)],
+            exit_line: 2,
+        };
         assert_eq!(p.to_string(), "1 -> 2: [s0 m0 p1->0]");
     }
 }

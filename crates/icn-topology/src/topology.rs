@@ -117,10 +117,20 @@ impl Topology {
             let shuffled = self.shuffle(stage, line);
             let module = shuffled / r;
             let in_port = shuffled % r;
-            hops.push(Hop { stage, module, in_port, out_port: tag });
+            hops.push(Hop {
+                stage,
+                module,
+                in_port,
+                out_port: tag,
+            });
             line = module * r + tag;
         }
-        Path { src, dest, hops, exit_line: line }
+        Path {
+            src,
+            dest,
+            hops,
+            exit_line: line,
+        }
     }
 
     /// Where line `line` leaving stage `stage` enters stage `stage + 1`
@@ -131,7 +141,10 @@ impl Topology {
     #[must_use]
     pub fn module_output_line(&self, stage: u32, module: u32, out_port: u32) -> u32 {
         let r = self.stage_radix(stage);
-        assert!(out_port < r, "output port {out_port} out of range for radix {r}");
+        assert!(
+            out_port < r,
+            "output port {out_port} out of range for radix {r}"
+        );
         assert!(
             module < self.plan.modules_in_stage(stage),
             "module {module} out of range in stage {stage}"
@@ -173,7 +186,10 @@ impl Topology {
         // Wires into stage 0 and between stages (through each shuffle).
         for line in 0..self.ports() {
             let (m, p) = self.stage_input(0, line);
-            let _ = writeln!(dot, "  in{line} -> s0m{m} [taillabel=\"\",headlabel=\"{p}\"];");
+            let _ = writeln!(
+                dot,
+                "  in{line} -> s0m{m} [taillabel=\"\",headlabel=\"{p}\"];"
+            );
         }
         for stage in 0..self.stages() {
             let r = self.stage_radix(stage);

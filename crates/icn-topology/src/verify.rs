@@ -53,7 +53,11 @@ pub fn verify(topology: &Topology) -> VerifyReport {
             seen[out] = true;
         }
     }
-    VerifyReport { ports: n, misroutes, broken_shuffles }
+    VerifyReport {
+        ports: n,
+        misroutes,
+        broken_shuffles,
+    }
 }
 
 /// Check the *unique path* property: distinct sources reaching the same
@@ -85,7 +89,13 @@ mod tests {
 
     #[test]
     fn small_networks_verify() {
-        for radices in [vec![2u32, 2], vec![4, 4], vec![2, 4, 2], vec![8, 8], vec![3, 5]] {
+        for radices in [
+            vec![2u32, 2],
+            vec![4, 4],
+            vec![2, 4, 2],
+            vec![8, 8],
+            vec![3, 5],
+        ] {
             let t = Topology::new(StagePlan::from_radices(radices.clone()));
             let report = verify(&t);
             assert!(report.ok(), "{radices:?}: {report:?}");

@@ -66,7 +66,11 @@ impl Area {
     /// Panics if `lambda` is non-positive.
     #[must_use]
     pub fn in_square_lambda(self, lambda: Length) -> f64 {
-        assert!(lambda.0 > 0.0, "lambda must be positive, got {} m", lambda.0);
+        assert!(
+            lambda.0 > 0.0,
+            "lambda must be positive, got {} m",
+            lambda.0
+        );
         self.0 / (lambda.0 * lambda.0)
     }
 

@@ -229,8 +229,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "Δt must be positive")]
     fn induced_voltage_rejects_zero_dt() {
-        let _ = Inductance::from_nanohenries(5.0)
-            .induced_voltage(Current::from_amps(0.1), Time::ZERO);
+        let _ =
+            Inductance::from_nanohenries(5.0).induced_voltage(Current::from_amps(0.1), Time::ZERO);
     }
 
     #[test]

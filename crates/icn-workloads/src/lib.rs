@@ -74,7 +74,10 @@ impl Pattern {
         assert!(src < ports, "source {src} out of range for {ports} ports");
         match self {
             Self::Uniform => rng.random_range(0..ports),
-            Self::HotSpot { hot_fraction, hot_port } => {
+            Self::HotSpot {
+                hot_fraction,
+                hot_port,
+            } => {
                 assert!(
                     (0.0..=1.0).contains(hot_fraction),
                     "hot fraction must be in [0,1], got {hot_fraction}"
@@ -107,14 +110,22 @@ impl Pattern {
             Self::Transpose => {
                 assert!(ports.is_power_of_two(), "transpose needs a power of two");
                 let bits = ports.trailing_zeros();
-                assert!(bits.is_multiple_of(2), "transpose needs an even number of address bits");
+                assert!(
+                    bits.is_multiple_of(2),
+                    "transpose needs an even number of address bits"
+                );
                 let half = bits / 2;
                 let mask = (1u32 << half) - 1;
                 ((src & mask) << half) | (src >> half)
             }
-            Self::LocalClusters { cluster_size, locality } => {
-                assert!(*cluster_size >= 1 && ports.is_multiple_of(*cluster_size),
-                    "cluster size must divide the port count");
+            Self::LocalClusters {
+                cluster_size,
+                locality,
+            } => {
+                assert!(
+                    *cluster_size >= 1 && ports.is_multiple_of(*cluster_size),
+                    "cluster size must divide the port count"
+                );
                 assert!(
                     (0.0..=1.0).contains(locality),
                     "locality must be in [0,1], got {locality}"
@@ -146,15 +157,30 @@ impl Workload {
     /// Panics if `load` is outside `[0, 1]`.
     #[must_use]
     pub fn uniform(load: f64) -> Self {
-        assert!((0.0..=1.0).contains(&load), "load must be in [0,1], got {load}");
-        Self { load, pattern: Pattern::Uniform }
+        assert!(
+            (0.0..=1.0).contains(&load),
+            "load must be in [0,1], got {load}"
+        );
+        Self {
+            load,
+            pattern: Pattern::Uniform,
+        }
     }
 
     /// Hot-spot traffic at the given load.
     #[must_use]
     pub fn hot_spot(load: f64, hot_fraction: f64, hot_port: u32) -> Self {
-        assert!((0.0..=1.0).contains(&load), "load must be in [0,1], got {load}");
-        Self { load, pattern: Pattern::HotSpot { hot_fraction, hot_port } }
+        assert!(
+            (0.0..=1.0).contains(&load),
+            "load must be in [0,1], got {load}"
+        );
+        Self {
+            load,
+            pattern: Pattern::HotSpot {
+                hot_fraction,
+                hot_port,
+            },
+        }
     }
 
     /// Whether a packet is injected at some input this cycle.
@@ -193,7 +219,10 @@ mod tests {
     #[test]
     fn hot_spot_concentrates_traffic() {
         let mut r = rng();
-        let pat = Pattern::HotSpot { hot_fraction: 0.25, hot_port: 7 };
+        let pat = Pattern::HotSpot {
+            hot_fraction: 0.25,
+            hot_port: 7,
+        };
         let n = 40_000;
         let hits = (0..n)
             .filter(|_| pat.destination(0, 64, &mut r) == 7)
@@ -206,9 +235,14 @@ mod tests {
     #[test]
     fn zero_hot_fraction_is_uniform() {
         let mut r = rng();
-        let pat = Pattern::HotSpot { hot_fraction: 0.0, hot_port: 0 };
+        let pat = Pattern::HotSpot {
+            hot_fraction: 0.0,
+            hot_port: 0,
+        };
         let n = 40_000;
-        let hits = (0..n).filter(|_| pat.destination(1, 16, &mut r) == 0).count();
+        let hits = (0..n)
+            .filter(|_| pat.destination(1, 16, &mut r) == 0)
+            .count();
         let rate = hits as f64 / f64::from(n);
         assert!((rate - 1.0 / 16.0).abs() < 0.01, "rate {rate}");
     }
@@ -233,7 +267,10 @@ mod tests {
     #[test]
     fn local_clusters_respect_locality_one() {
         let mut r = rng();
-        let pat = Pattern::LocalClusters { cluster_size: 4, locality: 1.0 };
+        let pat = Pattern::LocalClusters {
+            cluster_size: 4,
+            locality: 1.0,
+        };
         for _ in 0..200 {
             let d = pat.destination(9, 16, &mut r);
             assert!((8..12).contains(&d), "destination {d} left the cluster");
@@ -243,7 +280,10 @@ mod tests {
     #[test]
     fn local_clusters_zero_locality_is_uniform() {
         let mut r = rng();
-        let pat = Pattern::LocalClusters { cluster_size: 4, locality: 0.0 };
+        let pat = Pattern::LocalClusters {
+            cluster_size: 4,
+            locality: 0.0,
+        };
         let far = (0..4000)
             .filter(|_| {
                 let d = pat.destination(0, 16, &mut r);
@@ -297,8 +337,11 @@ mod tests {
     #[should_panic(expected = "must divide")]
     fn bad_cluster_size_panics() {
         let mut r = rng();
-        let _ = Pattern::LocalClusters { cluster_size: 5, locality: 0.5 }
-            .destination(0, 16, &mut r);
+        let _ = Pattern::LocalClusters {
+            cluster_size: 5,
+            locality: 0.5,
+        }
+        .destination(0, 16, &mut r);
     }
 
     #[test]

@@ -208,8 +208,16 @@ mod tests {
         let _ = TrafficTrace::new(
             4,
             vec![
-                TraceEntry { cycle: 5, src: 0, dest: 1 },
-                TraceEntry { cycle: 2, src: 1, dest: 0 },
+                TraceEntry {
+                    cycle: 5,
+                    src: 0,
+                    dest: 1,
+                },
+                TraceEntry {
+                    cycle: 2,
+                    src: 1,
+                    dest: 0,
+                },
             ],
         );
     }

@@ -21,7 +21,10 @@ fn main() {
     let (n, w) = (16u32, 4u32);
     let clock = Frequency::from_mhz(32.0);
 
-    println!("candidate chip: {n}x{n} crossbar, W={w}, clocked at {:.0} MHz\n", clock.mhz());
+    println!(
+        "candidate chip: {n}x{n} crossbar, W={w}, clocked at {:.0} MHz\n",
+        clock.mhz()
+    );
 
     // Pins (§3.1 + Appendix).
     let budget = pins::pin_budget(&tech, n, w, clock);
@@ -107,13 +110,26 @@ fn main() {
     let mut counts = vec![0u32; (2 * n) as usize];
     for row in 0..n {
         for col in 0..n {
-            let t = mesh::simulate_mesh(n, &[MeshPacket { row, col, arrival: 0, flits: 25 }]);
+            let t = mesh::simulate_mesh(
+                n,
+                &[MeshPacket {
+                    row,
+                    col,
+                    arrival: 0,
+                    flits: 25,
+                }],
+            );
             counts[t[0].head_latency() as usize - 1] += 1;
         }
     }
     for (i, &c) in counts.iter().enumerate() {
         if c > 0 {
-            println!("  {:>2} cycles: {:>2} paths {}", i + 1, c, "#".repeat(c as usize));
+            println!(
+                "  {:>2} cycles: {:>2} paths {}",
+                i + 1,
+                c,
+                "#".repeat(c as usize)
+            );
         }
     }
     println!(

@@ -23,7 +23,10 @@ fn main() {
 
     let patterns: Vec<(&str, Permutation)> = vec![
         ("identity", Permutation::identity(n)),
-        ("shift+1", Permutation::new((0..n).map(|p| (p + 1) % n).collect())),
+        (
+            "shift+1",
+            Permutation::new((0..n).map(|p| (p + 1) % n).collect()),
+        ),
         ("bit reversal", Permutation::bit_reversal(n)),
         ("transpose", Permutation::transpose(n)),
         ("butterfly", Permutation::butterfly(n)),
@@ -51,12 +54,7 @@ fn main() {
     // packet in the same cycle, and the circuit-held outputs serialize the
     // colliding paths.
     println!("\nsimulating a simultaneous bit-reversal burst:");
-    let mut config = SimConfig::paper_baseline(
-        plan,
-        ChipModel::Dmc,
-        4,
-        Workload::uniform(0.0),
-    );
+    let mut config = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(0.0));
     config.warmup_cycles = 0;
     config.measure_cycles = 1;
     config.drain_cycles = 1_000_000;
@@ -75,7 +73,11 @@ fn main() {
         result.network_latency.mean,
         result.network_latency.max,
     );
-    let blocked: u64 = result.stage_counters.iter().map(StageCounters::blocked).sum();
+    let blocked: u64 = result
+        .stage_counters
+        .iter()
+        .map(StageCounters::blocked)
+        .sum();
     println!(
         "  {} blocked request-cycles across {} stages — the price of one-pass\n  \
          delivery; the greedy scheduler above shows how many clean passes the\n  \

@@ -23,7 +23,8 @@ fn main() {
     //    chip area, board routing and connectors.
     let report = point.evaluate();
 
-    println!("design: {}x{} network of {}x{} {} chips, W={}",
+    println!(
+        "design: {}x{} network of {}x{} {} chips, W={}",
         report.point.network_ports,
         report.point.network_ports,
         report.point.chip_radix,
@@ -31,25 +32,29 @@ fn main() {
         report.point.kind,
         report.point.width,
     );
-    println!("chip:   {} pins ({} data, {} control, {} power/ground), {:.0}% of die",
+    println!(
+        "chip:   {} pins ({} data, {} control, {} power/ground), {:.0}% of die",
         report.pins.total(),
         report.pins.data,
         report.pins.control,
         report.pins.power_ground,
         report.chip_area_fraction * 100.0,
     );
-    println!("rack:   {} boards, {} chips, longest wire {:.0} in",
+    println!(
+        "rack:   {} boards, {} chips, longest wire {:.0} in",
         report.rack.total_boards,
         report.rack.total_chips,
         report.rack.longest_wire.inches(),
     );
-    println!("clock:  {:.1} MHz (D_L {:.1} ns + D_P {:.1} ns + skew {:.1} ns)",
+    println!(
+        "clock:  {:.1} MHz (D_L {:.1} ns + D_P {:.1} ns + skew {:.1} ns)",
         report.frequency.mhz(),
         report.clock.d_l.nanos(),
         report.clock.d_p.nanos(),
         report.clock.skew.nanos(),
     );
-    println!("delay:  one-way {:.2} µs, remote read round trip {:.2} µs ({:.0}x a local access)",
+    println!(
+        "delay:  one-way {:.2} µs, remote read round trip {:.2} µs ({:.0}x a local access)",
         report.one_way.micros(),
         report.round_trip_total.micros(),
         report.slowdown_vs_local,

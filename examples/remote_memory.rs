@@ -24,10 +24,16 @@ fn main() {
     let tech = presets::paper1986();
     let memory = Time::from_nanos(200.0);
 
-    println!("analytic (paper §6): remote read = 2 × one-way + {} memory", memory);
+    println!(
+        "analytic (paper §6): remote read = 2 × one-way + {} memory",
+        memory
+    );
     for kind in CrossbarKind::ALL {
         let report = DesignPoint::paper_example(tech.clone(), kind).evaluate();
-        let rt = delay::RoundTrip { one_way: report.one_way, memory_access: memory };
+        let rt = delay::RoundTrip {
+            one_way: report.one_way,
+            memory_access: memory,
+        };
         println!(
             "  {kind}: one-way {:.2} µs at {:.1} MHz -> round trip {:.2} µs = {:.0}x local",
             report.one_way.micros(),
@@ -43,9 +49,7 @@ fn main() {
     // network — so reply-path contention is measured, not assumed away.
     let f_mhz = 32.0;
     let memory_cycles = 7;
-    println!(
-        "\nsimulated closed-loop round trips under uniform load (2048 ports, DMC W=4):"
-    );
+    println!("\nsimulated closed-loop round trips under uniform load (2048 ports, DMC W=4):");
     println!(
         "{:>14} {:>12} {:>18} {:>14} {:>11}",
         "offered load", "completed", "round trip (µs)", "vs local", "expansion"

@@ -67,11 +67,7 @@ fn main() {
         let r = icn_sim::run_trace(config, &trace);
         println!(
             "{:<28} {:>10} {:>12.5} {:>10.1} {:>10}",
-            name,
-            r.delivered_total,
-            r.throughput,
-            r.network_latency.mean,
-            r.network_latency.p99,
+            name, r.delivered_total, r.throughput, r.network_latency.mean, r.network_latency.p99,
         );
     }
     println!(

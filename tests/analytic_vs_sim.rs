@@ -32,10 +32,7 @@ fn unloaded_delay_cycle_exact_across_the_grid() {
                 engine.inject(last, 0);
                 let r = engine.run();
                 assert_eq!(r.tracked_delivered, 1);
-                assert_eq!(
-                    r.network_latency.min, expected,
-                    "{chip} W={width} {plan}"
-                );
+                assert_eq!(r.network_latency.min, expected, "{chip} W={width} {plan}");
             }
         }
     }
@@ -53,12 +50,7 @@ fn blocking_recurrence_orders_simulated_saturation() {
     for stages in [2u32, 4] {
         let plan = StagePlan::balanced_pow2_stages(256, stages).unwrap();
         let analytic_accept = blocking::acceptance(&plan, 1.0);
-        let mut c = SimConfig::paper_baseline(
-            plan,
-            ChipModel::Dmc,
-            4,
-            Workload::uniform(1.0),
-        );
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(1.0));
         c.warmup_cycles = 2_000;
         c.measure_cycles = 8_000;
         c.drain_cycles = 0;
@@ -70,8 +62,14 @@ fn blocking_recurrence_orders_simulated_saturation() {
         accepted.push((stages, analytic_accept, measured_accept));
     }
     // Ordering: fewer stages accept more traffic, in both worlds.
-    assert!(accepted[0].1 > accepted[1].1, "analytic ordering: {accepted:?}");
-    assert!(accepted[0].2 > accepted[1].2, "simulated ordering: {accepted:?}");
+    assert!(
+        accepted[0].1 > accepted[1].1,
+        "analytic ordering: {accepted:?}"
+    );
+    assert!(
+        accepted[0].2 > accepted[1].2,
+        "simulated ordering: {accepted:?}"
+    );
 }
 
 /// The simulator's conservation law composed with the topology's full-access
@@ -101,12 +99,8 @@ fn batch_delivery_is_exactly_once() {
 fn load_never_beats_the_analytic_floor() {
     let plan = StagePlan::uniform(16, 2);
     for load_frac in [0.1, 0.5, 0.9] {
-        let mut c = SimConfig::paper_baseline(
-            plan.clone(),
-            ChipModel::Dmc,
-            4,
-            Workload::uniform(0.0),
-        );
+        let mut c =
+            SimConfig::paper_baseline(plan.clone(), ChipModel::Dmc, 4, Workload::uniform(0.0));
         c.warmup_cycles = 1_000;
         c.measure_cycles = 4_000;
         c.drain_cycles = 60_000;

@@ -3,7 +3,7 @@
 
 use franklin_dhar_icn::core::experiments;
 use franklin_dhar_icn::core::{delay, DesignPoint};
-use franklin_dhar_icn::phys::{pins, area, ClockBudget, ClockScheme, CrossbarKind};
+use franklin_dhar_icn::phys::{area, pins, ClockBudget, ClockScheme, CrossbarKind};
 use franklin_dhar_icn::tech::presets;
 use franklin_dhar_icn::topology::{blocking, StagePlan};
 use franklin_dhar_icn::units::{Frequency, Length};
@@ -50,12 +50,20 @@ fn delay_table_flagship_cell_and_round_trip() {
         4096,
         Frequency::from_mhz(40.0),
     );
-    assert!((one_way.micros() - 1.475).abs() < 0.01, "{} µs", one_way.micros());
+    assert!(
+        (one_way.micros() - 1.475).abs() < 0.01,
+        "{} µs",
+        one_way.micros()
+    );
     let rt = delay::RoundTrip {
         one_way,
         memory_access: franklin_dhar_icn::units::Time::from_nanos(200.0),
     };
-    assert!((rt.total().micros() - 3.15).abs() < 0.05, "{} µs", rt.total().micros());
+    assert!(
+        (rt.total().micros() - 3.15).abs() < 0.05,
+        "{} µs",
+        rt.total().micros()
+    );
 }
 
 /// Figure 2: the 5→3-stage blocking reduction checkpoint.
@@ -83,8 +91,7 @@ fn clock_chain() {
 /// §6/abstract: the end-to-end conclusion for the 2048-port example.
 #[test]
 fn example_2048_conclusion() {
-    let report =
-        DesignPoint::paper_example(presets::paper1986(), CrossbarKind::Dmc).evaluate();
+    let report = DesignPoint::paper_example(presets::paper1986(), CrossbarKind::Dmc).evaluate();
     assert!(report.feasible(), "{:?}", report.violations);
     assert!((30.0..=34.0).contains(&report.frequency.mhz()));
     assert!((0.85..=1.15).contains(&report.one_way.micros()));

@@ -1,0 +1,166 @@
+//! Offline vendored ChaCha random number generators.
+//!
+//! Implements the genuine ChaCha block function (Bernstein 2008) at 8, 12
+//! and 20 rounds over the [`rand`] stand-in's `RngCore`/`SeedableRng`
+//! traits. Output is a high-quality deterministic stream for a given seed;
+//! it is not guaranteed to bit-match the upstream `rand_chacha` crate,
+//! which is fine for this workspace — every consumer only relies on
+//! same-seed/same-stream determinism and statistical uniformity.
+
+use rand::{RngCore, SeedableRng};
+
+const WORDS: usize = 16;
+
+/// The ChaCha constants "expand 32-byte k".
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Run `rounds` ChaCha rounds over `input` and add the input back in.
+fn chacha_block(input: &[u32; WORDS], rounds: u32, out: &mut [u32; WORDS]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, (&xi, &ii)) in out.iter_mut().zip(x.iter().zip(input.iter())) {
+        *o = xi.wrapping_add(ii);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($(#[$meta:meta])* $name:ident, $rounds:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            /// Key/counter/nonce state fed to the block function.
+            state: [u32; WORDS],
+            /// Current keystream block.
+            buffer: [u32; WORDS],
+            /// Next unread word in `buffer`; `WORDS` means exhausted.
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let state = self.state;
+                chacha_block(&state, $rounds, &mut self.buffer);
+                // 64-bit block counter in words 12–13.
+                let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12]))
+                    .wrapping_add(1);
+                self.state[12] = counter as u32;
+                self.state[13] = (counter >> 32) as u32;
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; WORDS];
+                state[..4].copy_from_slice(&SIGMA);
+                for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                // Counter and nonce start at zero.
+                Self { state, buffer: [0; WORDS], index: WORDS }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= WORDS {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = u64::from(self.next_u32());
+                let hi = u64::from(self.next_u32());
+                hi << 32 | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds — fastest, used for workload generation.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds — the simulator engine's generator.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with the full 20 rounds.
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 test vector: 20-round block function, key
+    /// 00 01 02 … 1f, counter 1, nonce 000000090000004a00000000.
+    #[test]
+    fn chacha20_block_matches_rfc7539() {
+        let mut input = [0u32; WORDS];
+        input[..4].copy_from_slice(&SIGMA);
+        let key: Vec<u8> = (0u8..32).collect();
+        for (word, chunk) in input[4..12].iter_mut().zip(key.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let mut out = [0u32; WORDS];
+        chacha_block(&input, 20, &mut out);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[1], 0x1559_3bd1);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(0x1986_0106);
+        let mut b = ChaCha12Rng::seed_from_u64(0x1986_0106);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(0x1986_0107);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn rounds_distinguish_variants() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The real serde's visitor-based `Serializer`/`Deserializer` machinery is
+//! far more general than this workspace needs: every type here either
+//! derives the traits or round-trips through `serde_json`. This stand-in
+//! therefore collapses the data model to a single self-describing
+//! [`Content`] tree — `Serialize` renders into it, `Deserialize` reads out
+//! of it — while keeping serde's *external* interface (trait names, the
+//! `derive` feature re-exporting the proc-macros, `#[serde(transparent)]`
+//! and `#[serde(default)]` attribute semantics, and externally-tagged
+//! enums) compatible with the code in this repository.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The self-describing value tree both traits speak.
+///
+/// Maps are association lists to keep field order stable (serde's derived
+/// struct order), which in turn keeps `serde_json` output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative (or explicitly signed) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map / struct, in insertion order.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// View as a map (association list), if this is one.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// View as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a struct field by name in a map with string keys.
+    pub fn field<'a>(entries: &'a [(Content, Content)], name: &str) -> Option<&'a Content> {
+        entries
+            .iter()
+            .find(|(k, _)| k.as_str() == Some(name))
+            .map(|(_, v)| v)
+    }
+}
+
+/// Error produced when [`Deserialize`] cannot interpret a [`Content`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom<T: fmt::Display>(message: T) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+
+    /// A missing required struct field.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` in `{type_name}`"))
+    }
+
+    /// A type mismatch.
+    pub fn invalid_type(expected: &str, found: &Content) -> Self {
+        let found = match found {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::U64(_) | Content::I64(_) => "an integer",
+            Content::F64(_) => "a float",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        };
+        Self::custom(format!("invalid type: expected {expected}, found {found}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into the [`Content`] data model.
+pub trait Serialize {
+    /// Render `self` as a content tree.
+    fn serialize(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from a content tree.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Path-compatibility module mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Path-compatibility module mirroring `serde::de`.
+pub mod de {
+    pub use crate::{DeError, Deserialize};
+
+    /// Alias matching serde's `de::Error` naming.
+    pub type Error = DeError;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+    )+};
+}
+
+serialize_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = i64::from(*self);
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+    )+};
+}
+
+serialize_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Content {
+        (*self as i64).serialize()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        self.as_slice().serialize()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Content {
+        Content::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (Content::Str(k.clone()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+fn content_as_u64(content: &Content) -> Option<u64> {
+    match *content {
+        Content::U64(v) => Some(v),
+        Content::I64(v) => u64::try_from(v).ok(),
+        Content::F64(v) if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+        _ => None,
+    }
+}
+
+fn content_as_i64(content: &Content) -> Option<i64> {
+    match *content {
+        Content::U64(v) => i64::try_from(v).ok(),
+        Content::I64(v) => Some(v),
+        Content::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+            Some(v as i64)
+        }
+        _ => None,
+    }
+}
+
+macro_rules! deserialize_uint {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                content_as_u64(content)
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), content))
+            }
+        }
+    )+};
+}
+
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                content_as_i64(content)
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::invalid_type(stringify!($t), content))
+            }
+        }
+    )+};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            _ => Err(DeError::invalid_type("f64", content)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            _ => Err(DeError::invalid_type("bool", content)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::invalid_type("string", content))
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| DeError::invalid_type("char", content))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::invalid_type("sequence", content))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content.as_seq() {
+            Some([a, b]) => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            _ => Err(DeError::invalid_type("2-tuple", content)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::invalid_type("map", content))?
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .as_str()
+                    .ok_or_else(|| DeError::invalid_type("string key", k))?;
+                Ok((key.to_string(), V::deserialize(v)?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_coerce_across_content_kinds() {
+        assert_eq!(u32::deserialize(&Content::U64(7)), Ok(7));
+        assert_eq!(u32::deserialize(&Content::I64(7)), Ok(7));
+        assert_eq!(u32::deserialize(&Content::F64(7.0)), Ok(7));
+        assert!(u32::deserialize(&Content::F64(7.5)).is_err());
+        assert!(u8::deserialize(&Content::U64(300)).is_err());
+        assert_eq!(f64::deserialize(&Content::U64(3)), Ok(3.0));
+    }
+
+    #[test]
+    fn options_and_sequences_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.serialize(), Content::Null);
+        assert_eq!(Option::<u32>::deserialize(&Content::Null), Ok(None));
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&xs.serialize()), Ok(xs));
+    }
+
+    #[test]
+    fn field_lookup_finds_by_name() {
+        let map = vec![
+            (Content::Str("a".into()), Content::U64(1)),
+            (Content::Str("b".into()), Content::U64(2)),
+        ];
+        assert_eq!(Content::field(&map, "b"), Some(&Content::U64(2)));
+        assert_eq!(Content::field(&map, "c"), None);
+    }
+}

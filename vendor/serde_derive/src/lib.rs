@@ -1,0 +1,498 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the serde stand-in.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable
+//! in this offline build environment, so this crate parses the item's raw
+//! [`proc_macro::TokenTree`] stream directly. It supports exactly the
+//! shapes this workspace derives on:
+//!
+//! * named-field structs (with `#[serde(default)]` on fields);
+//! * newtype/tuple structs (including `#[serde(transparent)]`);
+//! * unit structs;
+//! * enums with unit, newtype/tuple and struct variants, using serde's
+//!   externally-tagged representation.
+//!
+//! Generics are not supported and produce a compile error naming this
+//! limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (or tuple index) plus its serde attributes.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+/// Serde attributes that may precede an item or field.
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    default: bool,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, name: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Consume leading attributes, folding any `#[serde(...)]` flags we
+/// recognise into `attrs`.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize, attrs: &mut SerdeAttrs) -> usize {
+    while pos < tokens.len() && is_punct(&tokens[pos], '#') {
+        if let Some(TokenTree::Group(group)) = tokens.get(pos + 1) {
+            if group.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                if inner.first().map(|t| is_ident(t, "serde")).unwrap_or(false) {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for arg in args.stream() {
+                            if is_ident(&arg, "transparent") {
+                                attrs.transparent = true;
+                            }
+                            if is_ident(&arg, "default") {
+                                attrs.default = true;
+                            }
+                        }
+                    }
+                }
+                pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    pos
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, `pub(in ...)`).
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if pos < tokens.len() && is_ident(&tokens[pos], "pub") {
+        pos += 1;
+        if let Some(TokenTree::Group(group)) = tokens.get(pos) {
+            if group.delimiter() == Delimiter::Parenthesis {
+                pos += 1;
+            }
+        }
+    }
+    pos
+}
+
+/// Parse the fields of a `{ ... }` body into names + per-field attrs.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        pos = skip_attributes(&tokens, pos, &mut attrs);
+        pos = skip_visibility(&tokens, pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        assert!(
+            tokens.get(pos).map(|t| is_punct(t, ':')).unwrap_or(false),
+            "serde_derive stand-in: expected `:` after field `{name}`"
+        );
+        pos += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // Groups are atomic in token streams, so only `<`/`>` need depth
+        // tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(pos) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a `( ... )` tuple body (top-level commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if is_punct(tokens.last().unwrap(), ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        pos = skip_attributes(&tokens, pos, &mut attrs);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(group.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while pos < tokens.len() && !is_punct(&tokens[pos], ',') {
+            pos += 1;
+        }
+        pos += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = SerdeAttrs::default();
+    let mut pos = skip_attributes(&tokens, 0, &mut attrs);
+    pos = skip_visibility(&tokens, pos);
+
+    let is_enum = match tokens.get(pos) {
+        Some(tt) if is_ident(tt, "struct") => false,
+        Some(tt) if is_ident(tt, "enum") => true,
+        other => panic!("serde_derive stand-in: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive stand-in: expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if tokens.get(pos).map(|t| is_punct(t, '<')).unwrap_or(false) {
+        panic!("serde_derive stand-in: generic types are not supported (deriving on `{name}`)");
+    }
+
+    let shape = if is_enum {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(group.stream()))
+            }
+            other => panic!("serde_derive stand-in: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(group.stream()))
+            }
+            Some(tt) if is_punct(tt, ';') => Shape::UnitStruct,
+            other => panic!("serde_derive stand-in: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        transparent: attrs.transparent,
+        shape,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::serialize(&self.{})", fields[0].name)
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(::std::string::String::from(\"{0}\")), \
+                         ::serde::Serialize::serialize(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        // Newtype and transparent tuple structs serialize as the inner
+        // value, matching serde.
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binders}) => ::serde::Content::Map(\
+                                 ::std::vec![(::serde::Content::Str(\
+                                 ::std::string::String::from(\"{vname}\")), {payload})]),",
+                                binders = binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Content::Str(::std::string::String::from(\
+                                         \"{0}\")), ::serde::Serialize::serialize({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::serde::Content::Str(\
+                                 ::std::string::String::from(\"{vname}\")), \
+                                 ::serde::Content::Map(::std::vec![{entries}]))]),",
+                                binders = binders.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Content {{ {body} }} }}"
+    )
+}
+
+fn gen_named_field_inits(type_name: &str, fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(\
+                     ::serde::DeError::missing_field(\"{type_name}\", \"{0}\"))",
+                    f.name
+                )
+            };
+            format!(
+                "{0}: match ::serde::Content::field({map_var}, \"{0}\") {{ \
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?, \
+                 ::std::option::Option::None => {fallback}, }},",
+                f.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {}: \
+                 ::serde::Deserialize::deserialize(__content)? }})",
+                fields[0].name
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits = gen_named_field_inits(name, fields, "__map");
+            format!(
+                "let __map = __content.as_map().ok_or_else(|| \
+                 ::serde::DeError::invalid_type(\"map for struct {name}\", __content))?; \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__content)?))"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __content.as_seq().ok_or_else(|| \
+                 ::serde::DeError::invalid_type(\"sequence for {name}\", __content))?; \
+                 if __seq.len() != {arity} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(\"wrong tuple length for {name}\")); }} \
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __seq = __payload.as_seq()\
+                                 .ok_or_else(|| ::serde::DeError::invalid_type(\
+                                 \"sequence for {name}::{vname}\", __payload))?; \
+                                 if __seq.len() != {arity} {{ \
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong tuple length for {name}::{vname}\")); }} \
+                                 ::std::result::Result::Ok({name}::{vname}({items})) }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits =
+                                gen_named_field_inits(&format!("{name}::{vname}"), fields, "__m");
+                            Some(format!(
+                                "\"{vname}\" => {{ let __m = __payload.as_map()\
+                                 .ok_or_else(|| ::serde::DeError::invalid_type(\
+                                 \"map for {name}::{vname}\", __payload))?; \
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(__s) = __content.as_str() {{ \
+                 match __s {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), }} \
+                 }} else if let ::std::option::Option::Some(__entries) = __content.as_map() {{ \
+                 if __entries.len() != 1 {{ \
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"expected single-key map for enum {name}\")); }} \
+                 let (__tag, __payload) = &__entries[0]; \
+                 match __tag.as_str().unwrap_or(\"\") {{ \
+                 {tagged_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant tag {{__other:?}} of {name}\"))), }} \
+                 }} else {{ ::std::result::Result::Err(::serde::DeError::invalid_type(\
+                 \"string or map for enum {name}\", __content)) }}",
+                unit_arms = unit_arms.join(" "),
+                tagged_arms = tagged_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(__content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
+
+/// Derive the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stand-in: generated invalid Serialize impl")
+}
+
+/// Derive the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stand-in: generated invalid Deserialize impl")
+}

@@ -1,0 +1,283 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Provides the surface this workspace uses: [`Value`]/[`Number`]/[`Map`],
+//! [`from_str`], [`to_string`], [`to_string_pretty`], [`to_value`] and the
+//! [`json!`] macro, interoperating with the vendored `serde` stand-in's
+//! `Content` data model. Output formatting matches serde_json: compact
+//! `{"k":v}` for [`to_string`] and two-space indentation for
+//! [`to_string_pretty`]; floats print via Rust's shortest round-trip
+//! formatting; non-finite floats render as `null`.
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+mod parse;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Error type for parsing and conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parsing/serialization result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Deserialize a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let value = parse::parse(input)?;
+    T::deserialize(&value.into_content()).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(Value::from_content(value.serialize()))
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value::write_compact(&Value::from_content(value.serialize()), &mut out);
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value::write_pretty(&Value::from_content(value.serialize()), 0, &mut out);
+    Ok(out)
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::deserialize(&value.into_content()).map_err(|e| Error::new(e.to_string()))
+}
+
+#[doc(hidden)]
+pub fn __to_value<T: Serialize>(value: &T) -> Value {
+    Value::from_content(value.serialize())
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Content {
+        self.clone().into_content()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(content: &Content) -> std::result::Result<Self, serde::DeError> {
+        Ok(Value::from_content(content.clone()))
+    }
+}
+
+/// Construct a [`Value`] from JSON-like syntax, with `serde`-serializable
+/// expressions interpolated anywhere a value is expected.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////////// array ////////////////////////
+
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        ::std::vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////////// object ////////////////////////
+
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    //////////////////////// primary ////////////////////////
+
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::__to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let n = 3u32;
+        let v = json!({
+            "id": "E6",
+            "ok": true,
+            "none": null,
+            "nums": [1, 2, n],
+            "nested": { "load": 0.5 },
+        });
+        assert_eq!(v["id"], "E6");
+        assert_eq!(v["ok"], true);
+        assert!(v["none"].is_null());
+        assert_eq!(v["nums"].as_array().unwrap().len(), 3);
+        assert_eq!(v["nums"][2], 3);
+        assert_eq!(v["nested"]["load"].as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let v = json!({"a": [1, 2], "b": "x\n", "c": 1.5});
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, "{\"a\":[1,2],\"b\":\"x\\n\",\"c\":1.5}");
+        let pretty = to_string_pretty(&v).unwrap();
+        let reparsed: Value = from_str(&pretty).unwrap();
+        assert_eq!(reparsed, v);
+        assert_eq!(from_str::<Value>(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_json_layout() {
+        let v = json!({"a": 1, "b": [true]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn typed_round_trip_through_text() {
+        let xs = vec![1u32, 5, 9];
+        let text = to_string(&xs).unwrap();
+        assert_eq!(text, "[1,5,9]");
+        assert_eq!(from_str::<Vec<u32>>(&text).unwrap(), xs);
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for &f in &[0.1, 1.0, -2.5, 1e-7, 12345.6789, f64::MAX] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, "Aé😀");
+    }
+}
