@@ -1,0 +1,99 @@
+//! Telemetry overhead benches: the same simulation with telemetry off, with
+//! sampling on, and with a full event sink attached — the off/on gap is the
+//! cost the zero-cost-when-disabled design has to keep at zero — plus
+//! histogram record/quantile microbenches.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icn_sim::{ChipModel, Engine, Histogram, NullSink, SimConfig, TelemetryConfig};
+use icn_topology::StagePlan;
+use icn_workloads::Workload;
+use std::hint::black_box;
+
+fn sim_config(ports: u32, load: f64, cycles: u64) -> SimConfig {
+    let plan = StagePlan::balanced_pow2(ports, 16).expect("power of two");
+    let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(load));
+    c.warmup_cycles = 0;
+    c.measure_cycles = cycles;
+    c.drain_cycles = 0;
+    c
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let cycles = 2_000u64;
+    group.throughput(Throughput::Elements(cycles));
+
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let config = sim_config(256, 0.02, cycles);
+            black_box(Engine::new(config).run())
+        });
+    });
+
+    group.bench_function("sampled_every_100", |b| {
+        b.iter(|| {
+            let mut config = sim_config(256, 0.02, cycles);
+            config.telemetry = TelemetryConfig::sampled(100);
+            black_box(Engine::new(config).run())
+        });
+    });
+
+    group.bench_function("sampled_plus_null_sink", |b| {
+        b.iter(|| {
+            let mut config = sim_config(256, 0.02, cycles);
+            config.telemetry = TelemetryConfig::sampled(100);
+            let mut engine = Engine::new(config);
+            engine.set_event_sink(NullSink);
+            black_box(engine.run())
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    let n = 100_000u64;
+
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("record_100k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::default();
+            // An LCG spreads values across octaves without RNG setup cost.
+            let mut state = 0x2545_f491_4f6c_dd1du64;
+            for _ in 0..n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(state % 1_000_000);
+            }
+            black_box(h)
+        });
+    });
+
+    let mut filled = Histogram::default();
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    for _ in 0..n {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        filled.record(state % 1_000_000);
+    }
+    group.throughput(Throughput::Elements(4));
+    group.bench_function("four_quantiles", |b| {
+        b.iter(|| {
+            black_box((
+                filled.quantile(0.5),
+                filled.quantile(0.95),
+                filled.quantile(0.99),
+                filled.quantile(0.999),
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead, bench_histogram);
+criterion_main!(benches);

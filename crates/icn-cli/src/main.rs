@@ -11,10 +11,14 @@
 //! icn loaded [--full]          X1: load sweep + hot spot
 //! icn ablations [--full]       X2: buffering / pass-through / arbitration
 //! icn fault-tolerance [--full] X10: failed-module degradation sweep
+//! icn saturation [--full]      X11: sampled occupancy through saturation onset
 //! icn explore                  design-space sweep over (kind, N, W)
 //! icn simulate --load L [...]  one simulation run; --fail-modules/--fail-links
 //!                              inject faults, --retry-limit/--watchdog-cycles
-//!                              tune degraded operation
+//!                              tune degraded operation, --sample-interval/
+//!                              --telemetry-out record a telemetry dump
+//! icn inspect <dump.jsonl>     render a telemetry dump: occupancy sparklines,
+//!                              per-stage heatmap, histogram quantiles
 //!
 //! options: --tech <preset>  --json  --full
 //! ```
@@ -22,8 +26,10 @@
 use std::process::ExitCode;
 
 use icn_core::experiments::{self, SimEffort};
-use icn_core::{explore, table::TextTable, ExperimentRecord};
-use icn_sim::{ChipModel, Engine, FaultPlan, RetryPolicy, SimConfig};
+use icn_core::table::{sparkline, trim_float, TextTable};
+use icn_core::{explore, ExperimentRecord};
+use icn_sim::telemetry::{DumpLine, DumpMeta, NamedHistogram, Sample};
+use icn_sim::{ChipModel, Engine, FaultPlan, MemorySink, RetryPolicy, SimConfig, TelemetryConfig};
 use icn_tech::{presets, Technology};
 use icn_topology::StagePlan;
 use icn_workloads::Workload;
@@ -47,10 +53,12 @@ fn usage() -> &'static str {
      \t fig1-topology, fig2-blocking, board-layout, clock-budget, example-2048,\n\
      \t cost, clock-schemes, blocking-validation, scaling, tech-evolution,\n\
      \t sim-validation, mesh-validation, loaded, ablations, roundtrip, queueing,\n\
-     \t fault-tolerance, explore,\n\
+     \t fault-tolerance, saturation, explore,\n\
      \t simulate [--load L] [--ports P] [--chip mcc|dmc] [--width W] [--seed S]\n\
      \t          [--fail-modules N] [--fail-links N] [--fault-seed S]\n\
-     \t          [--retry-limit N] [--watchdog-cycles N]"
+     \t          [--retry-limit N] [--watchdog-cycles N]\n\
+     \t          [--sample-interval K] [--telemetry-out dump.jsonl|series.csv]\n\
+     \t inspect <dump.jsonl>"
 }
 
 struct Options {
@@ -67,6 +75,10 @@ struct Options {
     fault_seed: u64,
     retry_limit: u32,
     watchdog_cycles: Option<u64>,
+    sample_interval: u64,
+    telemetry_out: Option<String>,
+    /// First bare (non-`--`) argument: the dump path for `inspect`.
+    path: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -84,6 +96,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         fault_seed: 0xF417,
         retry_limit: 0,
         watchdog_cycles: None,
+        sample_interval: 0,
+        telemetry_out: None,
+        path: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -176,6 +191,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     _ => return Err("--chip needs `mcc` or `dmc`".into()),
                 };
             }
+            "--sample-interval" => {
+                i += 1;
+                opts.sample_interval = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--sample-interval needs a cycle count")?;
+            }
+            "--telemetry-out" => {
+                i += 1;
+                opts.telemetry_out = Some(
+                    args.get(i)
+                        .ok_or("--telemetry-out needs a file path")?
+                        .clone(),
+                );
+            }
+            other if !other.starts_with("--") && opts.path.is_none() => {
+                opts.path = Some(other.to_string());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -197,6 +230,201 @@ fn emit(record: &ExperimentRecord, json: bool) {
         }
         println!();
     }
+}
+
+/// Shade glyphs for the occupancy heatmap, lowest to highest.
+const SHADES: [char; 5] = ['·', '░', '▒', '▓', '█'];
+
+/// Parse a telemetry JSONL dump and render it: top-line rates, per-stage
+/// occupancy sparklines and heatmap, histogram quantiles, event counts.
+fn inspect(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut meta: Option<DumpMeta> = None;
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut histograms: Vec<NamedHistogram> = Vec::new();
+    let mut event_counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for (number, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: DumpLine = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: not a telemetry dump line: {e}", number + 1))?;
+        match parsed {
+            DumpLine::Meta(m) => meta = Some(m),
+            DumpLine::Sample(s) => samples.push(s),
+            DumpLine::Histogram(h) => histograms.push(h),
+            DumpLine::Event(e) => *event_counts.entry(e.kind()).or_insert(0) += 1,
+        }
+    }
+
+    let interval = meta
+        .as_ref()
+        .map(|m| m.sample_interval)
+        .or_else(|| {
+            samples
+                .get(1)
+                .zip(samples.first())
+                .map(|(b, a)| b.cycle - a.cycle)
+        })
+        .unwrap_or(1)
+        .max(1);
+    if let Some(m) = &meta {
+        println!(
+            "telemetry dump: {} ports, {} stages, {} cycles run, sampled every {} \
+             cycles ({} samples, {} dropped to ring wrap)",
+            m.ports,
+            m.stages,
+            m.cycles_run,
+            m.sample_interval,
+            samples.len(),
+            m.dropped_samples
+        );
+    } else {
+        println!(
+            "telemetry dump (no Meta line): {} samples, inferred interval {}",
+            samples.len(),
+            interval
+        );
+    }
+
+    const WIDTH: usize = 64;
+    if !samples.is_empty() {
+        let covered = samples.len() as u64 * interval;
+        let injected: u64 = samples.iter().map(|s| s.injected_delta).sum();
+        let delivered: u64 = samples.iter().map(|s| s.delivered_delta).sum();
+        let dropped: u64 = samples.iter().map(|s| s.dropped_delta).sum();
+        println!(
+            "rates over the sampled window: injected {} pkt/cyc, delivered {} \
+             pkt/cyc, dropped {} pkt/cyc",
+            trim_float(injected as f64 / covered as f64, 5),
+            trim_float(delivered as f64 / covered as f64, 5),
+            trim_float(dropped as f64 / covered as f64, 5),
+        );
+        println!();
+
+        let backlog: Vec<u64> = samples.iter().map(|s| s.source_backlog).collect();
+        let live: Vec<u64> = samples.iter().map(|s| s.live_packets).collect();
+        println!(
+            "source backlog    {} peak {}",
+            sparkline(&backlog, WIDTH),
+            backlog.iter().max().copied().unwrap_or(0)
+        );
+        println!(
+            "live packets      {} peak {}",
+            sparkline(&live, WIDTH),
+            live.iter().max().copied().unwrap_or(0)
+        );
+        let stages = samples
+            .first()
+            .map_or(0, |sample| sample.stage_occupancy.len());
+        let occupancy_of = |stage: usize| -> Vec<u64> {
+            samples.iter().map(|s| s.stage_occupancy[stage]).collect()
+        };
+        for stage in 0..stages {
+            let occupancy = occupancy_of(stage);
+            println!(
+                "stage {stage} occupancy {} peak {}",
+                sparkline(&occupancy, WIDTH),
+                occupancy.iter().max().copied().unwrap_or(0)
+            );
+        }
+        println!();
+
+        // Heatmap: unlike the sparklines (each scaled to its own peak),
+        // every cell here is normalized to the global occupancy peak, so
+        // shades compare across stages.
+        let global_peak = (0..stages).flat_map(&occupancy_of).max().unwrap_or(0);
+        if global_peak > 0 {
+            println!("occupancy heatmap (all stages scaled to global peak {global_peak}):");
+            for stage in 0..stages {
+                let occupancy = occupancy_of(stage);
+                let columns = WIDTH.min(occupancy.len());
+                let mut row = String::new();
+                for col in 0..columns {
+                    let lo = col * occupancy.len() / columns;
+                    let hi = ((col + 1) * occupancy.len() / columns).max(lo + 1);
+                    let v = occupancy[lo..hi].iter().copied().max().unwrap_or(0);
+                    let level = ((v * (SHADES.len() as u64 - 1)) + global_peak / 2) / global_peak;
+                    row.push(SHADES[level as usize]);
+                }
+                println!("stage {stage} |{row}|");
+            }
+            println!();
+        }
+
+        let mut t = TextTable::new(vec![
+            "stage",
+            "grants",
+            "blocked cycles",
+            "drops",
+            "peak occupancy",
+        ]);
+        for stage in 0..stages {
+            t.row(vec![
+                stage.to_string(),
+                samples
+                    .iter()
+                    .map(|s| s.stage_grants_delta[stage])
+                    .sum::<u64>()
+                    .to_string(),
+                samples
+                    .iter()
+                    .map(|s| s.stage_blocked_delta[stage])
+                    .sum::<u64>()
+                    .to_string(),
+                samples
+                    .iter()
+                    .map(|s| s.stage_dropped_delta[stage])
+                    .sum::<u64>()
+                    .to_string(),
+                occupancy_of(stage).iter().max().unwrap().to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if !histograms.is_empty() {
+        let mut t = TextTable::new(vec![
+            "distribution",
+            "count",
+            "min",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+            "p999",
+            "max",
+        ]);
+        for h in &histograms {
+            let hg = &h.histogram;
+            t.row(vec![
+                h.name.clone(),
+                hg.count().to_string(),
+                if hg.count() == 0 {
+                    "-".into()
+                } else {
+                    hg.min().to_string()
+                },
+                trim_float(hg.mean(), 1),
+                hg.quantile(0.5).to_string(),
+                hg.quantile(0.95).to_string(),
+                hg.quantile(0.99).to_string(),
+                hg.quantile(0.999).to_string(),
+                hg.max().to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if !event_counts.is_empty() {
+        let rendered: Vec<String> = event_counts
+            .iter()
+            .map(|(kind, n)| format!("{kind} {n}"))
+            .collect();
+        println!("events: {}", rendered.join(", "));
+    }
+    Ok(())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -226,6 +454,7 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{:14} Closed-loop round trips (sim)", "X3");
             println!("{:14} Queueing baseline vs simulator (sim)", "X6");
             println!("{:14} Fault tolerance / graceful degradation (sim)", "X10");
+            println!("{:14} Saturation onset: occupancy over time (sim)", "X11");
         }
         "all" => {
             for r in experiments::analytic_experiments(&opts.tech) {
@@ -301,6 +530,14 @@ fn run(args: &[String]) -> Result<(), String> {
         "ablations" => emit(&experiments::ablations(effort), opts.json),
         "roundtrip" => emit(&experiments::roundtrip_sim(effort), opts.json),
         "fault-tolerance" => emit(&experiments::fault_tolerance(effort), opts.json),
+        "saturation" => emit(&experiments::saturation_onset(effort), opts.json),
+        "inspect" => {
+            let path = opts
+                .path
+                .as_deref()
+                .ok_or("inspect needs a telemetry dump path: icn inspect <dump.jsonl>")?;
+            inspect(path)?;
+        }
         "explore" => {
             let designs = explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
             if opts.json {
@@ -367,9 +604,61 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(bound) = opts.watchdog_cycles {
                 config.watchdog_cycles = bound;
             }
+            // Asking for a dump implies sampling; default to a 100-cycle
+            // cadence unless --sample-interval says otherwise.
+            if opts.sample_interval > 0 || opts.telemetry_out.is_some() {
+                config.telemetry = TelemetryConfig::sampled(if opts.sample_interval > 0 {
+                    opts.sample_interval
+                } else {
+                    100
+                });
+            }
             // try_new validates the config and fault plan; a bad request is
             // a typed error and a nonzero exit, never a panic.
-            let result = Engine::try_new(config).map_err(|e| e.to_string())?.run();
+            let mut engine = Engine::try_new(config).map_err(|e| e.to_string())?;
+            // A JSONL dump includes the event stream, so capture it; the
+            // CSV form is the time series only.
+            let capture_events = opts
+                .telemetry_out
+                .as_deref()
+                .is_some_and(|p| !p.ends_with(".csv"));
+            let sink = MemorySink::new();
+            if capture_events {
+                engine.set_event_sink(sink.clone());
+            }
+            let result = engine.run();
+            if let Some(path) = &opts.telemetry_out {
+                let telem = result
+                    .telemetry
+                    .as_ref()
+                    .expect("telemetry was enabled above");
+                if path.ends_with(".csv") {
+                    std::fs::write(path, telem.time_series.to_csv())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                } else {
+                    let meta = DumpMeta {
+                        ports: result.ports,
+                        stages: result.stages,
+                        cycles_run: result.cycles_run,
+                        sample_interval: telem.time_series.interval,
+                        dropped_samples: telem.time_series.dropped_samples,
+                    };
+                    let mut buf = Vec::new();
+                    telem
+                        .write_jsonl(&meta, &mut buf)
+                        .map_err(|e| format!("serializing dump: {e}"))?;
+                    for event in sink.events() {
+                        buf.extend_from_slice(
+                            serde_json::to_string(&DumpLine::Event(event))
+                                .expect("events serialize")
+                                .as_bytes(),
+                        );
+                        buf.push(b'\n');
+                    }
+                    std::fs::write(path, buf).map_err(|e| format!("writing {path}: {e}"))?;
+                }
+                eprintln!("wrote telemetry to {path}");
+            }
             if opts.json {
                 println!(
                     "{}",

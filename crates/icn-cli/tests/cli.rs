@@ -109,6 +109,70 @@ fn fault_tolerance_experiment_renders() {
 }
 
 #[test]
+fn saturation_experiment_renders() {
+    let (ok, stdout, _) = icn(&["saturation", "--json"]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["id"], "X11");
+    assert_eq!(v["json"]["runs"].as_array().unwrap().len(), 3);
+}
+
+#[test]
+fn simulate_dump_then_inspect_round_trips() {
+    let dir = std::env::temp_dir().join(format!("icn-inspect-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("dump.jsonl");
+    let dump_arg = dump.to_str().unwrap();
+    let (ok, _, stderr) = icn(&[
+        "simulate",
+        "--ports",
+        "64",
+        "--load",
+        "0.005",
+        "--sample-interval",
+        "50",
+        "--telemetry-out",
+        dump_arg,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("wrote telemetry"), "{stderr}");
+
+    let (ok, stdout, _) = icn(&["inspect", dump_arg]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("64 ports"), "{stdout}");
+    assert!(stdout.contains("stage 0 occupancy"), "{stdout}");
+    assert!(stdout.contains("occupancy heatmap"), "{stdout}");
+    assert!(stdout.contains("total_latency"), "{stdout}");
+    assert!(stdout.contains("p999"), "{stdout}");
+    assert!(stdout.contains("events: deliver"), "{stdout}");
+
+    // The CSV form carries the time series alone.
+    let csv = dir.join("series.csv");
+    let csv_arg = csv.to_str().unwrap();
+    let (ok, _, _) = icn(&[
+        "simulate",
+        "--ports",
+        "16",
+        "--load",
+        "0.005",
+        "--telemetry-out",
+        csv_arg,
+    ]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&csv).unwrap();
+    assert!(text.starts_with("cycle,"), "{text}");
+    assert!(text.lines().count() > 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_without_a_path_fails_helpfully() {
+    let (ok, _, stderr) = icn(&["inspect"]);
+    assert!(!ok);
+    assert!(stderr.contains("dump path"), "{stderr}");
+}
+
+#[test]
 fn fig1_dot_emits_graphviz() {
     let (ok, stdout, _) = icn(&["fig1-dot"]);
     assert!(ok);

@@ -8,7 +8,7 @@
 //! unique-path design gives up: connectivity, delivered fraction, and the
 //! latency of the traffic that still gets through.
 
-use icn_sim::{self, RetryPolicy};
+use icn_sim::{self, MemorySink, RetryPolicy};
 use icn_workloads::Workload;
 
 use crate::table::{trim_float, TextTable};
@@ -64,13 +64,58 @@ pub fn fault_tolerance(effort: SimEffort) -> ExperimentRecord {
         ]);
     }
 
+    // Re-run the heaviest failure point with an event sink attached and
+    // reconcile the structured drop/retry/deliver stream against the
+    // result's counters — the event stream and the aggregates must tell
+    // the same story.
+    let heaviest = points.last().expect("non-empty sweep");
+    let mut heavy_config = base.clone();
+    heavy_config.faults = icn_sim::FaultPlan::random_module_failures(
+        &base.plan,
+        heaviest.failed_modules,
+        0,
+        FAULT_SEED,
+    );
+    let sink = MemorySink::new();
+    let heavy_result = icn_sim::run_with_sink(heavy_config, sink.clone());
+    let counts = sink.counts_by_kind();
+    let count = |kind: &str| counts.get(kind).copied().unwrap_or(0);
+    let reconciled = count("drop") == heavy_result.dropped_total
+        && count("retry") == heavy_result.retries_total
+        && count("deliver") == heavy_result.delivered_total
+        && count("inject") == heavy_result.injected_total;
+    assert!(
+        reconciled,
+        "event stream must reconcile with result totals: \
+         drops {}/{}, retries {}/{}, delivers {}/{}, injects {}/{}",
+        count("drop"),
+        heavy_result.dropped_total,
+        count("retry"),
+        heavy_result.retries_total,
+        count("deliver"),
+        heavy_result.delivered_total,
+        count("inject"),
+        heavy_result.injected_total,
+    );
+    let event_text = format!(
+        "event-stream reconciliation at {} failed modules: {} injects, {} delivers, \
+         {} drops, {} retries, {} fault activations — all counters match the sink\n",
+        heaviest.failed_modules,
+        count("inject"),
+        count("deliver"),
+        count("drop"),
+        count("retry"),
+        count("fault_activate"),
+    );
+
     let text = format!(
         "Fault tolerance of the {}-port network ({} modules, DMC, W=4) at \
-         offered {:.4}\n\n{}",
+         offered {:.4}\n\n{}\n{}",
         base.plan.ports(),
         total_modules,
         moderate,
-        t.render()
+        t.render(),
+        event_text
     );
     let json = serde_json::json!({
         "ports": base.plan.ports(),
@@ -79,6 +124,15 @@ pub fn fault_tolerance(effort: SimEffort) -> ExperimentRecord {
         "fault_seed": FAULT_SEED,
         "retry": base.retry,
         "sweep": points,
+        "event_reconciliation": {
+            "failed_modules": heaviest.failed_modules,
+            "inject_events": count("inject"),
+            "deliver_events": count("deliver"),
+            "drop_events": count("drop"),
+            "retry_events": count("retry"),
+            "fault_activate_events": count("fault_activate"),
+            "reconciled": reconciled,
+        },
     });
     ExperimentRecord::new(
         "X10",

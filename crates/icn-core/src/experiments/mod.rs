@@ -28,6 +28,7 @@
 //! | X8 | extension — the §6 design across technology presets |
 //! | X9 | extension — §2.2's O(N²) DMC wire-delay claim |
 //! | X10 | extension — graceful degradation under module failures (simulated) |
+//! | X11 | extension — saturation onset: sampled occupancy over time (simulated) |
 //!
 //! Every experiment returns an [`ExperimentRecord`]: a rendered text table
 //! (what the paper printed), a JSON value (machine-readable), and notes on
@@ -49,6 +50,7 @@ mod mesh_validation;
 mod power_budget;
 mod queueing_model;
 mod roundtrip_sim;
+mod saturation_onset;
 mod scaling_study;
 mod sensitivity;
 mod sim_validation;
@@ -73,6 +75,7 @@ pub use mesh_validation::mesh_validation;
 pub use power_budget::power_budget;
 pub use queueing_model::queueing_model;
 pub use roundtrip_sim::roundtrip_sim;
+pub use saturation_onset::saturation_onset;
 pub use scaling_study::scaling_study;
 pub use sensitivity::sensitivity;
 pub use sim_validation::sim_validation;
@@ -155,6 +158,7 @@ pub fn simulation_experiments(effort: SimEffort) -> Vec<ExperimentRecord> {
         roundtrip_sim(effort),
         queueing_model(effort),
         fault_tolerance(effort),
+        saturation_onset(effort),
     ]
 }
 

@@ -102,6 +102,35 @@ impl TextTable {
     }
 }
 
+/// Eight-level bar glyphs, lowest to highest.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a fixed-width sparkline, downsampling by taking the
+/// max within each column (peaks are the signal in occupancy/backlog
+/// series; averaging would smooth away exactly the onsets being plotted).
+/// The scale is linear from zero to the series maximum.
+#[must_use]
+pub fn sparkline(values: &[u64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let peak = values.iter().copied().max().unwrap_or(0);
+    let columns = width.min(values.len());
+    let mut out = String::with_capacity(columns * BARS[0].len_utf8());
+    for col in 0..columns {
+        // Partition indices evenly: column c covers [c*n/cols, (c+1)*n/cols).
+        let lo = col * values.len() / columns;
+        let hi = ((col + 1) * values.len() / columns).max(lo + 1);
+        let v = values[lo..hi].iter().copied().max().unwrap_or(0);
+        // Scale so only the true peak reaches the top glyph.
+        let level = ((v * (BARS.len() as u64 - 1)) + peak / 2)
+            .checked_div(peak)
+            .unwrap_or(0);
+        out.push(BARS[level as usize]);
+    }
+    out
+}
+
 /// Format a float with `digits` significant-looking decimal places, trimming
 /// trailing zeros the way the paper's tables do (e.g. `14.8`, `0.91`, `32`).
 #[must_use]
@@ -155,6 +184,17 @@ mod tests {
     fn row_width_mismatch_panics() {
         let mut t = TextTable::new(vec!["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[0, 0], 2), "▁▁");
+        assert_eq!(sparkline(&[0, 1, 2, 3, 4, 5, 6, 7], 8), "▁▂▃▄▅▆▇█");
+        // Max-downsampling keeps the peak when width < len.
+        let wide = sparkline(&[0, 0, 0, 9, 0, 0, 0, 0], 4);
+        assert_eq!(wide.chars().count(), 4);
+        assert!(wide.contains('█'));
     }
 
     #[test]

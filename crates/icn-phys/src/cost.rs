@@ -2,7 +2,7 @@
 //!
 //! The paper: "Across the network as a whole, however, use of a Boolean
 //! hypercube structure is significantly less costly in terms of the total
-//! number of chips required [7]." This module quantifies that claim: an
+//! number of chips required \[7]." This module quantifies that claim: an
 //! N′×N′ delta network of N×N chips needs `⌈log_N N′⌉ · ⌈N′/N⌉` chips
 //! (linear-log in N′), while tiling a full N′×N′ crossbar out of the same
 //! N×N chips needs `⌈N′/N⌉²` (quadratic).

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::SimError;
 use crate::fault::{FaultPlan, RetryPolicy};
+use crate::telemetry::TelemetryConfig;
 
 /// Which chip implementation's timing the modules use (§2.2/§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -106,6 +107,10 @@ pub struct SimConfig {
     /// (0 disables the watchdog).
     #[serde(default)]
     pub watchdog_cycles: u64,
+    /// Telemetry collection knobs (disabled by default: the zero-cost
+    /// path; see [`crate::telemetry`]).
+    #[serde(default)]
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -154,6 +159,7 @@ impl SimConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             watchdog_cycles: 10_000,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -211,6 +217,7 @@ impl SimConfig {
             self.measure_cycles >= 1,
             "measurement window must be non-empty",
         )?;
+        self.telemetry.validate()?;
         self.faults.validate(&self.plan)
     }
 }

@@ -34,11 +34,22 @@ use std::collections::HashMap;
 
 use crate::config::{Arbitration, SimConfig};
 use crate::error::SimError;
-use crate::fault::{FaultState, Health, StallReport};
+use crate::fault::{FaultEvent, FaultState, Health, StallReport};
 use crate::metrics::{LatencyStats, SimResult, StageCounters};
 use crate::module::Stage;
 use crate::packet::Packet;
+use crate::telemetry::{EventSink, Gauges, SimEvent, TelemetryState};
 use crate::trace::{HopTrace, PacketTrace};
+
+/// The engine's attached event sink (kept behind a wrapper so `Engine`
+/// can keep deriving `Debug`).
+struct SinkHandle(Box<dyn EventSink>);
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}
 
 /// Per-network-input source: an open-loop queue feeding stage 0.
 #[derive(Debug, Default)]
@@ -152,6 +163,10 @@ pub struct Engine {
     last_progress: u64,
     stall: Option<StallReport>,
     recent_drops: Vec<DroppedPacket>,
+    // Telemetry (None when disabled / no sink attached: the zero-cost
+    // path — telemetry observes the simulation and never participates).
+    telem: Option<Box<TelemetryState>>,
+    events: Option<SinkHandle>,
 }
 
 impl Engine {
@@ -201,6 +216,7 @@ impl Engine {
         let stage_counters = vec![StageCounters::default(); config.plan.stages() as usize];
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
         let faults = FaultState::build(&config.faults, &config.plan);
+        let telem = TelemetryState::build(&config.telemetry, config.plan.stages() as usize);
         Ok(Self {
             topology,
             stages,
@@ -233,8 +249,17 @@ impl Engine {
             last_progress: 0,
             stall: None,
             recent_drops: Vec::new(),
+            telem,
+            events: None,
             config,
         })
+    }
+
+    /// Attach an [`EventSink`] to receive every structured [`SimEvent`]
+    /// the engine emits from now on (see [`crate::telemetry`]). With no
+    /// sink attached each emission site is a single `Option` check.
+    pub fn set_event_sink(&mut self, sink: impl EventSink + 'static) {
+        self.events = Some(SinkHandle(Box::new(sink)));
     }
 
     /// Current cycle.
@@ -373,6 +398,15 @@ impl Engine {
         self.sources[src as usize].queue.push_back(packet);
         self.source_backlog += 1;
         self.peak_source_backlog = self.peak_source_backlog.max(self.source_backlog);
+        if let Some(sink) = self.events.as_mut() {
+            sink.0.record(&SimEvent::Inject {
+                cycle: self.now,
+                id,
+                src,
+                dest,
+                tracked,
+            });
+        }
         Ok(id)
     }
 
@@ -387,7 +421,20 @@ impl Engine {
     /// Advance one clock cycle.
     pub fn step(&mut self) {
         if let Some(faults) = self.faults.as_deref_mut() {
-            faults.apply(self.now);
+            let activated = faults.apply(self.now);
+            if !activated.is_empty() {
+                if let Some(sink) = self.events.as_mut() {
+                    // FaultEvent is Copy; detach from the fault-state borrow.
+                    let batch: Vec<FaultEvent> = faults.events()[activated].to_vec();
+                    for event in batch {
+                        sink.0.record(&SimEvent::FaultActivate {
+                            cycle: self.now,
+                            target: event.target,
+                            permanent: event.duration.is_none(),
+                        });
+                    }
+                }
+            }
         }
         self.vacate_all();
         self.release_retries();
@@ -395,9 +442,45 @@ impl Engine {
         self.source_grants();
         self.module_grants();
         self.check_watchdog();
+        self.sample_telemetry();
         #[cfg(debug_assertions)]
         self.debug_assert_conservation();
         self.now += 1;
+    }
+
+    /// Take a time-series sample if this is a sampling cycle (runs after
+    /// the cycle's phases, so the sample sees the cycle's outcome).
+    fn sample_telemetry(&mut self) {
+        if !self.telem.as_deref().is_some_and(|t| t.due(self.now)) {
+            return;
+        }
+        let stage_occupancy: Vec<u64> = self
+            .stages
+            .iter()
+            .map(|stage| {
+                stage
+                    .modules
+                    .iter()
+                    .flat_map(|m| &m.inputs)
+                    .map(|input| input.queue.len() as u64)
+                    .sum()
+            })
+            .collect();
+        let gauges = Gauges {
+            cycle: self.now,
+            live_packets: self.live_packets,
+            source_backlog: self.source_backlog,
+            retry_waiting: self.retry_queue.len() as u64,
+            injected_total: self.injected_total,
+            delivered_total: self.delivered_total,
+            dropped_total: self.dropped_total,
+            stage_occupancy,
+            stage_counters: &self.stage_counters,
+        };
+        self.telem
+            .as_deref_mut()
+            .expect("checked enabled")
+            .sample(gauges);
     }
 
     /// Run the configured warmup + measurement + drain schedule and return
@@ -429,7 +512,11 @@ impl Engine {
 
     /// Consume the engine and summarize.
     #[must_use]
-    pub fn finish(self) -> SimResult {
+    pub fn finish(mut self) -> SimResult {
+        if let Some(sink) = self.events.as_mut() {
+            sink.0.flush();
+        }
+        let telemetry = self.telem.take().map(|t| t.into_report());
         SimResult {
             ports: self.topology.ports(),
             stages: self.topology.stages(),
@@ -457,6 +544,7 @@ impl Engine {
                 .as_deref()
                 .map_or(0, |f| f.unreachable_pairs(&self.topology)),
             stall: self.stall,
+            telemetry,
         }
     }
 
@@ -545,8 +633,16 @@ impl Engine {
             if let Some(trace) = self.traces.get_mut(&packet.id) {
                 trace.entered_at = Some(now);
             }
+            let packet_id = packet.id;
             input.push(packet, now);
             self.last_progress = now;
+            if let Some(sink) = self.events.as_mut() {
+                sink.0.record(&SimEvent::Enter {
+                    cycle: now,
+                    id: packet_id,
+                    src: line,
+                });
+            }
         }
         for packet in drops {
             self.finalize_drop(packet);
@@ -700,8 +796,29 @@ impl Engine {
                 // Count the losers as output-busy blocked for this cycle.
                 counters.blocked_output_busy += (candidates.len() - 1) as u64;
 
+                if let Some(telem) = self.telem.as_deref_mut() {
+                    // Cycles the winning head sat ready (arbitration loss,
+                    // busy output, or back-pressure) before this grant.
+                    let arrived = module.inputs[winner as usize]
+                        .queue
+                        .front()
+                        .expect("granted head exists")
+                        .head_arrival;
+                    telem.record_stage_wait(stage_idx, now - (arrived + ready_offset));
+                }
                 let packet = module.inputs[winner as usize].grant_front(now + flits);
                 let head_arrival = now + head_latency;
+                if let Some(sink) = self.events.as_mut() {
+                    sink.0.record(&SimEvent::Grant {
+                        cycle: now,
+                        id: packet.id,
+                        stage: stage_idx as u32,
+                        module: module_idx as u32,
+                        in_port: winner,
+                        out_port,
+                        head_out_at: head_arrival,
+                    });
+                }
                 if let Some(trace) = self.traces.get_mut(&packet.id) {
                     trace.hops.push(HopTrace {
                         stage: stage_idx as u32,
@@ -761,6 +878,17 @@ impl Engine {
                 .entered_at
                 .expect("delivered packets have entered the network");
             self.latencies_net.push(delivered_at - entered);
+            if let Some(telem) = self.telem.as_deref_mut() {
+                telem.record_latency(delivered_at - packet.injected_at, delivered_at - entered);
+            }
+        }
+        if let Some(sink) = self.events.as_mut() {
+            sink.0.record(&SimEvent::Deliver {
+                cycle: delivered_at,
+                id: packet.id,
+                dest: packet.dest,
+                latency: delivered_at - packet.injected_at,
+            });
         }
     }
 
@@ -777,6 +905,14 @@ impl Engine {
             let retry_at = self.now + self.config.retry.backoff(packet.attempts - 1);
             self.retries_total += 1;
             self.last_progress = self.now;
+            if let Some(sink) = self.events.as_mut() {
+                sink.0.record(&SimEvent::Retry {
+                    cycle: self.now,
+                    id: packet.id,
+                    attempt: packet.attempts,
+                    retry_at,
+                });
+            }
             self.retry_queue
                 .push(Reverse(RetryEntry { retry_at, packet }));
         } else {
@@ -807,6 +943,15 @@ impl Engine {
                 dropped_at: self.now,
                 attempts: packet.attempts,
                 tracked: packet.tracked,
+            });
+        }
+        if let Some(sink) = self.events.as_mut() {
+            sink.0.record(&SimEvent::Drop {
+                cycle: self.now,
+                id: packet.id,
+                src: packet.src,
+                dest: packet.dest,
+                attempts: packet.attempts,
             });
         }
     }
@@ -846,6 +991,12 @@ impl Engine {
                 })
                 .collect(),
         });
+        if let Some(sink) = self.events.as_mut() {
+            sink.0.record(&SimEvent::Stall {
+                cycle: self.now,
+                live_packets: self.live_packets,
+            });
+        }
     }
 
     /// The conservation invariant, checked every cycle in debug builds:

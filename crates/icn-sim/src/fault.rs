@@ -374,8 +374,11 @@ impl FaultState {
         }))
     }
 
-    /// Activate every event whose cycle has arrived.
-    pub fn apply(&mut self, now: u64) {
+    /// Activate every event whose cycle has arrived. Returns the range of
+    /// indices into [`FaultState::events`] activated by this call, so the
+    /// engine can report them to an event sink.
+    pub fn apply(&mut self, now: u64) -> std::ops::Range<usize> {
+        let start = self.next;
         while let Some(event) = self.events.get(self.next) {
             if event.at_cycle > now {
                 break;
@@ -404,6 +407,13 @@ impl FaultState {
             *slot = (*slot).max(until);
             self.next += 1;
         }
+        start..self.next
+    }
+
+    /// The scheduled events, sorted by activation cycle (the index space
+    /// of the range [`FaultState::apply`] returns).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
     }
 
     pub fn module_health(&self, stage: u32, module: u32, now: u64) -> Health {

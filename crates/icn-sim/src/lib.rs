@@ -50,6 +50,7 @@ mod module;
 mod packet;
 mod roundtrip;
 mod runner;
+pub mod telemetry;
 mod trace;
 
 pub use config::{Arbitration, ChipModel, SimConfig};
@@ -60,7 +61,11 @@ pub use metrics::{LatencyStats, SimResult, StageCounters};
 pub use packet::{Packet, PacketStatus};
 pub use roundtrip::{run_roundtrip, RoundTripConfig, RoundTripResult};
 pub use runner::{
-    run, run_parallel, run_trace, sweep_load, sweep_module_failures, FaultSweepPoint,
-    LoadSweepPoint,
+    run, run_parallel, run_trace, run_with_sink, sweep_load, sweep_module_failures,
+    FaultSweepPoint, LoadSweepPoint,
+};
+pub use telemetry::{
+    EventSink, Histogram, JsonlSink, MemorySink, NullSink, Sample, SimEvent, TelemetryConfig,
+    TelemetryReport, TimeSeries, TraceBuilder,
 };
 pub use trace::{HopTrace, PacketTrace};

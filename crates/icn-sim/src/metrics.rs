@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::fault::StallReport;
+use crate::telemetry::TelemetryReport;
 
 /// Summary statistics over a set of latencies (in cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -21,6 +22,13 @@ pub struct LatencyStats {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile.
+    #[serde(default)]
+    pub p999: u64,
+    /// Population standard deviation (Welford's online algorithm, so it
+    /// stays numerically stable on long runs).
+    #[serde(default)]
+    pub stddev: f64,
 }
 
 impl LatencyStats {
@@ -33,6 +41,17 @@ impl LatencyStats {
         samples.sort_unstable();
         let count = samples.len() as u64;
         let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        // Welford's running moments for the variance: one pass, no
+        // catastrophic cancellation on large means. The reported mean
+        // stays the exact integer-sum quotient.
+        let mut running_mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for (i, &s) in samples.iter().enumerate() {
+            let x = s as f64;
+            let delta = x - running_mean;
+            running_mean += delta / (i + 1) as f64;
+            m2 += delta * (x - running_mean);
+        }
         let pct = |q: f64| -> u64 {
             let idx = ((samples.len() - 1) as f64 * q).round() as usize;
             samples[idx]
@@ -45,6 +64,8 @@ impl LatencyStats {
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),
+            p999: pct(0.999),
+            stddev: (m2 / count as f64).sqrt(),
         }
     }
 }
@@ -139,6 +160,11 @@ pub struct SimResult {
     /// forward progress for the configured bound.
     #[serde(default)]
     pub stall: Option<StallReport>,
+    /// Telemetry collected over the run (`None` when telemetry is
+    /// disabled; purely observational — every other field is identical
+    /// with telemetry on or off).
+    #[serde(default)]
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SimResult {

@@ -22,6 +22,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::metrics::{LatencyStats, SimResult};
+use crate::telemetry::Histogram;
 
 /// Configuration of a round-trip simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +64,11 @@ pub struct RoundTripResult {
     pub tracked_failed: u64,
     /// Request-injection → reply-delivery latency (cycles).
     pub round_trip_latency: LatencyStats,
+    /// Log-bucketed round-trip latency distribution, collected when the
+    /// network config enables telemetry (`None` otherwise). Quantiles
+    /// beyond [`LatencyStats`]' fixed set come from here.
+    #[serde(default)]
+    pub round_trip_histogram: Option<Histogram>,
     /// Unloaded analytic round trip (cycles) for comparison.
     pub analytic_unloaded_cycles: u64,
     /// Forward (request) network statistics.
@@ -263,11 +269,19 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
         now += 1;
     }
 
+    let round_trip_histogram = config.net.telemetry.enabled().then(|| {
+        let mut histogram = Histogram::new(config.net.telemetry.histogram_precision);
+        for &s in &samples {
+            histogram.record(s);
+        }
+        histogram
+    });
     RoundTripResult {
         tracked_requests,
         tracked_completed,
         tracked_failed,
         round_trip_latency: LatencyStats::from_samples(samples),
+        round_trip_histogram,
         analytic_unloaded_cycles: config.analytic_unloaded_cycles(),
         forward: fwd.finish(),
         reverse: rev.finish(),

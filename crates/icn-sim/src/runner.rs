@@ -6,11 +6,27 @@ use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::fault::FaultPlan;
 use crate::metrics::SimResult;
+use crate::telemetry::EventSink;
 
 /// Run one configuration to completion.
 #[must_use]
 pub fn run(config: SimConfig) -> SimResult {
     Engine::new(config).run()
+}
+
+/// Run one configuration to completion with an [`EventSink`] attached,
+/// streaming every structured [`crate::telemetry::SimEvent`] the engine
+/// emits. Use a [`crate::telemetry::MemorySink`] clone (or a
+/// [`crate::telemetry::JsonlSink`] over a file) to keep a handle on the
+/// events while the engine owns the sink.
+///
+/// # Panics
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+#[must_use]
+pub fn run_with_sink(config: SimConfig, sink: impl EventSink + 'static) -> SimResult {
+    let mut engine = Engine::new(config);
+    engine.set_event_sink(sink);
+    engine.run()
 }
 
 /// Replay a recorded [`icn_workloads::TrafficTrace`] through the network:

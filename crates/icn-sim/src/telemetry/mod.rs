@@ -1,0 +1,469 @@
+//! Zero-cost-when-disabled observability for the simulation engine.
+//!
+//! The paper's §4/§6 delay figures are best-case numbers; what limits a
+//! loaded network is transient contention and back-pressure that
+//! end-of-run aggregates average away. This module makes the transient
+//! behaviour visible without perturbing it:
+//!
+//! * [`TimeSeries`] — an interval sampler snapshots per-stage buffer
+//!   occupancy, source backlog, live packets, and grant/blocked/drop
+//!   deltas every `sample_interval` cycles into a bounded ring buffer;
+//! * [`Histogram`] — log-bucketed (HDR-style) latency and waiting-time
+//!   distributions with arbitrary quantiles and bounded memory at any run
+//!   length (error bound: relative `2^−(p+1)`, see [`histogram`]);
+//! * [`SimEvent`] / [`EventSink`] — a structured event stream (inject,
+//!   enter, grant, deliver, drop, retry, fault-activate, stall) with
+//!   pluggable sinks: [`NullSink`], in-memory [`MemorySink`] for tests,
+//!   [`JsonlSink`] for files, and [`TraceBuilder`] which reconstructs
+//!   [`crate::PacketTrace`]s and thereby generalizes the engine's
+//!   fixed-budget built-in tracing.
+//!
+//! **The disabled path is guaranteed inert**: with
+//! [`TelemetryConfig::sample_interval`] = 0 and no sink attached the
+//! engine carries no telemetry state, runs the exact same cycle-by-cycle
+//! schedule, and produces a [`crate::SimResult`] whose every
+//! pre-existing field equals the enabled run's (asserted field-for-field
+//! in `tests/telemetry.rs`). Telemetry observes; it never participates.
+
+pub mod event;
+pub mod histogram;
+pub mod timeseries;
+
+pub use event::{EventSink, JsonlSink, MemorySink, NullSink, SimEvent, TraceBuilder};
+pub use histogram::{Histogram, DEFAULT_PRECISION};
+pub use timeseries::{Sample, TimeSeries};
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::metrics::StageCounters;
+
+/// Telemetry knobs, carried in [`crate::SimConfig::telemetry`].
+///
+/// The default (`sample_interval` = 0) disables collection entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Cycles between time-series samples; 0 disables telemetry.
+    pub sample_interval: u64,
+    /// Ring-buffer capacity in samples: the most recent
+    /// `ring_capacity` samples are retained, older ones are dropped
+    /// (and counted in [`TimeSeries::dropped_samples`]).
+    pub ring_capacity: u32,
+    /// Histogram sub-bucket bits; quantile error is ≤ `2^−(p+1)`.
+    pub histogram_precision: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            sample_interval: 0,
+            ring_capacity: 4096,
+            histogram_precision: DEFAULT_PRECISION,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A config sampling every `sample_interval` cycles with default ring
+    /// capacity and precision.
+    #[must_use]
+    pub fn sampled(sample_interval: u64) -> Self {
+        Self {
+            sample_interval,
+            ..Self::default()
+        }
+    }
+
+    /// Whether telemetry collection is on.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.sample_interval > 0
+    }
+
+    /// Validate the knobs (called from [`crate::SimConfig::validate`]).
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidConfig`] for a zero ring capacity or an
+    /// out-of-range histogram precision while sampling is enabled.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        if self.ring_capacity == 0 {
+            return Err(SimError::InvalidConfig(
+                "telemetry ring capacity must be at least 1 sample".into(),
+            ));
+        }
+        if !(1..=20).contains(&self.histogram_precision) {
+            return Err(SimError::InvalidConfig(
+                "telemetry histogram precision must be in 1..=20 bits".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything telemetry collected over one run, carried in
+/// [`crate::SimResult::telemetry`] (`None` when disabled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// The sampled time series.
+    pub time_series: TimeSeries,
+    /// Source→destination latency distribution of tracked packets.
+    pub total_latency: Histogram,
+    /// Network-entry→destination latency distribution of tracked packets.
+    pub network_latency: Histogram,
+    /// Per-stage distributions of cycles a ready head waited (blocked or
+    /// arbitrating) before winning its output grant.
+    pub stage_waits: Vec<Histogram>,
+}
+
+impl TelemetryReport {
+    /// Write the report as a JSONL dump: one `{"Meta":{...}}` line, then
+    /// one line per sample and per histogram (the format `icn inspect`
+    /// reads). Events are streamed separately by a [`JsonlSink`].
+    ///
+    /// # Errors
+    /// Propagates writer errors.
+    pub fn write_jsonl<W: Write>(&self, meta: &DumpMeta, out: &mut W) -> std::io::Result<()> {
+        let mut line = |dump_line: &DumpLine| -> std::io::Result<()> {
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(dump_line).expect("dump lines serialize")
+            )
+        };
+        line(&DumpLine::Meta(meta.clone()))?;
+        for sample in &self.time_series.samples {
+            line(&DumpLine::Sample(sample.clone()))?;
+        }
+        for (name, histogram) in [
+            ("total_latency", &self.total_latency),
+            ("network_latency", &self.network_latency),
+        ] {
+            line(&DumpLine::Histogram(NamedHistogram {
+                name: name.to_string(),
+                histogram: histogram.clone(),
+            }))?;
+        }
+        for (stage, histogram) in self.stage_waits.iter().enumerate() {
+            line(&DumpLine::Histogram(NamedHistogram {
+                name: format!("stage{stage}_wait"),
+                histogram: histogram.clone(),
+            }))?;
+        }
+        Ok(())
+    }
+}
+
+/// The header line of a telemetry dump.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DumpMeta {
+    /// Ports in the simulated network.
+    pub ports: u32,
+    /// Stages in the simulated network.
+    pub stages: u32,
+    /// Cycles the run simulated.
+    pub cycles_run: u64,
+    /// Cycles between samples.
+    pub sample_interval: u64,
+    /// Samples lost to ring-buffer wrap (oldest first).
+    pub dropped_samples: u64,
+}
+
+/// A named histogram line in a dump.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamedHistogram {
+    /// Which distribution this is (`total_latency`, `network_latency`,
+    /// `stage<N>_wait`).
+    pub name: String,
+    /// The histogram itself.
+    pub histogram: Histogram,
+}
+
+/// One line of a telemetry JSONL dump (externally tagged: `{"Meta":{...}}`,
+/// `{"Sample":{...}}`, `{"Histogram":{...}}`, or — in event files —
+/// `{"Event":{...}}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DumpLine {
+    /// The run header.
+    Meta(DumpMeta),
+    /// One time-series sample.
+    Sample(Sample),
+    /// One named histogram.
+    Histogram(NamedHistogram),
+    /// One engine event.
+    Event(SimEvent),
+}
+
+/// Engine-side collector. Built only when
+/// [`TelemetryConfig::sample_interval`] is non-zero, so disabled runs
+/// carry no state at all (mirroring the fault engine's zero-cost rule).
+#[derive(Debug)]
+pub(crate) struct TelemetryState {
+    config: TelemetryConfig,
+    samples: VecDeque<Sample>,
+    dropped_samples: u64,
+    // Counter snapshots at the previous sample, for delta computation.
+    last_injected: u64,
+    last_delivered: u64,
+    last_dropped: u64,
+    last_stage: Vec<StageCounters>,
+    total_latency: Histogram,
+    network_latency: Histogram,
+    stage_waits: Vec<Histogram>,
+}
+
+/// The instantaneous gauges the engine hands the sampler.
+pub(crate) struct Gauges<'a> {
+    pub cycle: u64,
+    pub live_packets: u64,
+    pub source_backlog: u64,
+    pub retry_waiting: u64,
+    pub injected_total: u64,
+    pub delivered_total: u64,
+    pub dropped_total: u64,
+    pub stage_occupancy: Vec<u64>,
+    pub stage_counters: &'a [StageCounters],
+}
+
+impl TelemetryState {
+    /// Materialize the config for a `stages`-stage network; `None` when
+    /// disabled.
+    pub fn build(config: &TelemetryConfig, stages: usize) -> Option<Box<Self>> {
+        if !config.enabled() {
+            return None;
+        }
+        let precision = config.histogram_precision;
+        Some(Box::new(Self {
+            config: *config,
+            samples: VecDeque::new(),
+            dropped_samples: 0,
+            last_injected: 0,
+            last_delivered: 0,
+            last_dropped: 0,
+            last_stage: vec![StageCounters::default(); stages],
+            total_latency: Histogram::new(precision),
+            network_latency: Histogram::new(precision),
+            stage_waits: (0..stages).map(|_| Histogram::new(precision)).collect(),
+        }))
+    }
+
+    /// Whether `cycle` is a sampling cycle.
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.config.sample_interval)
+    }
+
+    /// Take one sample from the current gauges.
+    pub fn sample(&mut self, gauges: Gauges<'_>) {
+        let stage_grants_delta = gauges
+            .stage_counters
+            .iter()
+            .zip(&self.last_stage)
+            .map(|(now, last)| now.grants - last.grants)
+            .collect();
+        let stage_blocked_delta = gauges
+            .stage_counters
+            .iter()
+            .zip(&self.last_stage)
+            .map(|(now, last)| now.blocked() - last.blocked())
+            .collect();
+        let stage_dropped_delta = gauges
+            .stage_counters
+            .iter()
+            .zip(&self.last_stage)
+            .map(|(now, last)| now.dropped - last.dropped)
+            .collect();
+        let sample = Sample {
+            cycle: gauges.cycle,
+            live_packets: gauges.live_packets,
+            source_backlog: gauges.source_backlog,
+            retry_waiting: gauges.retry_waiting,
+            injected_delta: gauges.injected_total - self.last_injected,
+            delivered_delta: gauges.delivered_total - self.last_delivered,
+            dropped_delta: gauges.dropped_total - self.last_dropped,
+            stage_occupancy: gauges.stage_occupancy,
+            stage_grants_delta,
+            stage_blocked_delta,
+            stage_dropped_delta,
+        };
+        self.last_injected = gauges.injected_total;
+        self.last_delivered = gauges.delivered_total;
+        self.last_dropped = gauges.dropped_total;
+        self.last_stage.copy_from_slice(gauges.stage_counters);
+        if self.samples.len() >= self.config.ring_capacity as usize {
+            self.samples.pop_front();
+            self.dropped_samples += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// Record a tracked delivery's latencies.
+    pub fn record_latency(&mut self, total: u64, network: u64) {
+        self.total_latency.record(total);
+        self.network_latency.record(network);
+    }
+
+    /// Record how long a head waited at `stage` before its grant.
+    pub fn record_stage_wait(&mut self, stage: usize, waited: u64) {
+        self.stage_waits[stage].record(waited);
+    }
+
+    /// Finalize into the run report.
+    pub fn into_report(self) -> TelemetryReport {
+        TelemetryReport {
+            time_series: TimeSeries {
+                interval: self.config.sample_interval,
+                dropped_samples: self.dropped_samples,
+                samples: self.samples.into_iter().collect(),
+            },
+            total_latency: self.total_latency,
+            network_latency: self.network_latency,
+            stage_waits: self.stage_waits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_builds_no_state() {
+        assert!(TelemetryState::build(&TelemetryConfig::default(), 3).is_none());
+        assert!(TelemetryState::build(&TelemetryConfig::sampled(10), 3).is_some());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let config = TelemetryConfig {
+            sample_interval: 1,
+            ring_capacity: 2,
+            histogram_precision: 7,
+        };
+        let mut state = TelemetryState::build(&config, 1).unwrap();
+        let counters = [StageCounters::default()];
+        for cycle in 0..5 {
+            state.sample(Gauges {
+                cycle,
+                live_packets: cycle,
+                source_backlog: 0,
+                retry_waiting: 0,
+                injected_total: cycle,
+                delivered_total: 0,
+                dropped_total: 0,
+                stage_occupancy: vec![0],
+                stage_counters: &counters,
+            });
+        }
+        let report = state.into_report();
+        assert_eq!(report.time_series.dropped_samples, 3);
+        let cycles: Vec<u64> = report.time_series.samples.iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![3, 4]);
+        // Deltas are against the previous sample even across evictions.
+        assert_eq!(report.time_series.samples[1].injected_delta, 1);
+    }
+
+    #[test]
+    fn deltas_are_differences_between_samples() {
+        let mut state = TelemetryState::build(&TelemetryConfig::sampled(5), 2).unwrap();
+        let mut counters = [StageCounters::default(), StageCounters::default()];
+        state.sample(Gauges {
+            cycle: 0,
+            live_packets: 1,
+            source_backlog: 1,
+            retry_waiting: 0,
+            injected_total: 4,
+            delivered_total: 1,
+            dropped_total: 0,
+            stage_occupancy: vec![1, 0],
+            stage_counters: &counters,
+        });
+        counters[0].grants = 7;
+        counters[1].blocked_output_busy = 3;
+        state.sample(Gauges {
+            cycle: 5,
+            live_packets: 2,
+            source_backlog: 0,
+            retry_waiting: 0,
+            injected_total: 9,
+            delivered_total: 4,
+            dropped_total: 0,
+            stage_occupancy: vec![0, 2],
+            stage_counters: &counters,
+        });
+        let report = state.into_report();
+        let s = &report.time_series.samples[1];
+        assert_eq!(s.injected_delta, 5);
+        assert_eq!(s.delivered_delta, 3);
+        assert_eq!(s.stage_grants_delta, vec![7, 0]);
+        assert_eq!(s.stage_blocked_delta, vec![0, 3]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let mut c = TelemetryConfig::sampled(10);
+        assert!(c.validate().is_ok());
+        c.ring_capacity = 0;
+        assert!(c.validate().is_err());
+        c.ring_capacity = 16;
+        c.histogram_precision = 0;
+        assert!(c.validate().is_err());
+        // Disabled telemetry is never rejected, whatever the other knobs.
+        c.sample_interval = 0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn dump_roundtrips_line_by_line() {
+        let report = TelemetryReport {
+            time_series: TimeSeries {
+                interval: 10,
+                dropped_samples: 0,
+                samples: vec![Sample {
+                    cycle: 10,
+                    live_packets: 2,
+                    source_backlog: 1,
+                    retry_waiting: 0,
+                    injected_delta: 3,
+                    delivered_delta: 1,
+                    dropped_delta: 0,
+                    stage_occupancy: vec![1, 1],
+                    stage_grants_delta: vec![2, 1],
+                    stage_blocked_delta: vec![0, 0],
+                    stage_dropped_delta: vec![0, 0],
+                }],
+            },
+            total_latency: Histogram::default(),
+            network_latency: Histogram::default(),
+            stage_waits: vec![Histogram::default(), Histogram::default()],
+        };
+        let meta = DumpMeta {
+            ports: 16,
+            stages: 2,
+            cycles_run: 100,
+            sample_interval: 10,
+            dropped_samples: 0,
+        };
+        let mut buf = Vec::new();
+        report.write_jsonl(&meta, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<DumpLine> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("line parses"))
+            .collect();
+        // 1 meta + 1 sample + 2 run histograms + 2 stage histograms.
+        assert_eq!(lines.len(), 6);
+        assert!(matches!(&lines[0], DumpLine::Meta(m) if m.ports == 16));
+        assert!(matches!(&lines[1], DumpLine::Sample(s) if s.cycle == 10));
+        assert!(
+            matches!(&lines[2], DumpLine::Histogram(h) if h.name == "total_latency"),
+            "{:?}",
+            lines[2]
+        );
+        assert!(matches!(&lines[5], DumpLine::Histogram(h) if h.name == "stage1_wait"));
+    }
+}

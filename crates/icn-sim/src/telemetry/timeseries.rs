@@ -1,0 +1,173 @@
+//! Per-cycle time series: interval-sampled, ring-buffered gauge snapshots.
+//!
+//! The sampler records one [`Sample`] every `sample_interval` cycles:
+//! instantaneous gauges (per-stage buffer occupancy, source backlog, live
+//! packets, retry-backoff population) plus counter *deltas* since the
+//! previous sample (grants, blocked request-cycles, drops per stage;
+//! injections and deliveries globally). Samples live in a ring buffer of
+//! `ring_capacity` entries, so memory stays bounded on arbitrarily long
+//! runs — when the ring wraps, the oldest samples are discarded and
+//! counted in [`TimeSeries::dropped_samples`].
+
+use serde::{Deserialize, Serialize};
+
+/// One snapshot of the network, taken at the end of cycle `cycle`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Cycle the sample was taken (end of this cycle's phases).
+    pub cycle: u64,
+    /// Packets alive anywhere (queued, buffered, or in retry backoff).
+    pub live_packets: u64,
+    /// Packets queued at the sources.
+    pub source_backlog: u64,
+    /// Packets waiting out a retry backoff.
+    pub retry_waiting: u64,
+    /// Packets injected since the previous sample.
+    pub injected_delta: u64,
+    /// Packets delivered since the previous sample.
+    pub delivered_delta: u64,
+    /// Packets finally dropped since the previous sample.
+    pub dropped_delta: u64,
+    /// Occupied + reserved input-buffer slots, per stage.
+    pub stage_occupancy: Vec<u64>,
+    /// Output grants since the previous sample, per stage.
+    pub stage_grants_delta: Vec<u64>,
+    /// Blocked request-cycles since the previous sample, per stage
+    /// (output-busy + downstream-full + fault).
+    pub stage_blocked_delta: Vec<u64>,
+    /// Packet-drop events since the previous sample, per stage.
+    pub stage_dropped_delta: Vec<u64>,
+}
+
+/// The collected time series of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TimeSeries {
+    /// Cycles between samples.
+    pub interval: u64,
+    /// Samples discarded because the ring buffer wrapped (always the
+    /// oldest ones; `samples` is the most recent window).
+    pub dropped_samples: u64,
+    /// The retained samples, oldest first.
+    pub samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Render as CSV: a header row, then one row per sample with the
+    /// per-stage vectors flattened to `occ_s0..`, `grants_s0..`, … columns.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let stages = self
+            .samples
+            .first()
+            .map_or(0, |sample| sample.stage_occupancy.len());
+        let mut out = String::from(
+            "cycle,live_packets,source_backlog,retry_waiting,\
+             injected_delta,delivered_delta,dropped_delta",
+        );
+        for label in ["occ", "grants", "blocked", "dropped"] {
+            for s in 0..stages {
+                out.push_str(&format!(",{label}_s{s}"));
+            }
+        }
+        out.push('\n');
+        for sample in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}",
+                sample.cycle,
+                sample.live_packets,
+                sample.source_backlog,
+                sample.retry_waiting,
+                sample.injected_delta,
+                sample.delivered_delta,
+                sample.dropped_delta
+            ));
+            for vec in [
+                &sample.stage_occupancy,
+                &sample.stage_grants_delta,
+                &sample.stage_blocked_delta,
+                &sample.stage_dropped_delta,
+            ] {
+                for v in vec {
+                    out.push_str(&format!(",{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Peak per-stage occupancy across the retained samples.
+    #[must_use]
+    pub fn peak_stage_occupancy(&self) -> Vec<u64> {
+        let stages = self
+            .samples
+            .first()
+            .map_or(0, |sample| sample.stage_occupancy.len());
+        let mut peak = vec![0u64; stages];
+        for sample in &self.samples {
+            for (p, &o) in peak.iter_mut().zip(&sample.stage_occupancy) {
+                *p = (*p).max(o);
+            }
+        }
+        peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycle: u64, occ: Vec<u64>) -> Sample {
+        Sample {
+            cycle,
+            live_packets: 3,
+            source_backlog: 1,
+            retry_waiting: 0,
+            injected_delta: 2,
+            delivered_delta: 1,
+            dropped_delta: 0,
+            stage_grants_delta: vec![0; occ.len()],
+            stage_blocked_delta: vec![0; occ.len()],
+            stage_dropped_delta: vec![0; occ.len()],
+            stage_occupancy: occ,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let ts = TimeSeries {
+            interval: 10,
+            dropped_samples: 0,
+            samples: vec![sample(10, vec![4, 2]), sample(20, vec![5, 3])],
+        };
+        let csv = ts.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("cycle,"));
+        assert!(lines[0].contains("occ_s0"));
+        assert!(lines[0].contains("blocked_s1"));
+        assert!(lines[1].starts_with("10,3,1,0,2,1,0,4,2"));
+        // Every row has the same column count as the header.
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn peak_occupancy_is_elementwise_max() {
+        let ts = TimeSeries {
+            interval: 1,
+            dropped_samples: 0,
+            samples: vec![sample(1, vec![4, 2]), sample(2, vec![1, 7])],
+        };
+        assert_eq!(ts.peak_stage_occupancy(), vec![4, 7]);
+    }
+
+    #[test]
+    fn empty_series_renders() {
+        let ts = TimeSeries::default();
+        assert!(ts.to_csv().starts_with("cycle,"));
+        assert!(ts.peak_stage_occupancy().is_empty());
+    }
+}

@@ -63,19 +63,44 @@ impl PacketTrace {
         }
     }
 
-    /// Whether the trace covers the packet's full life.
+    /// Whether the trace covers the packet's full life: it reached a
+    /// terminal state — delivered, or finally dropped by a fault. (A
+    /// never-entered dropped packet is terminal too: a permanently dead
+    /// source loses its queue without the packets ever entering.)
     #[must_use]
     pub fn complete(&self) -> bool {
-        self.entered_at.is_some() && self.delivered_at.is_some()
+        self.delivered_at.is_some() || self.dropped_at.is_some()
     }
 
     /// Cycles the packet spent waiting (blocked or queued) rather than in
     /// pipeline transit: total latency minus the §4 minimum implied by its
     /// own hop grants.
     ///
-    /// Returns `None` for incomplete traces.
+    /// For a dropped packet the waiting is counted up to the drop: the gap
+    /// from the last head-out (or from entry, or — for a packet dropped in
+    /// its source queue — from injection) to `dropped_at`.
+    ///
+    /// Returns `None` for traces that are still in flight.
     #[must_use]
     pub fn waiting_cycles(&self) -> Option<u64> {
+        if let Some(dropped) = self.dropped_at {
+            let Some(entered) = self.entered_at else {
+                // Died in the source queue: its whole life was waiting.
+                return Some(dropped - self.injected_at);
+            };
+            return Some(match self.hops.first() {
+                None => dropped - entered,
+                Some(first) => {
+                    let mut waiting = first.granted_at - entered;
+                    for pair in self.hops.windows(2) {
+                        waiting += pair[1].granted_at.saturating_sub(pair[0].head_out_at);
+                    }
+                    let last = self.hops.last().expect("non-empty hops");
+                    waiting + dropped.saturating_sub(last.head_out_at)
+                }
+            });
+        }
+        self.delivered_at?;
         let entered = self.entered_at?;
         let first_grant = self.hops.first()?.granted_at;
         let mut waiting = first_grant - entered;
@@ -154,10 +179,36 @@ mod tests {
 
     #[test]
     fn incomplete_trace_has_no_waiting() {
+        // Still in flight: entered and hopping, but no terminal state yet.
         let mut t = sample();
-        t.entered_at = None;
+        t.delivered_at = None;
         assert_eq!(t.waiting_cycles(), None);
         assert!(!t.complete());
+    }
+
+    #[test]
+    fn dropped_trace_is_terminally_complete() {
+        // Dropped mid-network: waiting counts up to the drop cycle.
+        let mut t = sample();
+        t.delivered_at = None;
+        t.dropped_at = Some(120);
+        assert!(t.complete());
+        // 3 before the first grant + (110 − 105) between hops
+        // + (120 − 112) from the last head-out to the drop.
+        assert_eq!(t.waiting_cycles(), Some(16));
+
+        // Dropped after entry but before any grant.
+        let mut t = PacketTrace::new(1, 0, 3, 50);
+        t.entered_at = Some(55);
+        t.dropped_at = Some(70);
+        assert!(t.complete());
+        assert_eq!(t.waiting_cycles(), Some(15));
+
+        // Dropped in the source queue (source died): never entered.
+        let mut t = PacketTrace::new(2, 0, 3, 50);
+        t.dropped_at = Some(64);
+        assert!(t.complete());
+        assert_eq!(t.waiting_cycles(), Some(14));
     }
 
     #[test]

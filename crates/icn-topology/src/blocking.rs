@@ -1,7 +1,7 @@
 //! Analytical blocking probability (Figure 2).
 //!
 //! The paper plots "probability of blocking" against the number of stages
-//! for a 4096-port network, "based on the formula derived in [15]" — Patel's
+//! for a 4096-port network, "based on the formula derived in \[15]" — Patel's
 //! acceptance recurrence for delta networks built from crossbar switches.
 //!
 //! For an `r × r` crossbar whose inputs each carry an independent request

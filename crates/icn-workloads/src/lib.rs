@@ -8,7 +8,7 @@
 //!
 //! * [`Pattern::Uniform`] — independent uniformly random destinations;
 //! * [`Pattern::HotSpot`] — the Pfister–Norton hot-spot model the paper
-//!   cites via [18]: a fraction of all traffic targets one hot port;
+//!   cites via \[18]: a fraction of all traffic targets one hot port;
 //! * [`Pattern::Permutation`] and the classic fixed patterns (bit reversal,
 //!   transpose) — worst/structured cases for delta networks;
 //! * [`Pattern::LocalClusters`] — locality-biased traffic for the
