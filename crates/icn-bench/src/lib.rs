@@ -16,5 +16,12 @@
 //! | `roundtrip` | closed-loop round trips + mesh chip transits |
 //!
 //! Run with `cargo bench --workspace` (or `-p icn-bench --bench <name>`).
+//!
+//! Besides the criterion benches, the [`perf`] module carries the
+//! perf-regression harness the `icn bench` command and CI use: fixed
+//! cases, cycles/sec measurements, and the `BENCH_PR3.json` baseline
+//! format with a >25%-regression gate.
 
 #![warn(missing_docs)]
+
+pub mod perf;

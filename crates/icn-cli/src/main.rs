@@ -16,9 +16,13 @@
 //! icn simulate --load L [...]  one simulation run; --fail-modules/--fail-links
 //!                              inject faults, --retry-limit/--watchdog-cycles
 //!                              tune degraded operation, --sample-interval/
-//!                              --telemetry-out record a telemetry dump
+//!                              --telemetry-out record a telemetry dump,
+//!                              --warmup/measure/drain-cycles set the schedule
 //! icn inspect <dump.jsonl>     render a telemetry dump: occupancy sparklines,
 //!                              per-stage heatmap, histogram quantiles
+//! icn bench [--smoke]          perf-regression harness: measure simulator
+//!                              cycles/sec and gate against BENCH_PR3.json
+//!                              (--update-baseline before|after re-records)
 //!
 //! options: --tech <preset>  --json  --full
 //! ```
@@ -57,8 +61,11 @@ fn usage() -> &'static str {
      \t simulate [--load L] [--ports P] [--chip mcc|dmc] [--width W] [--seed S]\n\
      \t          [--fail-modules N] [--fail-links N] [--fault-seed S]\n\
      \t          [--retry-limit N] [--watchdog-cycles N]\n\
+     \t          [--warmup-cycles N] [--measure-cycles N] [--drain-cycles N]\n\
      \t          [--sample-interval K] [--telemetry-out dump.jsonl|series.csv]\n\
-     \t inspect <dump.jsonl>"
+     \t inspect <dump.jsonl>\n\
+     \t bench [--smoke] [--json] [--iters N] [--baseline BENCH_PR3.json]\n\
+     \t       [--update-baseline before|after]"
 }
 
 struct Options {
@@ -77,6 +84,13 @@ struct Options {
     watchdog_cycles: Option<u64>,
     sample_interval: u64,
     telemetry_out: Option<String>,
+    warmup_cycles: Option<u64>,
+    measure_cycles: Option<u64>,
+    drain_cycles: Option<u64>,
+    smoke: bool,
+    iters: u32,
+    baseline: String,
+    update_baseline: Option<String>,
     /// First bare (non-`--`) argument: the dump path for `inspect`.
     path: Option<String>,
 }
@@ -98,6 +112,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         watchdog_cycles: None,
         sample_interval: 0,
         telemetry_out: None,
+        warmup_cycles: None,
+        measure_cycles: None,
+        drain_cycles: None,
+        smoke: false,
+        iters: 3,
+        baseline: icn_bench::perf::DEFAULT_BASELINE.to_string(),
+        update_baseline: None,
         path: None,
     };
     let mut i = 0;
@@ -205,6 +226,53 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .ok_or("--telemetry-out needs a file path")?
                         .clone(),
                 );
+            }
+            "--warmup-cycles" => {
+                i += 1;
+                opts.warmup_cycles = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--warmup-cycles needs a cycle count")?,
+                );
+            }
+            "--measure-cycles" => {
+                i += 1;
+                opts.measure_cycles = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--measure-cycles needs a cycle count")?,
+                );
+            }
+            "--drain-cycles" => {
+                i += 1;
+                opts.drain_cycles = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--drain-cycles needs a cycle count")?,
+                );
+            }
+            "--smoke" => opts.smoke = true,
+            "--iters" => {
+                i += 1;
+                opts.iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--iters needs a positive count")?;
+            }
+            "--baseline" => {
+                i += 1;
+                opts.baseline = args.get(i).ok_or("--baseline needs a file path")?.clone();
+            }
+            "--update-baseline" => {
+                i += 1;
+                let section = args
+                    .get(i)
+                    .ok_or("--update-baseline needs a section: before|after")?;
+                if section != "before" && section != "after" {
+                    return Err("--update-baseline needs `before` or `after`".into());
+                }
+                opts.update_baseline = Some(section.clone());
             }
             other if !other.starts_with("--") && opts.path.is_none() => {
                 opts.path = Some(other.to_string());
@@ -427,6 +495,127 @@ fn inspect(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The `icn bench` perf-regression harness (see `icn_bench::perf`):
+/// measure simulator throughput in cycles/sec, compare against the
+/// baseline file's `after` section (>25% below fails), or re-record a
+/// baseline section with `--update-baseline before|after`.
+fn bench(opts: &Options) -> Result<(), String> {
+    use icn_bench::perf;
+
+    let cases: Vec<perf::BenchCase> = perf::cases()
+        .into_iter()
+        .filter(|c| !opts.smoke || c.smoke)
+        .collect();
+    if cases.is_empty() {
+        return Err("no bench cases selected".into());
+    }
+    let baseline = match perf::BaselineFile::load(&opts.baseline) {
+        Ok(file) => Some(file),
+        Err(_) if !std::path::Path::new(&opts.baseline).exists() => None,
+        Err(e) => return Err(e),
+    };
+
+    let measurements: Vec<perf::Measurement> = cases
+        .iter()
+        .map(|case| {
+            eprintln!(
+                "measuring {} ({} ports, {} cycles, best of {})...",
+                case.name,
+                case.config.plan.ports(),
+                case.config.measure_cycles,
+                opts.iters
+            );
+            perf::measure(case, opts.iters)
+        })
+        .collect();
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&measurements).expect("measurements serialize")
+        );
+    } else {
+        let mut t = TextTable::new(vec![
+            "case",
+            "ports",
+            "cycles",
+            "best (s)",
+            "cycles/sec",
+            "vs baseline",
+        ]);
+        for m in &measurements {
+            let vs = baseline
+                .as_ref()
+                .and_then(|b| b.after.get(&m.name))
+                .map_or_else(
+                    || "-".to_string(),
+                    |entry| format!("{:.2}x", m.cycles_per_sec / entry.cycles_per_sec),
+                );
+            t.row(vec![
+                m.name.clone(),
+                m.ports.to_string(),
+                m.cycles.to_string(),
+                format!("{:.3}", m.best_secs),
+                format!("{:.0}", m.cycles_per_sec),
+                vs,
+            ]);
+        }
+        println!("{}", t.render());
+    }
+
+    if let Some(section) = &opts.update_baseline {
+        let mut file = baseline.unwrap_or_default();
+        if file.note.is_empty() {
+            file.note = "icn bench baselines: simulated cycles per wall-clock second; \
+                         `after` gates CI at >25% regression (see DESIGN.md §7)"
+                .to_string();
+        }
+        let entries = file.section_mut(section)?;
+        for m in &measurements {
+            entries.insert(
+                m.name.clone(),
+                perf::BaselineEntry {
+                    cycles_per_sec: m.cycles_per_sec,
+                },
+            );
+        }
+        file.store(&opts.baseline)?;
+        println!(
+            "recorded {} measurement(s) into `{section}` of {}",
+            measurements.len(),
+            opts.baseline
+        );
+        return Ok(());
+    }
+
+    let Some(baseline) = baseline else {
+        println!(
+            "no baseline at {} — record one with `icn bench --update-baseline after`",
+            opts.baseline
+        );
+        return Ok(());
+    };
+    let mut failures = Vec::new();
+    for m in &measurements {
+        let Some(entry) = baseline.after.get(&m.name) else {
+            println!("note: no `after` baseline for {}; skipping gate", m.name);
+            continue;
+        };
+        match perf::check_regression(m, *entry) {
+            Ok(ratio) => println!(
+                "{}: ok ({:.0} cycles/sec, {:.2}x baseline)",
+                m.name, m.cycles_per_sec, ratio
+            ),
+            Err(msg) => failures.push(msg),
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("throughput regression: {}", failures.join("; ")))
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().map(String::as_str).unwrap_or("help");
     let opts = parse_options(args.get(1..).unwrap_or(&[]))?;
@@ -538,6 +727,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or("inspect needs a telemetry dump path: icn inspect <dump.jsonl>")?;
             inspect(path)?;
         }
+        "bench" => bench(&opts)?,
         "explore" => {
             let designs = explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
             if opts.json {
@@ -603,6 +793,15 @@ fn run(args: &[String]) -> Result<(), String> {
             config.retry = RetryPolicy::retries(opts.retry_limit);
             if let Some(bound) = opts.watchdog_cycles {
                 config.watchdog_cycles = bound;
+            }
+            if let Some(cycles) = opts.warmup_cycles {
+                config.warmup_cycles = cycles;
+            }
+            if let Some(cycles) = opts.measure_cycles {
+                config.measure_cycles = cycles;
+            }
+            if let Some(cycles) = opts.drain_cycles {
+                config.drain_cycles = cycles;
             }
             // Asking for a dump implies sampling; default to a 100-cycle
             // cadence unless --sample-interval says otherwise.

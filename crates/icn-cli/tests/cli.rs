@@ -165,6 +165,142 @@ fn simulate_dump_then_inspect_round_trips() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Exact-match golden-file check of the full telemetry pipeline:
+/// `simulate --telemetry-out` stdout + JSONL dump bytes, then `inspect`
+/// rendering of that dump. Byte-identical output is part of the PR-3
+/// determinism contract (see DESIGN.md §7 and icn-sim/tests/parity.rs);
+/// regenerate the fixtures ONLY for an intentional output change:
+///
+/// ```text
+/// cd crates/icn-cli/tests/fixtures
+/// icn simulate --ports 64 --load 0.005 --seed 2024 \
+///     --warmup-cycles 50 --measure-cycles 300 --drain-cycles 5000 \
+///     --sample-interval 50 --telemetry-out simulate.dump.jsonl \
+///     > simulate.stdout.txt
+/// icn inspect simulate.dump.jsonl > inspect.stdout.txt
+/// ```
+#[test]
+fn simulate_and_inspect_match_golden_fixtures_exactly() {
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let golden = |name: &str| -> String {
+        std::fs::read_to_string(fixtures.join(name))
+            .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"))
+    };
+    let dir = std::env::temp_dir().join(format!("icn-golden-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("simulate.dump.jsonl");
+    let dump_arg = dump.to_str().unwrap();
+
+    let (ok, stdout, stderr) = icn(&[
+        "simulate",
+        "--ports",
+        "64",
+        "--load",
+        "0.005",
+        "--seed",
+        "2024",
+        "--warmup-cycles",
+        "50",
+        "--measure-cycles",
+        "300",
+        "--drain-cycles",
+        "5000",
+        "--sample-interval",
+        "50",
+        "--telemetry-out",
+        dump_arg,
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        stdout,
+        golden("simulate.stdout.txt"),
+        "simulate stdout drifted from the golden fixture"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&dump).unwrap(),
+        golden("simulate.dump.jsonl"),
+        "telemetry JSONL dump drifted from the golden fixture"
+    );
+
+    let (ok, stdout, stderr) = icn(&["inspect", dump_arg]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        stdout,
+        golden("inspect.stdout.txt"),
+        "inspect rendering drifted from the golden fixture"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_smoke_runs_and_gates_against_a_baseline() {
+    let dir = std::env::temp_dir().join(format!("icn-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let baseline_arg = baseline.to_str().unwrap();
+
+    // Without a baseline file the smoke run reports and exits cleanly.
+    let (ok, stdout, stderr) = icn(&[
+        "bench",
+        "--smoke",
+        "--iters",
+        "3",
+        "--baseline",
+        baseline_arg,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("no baseline"), "{stdout}");
+
+    // Recording then re-running against the fresh baseline passes the gate.
+    let (ok, _, stderr) = icn(&[
+        "bench",
+        "--smoke",
+        "--iters",
+        "3",
+        "--baseline",
+        baseline_arg,
+        "--update-baseline",
+        "after",
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = icn(&[
+        "bench",
+        "--smoke",
+        "--iters",
+        "3",
+        "--baseline",
+        baseline_arg,
+    ]);
+    assert!(ok, "{stdout}{stderr}");
+    assert!(stdout.contains("smoke_256: ok"), "{stdout}");
+
+    // An absurdly fast fabricated baseline must trip the regression gate.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    std::fs::write(
+        &baseline,
+        text.replace(
+            &format!(
+                "\"cycles_per_sec\": {}",
+                serde_json::from_str::<serde_json::Value>(&text).unwrap()["after"]["smoke_256"]
+                    ["cycles_per_sec"]
+            ),
+            "\"cycles_per_sec\": 1e15",
+        ),
+    )
+    .unwrap();
+    let (ok, _, stderr) = icn(&[
+        "bench",
+        "--smoke",
+        "--iters",
+        "3",
+        "--baseline",
+        baseline_arg,
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("throughput regression"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn inspect_without_a_path_fails_helpfully() {
     let (ok, _, stderr) = icn(&["inspect"]);

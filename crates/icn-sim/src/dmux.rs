@@ -121,7 +121,9 @@ pub fn simulate_dmc(radix: u32, width: u32, packets: &[DmcPacket]) -> Vec<DmcTra
         .sum::<u64>()
         + 16;
     let mut now = 0u64;
-    while flights.iter().any(|f| f.granted_at.is_none()) {
+    // Completion counter instead of an O(flights) rescan every cycle.
+    let mut remaining = flights.len();
+    while remaining > 0 {
         assert!(now <= horizon, "DMC simulation exceeded its bound");
         // Each mux grants the lowest-index ready requester (fixed priority,
         // like the paper's "simplest possible" OPC).
@@ -137,6 +139,7 @@ pub fn simulate_dmc(radix: u32, width: u32, packets: &[DmcPacket]) -> Vec<DmcTra
             if let Some((i, flight)) = ready {
                 flight.granted_at = Some(now);
                 mux_free[out as usize] = now + 1 + packets[i].flits;
+                remaining -= 1;
             }
         }
         now += 1;

@@ -22,6 +22,32 @@
 //! Because every module head latency is ≥ 1 cycle, grants in one cycle can
 //! never cascade within the same cycle, so the phase order alone guarantees
 //! lock-step consistency.
+//!
+//! # Hot-path design
+//!
+//! The per-cycle loop allocates nothing in steady state and is locked to
+//! its pre-optimization behavior by the byte-identical parity suite in
+//! `tests/parity.rs` (results *and* full event streams) plus the `icn
+//! bench` regression gate:
+//!
+//! * **Packet arena** — every live packet occupies one slot in a
+//!   free-list [`PacketStore`]; queues, buffers, and the retry heap pass
+//!   4-byte [`PacketRef`]s instead of cloning packets.
+//! * **Route table** — routing tags are a pure function of the
+//!   destination (its mixed-radix digits), so one `ports × stages` table
+//!   built at construction replaces the old per-packet tag `Vec`.
+//! * **Entry tables** — `entry[stage][line]` precomputes
+//!   `Topology::stage_input` into a flat port index, removing div/mod
+//!   from every grant and source entry.
+//! * **Flat stages** — each stage stores its ports module-major in two
+//!   contiguous arrays (see [`crate::module`]).
+//! * **Scratch buffers** — the per-module ready set and the per-stage
+//!   delivery/drop lists live in reusable engine-owned buffers; each
+//!   module probes its input fronts once per cycle (O(r)) instead of once
+//!   per output (O(r²)).
+//!
+//! Telemetry and event sinks keep their zero-cost-when-disabled shape:
+//! every observation site is a single `Option` check.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -30,16 +56,18 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use icn_topology::Topology;
 
-use std::collections::HashMap;
-
 use crate::config::{Arbitration, SimConfig};
 use crate::error::SimError;
 use crate::fault::{FaultEvent, FaultState, Health, StallReport};
 use crate::metrics::{LatencyStats, SimResult, StageCounters};
 use crate::module::Stage;
 use crate::packet::Packet;
+use crate::store::{PacketRef, PacketStore, NO_TRACE};
 use crate::telemetry::{EventSink, Gauges, SimEvent, TelemetryState};
 use crate::trace::{HopTrace, PacketTrace};
+
+/// Sentinel for "this input has no ready head" in the grant scratch.
+const NO_TAG: u32 = u32::MAX;
 
 /// The engine's attached event sink (kept behind a wrapper so `Engine`
 /// can keep deriving `Debug`).
@@ -54,7 +82,7 @@ impl std::fmt::Debug for SinkHandle {
 /// Per-network-input source: an open-loop queue feeding stage 0.
 #[derive(Debug, Default)]
 struct Source {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<PacketRef>,
     busy_until: u64,
 }
 
@@ -99,16 +127,19 @@ pub struct DroppedPacket {
 }
 
 /// A fault-dropped packet waiting out its retry backoff; ordered by
-/// release cycle (then id, for determinism) in a min-heap.
+/// release cycle (then id, for determinism) in a min-heap. The packet
+/// itself stays in its arena slot; the entry carries its id so heap
+/// ordering never needs a store lookup.
 #[derive(Debug)]
 struct RetryEntry {
     retry_at: u64,
-    packet: Packet,
+    id: u64,
+    packet: PacketRef,
 }
 
 impl PartialEq for RetryEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.retry_at == other.retry_at && self.packet.id == other.packet.id
+        self.retry_at == other.retry_at && self.id == other.id
     }
 }
 
@@ -122,7 +153,7 @@ impl PartialOrd for RetryEntry {
 
 impl Ord for RetryEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.retry_at, self.packet.id).cmp(&(other.retry_at, other.packet.id))
+        (self.retry_at, self.id).cmp(&(other.retry_at, other.id))
     }
 }
 
@@ -138,6 +169,19 @@ pub struct Engine {
     next_id: u64,
     flits: u64,
     ready_offset: u64,
+    // Precomputed routing (see the module docs).
+    store: PacketStore,
+    /// `routes[dest * stage_count + stage]` = output port at `stage`.
+    routes: Vec<u32>,
+    /// `entry[stage][line]` = flat input-port index within `stage`.
+    entry: Vec<Vec<u32>>,
+    stage_count: usize,
+    // Reusable per-cycle scratch (never shrunk, so steady state is
+    // allocation-free).
+    scratch_ready: Vec<u32>,
+    scratch_tag_count: Vec<u32>,
+    scratch_deliveries: Vec<(PacketRef, u32, u64)>,
+    scratch_drops: Vec<PacketRef>,
     // Statistics.
     injected_total: u64,
     delivered_total: u64,
@@ -153,7 +197,7 @@ pub struct Engine {
     peak_source_backlog: u64,
     collect_deliveries: bool,
     recent_deliveries: Vec<Delivery>,
-    traces: HashMap<u64, PacketTrace>,
+    traces: Vec<PacketTrace>,
     // Fault machinery (None for an empty fault plan: the zero-cost path).
     faults: Option<Box<FaultState>>,
     retry_queue: BinaryHeap<Reverse<RetryEntry>>,
@@ -197,9 +241,8 @@ impl Engine {
         } else {
             flits.saturating_sub(1)
         };
-        let stages = config
-            .plan
-            .radices()
+        let radices = config.plan.radices().to_vec();
+        let stages: Vec<Stage> = radices
             .iter()
             .enumerate()
             .map(|(i, &r)| {
@@ -210,13 +253,29 @@ impl Engine {
                 )
             })
             .collect();
-        let sources = (0..config.plan.ports())
-            .map(|_| Source::default())
+        let ports = config.plan.ports();
+        let stage_count = config.plan.stages() as usize;
+        let mut routes = Vec::with_capacity(ports as usize * stage_count);
+        for dest in 0..ports {
+            routes.extend(topology.routing_tags(dest));
+        }
+        let entry: Vec<Vec<u32>> = (0..stage_count)
+            .map(|s| {
+                let radix = radices[s];
+                (0..ports)
+                    .map(|line| {
+                        let (module, port) = topology.stage_input(s as u32, line);
+                        module * radix + port
+                    })
+                    .collect()
+            })
             .collect();
-        let stage_counters = vec![StageCounters::default(); config.plan.stages() as usize];
+        let max_radix = radices.iter().copied().max().unwrap_or(0) as usize;
+        let sources = (0..ports).map(|_| Source::default()).collect();
+        let stage_counters = vec![StageCounters::default(); stage_count];
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
         let faults = FaultState::build(&config.faults, &config.plan);
-        let telem = TelemetryState::build(&config.telemetry, config.plan.stages() as usize);
+        let telem = TelemetryState::build(&config.telemetry, stage_count);
         Ok(Self {
             topology,
             stages,
@@ -226,6 +285,14 @@ impl Engine {
             next_id: 0,
             flits,
             ready_offset,
+            store: PacketStore::default(),
+            routes,
+            entry,
+            stage_count,
+            scratch_ready: vec![NO_TAG; max_radix],
+            scratch_tag_count: vec![0; max_radix],
+            scratch_deliveries: Vec::new(),
+            scratch_drops: Vec::new(),
             injected_total: 0,
             delivered_total: 0,
             tracked_injected: 0,
@@ -240,7 +307,7 @@ impl Engine {
             peak_source_backlog: 0,
             collect_deliveries: false,
             recent_deliveries: Vec::new(),
-            traces: HashMap::new(),
+            traces: Vec::new(),
             faults,
             retry_queue: BinaryHeap::new(),
             dropped_total: 0,
@@ -278,6 +345,34 @@ impl Engine {
     #[must_use]
     pub fn pending_tracked(&self) -> u64 {
         self.pending_tracked
+    }
+
+    /// Total packets injected so far (workload and manual).
+    #[must_use]
+    pub fn injected_total(&self) -> u64 {
+        self.injected_total
+    }
+
+    /// Total packets whose tails have cleared their destination.
+    #[must_use]
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Total packets finally lost to faults (retries exhausted or source
+    /// dead).
+    #[must_use]
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Packets currently alive anywhere in the system: source queues,
+    /// stage buffers, in flight, or waiting out a retry backoff. Together
+    /// with the totals above this exposes the conservation invariant
+    /// `injected == delivered + dropped + live` at every cycle boundary.
+    #[must_use]
+    pub fn live_packets(&self) -> u64 {
+        self.live_packets
     }
 
     /// Whether the current cycle falls inside the measurement window.
@@ -369,16 +464,6 @@ impl Engine {
             });
         }
         let id = self.next_id;
-        let packet = Packet {
-            id,
-            src,
-            dest,
-            tags: self.topology.routing_tags(dest),
-            injected_at: self.now,
-            entered_at: None,
-            attempts: 0,
-            tracked,
-        };
         self.next_id += 1;
         self.injected_total += 1;
         self.live_packets += 1;
@@ -391,11 +476,23 @@ impl Engine {
             self.tracked_injected += 1;
             self.pending_tracked += 1;
         }
-        if tracked && (self.traces.len() as u32) < self.config.trace_packets {
-            self.traces
-                .insert(id, PacketTrace::new(id, src, dest, self.now));
-        }
-        self.sources[src as usize].queue.push_back(packet);
+        let trace = if tracked && (self.traces.len() as u32) < self.config.trace_packets {
+            self.traces.push(PacketTrace::new(id, src, dest, self.now));
+            (self.traces.len() - 1) as u32
+        } else {
+            NO_TRACE
+        };
+        let packet = Packet {
+            id,
+            src,
+            dest,
+            injected_at: self.now,
+            entered_at: None,
+            attempts: 0,
+            tracked,
+        };
+        let r = self.store.insert(packet, trace);
+        self.sources[src as usize].queue.push_back(r);
         self.source_backlog += 1;
         self.peak_source_backlog = self.peak_source_backlog.max(self.source_backlog);
         if let Some(sink) = self.events.as_mut() {
@@ -413,7 +510,9 @@ impl Engine {
     /// Drain the event traces recorded so far (ordered by packet id).
     /// Tracing is enabled by setting [`SimConfig::trace_packets`].
     pub fn take_traces(&mut self) -> Vec<PacketTrace> {
-        let mut traces: Vec<PacketTrace> = std::mem::take(&mut self.traces).into_values().collect();
+        // Live packets must not keep indices into the drained table.
+        self.store.clear_traces();
+        let mut traces = std::mem::take(&mut self.traces);
         traces.sort_by_key(|t| t.id);
         traces
     }
@@ -454,18 +553,7 @@ impl Engine {
         if !self.telem.as_deref().is_some_and(|t| t.due(self.now)) {
             return;
         }
-        let stage_occupancy: Vec<u64> = self
-            .stages
-            .iter()
-            .map(|stage| {
-                stage
-                    .modules
-                    .iter()
-                    .flat_map(|m| &m.inputs)
-                    .map(|input| input.queue.len() as u64)
-                    .sum()
-            })
-            .collect();
+        let stage_occupancy: Vec<u64> = self.stages.iter().map(Stage::occupancy).collect();
         let gauges = Gauges {
             cycle: self.now,
             live_packets: self.live_packets,
@@ -551,10 +639,8 @@ impl Engine {
     fn vacate_all(&mut self) {
         let now = self.now;
         for stage in &mut self.stages {
-            for module in &mut stage.modules {
-                for input in &mut module.inputs {
-                    input.vacate(now);
-                }
+            for input in &mut stage.inputs {
+                input.vacate(now);
             }
         }
     }
@@ -584,9 +670,8 @@ impl Engine {
             .is_some_and(|Reverse(entry)| entry.retry_at <= now)
         {
             let Reverse(entry) = self.retry_queue.pop().expect("peeked non-empty");
-            self.sources[entry.packet.src as usize]
-                .queue
-                .push_back(entry.packet);
+            let src = self.store.get(entry.packet).src;
+            self.sources[src as usize].queue.push_back(entry.packet);
             self.source_backlog += 1;
             self.peak_source_backlog = self.peak_source_backlog.max(self.source_backlog);
             self.last_progress = now;
@@ -595,93 +680,147 @@ impl Engine {
 
     fn source_grants(&mut self) {
         let now = self.now;
-        let mut drops: Vec<Packet> = Vec::new();
-        for line in 0..self.topology.ports() {
-            match self
-                .faults
-                .as_deref()
-                .map_or(Health::Up, |f| f.source_health(line, now))
-            {
-                Health::Up => {}
-                // A transiently failed source just pauses; its queue keeps.
-                Health::TransientDown => continue,
-                // A permanently dead source can never send again: its whole
-                // queue is lost, with no retry (there is nothing to retry
-                // from).
-                Health::PermanentDown => {
-                    let source = &mut self.sources[line as usize];
-                    while let Some(packet) = source.queue.pop_front() {
-                        self.source_backlog -= 1;
-                        drops.push(packet);
+        let flits = self.flits;
+        let capacity = self.config.buffer_capacity;
+        let ports = self.topology.ports();
+        let mut drops = std::mem::take(&mut self.scratch_drops);
+        {
+            let Self {
+                stages,
+                sources,
+                store,
+                entry,
+                traces,
+                events,
+                faults,
+                source_backlog,
+                last_progress,
+                ..
+            } = self;
+            let faults = faults.as_deref();
+            let entry0: &[u32] = &entry[0];
+            let stage0 = &mut stages[0];
+            for line in 0..ports {
+                match faults.map_or(Health::Up, |f| f.source_health(line, now)) {
+                    Health::Up => {}
+                    // A transiently failed source just pauses; its queue keeps.
+                    Health::TransientDown => continue,
+                    // A permanently dead source can never send again: its whole
+                    // queue is lost, with no retry (there is nothing to retry
+                    // from).
+                    Health::PermanentDown => {
+                        let source = &mut sources[line as usize];
+                        while let Some(r) = source.queue.pop_front() {
+                            *source_backlog -= 1;
+                            drops.push(r);
+                        }
+                        continue;
                     }
+                }
+                let source = &mut sources[line as usize];
+                if source.queue.is_empty() || source.busy_until > now {
                     continue;
                 }
-            }
-            let source = &mut self.sources[line as usize];
-            if source.queue.is_empty() || source.busy_until > now {
-                continue;
-            }
-            let (module, port) = self.topology.stage_input(0, line);
-            let input = &mut self.stages[0].modules[module as usize].inputs[port as usize];
-            if !input.has_space(self.config.buffer_capacity) {
-                continue;
-            }
-            let mut packet = source.queue.pop_front().expect("checked non-empty");
-            self.source_backlog -= 1;
-            packet.entered_at = Some(now);
-            source.busy_until = now + self.flits;
-            if let Some(trace) = self.traces.get_mut(&packet.id) {
-                trace.entered_at = Some(now);
-            }
-            let packet_id = packet.id;
-            input.push(packet, now);
-            self.last_progress = now;
-            if let Some(sink) = self.events.as_mut() {
-                sink.0.record(&SimEvent::Enter {
-                    cycle: now,
-                    id: packet_id,
-                    src: line,
-                });
+                let input = &mut stage0.inputs[entry0[line as usize] as usize];
+                if !input.has_space(capacity) {
+                    continue;
+                }
+                let r = source.queue.pop_front().expect("checked non-empty");
+                *source_backlog -= 1;
+                source.busy_until = now + flits;
+                let packet = store.get_mut(r);
+                packet.entered_at = Some(now);
+                let packet_id = packet.id;
+                let trace = store.trace_of(r);
+                if trace != NO_TRACE {
+                    traces[trace as usize].entered_at = Some(now);
+                }
+                input.push(r, now);
+                *last_progress = now;
+                if let Some(sink) = events.as_mut() {
+                    sink.0.record(&SimEvent::Enter {
+                        cycle: now,
+                        id: packet_id,
+                        src: line,
+                    });
+                }
             }
         }
-        for packet in drops {
-            self.finalize_drop(packet);
+        for r in drops.drain(..) {
+            self.finalize_drop(r);
         }
+        self.scratch_drops = drops;
     }
 
     fn module_grants(&mut self) {
         for stage_idx in 0..self.stages.len() {
-            let (deliveries, drops) = self.grant_stage(stage_idx);
-            for (packet, out_line, delivered_at) in deliveries {
-                self.deliver(packet, out_line, delivered_at);
+            let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+            let mut drops = std::mem::take(&mut self.scratch_drops);
+            self.grant_stage(stage_idx, &mut deliveries, &mut drops);
+            for (r, out_line, delivered_at) in deliveries.drain(..) {
+                self.deliver(r, out_line, delivered_at);
             }
-            for packet in drops {
-                self.drop_packet(packet);
+            for r in drops.drain(..) {
+                self.drop_packet(r);
             }
+            self.scratch_deliveries = deliveries;
+            self.scratch_drops = drops;
         }
     }
 
-    /// Arbitrate and grant every free output of stage `stage_idx`; returns
-    /// the packets that left the network this cycle (last stage only) and
-    /// the packets dropped by permanent faults in this stage.
-    fn grant_stage(&mut self, stage_idx: usize) -> (Vec<(Packet, u32, u64)>, Vec<Packet>) {
+    /// Arbitrate and grant every free output of stage `stage_idx`; fills
+    /// `deliveries` with the packets that left the network this cycle
+    /// (last stage only) and `drops` with the packets dropped by permanent
+    /// faults in this stage.
+    #[allow(clippy::too_many_lines)]
+    fn grant_stage(
+        &mut self,
+        stage_idx: usize,
+        deliveries: &mut Vec<(PacketRef, u32, u64)>,
+        drops: &mut Vec<PacketRef>,
+    ) {
         let now = self.now;
         let flits = self.flits;
         let ready_offset = self.ready_offset;
         let capacity = self.config.buffer_capacity;
+        let arbitration = self.config.arbitration;
         let is_last = stage_idx + 1 == self.stages.len();
+        let stage_count = self.stage_count;
 
-        let mut deliveries = Vec::new();
-        let mut drops: Vec<Packet> = Vec::new();
-        let faults = self.faults.as_deref();
-        let (left, right) = self.stages.split_at_mut(stage_idx + 1);
+        let Self {
+            stages,
+            stage_counters,
+            scratch_ready,
+            scratch_tag_count,
+            store,
+            routes,
+            entry,
+            telem,
+            events,
+            traces,
+            faults,
+            last_progress,
+            ..
+        } = self;
+        let faults = faults.as_deref();
+        let store: &PacketStore = store;
+        let routes: &[u32] = routes;
+        let next_entry: Option<&[u32]> = entry.get(stage_idx + 1).map(Vec::as_slice);
+        let (left, right) = stages.split_at_mut(stage_idx + 1);
         let stage = &mut left[stage_idx];
         let mut next_stage = right.first_mut();
-        let radix = stage.radix;
+        let radix = stage.radix as usize;
+        let radix_u = stage.radix;
         let head_latency = stage.head_latency;
-        let counters = &mut self.stage_counters[stage_idx];
+        let counters = &mut stage_counters[stage_idx];
+        let ready = &mut scratch_ready[..radix];
+        let tag_count = &mut scratch_tag_count[..radix];
+        // Routing is a pure function of the destination; `stage_idx`'s tag
+        // is the destination's digit for this stage.
+        let tag_of = |r: PacketRef| routes[store.get(r).dest as usize * stage_count + stage_idx];
 
-        for (module_idx, module) in stage.modules.iter_mut().enumerate() {
+        for module_idx in 0..stage.module_count as usize {
+            let base = module_idx * radix;
             match faults.map_or(Health::Up, |f| {
                 f.module_health(stage_idx as u32, module_idx as u32, now)
             }) {
@@ -690,7 +829,7 @@ impl Engine {
                 // heads wait it out under ordinary back-pressure.
                 Health::TransientDown => {
                     for in_port in 0..radix {
-                        if module.inputs[in_port as usize]
+                        if stage.inputs[base + in_port]
                             .requesting_head(now, ready_offset)
                             .is_some()
                         {
@@ -704,7 +843,7 @@ impl Engine {
                 // (Heads arriving later drop on the cycle they become ready.)
                 Health::PermanentDown => {
                     for in_port in 0..radix {
-                        let input = &mut module.inputs[in_port as usize];
+                        let input = &mut stage.inputs[base + in_port];
                         while input.requesting_head(now, ready_offset).is_some() {
                             drops.push(input.drop_front());
                             counters.dropped += 1;
@@ -713,138 +852,171 @@ impl Engine {
                     continue;
                 }
             }
+
+            // One pass over the inputs: each ready head's requested output
+            // (the old path probed every input once per output).
+            let mut any_ready = false;
+            tag_count.fill(0);
+            for (in_port, slot) in ready.iter_mut().enumerate() {
+                *slot = match stage.inputs[base + in_port].requesting_head(now, ready_offset) {
+                    Some(r) => {
+                        let tag = tag_of(r);
+                        tag_count[tag as usize] += 1;
+                        any_ready = true;
+                        tag
+                    }
+                    None => NO_TAG,
+                };
+            }
+            if !any_ready {
+                // Nothing can be granted, blocked, or fault-dropped here
+                // this cycle.
+                continue;
+            }
+
             for out_port in 0..radix {
-                let out_line = module_idx as u32 * radix + out_port;
+                let out_port_u = out_port as u32;
+                let out_line = (base + out_port) as u32;
                 match faults.map_or(Health::Up, |f| {
                     f.link_health(stage_idx as u32, out_line, now)
                 }) {
                     Health::Up => {}
                     Health::TransientDown => {
-                        if module.inputs.iter().any(|input| {
-                            input
-                                .requesting_head(now, ready_offset)
-                                .is_some_and(|p| p.tag(stage_idx as u32) == out_port)
-                        }) {
+                        if tag_count[out_port] > 0 {
                             counters.blocked_fault += 1;
                         }
                         continue;
                     }
                     Health::PermanentDown => {
-                        for in_port in 0..radix {
-                            let input = &mut module.inputs[in_port as usize];
-                            while input
-                                .requesting_head(now, ready_offset)
-                                .is_some_and(|p| p.tag(stage_idx as u32) == out_port)
-                            {
+                        // Drain every consecutive ready head routed at this
+                        // severed link; each drop exposes the next head,
+                        // which may be ready with any tag — recompute so
+                        // later outputs see it this cycle (exactly as the
+                        // per-output probing did).
+                        for (in_port, slot) in ready.iter_mut().enumerate() {
+                            while *slot == out_port_u {
+                                let input = &mut stage.inputs[base + in_port];
                                 drops.push(input.drop_front());
                                 counters.dropped += 1;
+                                tag_count[out_port] -= 1;
+                                *slot = match input.requesting_head(now, ready_offset) {
+                                    Some(r) => {
+                                        let tag = tag_of(r);
+                                        tag_count[tag as usize] += 1;
+                                        tag
+                                    }
+                                    None => NO_TAG,
+                                };
                             }
                         }
                         continue;
                     }
                 }
-                // Collect ready heads requesting this output.
-                let mut candidates: Vec<u32> = Vec::new();
-                let mut output_was_busy = false;
-                for in_port in 0..radix {
-                    let Some(packet) =
-                        module.inputs[in_port as usize].requesting_head(now, ready_offset)
-                    else {
-                        continue;
-                    };
-                    if packet.tag(stage_idx as u32) != out_port {
-                        continue;
-                    }
-                    if !module.outputs[out_port as usize].free(now) {
-                        counters.blocked_output_busy += 1;
-                        output_was_busy = true;
-                        continue;
-                    }
-                    candidates.push(in_port);
+                let matching = tag_count[out_port];
+                if matching == 0 {
+                    continue;
                 }
-                if output_was_busy || candidates.is_empty() {
+                if !stage.outputs[base + out_port].free(now) {
+                    // Every ready head wanting this output waits for it.
+                    counters.blocked_output_busy += u64::from(matching);
                     continue;
                 }
 
                 // Back-pressure: the downstream buffer must accept a packet.
-                if let Some(next) = next_stage.as_ref() {
-                    let (dm, dp) = self.topology.stage_input(stage_idx as u32 + 1, out_line);
-                    let downstream = &next.modules[dm as usize].inputs[dp as usize];
+                if let (Some(next), Some(next_entry)) = (next_stage.as_deref(), next_entry) {
+                    let downstream = &next.inputs[next_entry[out_line as usize] as usize];
                     if !downstream.has_space(capacity) {
-                        counters.blocked_downstream_full += candidates.len() as u64;
+                        counters.blocked_downstream_full += u64::from(matching);
                         continue;
                     }
                 }
 
-                // Arbitrate.
-                let output = &mut module.outputs[out_port as usize];
-                let winner = match self.config.arbitration {
-                    Arbitration::FixedPriority => candidates[0],
+                // Arbitrate among the ready heads requesting this output.
+                let winner = match arbitration {
+                    Arbitration::FixedPriority => ready
+                        .iter()
+                        .position(|&tag| tag == out_port_u)
+                        .expect("matching > 0")
+                        as u32,
                     Arbitration::RoundRobin => {
-                        let rr = output.rr_next;
-                        candidates
-                            .iter()
-                            .copied()
-                            .min_by_key(|&c| (c + radix - rr) % radix)
-                            .expect("non-empty candidates")
+                        let rr = stage.outputs[base + out_port].rr_next;
+                        let mut winner = 0;
+                        let mut best = u32::MAX;
+                        for (in_port, &tag) in ready.iter().enumerate() {
+                            if tag == out_port_u {
+                                let key = (in_port as u32 + radix_u - rr) % radix_u;
+                                if key < best {
+                                    best = key;
+                                    winner = in_port as u32;
+                                }
+                            }
+                        }
+                        winner
                     }
                 };
-                output.rr_next = (winner + 1) % radix;
-                output.busy_until = now + head_latency + flits;
+                {
+                    let output = &mut stage.outputs[base + out_port];
+                    output.rr_next = (winner + 1) % radix_u;
+                    output.busy_until = now + head_latency + flits;
+                }
                 counters.grants += 1;
-                self.last_progress = now;
+                *last_progress = now;
                 // Count the losers as output-busy blocked for this cycle.
-                counters.blocked_output_busy += (candidates.len() - 1) as u64;
+                counters.blocked_output_busy += u64::from(matching - 1);
 
-                if let Some(telem) = self.telem.as_deref_mut() {
+                if let Some(telem) = telem.as_deref_mut() {
                     // Cycles the winning head sat ready (arbitration loss,
                     // busy output, or back-pressure) before this grant.
-                    let arrived = module.inputs[winner as usize]
+                    let arrived = stage.inputs[base + winner as usize]
                         .queue
                         .front()
                         .expect("granted head exists")
                         .head_arrival;
                     telem.record_stage_wait(stage_idx, now - (arrived + ready_offset));
                 }
-                let packet = module.inputs[winner as usize].grant_front(now + flits);
+                let r = stage.inputs[base + winner as usize].grant_front(now + flits);
+                ready[winner as usize] = NO_TAG;
+                tag_count[out_port] -= 1;
                 let head_arrival = now + head_latency;
-                if let Some(sink) = self.events.as_mut() {
+                if let Some(sink) = events.as_mut() {
                     sink.0.record(&SimEvent::Grant {
                         cycle: now,
-                        id: packet.id,
+                        id: store.get(r).id,
                         stage: stage_idx as u32,
                         module: module_idx as u32,
                         in_port: winner,
-                        out_port,
+                        out_port: out_port_u,
                         head_out_at: head_arrival,
                     });
                 }
-                if let Some(trace) = self.traces.get_mut(&packet.id) {
-                    trace.hops.push(HopTrace {
+                let trace = store.trace_of(r);
+                if trace != NO_TRACE {
+                    traces[trace as usize].hops.push(HopTrace {
                         stage: stage_idx as u32,
                         module: module_idx as u32,
                         in_port: winner,
-                        out_port,
+                        out_port: out_port_u,
                         granted_at: now,
                         head_out_at: head_arrival,
                     });
                 }
                 match next_stage.as_deref_mut() {
                     Some(next) if !is_last => {
-                        let (dm, dp) = self.topology.stage_input(stage_idx as u32 + 1, out_line);
-                        next.modules[dm as usize].inputs[dp as usize].push(packet, head_arrival);
+                        let next_entry = next_entry.expect("next stage has an entry table");
+                        next.inputs[next_entry[out_line as usize] as usize].push(r, head_arrival);
                     }
                     _ => {
                         debug_assert!(is_last);
-                        deliveries.push((packet, out_line, head_arrival + flits));
+                        deliveries.push((r, out_line, head_arrival + flits));
                     }
                 }
             }
         }
-        (deliveries, drops)
     }
 
-    fn deliver(&mut self, packet: Packet, out_line: u32, delivered_at: u64) {
+    fn deliver(&mut self, r: PacketRef, out_line: u32, delivered_at: u64) {
+        let trace = self.store.trace_of(r);
+        let packet = self.store.remove(r);
         assert_eq!(
             out_line, packet.dest,
             "packet {} misrouted: reached line {out_line}, wanted {}",
@@ -852,8 +1024,8 @@ impl Engine {
         );
         self.delivered_total += 1;
         self.live_packets -= 1;
-        if let Some(trace) = self.traces.get_mut(&packet.id) {
-            trace.delivered_at = Some(delivered_at);
+        if trace != NO_TRACE {
+            self.traces[trace as usize].delivered_at = Some(delivered_at);
         }
         if self.collect_deliveries {
             self.recent_deliveries.push(Delivery {
@@ -895,35 +1067,49 @@ impl Engine {
     /// Handle a packet dropped by a fault: re-offer it through its source
     /// if it has retry budget left (and the source is alive), otherwise
     /// make the loss final.
-    fn drop_packet(&mut self, mut packet: Packet) {
-        let source_dead = self.faults.as_deref().is_some_and(|f| {
-            matches!(f.source_health(packet.src, self.now), Health::PermanentDown)
-        });
-        if !source_dead && packet.attempts < self.config.retry.max_retries {
+    fn drop_packet(&mut self, r: PacketRef) {
+        let (src, attempts) = {
+            let packet = self.store.get(r);
+            (packet.src, packet.attempts)
+        };
+        let source_dead = self
+            .faults
+            .as_deref()
+            .is_some_and(|f| matches!(f.source_health(src, self.now), Health::PermanentDown));
+        if !source_dead && attempts < self.config.retry.max_retries {
+            let backoff = self.config.retry.backoff(attempts);
+            let packet = self.store.get_mut(r);
             packet.attempts += 1;
             packet.entered_at = None;
-            let retry_at = self.now + self.config.retry.backoff(packet.attempts - 1);
+            let id = packet.id;
+            let attempt = packet.attempts;
+            let retry_at = self.now + backoff;
             self.retries_total += 1;
             self.last_progress = self.now;
             if let Some(sink) = self.events.as_mut() {
                 sink.0.record(&SimEvent::Retry {
                     cycle: self.now,
-                    id: packet.id,
-                    attempt: packet.attempts,
+                    id,
+                    attempt,
                     retry_at,
                 });
             }
-            self.retry_queue
-                .push(Reverse(RetryEntry { retry_at, packet }));
+            self.retry_queue.push(Reverse(RetryEntry {
+                retry_at,
+                id,
+                packet: r,
+            }));
         } else {
-            self.finalize_drop(packet);
+            self.finalize_drop(r);
         }
     }
 
     /// Account a final fault loss. Counts as forward progress for the
     /// watchdog: the network's state changed, and the conservation sum
     /// still closes.
-    fn finalize_drop(&mut self, packet: Packet) {
+    fn finalize_drop(&mut self, r: PacketRef) {
+        let trace = self.store.trace_of(r);
+        let packet = self.store.remove(r);
         self.dropped_total += 1;
         self.live_packets -= 1;
         self.last_progress = self.now;
@@ -931,8 +1117,8 @@ impl Engine {
             self.tracked_dropped += 1;
             self.pending_tracked -= 1;
         }
-        if let Some(trace) = self.traces.get_mut(&packet.id) {
-            trace.dropped_at = Some(self.now);
+        if trace != NO_TRACE {
+            self.traces[trace as usize].dropped_at = Some(self.now);
         }
         if self.collect_deliveries {
             self.recent_drops.push(DroppedPacket {
@@ -978,18 +1164,7 @@ impl Engine {
             live_packets: self.live_packets,
             retry_waiting,
             source_backlog: self.source_backlog,
-            stage_occupancy: self
-                .stages
-                .iter()
-                .map(|stage| {
-                    stage
-                        .modules
-                        .iter()
-                        .flat_map(|m| &m.inputs)
-                        .map(|input| input.queue.len() as u64)
-                        .sum()
-                })
-                .collect(),
+            stage_occupancy: self.stages.iter().map(Stage::occupancy).collect(),
         });
         if let Some(sink) = self.events.as_mut() {
             sink.0.record(&SimEvent::Stall {
@@ -1001,8 +1176,9 @@ impl Engine {
 
     /// The conservation invariant, checked every cycle in debug builds:
     /// every packet ever injected is delivered, finally dropped, or still
-    /// live — for the full population and the tracked subset — and the
-    /// source-backlog counter matches the queues it summarizes.
+    /// live — for the full population and the tracked subset — the
+    /// source-backlog counter matches the queues it summarizes, and the
+    /// packet arena holds exactly the live packets.
     #[cfg(debug_assertions)]
     fn debug_assert_conservation(&self) {
         debug_assert_eq!(
@@ -1021,6 +1197,12 @@ impl Engine {
         debug_assert_eq!(
             queued, self.source_backlog,
             "source backlog drifted at {}",
+            self.now
+        );
+        debug_assert_eq!(
+            self.store.live(),
+            self.live_packets,
+            "packet arena leaked at {}",
             self.now
         );
     }
@@ -1284,5 +1466,25 @@ mod tests {
         let result = Engine::new(c).run();
         assert!(result.throughput <= 1.0 / flits + 1e-9);
         assert!(result.throughput > 0.0);
+    }
+
+    /// The per-cycle accessors expose the conservation invariant while the
+    /// engine is running (the property suite samples these mid-flight).
+    #[test]
+    fn live_accessors_close_the_conservation_sum() {
+        let plan = StagePlan::uniform(4, 2);
+        let mut c = SimConfig::paper_baseline(plan, ChipModel::Dmc, 4, Workload::uniform(0.05));
+        c.warmup_cycles = 0;
+        c.measure_cycles = 500;
+        c.drain_cycles = 0;
+        let mut engine = Engine::new(c);
+        for _ in 0..500 {
+            engine.step();
+            assert_eq!(
+                engine.injected_total(),
+                engine.delivered_total() + engine.dropped_total() + engine.live_packets()
+            );
+        }
+        assert!(engine.injected_total() > 0);
     }
 }

@@ -50,6 +50,7 @@ mod module;
 mod packet;
 mod roundtrip;
 mod runner;
+mod store;
 pub mod telemetry;
 mod trace;
 

@@ -175,7 +175,9 @@ pub fn simulate_mesh(n: u32, packets: &[MeshPacket]) -> Vec<MeshTransit> {
         + packets.iter().map(|p| p.arrival).max().unwrap_or(0)
         + 16;
     let mut now = 0u64;
-    while flights.iter().any(|f| !f.done) {
+    // Completion counter instead of an O(flights) rescan every cycle.
+    let mut remaining = flights.len();
+    while remaining > 0 {
         assert!(
             now <= safety_bound * (packets.len() as u64 + 1),
             "mesh simulation exceeded its safety bound — deadlock?"
@@ -219,6 +221,7 @@ pub fn simulate_mesh(n: u32, packets: &[MeshPacket]) -> Vec<MeshTransit> {
                         // Left the chip through the south edge this cycle.
                         f.done = true;
                         f.head_out = now;
+                        remaining -= 1;
                     } else {
                         f.cur_row += 1;
                         f.crosspoints += 1;

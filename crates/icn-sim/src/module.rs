@@ -1,23 +1,29 @@
-//! Per-module simulation state: input buffers, circuit-held outputs.
+//! Per-stage simulation state: input buffers, circuit-held outputs.
+//!
+//! The stage's ports are stored *flat* (module-major: module `m` of a
+//! radix-`r` stage owns input/output indices `m*r .. (m+1)*r`), so the
+//! engine's per-cycle sweeps are contiguous array walks instead of a
+//! `Vec<Module<Vec<Port>>>` pointer chase. Buffer slots hold a 4-byte
+//! [`PacketRef`] into the engine's packet arena, not the packet itself.
 
 use std::collections::VecDeque;
 
-use crate::packet::Packet;
+use crate::store::PacketRef;
 
 /// A packet occupying (or reserved into) one input-buffer slot.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Slot {
-    /// The packet itself.
-    pub packet: Packet,
+    /// The packet, by arena reference.
+    pub packet: PacketRef,
     /// Cycle its head arrives (reservations are pushed at upstream grant
     /// time with a future arrival).
     pub head_arrival: u64,
-    /// Set once the packet has been granted its onward output; the slot then
-    /// drains until `vacate_at`.
-    pub granted: bool,
     /// Cycle the slot is freed (tail has left the buffer); meaningful only
     /// once granted.
     pub vacate_at: u64,
+    /// Set once the packet has been granted its onward output; the slot then
+    /// drains until `vacate_at`.
+    pub granted: bool,
 }
 
 /// One module input port: a FIFO of buffer slots with back-pressure.
@@ -49,36 +55,35 @@ impl InputPort {
     /// The front packet if it is ready to request its output this cycle:
     /// present, not yet granted, and its head (cut-through) or tail
     /// (store-and-forward) has arrived.
-    pub fn requesting_head(&self, now: u64, ready_offset: u64) -> Option<&Packet> {
+    pub fn requesting_head(&self, now: u64, ready_offset: u64) -> Option<PacketRef> {
         let front = self.queue.front()?;
         if front.granted || front.head_arrival + ready_offset > now {
             None
         } else {
-            Some(&front.packet)
+            Some(front.packet)
         }
     }
 
     /// Mark the front slot granted; it will vacate at `vacate_at` and the
-    /// packet moves on. Returns a clone of the packet for downstream
-    /// insertion.
+    /// packet moves on. Returns the packet ref for downstream insertion.
     ///
     /// # Panics
     /// Panics if there is no eligible front slot (programming error).
-    pub fn grant_front(&mut self, vacate_at: u64) -> Packet {
+    pub fn grant_front(&mut self, vacate_at: u64) -> PacketRef {
         let front = self.queue.front_mut().expect("grant on empty input port");
         assert!(!front.granted, "double grant on input port");
         front.granted = true;
         front.vacate_at = vacate_at;
-        front.packet.clone()
+        front.packet
     }
 
     /// Accept a packet (reservation) whose head arrives at `head_arrival`.
-    pub fn push(&mut self, packet: Packet, head_arrival: u64) {
+    pub fn push(&mut self, packet: PacketRef, head_arrival: u64) {
         self.queue.push_back(Slot {
             packet,
             head_arrival,
-            granted: false,
             vacate_at: 0,
+            granted: false,
         });
     }
 
@@ -88,7 +93,7 @@ impl InputPort {
     /// # Panics
     /// Panics if the port is empty; debug-asserts the front was not
     /// already granted (a granted head is mid-transfer, not droppable).
-    pub fn drop_front(&mut self) -> Packet {
+    pub fn drop_front(&mut self) -> PacketRef {
         let slot = self.queue.pop_front().expect("drop on empty input port");
         debug_assert!(!slot.granted, "dropped a granted (in-transfer) packet");
         slot.packet
@@ -111,37 +116,37 @@ impl OutputPort {
     }
 }
 
-/// One crossbar module: `radix` inputs and outputs.
-#[derive(Debug)]
-pub(crate) struct Module {
-    pub inputs: Vec<InputPort>,
-    pub outputs: Vec<OutputPort>,
-}
-
-impl Module {
-    pub fn new(radix: u32) -> Self {
-        Self {
-            inputs: (0..radix).map(|_| InputPort::default()).collect(),
-            outputs: (0..radix).map(|_| OutputPort::default()).collect(),
-        }
-    }
-}
-
-/// One network stage: `ports / radix` modules of the stage's radix.
+/// One network stage: `module_count` crossbar modules of the stage's
+/// radix, ports flattened module-major (see the module docs).
 #[derive(Debug)]
 pub(crate) struct Stage {
     pub radix: u32,
+    pub module_count: u32,
     pub head_latency: u64,
-    pub modules: Vec<Module>,
+    /// Input ports, module-major: `inputs[m * radix + port]`.
+    pub inputs: Vec<InputPort>,
+    /// Output ports, module-major: `outputs[m * radix + port]`.
+    pub outputs: Vec<OutputPort>,
 }
 
 impl Stage {
     pub fn new(radix: u32, module_count: u32, head_latency: u64) -> Self {
+        let ports = (radix * module_count) as usize;
         Self {
             radix,
+            module_count,
             head_latency,
-            modules: (0..module_count).map(|_| Module::new(radix)).collect(),
+            inputs: (0..ports).map(|_| InputPort::default()).collect(),
+            outputs: (0..ports).map(|_| OutputPort::default()).collect(),
         }
+    }
+
+    /// Total packets buffered (or reserved) across the stage's inputs.
+    pub fn occupancy(&self) -> u64 {
+        self.inputs
+            .iter()
+            .map(|input| input.queue.len() as u64)
+            .sum()
     }
 }
 
@@ -149,17 +154,8 @@ impl Stage {
 mod tests {
     use super::*;
 
-    fn packet(id: u64) -> Packet {
-        Packet {
-            id,
-            src: 0,
-            dest: 0,
-            tags: vec![0],
-            injected_at: 0,
-            entered_at: None,
-            attempts: 0,
-            tracked: false,
-        }
+    fn packet(id: u32) -> PacketRef {
+        PacketRef(id)
     }
 
     #[test]
@@ -168,8 +164,8 @@ mod tests {
         port.push(packet(3), 0);
         port.push(packet(4), 0);
         let dropped = port.drop_front();
-        assert_eq!(dropped.id, 3);
-        assert_eq!(port.requesting_head(0, 0).unwrap().id, 4);
+        assert_eq!(dropped, packet(3));
+        assert_eq!(port.requesting_head(0, 0), Some(packet(4)));
     }
 
     #[test]
@@ -197,7 +193,7 @@ mod tests {
         let mut port = InputPort::default();
         port.push(packet(0), 0);
         let p = port.grant_front(25);
-        assert_eq!(p.id, 0);
+        assert_eq!(p, packet(0));
         assert!(port.requesting_head(30, 0).is_none());
         port.vacate(24);
         assert_eq!(port.queue.len(), 1);
@@ -210,12 +206,12 @@ mod tests {
         let mut port = InputPort::default();
         port.push(packet(0), 0);
         port.push(packet(1), 0);
-        assert_eq!(port.requesting_head(0, 0).unwrap().id, 0);
+        assert_eq!(port.requesting_head(0, 0), Some(packet(0)));
         port.grant_front(5);
         // Second packet cannot request while the first still drains.
         assert!(port.requesting_head(3, 0).is_none());
         port.vacate(5);
-        assert_eq!(port.requesting_head(5, 0).unwrap().id, 1);
+        assert_eq!(port.requesting_head(5, 0), Some(packet(1)));
     }
 
     #[test]
@@ -225,6 +221,14 @@ mod tests {
         out.busy_until = 7;
         assert!(!out.free(6));
         assert!(out.free(7));
+    }
+
+    #[test]
+    fn flat_stage_layout_is_module_major() {
+        let stage = Stage::new(4, 3, 2);
+        assert_eq!(stage.inputs.len(), 12);
+        assert_eq!(stage.outputs.len(), 12);
+        assert_eq!(stage.occupancy(), 0);
     }
 
     #[test]

@@ -21,7 +21,14 @@ pub enum PacketStatus {
 /// The paper's packets are 100 bits carrying data, memory-module address,
 /// intra-module address and return-processor address; here the payload is
 /// abstract and only the routing information is materialized.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Routing is a pure function of `dest` (the per-stage tags are the
+/// destination's mixed-radix digits, MSB first), so the tags are not
+/// stored per packet: the engine precomputes one route table per network
+/// and looks tags up by destination. That keeps `Packet` a small `Copy`
+/// value — it moves through buffer slots, retry heaps, and delivery paths
+/// without ever allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Packet {
     /// Unique id (injection order).
     pub id: u64,
@@ -29,8 +36,6 @@ pub struct Packet {
     pub src: u32,
     /// Destination port.
     pub dest: u32,
-    /// Per-stage routing tags (destination digits, MSB first).
-    pub tags: Vec<u32>,
     /// Cycle the packet was generated (entered the source queue).
     pub injected_at: u64,
     /// Cycle the packet's head entered the first-stage buffer.
@@ -43,34 +48,24 @@ pub struct Packet {
     pub tracked: bool,
 }
 
-impl Packet {
-    /// The routing tag (output port) at `stage`.
-    ///
-    /// # Panics
-    /// Panics if `stage` is out of range.
-    #[must_use]
-    pub fn tag(&self, stage: u32) -> u32 {
-        self.tags[stage as usize]
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn tag_lookup() {
+    fn packet_is_a_small_copy_value() {
         let p = Packet {
             id: 0,
             src: 1,
             dest: 9,
-            tags: vec![2, 1],
             injected_at: 5,
             entered_at: None,
             attempts: 0,
             tracked: true,
         };
-        assert_eq!(p.tag(0), 2);
-        assert_eq!(p.tag(1), 1);
+        let q = p; // Copy: p stays usable.
+        assert_eq!(p, q);
+        // The hot path copies packets at every hop; keep that cheap.
+        assert!(std::mem::size_of::<Packet>() <= 48);
     }
 }

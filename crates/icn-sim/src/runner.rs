@@ -212,6 +212,57 @@ mod tests {
         assert_eq!(serial, parallel);
     }
 
+    /// Batch determinism must also survive the optional subsystems: a
+    /// mixed batch of plain, faulty (with retries + watchdog), and
+    /// telemetry-sampling configs produces identical results serially and
+    /// in parallel — including the per-run telemetry reports.
+    #[test]
+    fn parallel_matches_serial_with_faults_and_telemetry() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        use crate::telemetry::TelemetryConfig;
+
+        let plan = StagePlan::uniform(4, 2);
+        let faulty = |seed: u64| {
+            let mut c = small_config(0.01, seed);
+            c.faults = FaultPlan::random_module_failures(&plan, 2, 300, seed ^ 0xF417)
+                .merged(FaultPlan::random_link_failures(&plan, 1, 500, seed ^ 0x11));
+            c.retry = RetryPolicy::retries(2);
+            c.watchdog_cycles = 5_000;
+            c
+        };
+        let sampled = |seed: u64| {
+            let mut c = small_config(0.015, seed);
+            c.telemetry = TelemetryConfig::sampled(50);
+            c
+        };
+        let both = |seed: u64| {
+            let mut c = faulty(seed);
+            c.telemetry = TelemetryConfig::sampled(25);
+            c
+        };
+        let configs: Vec<SimConfig> = vec![
+            small_config(0.01, 1),
+            faulty(2),
+            sampled(3),
+            both(4),
+            faulty(5),
+            sampled(6),
+        ];
+        let serial: Vec<_> = configs.iter().cloned().map(run).collect();
+        let parallel = run_parallel(configs);
+        assert_eq!(serial, parallel);
+        // The faulty runs actually exercised the fault path…
+        assert!(
+            parallel[1].dropped_total + parallel[1].retries_total > 0,
+            "fault plan never fired: {:?}",
+            parallel[1]
+        );
+        // …and the sampled runs carried telemetry through the batch.
+        assert!(parallel[2].telemetry.is_some());
+        assert!(parallel[3].telemetry.is_some());
+        assert!(parallel[0].telemetry.is_none());
+    }
+
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_parallel(Vec::new()).is_empty());

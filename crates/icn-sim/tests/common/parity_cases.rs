@@ -1,0 +1,198 @@
+//! The fixed-seed configuration matrix behind the byte-identical parity
+//! suite (`tests/parity.rs`) and its fixture generator
+//! (`examples/gen_parity.rs`).
+//!
+//! Each case renders to a canonical pair of strings — the pretty-printed
+//! `SimResult` JSON and (for small cases) the full event stream as one
+//! JSON line per `SimEvent` — that are checked in under
+//! `tests/fixtures/parity/`. The fixtures were captured from the
+//! pre-optimization engine, so an exact match proves the optimized hot
+//! path changed no observable behaviour: not a counter, not a float, not
+//! an event, not an event's order.
+//!
+//! The matrix deliberately crosses the engine's behavioural switches:
+//! chip model, width, cut-through vs store-and-forward, arbitration,
+//! buffer depth, faults (permanent + transient, with retries), telemetry
+//! sampling, packet tracing, hot-spot traffic, mixed radices, a watchdog
+//! stall, and one paper-scale 2048-port run (result only — its event
+//! stream would dwarf the repository).
+
+use icn_sim::telemetry::MemorySink;
+use icn_sim::{
+    Arbitration, ChipModel, Engine, FaultEvent, FaultPlan, FaultTarget, RetryPolicy, SimConfig,
+    TelemetryConfig,
+};
+use icn_topology::StagePlan;
+use icn_workloads::Workload;
+
+/// One parity configuration.
+pub struct ParityCase {
+    /// Fixture file stem.
+    pub name: &'static str,
+    /// Whether the event stream is part of the fixture (small cases only).
+    pub record_events: bool,
+    /// The configuration itself (fully deterministic given its seed).
+    pub config: SimConfig,
+}
+
+/// The full parity matrix.
+#[must_use]
+pub fn cases() -> Vec<ParityCase> {
+    let mut cases = Vec::new();
+
+    // Baseline: cut-through DMC under uniform load.
+    let mut clean = SimConfig::paper_baseline(
+        StagePlan::uniform(4, 2),
+        ChipModel::Dmc,
+        4,
+        Workload::uniform(0.04),
+    );
+    clean.seed = 42;
+    clean.warmup_cycles = 100;
+    clean.measure_cycles = 400;
+    clean.drain_cycles = 20_000;
+    cases.push(ParityCase {
+        name: "clean_dmc_w4",
+        record_events: true,
+        config: clean,
+    });
+
+    // Store-and-forward MCC with deep buffers and fixed-priority
+    // arbitration: the non-default value of every switch knob.
+    let mut sf = SimConfig::paper_baseline(
+        StagePlan::uniform(4, 2),
+        ChipModel::Mcc,
+        2,
+        Workload::uniform(0.012),
+    );
+    sf.seed = 7;
+    sf.cut_through = false;
+    sf.arbitration = Arbitration::FixedPriority;
+    sf.buffer_capacity = 4;
+    sf.warmup_cycles = 50;
+    sf.measure_cycles = 400;
+    sf.drain_cycles = 20_000;
+    cases.push(ParityCase {
+        name: "sf_fixedprio_mcc_w2",
+        record_events: true,
+        config: sf,
+    });
+
+    // Faults with retries: permanent module + link failures mid-run, a
+    // transient module outage, a dead source port, and packet tracing on.
+    let plan = StagePlan::uniform(4, 2);
+    let mut faulty =
+        SimConfig::paper_baseline(plan.clone(), ChipModel::Dmc, 4, Workload::uniform(0.02));
+    faulty.seed = 11;
+    faulty.faults = FaultPlan::random_module_failures(&plan, 1, 150, 9)
+        .merged(FaultPlan::random_link_failures(&plan, 2, 250, 9))
+        .merged(FaultPlan::new(vec![
+            FaultEvent::transient(
+                FaultTarget::Module {
+                    stage: 0,
+                    module: 2,
+                },
+                80,
+                120,
+            ),
+            FaultEvent::permanent(FaultTarget::SourcePort { port: 3 }, 200),
+        ]));
+    faulty.retry = RetryPolicy::retries(2);
+    faulty.trace_packets = 4;
+    faulty.warmup_cycles = 100;
+    faulty.measure_cycles = 300;
+    faulty.drain_cycles = 10_000;
+    cases.push(ParityCase {
+        name: "faulty_retry",
+        record_events: true,
+        config: faulty,
+    });
+
+    // Telemetry sampling under hot-spot traffic: the report (time series,
+    // histograms, stage waits) rides inside the SimResult fixture.
+    let mut telem = SimConfig::paper_baseline(
+        StagePlan::uniform(4, 3),
+        ChipModel::Dmc,
+        4,
+        Workload::hot_spot(0.005, 0.1, 5),
+    );
+    telem.seed = 13;
+    telem.telemetry = TelemetryConfig::sampled(25);
+    telem.warmup_cycles = 100;
+    telem.measure_cycles = 500;
+    telem.drain_cycles = 20_000;
+    cases.push(ParityCase {
+        name: "telemetry_hotspot",
+        record_events: true,
+        config: telem,
+    });
+
+    // Mixed radices with a long transient outage the watchdog gives up on:
+    // covers the stall path and non-uniform stage geometry.
+    let mut stall = SimConfig::paper_baseline(
+        StagePlan::from_radices(vec![4, 2, 2]),
+        ChipModel::Mcc,
+        4,
+        Workload::uniform(0.02),
+    );
+    stall.seed = 3;
+    stall.faults = FaultPlan::new(vec![FaultEvent::transient(
+        FaultTarget::Module {
+            stage: 2,
+            module: 0,
+        },
+        10,
+        50_000,
+    )]);
+    stall.watchdog_cycles = 300;
+    stall.warmup_cycles = 50;
+    stall.measure_cycles = 300;
+    stall.drain_cycles = 2_000;
+    cases.push(ParityCase {
+        name: "mixed_radix_stall",
+        record_events: true,
+        config: stall,
+    });
+
+    // Paper scale: the §6 2048-port DMC network, short run, result only.
+    let mut big = SimConfig::paper_baseline(
+        StagePlan::balanced_pow2(2048, 16).expect("power of two"),
+        ChipModel::Dmc,
+        4,
+        Workload::uniform(0.02),
+    );
+    big.seed = 0x1986;
+    big.warmup_cycles = 0;
+    big.measure_cycles = 150;
+    big.drain_cycles = 3_000;
+    cases.push(ParityCase {
+        name: "big_dmc2048",
+        record_events: false,
+        config: big,
+    });
+
+    cases
+}
+
+/// Run one case and render its canonical fixture strings: the
+/// pretty-printed `SimResult` JSON and, if `record_events`, the event
+/// stream as one JSON line per event (in emission order).
+#[must_use]
+pub fn render(case: &ParityCase) -> (String, Option<String>) {
+    let mut engine = Engine::new(case.config.clone());
+    let sink = MemorySink::new();
+    if case.record_events {
+        engine.set_event_sink(sink.clone());
+    }
+    let result = engine.run();
+    let result_json = serde_json::to_string_pretty(&result).expect("results serialize") + "\n";
+    let events = case.record_events.then(|| {
+        let mut out = String::new();
+        for event in sink.events() {
+            out.push_str(&serde_json::to_string(&event).expect("events serialize"));
+            out.push('\n');
+        }
+        out
+    });
+    (result_json, events)
+}

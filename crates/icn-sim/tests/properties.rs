@@ -1,6 +1,6 @@
 //! Property-based tests for the simulation engine.
 
-use icn_sim::{Arbitration, ChipModel, Engine, SimConfig};
+use icn_sim::{Arbitration, ChipModel, Engine, FaultPlan, RetryPolicy, SimConfig, TelemetryConfig};
 use icn_topology::StagePlan;
 use icn_workloads::{TrafficTrace, Workload};
 use proptest::prelude::*;
@@ -19,6 +19,53 @@ fn arbitrary_plan() -> impl Strategy<Value = StagePlan> {
 
 fn arbitrary_chip() -> impl Strategy<Value = ChipModel> {
     prop_oneof![Just(ChipModel::Mcc), Just(ChipModel::Dmc)]
+}
+
+/// Assemble a valid [`SimConfig`] from independently drawn knobs,
+/// spanning every feature the engine's hot path special-cases: buffer
+/// depths, both chip models and arbitration policies, cut-through vs
+/// store-and-forward, packet tracing, deterministic fault plans with
+/// retry + watchdog, and sampled telemetry.
+#[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
+fn assemble_config(
+    plan: &StagePlan,
+    chip: ChipModel,
+    width: u32,
+    buffers: u32,
+    cut_through: bool,
+    fixed_priority: bool,
+    load: f64,
+    seed: u64,
+    fail_modules: u32,
+    fail_links: u32,
+    fault_seed: u64,
+    telemetry: bool,
+) -> SimConfig {
+    let mut config = SimConfig::paper_baseline(plan.clone(), chip, width, Workload::uniform(load));
+    config.seed = seed;
+    config.buffer_capacity = buffers;
+    config.cut_through = cut_through;
+    config.arbitration = if fixed_priority {
+        Arbitration::FixedPriority
+    } else {
+        Arbitration::RoundRobin
+    };
+    config.warmup_cycles = 50;
+    config.measure_cycles = 300;
+    config.drain_cycles = 2_000;
+    config.trace_packets = 4;
+    if fail_modules > 0 || fail_links > 0 {
+        config.faults =
+            FaultPlan::random_module_failures(plan, fail_modules, 100, fault_seed).merged(
+                FaultPlan::random_link_failures(plan, fail_links, 150, fault_seed ^ 1),
+            );
+        config.retry = RetryPolicy::retries(2);
+        config.watchdog_cycles = 5_000;
+    }
+    if telemetry {
+        config.telemetry = TelemetryConfig::sampled(25);
+    }
+    config
 }
 
 proptest! {
@@ -141,6 +188,64 @@ proptest! {
                 "stage {i}: {} grants < {} deliveries",
                 counters.grants,
                 result.delivered_total
+            );
+        }
+    }
+
+    /// Determinism, PR-3 contract: for ANY valid configuration — across
+    /// chip models, arbitration, buffering, cut-through, faults with
+    /// retries, and sampled telemetry — rerunning with the same seed
+    /// yields an identical `SimResult`, down to the telemetry report.
+    #[test]
+    fn any_valid_config_replays_identically_from_its_seed(
+        plan in arbitrary_plan(),
+        chip in arbitrary_chip(),
+        width in prop_oneof![Just(1u32), Just(4)],
+        buffers in 1u32..4,
+        cut_through in any::<bool>(),
+        fixed_priority in any::<bool>(),
+        load in 0.0f64..0.03,
+        seed in any::<u64>(),
+        fail_modules in 0u32..3,
+        fail_links in 0u32..3,
+        fault_seed in any::<u64>(),
+        telemetry in any::<bool>(),
+    ) {
+        let config = assemble_config(
+            &plan, chip, width, buffers, cut_through, fixed_priority, load,
+            seed, fail_modules, fail_links, fault_seed, telemetry,
+        );
+        let a = Engine::new(config.clone()).run();
+        let b = Engine::new(config).run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Conservation, sampled at EVERY cycle boundary (not just at the
+    /// end): `injected == delivered + dropped + live` holds mid-flight
+    /// for arbitrary valid configurations, including under active faults.
+    #[test]
+    fn conservation_closes_at_every_cycle(
+        plan in arbitrary_plan(),
+        chip in arbitrary_chip(),
+        buffers in 1u32..4,
+        cut_through in any::<bool>(),
+        load in 0.0f64..0.05,
+        seed in any::<u64>(),
+        fail_modules in 0u32..3,
+        fault_seed in any::<u64>(),
+    ) {
+        let config = assemble_config(
+            &plan, chip, 4, buffers, cut_through, false, load, seed,
+            fail_modules, 0, fault_seed, false,
+        );
+        let mut engine = Engine::new(config);
+        for cycle in 0..600u64 {
+            engine.step();
+            prop_assert_eq!(
+                engine.injected_total(),
+                engine.delivered_total() + engine.dropped_total() + engine.live_packets(),
+                "conservation violated after cycle {}",
+                cycle
             );
         }
     }
