@@ -23,6 +23,10 @@
 //! icn bench [--smoke]          perf-regression harness: measure simulator
 //!                              cycles/sec and gate against BENCH_PR3.json
 //!                              (--update-baseline before|after re-records)
+//! icn lint [--json]            run the ICN determinism/panic-freedom rules
+//!                              (ICN001-ICN005) over the workspace sources
+//! icn lint config <spec.json>  statically check a design point against the
+//!                              paper's pin/board/clock limits (ICN101-ICN106)
 //!
 //! options: --tech <preset>  --json  --full
 //! ```
@@ -65,7 +69,9 @@ fn usage() -> &'static str {
      \t          [--sample-interval K] [--telemetry-out dump.jsonl|series.csv]\n\
      \t inspect <dump.jsonl>\n\
      \t bench [--smoke] [--json] [--iters N] [--baseline BENCH_PR3.json]\n\
-     \t       [--update-baseline before|after]"
+     \t       [--update-baseline before|after]\n\
+     \t lint [--json] [root]\n\
+     \t lint config <spec.json> [--json]"
 }
 
 struct Options {
@@ -617,7 +623,12 @@ fn bench(opts: &Options) -> Result<(), String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let command = args.first().map(String::as_str).unwrap_or("help");
+    let command = args.first().map_or("help", String::as_str);
+    if command == "lint" {
+        // `lint` takes positional subcommand + path arguments that the
+        // global option parser would reject, so it parses its own.
+        return lint(args.get(1..).unwrap_or(&[]));
+    }
     let opts = parse_options(args.get(1..).unwrap_or(&[]))?;
     let effort = if opts.full {
         SimEffort::Full
@@ -914,4 +925,57 @@ fn run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown command `{other}`")),
     }
     Ok(())
+}
+
+/// `icn lint [--json] [root]` — run the ICN source rules over the workspace;
+/// `icn lint config <spec.json> [--json]` — statically check a design point
+/// against the paper's pin/board/clock constraints (ICN101–ICN106).
+fn lint(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with("--") => positional.push(other),
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+
+    if positional.first() == Some(&"config") {
+        let Some(path) = positional.get(1) else {
+            return Err("lint config needs a design spec: icn lint config <spec.json>".into());
+        };
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let check = icn_lint::check_design_json(path, &source);
+        if json {
+            print!("{}", icn_lint::render_design_json(&check));
+        } else {
+            print!("{}", icn_lint::render_design_human(&check));
+        }
+        return if check.feasible() {
+            Ok(())
+        } else {
+            Err(format!(
+                "design violates {} constraint(s)",
+                check.diagnostics.len()
+            ))
+        };
+    }
+
+    let root = positional.first().copied().unwrap_or(".");
+    let diags = icn_lint::scan_workspace(std::path::Path::new(root)).map_err(|e| e.to_string())?;
+    if json {
+        print!("{}", icn_lint::render_json(&diags));
+    } else {
+        print!("{}", icn_lint::render_human(&diags));
+    }
+    if icn_lint::is_failure(&diags) {
+        Err(format!(
+            "{} rule violation(s); see diagnostics above",
+            icn_lint::diagnostics::error_count(&diags)
+        ))
+    } else {
+        Ok(())
+    }
 }

@@ -1,0 +1,69 @@
+//! The structured diagnostic every check emits.
+
+use serde::Serialize;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: does not fail the lint run.
+    Warning,
+    /// A rule violation: fails the lint run (non-zero exit, red CI).
+    Error,
+}
+
+impl core::fmt::Display for Severity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Warning => f.write_str("warning"),
+            Self::Error => f.write_str("error"),
+        }
+    }
+}
+
+// Serialized by hand (lowercase, like rustc's `--error-format=json`): the
+// vendored serde_derive has no `rename_all` support.
+impl Serialize for Severity {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Str(self.to_string())
+    }
+}
+
+/// One finding: a coded rule violation at a source (or config) location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// The rule code (`ICN001`…`ICN005` source rules, `ICN101`…`ICN106`
+    /// design rules, `ICN000` for meta-findings).
+    pub code: String,
+    /// Whether this finding fails the run.
+    pub severity: Severity,
+    /// Workspace-relative path (or the config file name).
+    pub file: String,
+    /// 1-based line; 0 means the finding concerns the file as a whole.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl Diagnostic {
+    /// Stable ordering for reports: by file, then line, then code.
+    #[must_use]
+    pub fn sort_key(&self) -> (String, u32, String) {
+        (self.file.clone(), self.line, self.code.clone())
+    }
+}
+
+/// Sort diagnostics into the stable report order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by_key(Diagnostic::sort_key);
+}
+
+/// How many findings are errors (the count that gates CI).
+#[must_use]
+pub fn error_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+}

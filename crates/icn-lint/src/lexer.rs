@@ -1,0 +1,594 @@
+//! A minimal Rust token scanner.
+//!
+//! The build environment vendors no `syn`, so the analyzer works on a
+//! first-party token stream instead of an AST. That is enough for every ICN
+//! rule: all of them key on identifiers, punctuation adjacency, and literal
+//! kinds — none needs type resolution. The scanner understands exactly the
+//! parts of the lexical grammar that would otherwise produce false
+//! positives: line/block/doc comments, (raw/byte) string literals, char
+//! literals vs. lifetimes, and float vs. integer vs. method-call-on-integer
+//! (`1.0` / `1` / `1.max(2)`).
+//!
+//! It also extracts `// icn-lint: allow(ICNxxx) -- reason` escape-hatch
+//! directives, recording which source line each one covers.
+
+/// What a [`Token`] is, as far as the rules need to distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident,
+    /// An integer literal (including hex/octal/binary).
+    Int,
+    /// A float literal (`1.0`, `1.`, `2e9`, `1f64`).
+    Float,
+    /// A string literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// A doc comment; `text` holds its sigil (`///`, `//!`, `/**`, `/*!`).
+    DocComment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// Source text (for `Str`/`Char` only the delimiter is kept).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// An `// icn-lint: allow(CODE) -- reason` escape-hatch directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// The rule codes being allowed (e.g. `ICN003`).
+    pub codes: Vec<String>,
+    /// The justification after `--`. Empty means the directive is malformed.
+    pub reason: String,
+    /// 1-based line the directive sits on.
+    pub line: u32,
+    /// The 1-based line the directive covers: its own line when it trails
+    /// code, the following line when it stands alone.
+    pub covers_line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All tokens, in order, comments and whitespace stripped.
+    pub tokens: Vec<Token>,
+    /// All escape-hatch directives found in line comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+impl LexedFile {
+    /// Whether a violation of `code` on `line` is covered by a well-formed
+    /// allow directive.
+    #[must_use]
+    pub fn is_allowed(&self, code: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.covers_line == line && !a.reason.is_empty() && a.codes.iter().any(|c| c == code)
+        })
+    }
+}
+
+/// Lex `source` into tokens and allow directives.
+#[must_use]
+pub fn lex(source: &str) -> LexedFile {
+    Lexer {
+        chars: source.char_indices().peekable(),
+        source,
+        line: 1,
+        saw_code_on_line: false,
+        out: LexedFile::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    source: &'a str,
+    line: u32,
+    /// Whether any token started on the current line (to classify a line
+    /// comment as trailing vs. standalone).
+    saw_code_on_line: bool,
+    out: LexedFile,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> LexedFile {
+        while let Some(&(pos, ch)) = self.chars.peek() {
+            match ch {
+                '\n' => {
+                    self.chars.next();
+                    self.line += 1;
+                    self.saw_code_on_line = false;
+                }
+                c if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                '/' => self.slash(pos),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(pos),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(pos),
+                c => {
+                    self.chars.next();
+                    self.push(TokenKind::Punct, c.to_string());
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String) {
+        self.saw_code_on_line = true;
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, ch) = self.chars.next()?;
+        if ch == '\n' {
+            self.line += 1;
+            self.saw_code_on_line = false;
+        }
+        Some(ch)
+    }
+
+    fn peek_char(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    /// `/` — division, line comment, or block comment.
+    fn slash(&mut self, pos: usize) {
+        let rest = &self.source[pos..];
+        if rest.starts_with("//") {
+            let body: String = {
+                let mut s = String::new();
+                while let Some(c) = self.peek_char() {
+                    if c == '\n' {
+                        break;
+                    }
+                    s.push(c);
+                    self.chars.next();
+                }
+                s
+            };
+            let trailing = self.saw_code_on_line;
+            if (body.starts_with("///") && !body.starts_with("////")) || body.starts_with("//!") {
+                let sigil = if body.starts_with("//!") {
+                    "//!"
+                } else {
+                    "///"
+                };
+                // A doc comment is documentation, not code: it must not flip
+                // `saw_code_on_line`, so push the token by hand.
+                self.out.tokens.push(Token {
+                    kind: TokenKind::DocComment,
+                    text: sigil.to_string(),
+                    line: self.line,
+                });
+            } else {
+                self.parse_allow(&body, trailing);
+            }
+        } else if rest.starts_with("/*") {
+            self.chars.next();
+            self.chars.next();
+            let doc =
+                rest.starts_with("/**") && !rest.starts_with("/***") || rest.starts_with("/*!");
+            if doc {
+                let sigil = if rest.starts_with("/*!") {
+                    "/*!"
+                } else {
+                    "/**"
+                };
+                self.out.tokens.push(Token {
+                    kind: TokenKind::DocComment,
+                    text: sigil.to_string(),
+                    line: self.line,
+                });
+            }
+            // Rust block comments nest.
+            let mut depth = 1u32;
+            let mut prev = '\0';
+            while depth > 0 {
+                let Some(c) = self.bump() else { break };
+                if prev == '/' && c == '*' {
+                    depth += 1;
+                    prev = '\0';
+                } else if prev == '*' && c == '/' {
+                    depth -= 1;
+                    prev = '\0';
+                } else {
+                    prev = c;
+                }
+            }
+        } else {
+            self.chars.next();
+            self.push(TokenKind::Punct, "/".to_string());
+        }
+    }
+
+    /// Parse a `icn-lint: allow(CODE[, CODE…]) -- reason` directive from a
+    /// non-doc line comment body (including its leading `//`).
+    fn parse_allow(&mut self, body: &str, trailing: bool) {
+        let Some(idx) = body.find("icn-lint:") else {
+            return;
+        };
+        let after = body[idx + "icn-lint:".len()..].trim_start();
+        let Some(args) = after.strip_prefix("allow(") else {
+            return;
+        };
+        let Some(close) = args.find(')') else {
+            return;
+        };
+        let codes: Vec<String> = args[..close]
+            .split(',')
+            .map(|c| c.trim().to_string())
+            .filter(|c| !c.is_empty())
+            .collect();
+        let reason = args[close + 1..]
+            .trim_start()
+            .strip_prefix("--")
+            .map_or("", str::trim)
+            .to_string();
+        let line = self.line;
+        self.out.allows.push(AllowDirective {
+            codes,
+            reason,
+            line,
+            covers_line: if trailing { line } else { line + 1 },
+        });
+    }
+
+    /// An ordinary (non-raw) string literal; opening `"` not yet consumed.
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.chars.next(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.saw_code_on_line = true;
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: "\"".to_string(),
+            line,
+        });
+    }
+
+    /// A raw string literal `r"…"`, `r#"…"#`, …; caller consumed the prefix
+    /// up to (not including) the `#`s/quote.
+    fn raw_string_literal(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek_char() == Some('#') {
+            hashes += 1;
+            self.chars.next();
+        }
+        self.chars.next(); // opening quote
+        let closer: String = std::iter::once('"')
+            .chain("#".repeat(hashes).chars())
+            .collect();
+        let mut tail = String::new();
+        while let Some(c) = self.bump() {
+            tail.push(c);
+            if tail.len() > closer.len() {
+                let cut = tail.len() - closer.len();
+                tail.drain(..cut);
+            }
+            if tail == closer {
+                break;
+            }
+        }
+        self.saw_code_on_line = true;
+        self.out.tokens.push(Token {
+            kind: TokenKind::Str,
+            text: "r\"".to_string(),
+            line,
+        });
+    }
+
+    /// `'` — either a lifetime or a char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        self.chars.next(); // the quote
+                           // `'a` where the ident run is not closed by `'` is a lifetime;
+                           // `'a'`, `'\n'`, `'·'` are char literals.
+        let mut lookahead = self.chars.clone();
+        let first = lookahead.next().map(|(_, c)| c);
+        match first {
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // Walk the ident run in the lookahead.
+                let mut after = lookahead.clone();
+                let mut next = after.next().map(|(_, c)| c);
+                while matches!(next, Some(c) if c == '_' || c.is_alphanumeric()) {
+                    next = after.next().map(|(_, c)| c);
+                }
+                if next == Some('\'') {
+                    self.char_literal(line);
+                } else {
+                    // Lifetime: consume the ident run.
+                    let mut name = String::new();
+                    while matches!(self.peek_char(), Some(c) if c == '_' || c.is_alphanumeric()) {
+                        name.push(self.bump().unwrap_or('\0'));
+                    }
+                    self.push(TokenKind::Lifetime, name);
+                }
+            }
+            _ => self.char_literal(line),
+        }
+    }
+
+    /// Finish a char literal whose opening `'` is consumed.
+    fn char_literal(&mut self, line: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.saw_code_on_line = true;
+        self.out.tokens.push(Token {
+            kind: TokenKind::Char,
+            text: "'".to_string(),
+            line,
+        });
+    }
+
+    /// A numeric literal starting at `pos`.
+    fn number(&mut self, pos: usize) {
+        let mut text = String::new();
+        let mut float = false;
+        // Integer part (also covers 0x/0o/0b bodies: hex digits are
+        // alphanumeric and get swallowed by the suffix loop below).
+        while matches!(self.peek_char(), Some(c) if c.is_ascii_digit() || c == '_') {
+            text.push(self.bump().unwrap_or('0'));
+        }
+        // Fractional part: `1.0` and `1.` are floats, `1.max(2)` and
+        // `1..n` are an integer followed by punctuation.
+        if self.peek_char() == Some('.') {
+            let mut lookahead = self.chars.clone();
+            lookahead.next();
+            let after_dot = lookahead.next().map(|(_, c)| c);
+            let is_method_or_range =
+                matches!(after_dot, Some(c) if c == '_' || c == '.' || c.is_alphabetic());
+            if !is_method_or_range {
+                float = true;
+                text.push(self.bump().unwrap_or('.'));
+                while matches!(self.peek_char(), Some(c) if c.is_ascii_digit() || c == '_') {
+                    text.push(self.bump().unwrap_or('0'));
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek_char(), Some('e' | 'E')) {
+            let mut lookahead = self.chars.clone();
+            lookahead.next();
+            let sign = lookahead.next().map(|(_, c)| c);
+            let exp_digit = match sign {
+                Some('+' | '-') => lookahead.next().map(|(_, c)| c),
+                other => other,
+            };
+            if matches!(exp_digit, Some(c) if c.is_ascii_digit()) {
+                float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if matches!(self.peek_char(), Some('+' | '-')) {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while matches!(self.peek_char(), Some(c) if c.is_ascii_digit() || c == '_') {
+                    text.push(self.bump().unwrap_or('0'));
+                }
+            }
+        }
+        // Suffix / hex body.
+        let mut suffix = String::new();
+        while matches!(self.peek_char(), Some(c) if c == '_' || c.is_alphanumeric()) {
+            suffix.push(self.bump().unwrap_or('\0'));
+        }
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        text.push_str(&suffix);
+        let _ = pos;
+        self.push(
+            if float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+            text,
+        );
+    }
+
+    /// An identifier, keyword, or a prefixed literal (`r"…"`, `b"…"`, `b'…'`).
+    fn ident_or_prefixed_literal(&mut self, pos: usize) {
+        let rest = &self.source[pos..];
+        for (prefix, raw) in [
+            ("r\"", true),
+            ("r#\"", true),
+            ("br\"", true),
+            ("br#\"", true),
+            ("b\"", false),
+        ] {
+            if rest.starts_with(prefix) {
+                // Consume the letter prefix, leave `#`s/quote for the helper.
+                for _ in 0..prefix.len() - prefix.chars().filter(|&c| c == '#' || c == '"').count()
+                {
+                    self.chars.next();
+                }
+                if raw {
+                    self.raw_string_literal();
+                } else {
+                    self.string_literal();
+                }
+                return;
+            }
+        }
+        if rest.starts_with("b'") {
+            self.chars.next(); // b
+            self.chars.next(); // '
+            let line = self.line;
+            self.char_literal(line);
+            return;
+        }
+        let mut text = String::new();
+        while matches!(self.peek_char(), Some(c) if c == '_' || c.is_alphanumeric()) {
+            text.push(self.bump().unwrap_or('\0'));
+        }
+        self.push(TokenKind::Ident, text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            let x = "HashMap in a string";
+            // HashMap in a comment
+            /* unwrap in a block /* nested */ comment */
+            let y = r#"thread_rng in a raw string"#;
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_method_call() {
+        let kinds: Vec<(TokenKind, String)> = lex("1.0 2 3.max(4) 5. 2e9 7f64 0x1F")
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect();
+        assert_eq!(kinds[0].0, TokenKind::Float);
+        assert_eq!(kinds[1].0, TokenKind::Int);
+        assert_eq!(kinds[2], (TokenKind::Int, "3".to_string()));
+        assert_eq!(kinds[3], (TokenKind::Punct, ".".to_string()));
+        assert!(kinds
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Float && t == "5."));
+        assert!(kinds
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Float && t == "2e9"));
+        assert!(kinds
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Float && t == "7f64"));
+        assert!(kinds
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Int && t == "0x1F"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x';");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_directive_trailing_covers_same_line() {
+        let lexed = lex("let x = v.pop(); // icn-lint: allow(ICN003) -- invariant: non-empty\n");
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.codes, vec!["ICN003".to_string()]);
+        assert_eq!(a.covers_line, 1);
+        assert_eq!(a.reason, "invariant: non-empty");
+        assert!(lexed.is_allowed("ICN003", 1));
+        assert!(!lexed.is_allowed("ICN001", 1));
+    }
+
+    #[test]
+    fn allow_directive_standalone_covers_next_line() {
+        let lexed = lex("// icn-lint: allow(ICN001, ICN003) -- fixture\nlet m = HashMap::new();\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].covers_line, 2);
+        assert!(lexed.is_allowed("ICN001", 2));
+        assert!(lexed.is_allowed("ICN003", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_recorded_but_inert() {
+        let lexed = lex("// icn-lint: allow(ICN003)\nlet x = v.pop();\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert!(lexed.allows[0].reason.is_empty());
+        assert!(!lexed.is_allowed("ICN003", 2));
+    }
+
+    #[test]
+    fn doc_comments_become_tokens() {
+        let lexed = lex("//! crate docs\n/// item docs\npub fn f() {}\n");
+        let docs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::DocComment)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(docs, vec!["//!".to_string(), "///".to_string()]);
+    }
+}

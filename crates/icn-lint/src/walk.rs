@@ -1,0 +1,123 @@
+//! Workspace traversal: find the first-party source files and lint each.
+
+use std::path::{Path, PathBuf};
+
+use crate::diagnostics::{self, Diagnostic};
+use crate::lexer;
+use crate::rules::{check_file, FileContext};
+
+/// A failure to read the tree being linted.
+#[derive(Debug)]
+pub struct WalkError {
+    /// The path that could not be read.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl core::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "cannot read {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Lint every first-party library source file under `root` (a workspace
+/// directory laid out like this repository: `crates/<name>/src/**/*.rs`,
+/// plus the root package's own `src/`). Test suites, examples, and benches
+/// live outside `src/` and are therefore never scanned; `vendor/` is not a
+/// workspace member and is skipped by construction.
+///
+/// Diagnostics come back in stable (file, line, code) order with
+/// `/`-separated paths relative to `root`, so output is byte-identical
+/// across machines.
+///
+/// # Errors
+/// Returns a [`WalkError`] if a directory or file cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Diagnostic>, WalkError> {
+    let mut diags = Vec::new();
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dir(&crates_dir)? {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_name = dir_name(&crate_dir);
+        scan_src(root, &src, &crate_name, &mut diags)?;
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        scan_src(root, &root_src, &dir_name(root), &mut diags)?;
+    }
+    diagnostics::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Lint every `.rs` file under one crate's `src/`.
+fn scan_src(
+    root: &Path,
+    src: &Path,
+    crate_name: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Result<(), WalkError> {
+    let crate_root = src.join("lib.rs");
+    for file in rust_files(src)? {
+        let source = std::fs::read_to_string(&file).map_err(|e| WalkError {
+            path: file.clone(),
+            source: e,
+        })?;
+        let ctx = FileContext {
+            rel_path: rel_slash_path(root, &file),
+            crate_name: crate_name.to_string(),
+            is_crate_root: file == crate_root,
+        };
+        diags.extend(check_file(&ctx, &lexer::lex(&source)));
+    }
+    Ok(())
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, WalkError> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in sorted_dir(&d)? {
+            if entry.is_dir() {
+                stack.push(entry);
+            } else if entry.extension().is_some_and(|e| e == "rs") {
+                files.push(entry);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Directory entries in lexicographic order (read_dir order is OS-defined).
+fn sorted_dir(dir: &Path) -> Result<Vec<PathBuf>, WalkError> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| WalkError {
+            path: dir.to_path_buf(),
+            source: e,
+        })?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn dir_name(path: &Path) -> String {
+    path.file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned())
+}
+
+/// `root`-relative path with `/` separators regardless of platform.
+fn rel_slash_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

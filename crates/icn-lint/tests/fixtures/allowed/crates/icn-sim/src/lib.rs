@@ -1,0 +1,7 @@
+//! Fixture crate: a violation suppressed by a justified allow directive.
+
+/// Head of the queue; the caller guarantees it is non-empty.
+pub fn head(queue: &[u32]) -> u32 {
+    // icn-lint: allow(ICN003) -- fixture invariant: caller checks is_empty first
+    queue.first().copied().unwrap()
+}

@@ -82,6 +82,18 @@ pub fn clock_skew(tech: &Technology, tau: Time) -> Time {
     tau_min * (1.0 - r_min).ln() - tau_max * (1.0 - r_max).ln()
 }
 
+/// Design-rule ceiling on the fraction of the clock period that skew may
+/// consume (used by `icn lint config`, rule ICN106).
+///
+/// Eq. 5.1 only requires `D_L + D_P + δ ≤ 1/F`, so any skew fraction below
+/// 1 is *schedulable* — but a budget where skew eats most of the cycle has
+/// no margin for the process variations that produced the skew in the first
+/// place (eq. 5.3 assumes ±20 % spreads). The paper's own §6.2 design point
+/// spends δ ≈ 8.5 ns of a ≈ 31 ns period (~28 %); we cap designs at 35 % so
+/// the reference design passes with a little headroom while genuinely
+/// skew-dominated clock trees are rejected.
+pub const MAX_SKEW_FRACTION: f64 = 0.35;
+
 /// The complete delay budget determining the achievable clock frequency.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClockBudget {
@@ -155,6 +167,20 @@ impl ClockBudget {
     #[must_use]
     pub fn tree_limited(&self) -> bool {
         self.tree_constraint() > self.signal_constraint()
+    }
+
+    /// The fraction of the minimum clock period consumed by skew under the
+    /// given scheme. Compare against [`MAX_SKEW_FRACTION`].
+    #[must_use]
+    pub fn skew_fraction(&self, scheme: ClockScheme) -> f64 {
+        self.skew / self.min_period(scheme)
+    }
+
+    /// Whether the skew fraction is within the [`MAX_SKEW_FRACTION`]
+    /// design-rule ceiling.
+    #[must_use]
+    pub fn skew_within_budget(&self, scheme: ClockScheme) -> bool {
+        self.skew_fraction(scheme) <= MAX_SKEW_FRACTION
     }
 }
 
@@ -251,6 +277,22 @@ mod tests {
             assert!(skew > prev, "skew not increasing at v={v}");
             prev = skew;
         }
+    }
+
+    /// The §6.2 reference design sits under the skew design-rule ceiling
+    /// (~28 % of the period vs. the 35 % cap), and a stretched clock run
+    /// blows past it under the Multiple-Pulse scheme (where the period is
+    /// not floored by 2τ, so skew dominates).
+    #[test]
+    fn skew_fraction_gates_designs() {
+        let b = paper_budget();
+        for scheme in ClockScheme::ALL {
+            let f = b.skew_fraction(scheme);
+            assert!((0.25..MAX_SKEW_FRACTION).contains(&f), "{scheme}: {f}");
+            assert!(b.skew_within_budget(scheme));
+        }
+        let stretched = ClockBudget::compute(&paper1986(), 16, Length::from_inches(400.0));
+        assert!(!stretched.skew_within_budget(ClockScheme::MultiplePulse));
     }
 
     #[test]

@@ -252,8 +252,7 @@ mod tests {
             let bounce = rail_bounce(&tech, 16, 4, f, b.power_ground);
             assert!(
                 bounce.volts() <= tech.clocking.rail_bounce_budget.volts() + 1e-9,
-                "bounce {} exceeds budget at {f_mhz} MHz",
-                bounce
+                "bounce {bounce} exceeds budget at {f_mhz} MHz"
             );
         }
     }

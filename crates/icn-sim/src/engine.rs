@@ -223,6 +223,7 @@ impl Engine {
     pub fn new(config: SimConfig) -> Self {
         match Self::try_new(config) {
             Ok(engine) => engine,
+            // icn-lint: allow(ICN003) -- documented panicking wrapper; try_new returns the typed error
             Err(e) => panic!("invalid simulation config: {e}"),
         }
     }
@@ -437,6 +438,7 @@ impl Engine {
     pub fn inject_tracked(&mut self, src: u32, dest: u32, tracked: bool) -> u64 {
         match self.try_inject(src, dest, tracked) {
             Ok(id) => id,
+            // icn-lint: allow(ICN003) -- documented panicking wrapper; try_inject returns the typed error
             Err(e) => panic!("{e}"),
         }
     }
@@ -565,10 +567,9 @@ impl Engine {
             stage_occupancy,
             stage_counters: &self.stage_counters,
         };
-        self.telem
-            .as_deref_mut()
-            .expect("checked enabled")
-            .sample(gauges);
+        if let Some(telem) = self.telem.as_deref_mut() {
+            telem.sample(gauges);
+        }
     }
 
     /// Run the configured warmup + measurement + drain schedule and return
@@ -669,7 +670,9 @@ impl Engine {
             .peek()
             .is_some_and(|Reverse(entry)| entry.retry_at <= now)
         {
-            let Reverse(entry) = self.retry_queue.pop().expect("peeked non-empty");
+            let Some(Reverse(entry)) = self.retry_queue.pop() else {
+                break;
+            };
             let src = self.store.get(entry.packet).src;
             self.sources[src as usize].queue.push_back(entry.packet);
             self.source_backlog += 1;
@@ -725,7 +728,9 @@ impl Engine {
                 if !input.has_space(capacity) {
                     continue;
                 }
-                let r = source.queue.pop_front().expect("checked non-empty");
+                let Some(r) = source.queue.pop_front() else {
+                    continue;
+                };
                 *source_backlog -= 1;
                 source.busy_until = now + flits;
                 let packet = store.get_mut(r);
@@ -845,7 +850,10 @@ impl Engine {
                     for in_port in 0..radix {
                         let input = &mut stage.inputs[base + in_port];
                         while input.requesting_head(now, ready_offset).is_some() {
-                            drops.push(input.drop_front());
+                            let Some(dropped) = input.drop_front() else {
+                                break;
+                            };
+                            drops.push(dropped);
                             counters.dropped += 1;
                         }
                     }
@@ -896,7 +904,12 @@ impl Engine {
                         for (in_port, slot) in ready.iter_mut().enumerate() {
                             while *slot == out_port_u {
                                 let input = &mut stage.inputs[base + in_port];
-                                drops.push(input.drop_front());
+                                let Some(dropped) = input.drop_front() else {
+                                    tag_count[out_port] -= 1;
+                                    *slot = NO_TAG;
+                                    break;
+                                };
+                                drops.push(dropped);
                                 counters.dropped += 1;
                                 tag_count[out_port] -= 1;
                                 *slot = match input.requesting_head(now, ready_offset) {
@@ -933,11 +946,13 @@ impl Engine {
 
                 // Arbitrate among the ready heads requesting this output.
                 let winner = match arbitration {
-                    Arbitration::FixedPriority => ready
-                        .iter()
-                        .position(|&tag| tag == out_port_u)
-                        .expect("matching > 0")
-                        as u32,
+                    Arbitration::FixedPriority => {
+                        let Some(pos) = ready.iter().position(|&tag| tag == out_port_u) else {
+                            debug_assert!(false, "matching > 0 but no ready head tagged");
+                            continue;
+                        };
+                        pos as u32
+                    }
                     Arbitration::RoundRobin => {
                         let rr = stage.outputs[base + out_port].rr_next;
                         let mut winner = 0;
@@ -967,14 +982,17 @@ impl Engine {
                 if let Some(telem) = telem.as_deref_mut() {
                     // Cycles the winning head sat ready (arbitration loss,
                     // busy output, or back-pressure) before this grant.
-                    let arrived = stage.inputs[base + winner as usize]
-                        .queue
-                        .front()
-                        .expect("granted head exists")
-                        .head_arrival;
-                    telem.record_stage_wait(stage_idx, now - (arrived + ready_offset));
+                    if let Some(front) = stage.inputs[base + winner as usize].queue.front() {
+                        telem.record_stage_wait(
+                            stage_idx,
+                            now - (front.head_arrival + ready_offset),
+                        );
+                    }
                 }
-                let r = stage.inputs[base + winner as usize].grant_front(now + flits);
+                let Some(r) = stage.inputs[base + winner as usize].grant_front(now + flits) else {
+                    debug_assert!(false, "arbitration winner has no front slot");
+                    continue;
+                };
                 ready[winner as usize] = NO_TAG;
                 tag_count[out_port] -= 1;
                 let head_arrival = now + head_latency;
@@ -1000,9 +1018,8 @@ impl Engine {
                         head_out_at: head_arrival,
                     });
                 }
-                match next_stage.as_deref_mut() {
-                    Some(next) if !is_last => {
-                        let next_entry = next_entry.expect("next stage has an entry table");
+                match (next_stage.as_deref_mut(), next_entry) {
+                    (Some(next), Some(next_entry)) if !is_last => {
                         next.inputs[next_entry[out_line as usize] as usize].push(r, head_arrival);
                     }
                     _ => {
@@ -1046,9 +1063,10 @@ impl Engine {
             self.tracked_delivered += 1;
             self.pending_tracked -= 1;
             self.latencies_total.push(delivered_at - packet.injected_at);
-            let entered = packet
-                .entered_at
-                .expect("delivered packets have entered the network");
+            // A delivered packet always entered the network; fall back to
+            // the injection cycle rather than trusting that invariant with
+            // a panic.
+            let entered = packet.entered_at.unwrap_or(packet.injected_at);
             self.latencies_net.push(delivered_at - entered);
             if let Some(telem) = self.telem.as_deref_mut() {
                 telem.record_latency(delivered_at - packet.injected_at, delivered_at - entered);

@@ -416,14 +416,17 @@ impl FaultState {
         &self.events
     }
 
+    /// Health of the given switch module at cycle `now`.
     pub fn module_health(&self, stage: u32, module: u32, now: u64) -> Health {
         Self::health(self.module_down[stage as usize][module as usize], now)
     }
 
+    /// Health of the given inter-stage link at cycle `now`.
     pub fn link_health(&self, stage: u32, line: u32, now: u64) -> Health {
         Self::health(self.link_down[stage as usize][line as usize], now)
     }
 
+    /// Health of the given source port at cycle `now`.
     pub fn source_health(&self, port: u32, now: u64) -> Health {
         Self::health(self.source_down[port as usize], now)
     }

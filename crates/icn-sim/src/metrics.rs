@@ -60,7 +60,7 @@ impl LatencyStats {
             count,
             mean: sum as f64 / count as f64,
             min: samples[0],
-            max: *samples.last().expect("non-empty"),
+            max: samples.last().copied().unwrap_or_default(),
             p50: pct(0.50),
             p95: pct(0.95),
             p99: pct(0.99),

@@ -65,16 +65,19 @@ impl InputPort {
     }
 
     /// Mark the front slot granted; it will vacate at `vacate_at` and the
-    /// packet moves on. Returns the packet ref for downstream insertion.
-    ///
-    /// # Panics
-    /// Panics if there is no eligible front slot (programming error).
-    pub fn grant_front(&mut self, vacate_at: u64) -> PacketRef {
-        let front = self.queue.front_mut().expect("grant on empty input port");
-        assert!(!front.granted, "double grant on input port");
+    /// packet moves on. Returns the packet ref for downstream insertion,
+    /// or `None` if there is no eligible front slot (the port is empty or
+    /// its head was already granted — an upstream arbitration error).
+    #[must_use]
+    pub fn grant_front(&mut self, vacate_at: u64) -> Option<PacketRef> {
+        let front = self.queue.front_mut()?;
+        debug_assert!(!front.granted, "double grant on input port");
+        if front.granted {
+            return None;
+        }
         front.granted = true;
         front.vacate_at = vacate_at;
-        front.packet
+        Some(front.packet)
     }
 
     /// Accept a packet (reservation) whose head arrives at `head_arrival`.
@@ -89,14 +92,14 @@ impl InputPort {
 
     /// Remove and return the front packet without granting it — the
     /// fault path for a packet whose onward route is permanently severed.
-    ///
-    /// # Panics
-    /// Panics if the port is empty; debug-asserts the front was not
-    /// already granted (a granted head is mid-transfer, not droppable).
-    pub fn drop_front(&mut self) -> PacketRef {
-        let slot = self.queue.pop_front().expect("drop on empty input port");
+    /// Returns `None` if the port is empty; debug-asserts the front was
+    /// not already granted (a granted head is mid-transfer, not
+    /// droppable).
+    #[must_use]
+    pub fn drop_front(&mut self) -> Option<PacketRef> {
+        let slot = self.queue.pop_front()?;
         debug_assert!(!slot.granted, "dropped a granted (in-transfer) packet");
-        slot.packet
+        Some(slot.packet)
     }
 }
 
@@ -130,6 +133,8 @@ pub(crate) struct Stage {
 }
 
 impl Stage {
+    /// An empty stage of `module_count` radix-`radix` modules whose heads
+    /// become eligible after `head_latency` cycles.
     pub fn new(radix: u32, module_count: u32, head_latency: u64) -> Self {
         let ports = (radix * module_count) as usize;
         Self {
@@ -164,7 +169,7 @@ mod tests {
         port.push(packet(3), 0);
         port.push(packet(4), 0);
         let dropped = port.drop_front();
-        assert_eq!(dropped, packet(3));
+        assert_eq!(dropped, Some(packet(3)));
         assert_eq!(port.requesting_head(0, 0), Some(packet(4)));
     }
 
@@ -193,7 +198,7 @@ mod tests {
         let mut port = InputPort::default();
         port.push(packet(0), 0);
         let p = port.grant_front(25);
-        assert_eq!(p, packet(0));
+        assert_eq!(p, Some(packet(0)));
         assert!(port.requesting_head(30, 0).is_none());
         port.vacate(24);
         assert_eq!(port.queue.len(), 1);
@@ -207,7 +212,7 @@ mod tests {
         port.push(packet(0), 0);
         port.push(packet(1), 0);
         assert_eq!(port.requesting_head(0, 0), Some(packet(0)));
-        port.grant_front(5);
+        assert_eq!(port.grant_front(5), Some(packet(0)));
         // Second packet cannot request while the first still drains.
         assert!(port.requesting_head(3, 0).is_none());
         port.vacate(5);
@@ -232,9 +237,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "grant on empty")]
-    fn grant_on_empty_port_panics() {
+    fn grant_and_drop_on_empty_port_return_none() {
         let mut port = InputPort::default();
-        let _ = port.grant_front(1);
+        assert_eq!(port.grant_front(1), None);
+        assert_eq!(port.drop_front(), None);
     }
 }

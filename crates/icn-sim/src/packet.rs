@@ -66,6 +66,6 @@ mod tests {
         let q = p; // Copy: p stays usable.
         assert_eq!(p, q);
         // The hot path copies packets at every hop; keep that cheap.
-        assert!(std::mem::size_of::<Packet>() <= 48);
+        assert!(size_of::<Packet>() <= 48);
     }
 }

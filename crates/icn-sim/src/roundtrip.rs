@@ -14,7 +14,7 @@
 //! service interval (0 = fully pipelined; `k` = one new access per `k`
 //! cycles, queueing requests in arrival order).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
@@ -130,6 +130,7 @@ struct PendingAccess {
 #[must_use]
 pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
     if let Err(e) = config.net.validate() {
+        // icn-lint: allow(ICN003) -- documented panicking wrapper over SimConfig::validate's typed error
         panic!("invalid round-trip configuration: {e}");
     }
     let ports = config.net.plan.ports();
@@ -150,7 +151,7 @@ pub fn run_roundtrip(config: RoundTripConfig) -> RoundTripResult {
     // In-flight memory accesses: (completion_cycle ordered queue).
     let mut in_flight: VecDeque<(u64, PendingAccess)> = VecDeque::new();
     // Reply packet id → request injection time.
-    let mut reply_meta: HashMap<u64, (u64, bool)> = HashMap::new();
+    let mut reply_meta: BTreeMap<u64, (u64, bool)> = BTreeMap::new();
 
     let mut samples: Vec<u64> = Vec::new();
     let mut tracked_requests = 0u64;

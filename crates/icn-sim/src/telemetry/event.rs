@@ -12,7 +12,7 @@
 //! `PacketTrace`s for *every* packet from the event stream alone (asserted
 //! equivalent to the engine's built-in traces in `tests/telemetry.rs`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::Arc;
 
@@ -142,8 +142,8 @@ impl MemorySink {
     /// How many events of each kind have been recorded, keyed by
     /// [`SimEvent::kind`].
     #[must_use]
-    pub fn counts_by_kind(&self) -> HashMap<&'static str, u64> {
-        let mut counts = HashMap::new();
+    pub fn counts_by_kind(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
         for event in self.events.lock().iter() {
             *counts.entry(event.kind()).or_insert(0) += 1;
         }
@@ -184,9 +184,15 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn record(&mut self, event: &SimEvent) {
-        let line = serde_json::to_string(event).expect("events serialize");
-        if writeln!(self.writer, "{line}").is_err() {
-            self.io_errors += 1;
+        // Serialization failures are counted with the write errors: the
+        // simulation must not abort because its observer could not keep up.
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                if writeln!(self.writer, "{line}").is_err() {
+                    self.io_errors += 1;
+                }
+            }
+            Err(_) => self.io_errors += 1,
         }
     }
 
@@ -203,7 +209,7 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
 /// Cloning shares the underlying map, like [`MemorySink`].
 #[derive(Debug, Default, Clone)]
 pub struct TraceBuilder {
-    traces: Arc<parking_lot::Mutex<HashMap<u64, PacketTrace>>>,
+    traces: Arc<parking_lot::Mutex<BTreeMap<u64, PacketTrace>>>,
 }
 
 impl TraceBuilder {

@@ -127,14 +127,13 @@ impl TelemetryReport {
     /// reads). Events are streamed separately by a [`JsonlSink`].
     ///
     /// # Errors
-    /// Propagates writer errors.
+    /// Propagates writer errors; a line that fails to serialize is
+    /// reported as [`std::io::ErrorKind::InvalidData`].
     pub fn write_jsonl<W: Write>(&self, meta: &DumpMeta, out: &mut W) -> std::io::Result<()> {
         let mut line = |dump_line: &DumpLine| -> std::io::Result<()> {
-            writeln!(
-                out,
-                "{}",
-                serde_json::to_string(dump_line).expect("dump lines serialize")
-            )
+            let text = serde_json::to_string(dump_line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(out, "{text}")
         };
         line(&DumpLine::Meta(meta.clone()))?;
         for sample in &self.time_series.samples {

@@ -95,7 +95,7 @@ impl PacketTrace {
                     for pair in self.hops.windows(2) {
                         waiting += pair[1].granted_at.saturating_sub(pair[0].head_out_at);
                     }
-                    let last = self.hops.last().expect("non-empty hops");
+                    let last = self.hops.last().unwrap_or(first);
                     waiting + dropped.saturating_sub(last.head_out_at)
                 }
             });

@@ -299,8 +299,7 @@ mod tests {
         for pair in points.windows(2) {
             assert!(
                 pair[1].blocking >= pair[0].blocking - 1e-12,
-                "blocking not monotone: {:?}",
-                pair
+                "blocking not monotone: {pair:?}"
             );
         }
         // Extremes: one monolithic 4096×4096 crossbar vs twelve 2×2 stages.

@@ -242,8 +242,7 @@ mod tests {
                     let path = t.route(src, dest);
                     assert_eq!(
                         path.exit_line, dest,
-                        "misroute {src}->{dest} in {:?}",
-                        radices
+                        "misroute {src}->{dest} in {radices:?}"
                     );
                     assert_eq!(path.hops.len() as u32, t.stages());
                 }

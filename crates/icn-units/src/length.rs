@@ -121,7 +121,7 @@ impl Length {
     /// Signal propagation delay over this length at `delay_per_length`
     /// (e.g. the paper's 0.15 ns/inch board trace speed).
     #[must_use]
-    pub fn propagation_delay(self, delay_per_length: crate::Time, per: Length) -> Time {
+    pub fn propagation_delay(self, delay_per_length: Time, per: Length) -> Time {
         assert!(per.0 > 0.0, "reference length must be positive");
         delay_per_length * (self.0 / per.0)
     }

@@ -24,10 +24,7 @@ fn main() {
     let tech = presets::paper1986();
     let memory = Time::from_nanos(200.0);
 
-    println!(
-        "analytic (paper §6): remote read = 2 × one-way + {} memory",
-        memory
-    );
+    println!("analytic (paper §6): remote read = 2 × one-way + {memory} memory");
     for kind in CrossbarKind::ALL {
         let report = DesignPoint::paper_example(tech.clone(), kind).evaluate();
         let rt = delay::RoundTrip {

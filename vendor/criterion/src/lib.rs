@@ -134,6 +134,7 @@ pub enum Throughput {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group entry point.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $($target(&mut criterion);)+
