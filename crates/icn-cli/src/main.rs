@@ -27,6 +27,12 @@
 //!                              (ICN001-ICN005) over the workspace sources
 //! icn lint config <spec.json>  statically check a design point against the
 //!                              paper's pin/board/clock limits (ICN101-ICN106)
+//! icn serve [--addr A] [...]   HTTP design-evaluation / simulation job
+//!                              service: POST /v1/evaluate (closed-form check),
+//!                              POST /v1/simulate (async job, content-addressed
+//!                              result cache), GET /v1/healthz, GET /v1/stats;
+//!                              --workers/--queue-depth/--cache-entries size it,
+//!                              --telemetry-out records a dump for `icn inspect`
 //!
 //! options: --tech <preset>  --json  --full
 //! ```
@@ -42,15 +48,65 @@ use icn_tech::{presets, Technology};
 use icn_topology::StagePlan;
 use icn_workloads::Workload;
 
+/// Why an `icn` invocation failed, mapped onto distinct exit codes so
+/// scripts and CI can branch on the status alone:
+///
+/// * `0` — success;
+/// * `2` — usage error: unknown command/option, missing argument, or a
+///   configuration that cannot describe a runnable simulation (the usage
+///   text is printed after the error);
+/// * `3` — the work ran and the verdict is negative: lint rule violations
+///   or an infeasible design point;
+/// * `4` — I/O trouble: unreadable input, unwritable output, or a socket
+///   that will not bind;
+/// * `1` — any other failure (e.g. a benchmark regression).
+///
+/// Pinned by `exit_codes_are_distinct_and_stable` in `tests/cli.rs`.
+enum Failure {
+    /// Bad invocation (exit 2; usage printed).
+    Usage(String),
+    /// Negative verdict from a check that ran successfully (exit 3).
+    Infeasible(String),
+    /// Filesystem or network I/O failure (exit 4).
+    Io(String),
+    /// Everything else (exit 1).
+    Other(String),
+}
+
+impl Failure {
+    fn message(&self) -> &str {
+        match self {
+            Self::Usage(m) | Self::Infeasible(m) | Self::Io(m) | Self::Other(m) => m,
+        }
+    }
+
+    const fn code(&self) -> u8 {
+        match self {
+            Self::Other(_) => 1,
+            Self::Usage(_) => 2,
+            Self::Infeasible(_) => 3,
+            Self::Io(_) => 4,
+        }
+    }
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Self {
+        Self::Other(message)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{}", usage());
-            ExitCode::FAILURE
+        Err(failure) => {
+            eprintln!("error: {}", failure.message());
+            if matches!(failure, Failure::Usage(_)) {
+                eprintln!();
+                eprintln!("{}", usage());
+            }
+            ExitCode::from(failure.code())
         }
     }
 }
@@ -71,7 +127,9 @@ fn usage() -> &'static str {
      \t bench [--smoke] [--json] [--iters N] [--baseline BENCH_PR3.json]\n\
      \t       [--update-baseline before|after]\n\
      \t lint [--json] [root]\n\
-     \t lint config <spec.json> [--json]"
+     \t lint config <spec.json> [--json]\n\
+     \t serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+     \t       [--cache-entries N] [--telemetry-out dump.jsonl]"
 }
 
 struct Options {
@@ -97,6 +155,10 @@ struct Options {
     iters: u32,
     baseline: String,
     update_baseline: Option<String>,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    cache_entries: usize,
     /// First bare (non-`--`) argument: the dump path for `inspect`.
     path: Option<String>,
 }
@@ -125,6 +187,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         iters: 3,
         baseline: icn_bench::perf::DEFAULT_BASELINE.to_string(),
         update_baseline: None,
+        addr: "127.0.0.1:7919".to_string(),
+        workers: 2,
+        queue_depth: 64,
+        cache_entries: 256,
         path: None,
     };
     let mut i = 0;
@@ -257,6 +323,33 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .ok_or("--drain-cycles needs a cycle count")?,
                 );
             }
+            "--addr" => {
+                i += 1;
+                opts.addr = args.get(i).ok_or("--addr needs host:port")?.clone();
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--workers needs a positive count")?;
+            }
+            "--queue-depth" => {
+                i += 1;
+                opts.queue_depth = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--queue-depth needs a positive count")?;
+            }
+            "--cache-entries" => {
+                i += 1;
+                opts.cache_entries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--cache-entries needs a count (0 disables caching)")?;
+            }
             "--smoke" => opts.smoke = true,
             "--iters" => {
                 i += 1;
@@ -311,9 +404,16 @@ const SHADES: [char; 5] = ['·', '░', '▒', '▓', '█'];
 
 /// Parse a telemetry JSONL dump and render it: top-line rates, per-stage
 /// occupancy sparklines and heatmap, histogram quantiles, event counts.
-fn inspect(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+///
+/// Reads both dump dialects: the engine's `DumpLine` (from
+/// `icn simulate --telemetry-out`) and the service's `ServeDumpLine`
+/// (from `icn serve --telemetry-out`) — `Sample` and `Histogram` lines
+/// are shared between them, so the renderers below apply to either.
+fn inspect(path: &str) -> Result<(), Failure> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| Failure::Io(format!("reading {path}: {e}")))?;
     let mut meta: Option<DumpMeta> = None;
+    let mut serve_meta: Option<icn_serve::ServeMeta> = None;
     let mut samples: Vec<Sample> = Vec::new();
     let mut histograms: Vec<NamedHistogram> = Vec::new();
     let mut event_counts: std::collections::BTreeMap<&'static str, u64> =
@@ -322,13 +422,26 @@ fn inspect(path: &str) -> Result<(), String> {
         if line.trim().is_empty() {
             continue;
         }
-        let parsed: DumpLine = serde_json::from_str(line)
-            .map_err(|e| format!("{path}:{}: not a telemetry dump line: {e}", number + 1))?;
-        match parsed {
-            DumpLine::Meta(m) => meta = Some(m),
-            DumpLine::Sample(s) => samples.push(s),
-            DumpLine::Histogram(h) => histograms.push(h),
-            DumpLine::Event(e) => *event_counts.entry(e.kind()).or_insert(0) += 1,
+        match serde_json::from_str::<DumpLine>(line) {
+            Ok(DumpLine::Meta(m)) => meta = Some(m),
+            Ok(DumpLine::Sample(s)) => samples.push(s),
+            Ok(DumpLine::Histogram(h)) => histograms.push(h),
+            Ok(DumpLine::Event(e)) => *event_counts.entry(e.kind()).or_insert(0) += 1,
+            // Not an engine line: try the service dialect before failing.
+            Err(engine_error) => match serde_json::from_str::<icn_serve::ServeDumpLine>(line) {
+                Ok(icn_serve::ServeDumpLine::ServeMeta(m)) => serve_meta = Some(m),
+                Ok(icn_serve::ServeDumpLine::Sample(s)) => samples.push(s),
+                Ok(icn_serve::ServeDumpLine::Histogram(h)) => histograms.push(h),
+                Ok(icn_serve::ServeDumpLine::ServeEvent(e)) => {
+                    *event_counts.entry(e.kind()).or_insert(0) += 1;
+                }
+                Err(_) => {
+                    return Err(Failure::Io(format!(
+                        "{path}:{}: not a telemetry dump line: {engine_error}",
+                        number + 1
+                    )))
+                }
+            },
         }
     }
 
@@ -353,6 +466,18 @@ fn inspect(path: &str) -> Result<(), String> {
             m.sample_interval,
             samples.len(),
             m.dropped_samples
+        );
+    } else if let Some(m) = &serve_meta {
+        println!(
+            "service telemetry dump: {} workers, queue capacity {}, cache capacity {}, \
+             {} requests ({} samples, {} samples / {} events dropped to ring wrap)",
+            m.workers,
+            m.queue_capacity,
+            m.cache_capacity,
+            m.requests,
+            samples.len(),
+            m.dropped_samples,
+            m.dropped_events
         );
     } else {
         println!(
@@ -622,14 +747,14 @@ fn bench(opts: &Options) -> Result<(), String> {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), Failure> {
     let command = args.first().map_or("help", String::as_str);
     if command == "lint" {
         // `lint` takes positional subcommand + path arguments that the
         // global option parser would reject, so it parses its own.
         return lint(args.get(1..).unwrap_or(&[]));
     }
-    let opts = parse_options(args.get(1..).unwrap_or(&[]))?;
+    let opts = parse_options(args.get(1..).unwrap_or(&[])).map_err(Failure::Usage)?;
     let effort = if opts.full {
         SimEffort::Full
     } else {
@@ -671,14 +796,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 ),
                 &records,
             );
-            std::fs::write("REPORT.md", md).map_err(|e| format!("writing REPORT.md: {e}"))?;
+            std::fs::write("REPORT.md", md)
+                .map_err(|e| Failure::Io(format!("writing REPORT.md: {e}")))?;
             println!("wrote REPORT.md ({} experiments)", records.len());
         }
         "dump" => {
             // Write every record (analytic + simulated) as .txt and .json
             // into ./results — the one-command reproduction package.
             let dir = std::path::Path::new("results");
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating results/: {e}"))?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| Failure::Io(format!("creating results/: {e}")))?;
             let mut records = experiments::analytic_experiments(&opts.tech);
             records.extend(experiments::simulation_experiments(effort));
             for r in &records {
@@ -689,12 +816,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 for note in &r.notes {
                     text.push_str(&format!("note: {note}\n"));
                 }
-                std::fs::write(&txt, text).map_err(|e| format!("writing {txt:?}: {e}"))?;
+                std::fs::write(&txt, text)
+                    .map_err(|e| Failure::Io(format!("writing {txt:?}: {e}")))?;
                 std::fs::write(
                     &json,
                     serde_json::to_string_pretty(r).expect("records serialize"),
                 )
-                .map_err(|e| format!("writing {json:?}: {e}"))?;
+                .map_err(|e| Failure::Io(format!("writing {json:?}: {e}")))?;
                 println!("wrote {} ({})", txt.display(), r.title);
             }
         }
@@ -707,8 +835,9 @@ fn run(args: &[String]) -> Result<(), String> {
             // Graphviz rendering of a (small) network; --ports controls the
             // size, default Figure 1's 16 ports of 2×2 modules.
             let ports = if opts.ports == 256 { 16 } else { opts.ports };
-            let plan = StagePlan::balanced_pow2(ports, 2)
-                .ok_or("--ports must be a power of two for fig1-dot")?;
+            let plan = StagePlan::balanced_pow2(ports, 2).ok_or_else(|| {
+                Failure::Usage("--ports must be a power of two for fig1-dot".into())
+            })?;
             println!("{}", icn_topology::Topology::new(plan).to_dot());
         }
         "fig2-blocking" => emit(&experiments::fig2_blocking(), opts.json),
@@ -732,12 +861,14 @@ fn run(args: &[String]) -> Result<(), String> {
         "fault-tolerance" => emit(&experiments::fault_tolerance(effort), opts.json),
         "saturation" => emit(&experiments::saturation_onset(effort), opts.json),
         "inspect" => {
-            let path = opts
-                .path
-                .as_deref()
-                .ok_or("inspect needs a telemetry dump path: icn inspect <dump.jsonl>")?;
+            let path = opts.path.as_deref().ok_or_else(|| {
+                Failure::Usage(
+                    "inspect needs a telemetry dump path: icn inspect <dump.jsonl>".into(),
+                )
+            })?;
             inspect(path)?;
         }
+        "serve" => serve(&opts)?,
         "bench" => bench(&opts)?,
         "explore" => {
             let designs = explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
@@ -779,7 +910,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "simulate" => {
             let plan = StagePlan::balanced_pow2(opts.ports, 16)
-                .ok_or("--ports must be a power of two ≥ 2")?;
+                .ok_or_else(|| Failure::Usage("--ports must be a power of two ≥ 2".into()))?;
             let mut config = SimConfig::paper_baseline(
                 plan,
                 opts.chip,
@@ -825,7 +956,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             // try_new validates the config and fault plan; a bad request is
             // a typed error and a nonzero exit, never a panic.
-            let mut engine = Engine::try_new(config).map_err(|e| e.to_string())?;
+            let mut engine = Engine::try_new(config).map_err(|e| Failure::Usage(e.to_string()))?;
             // A JSONL dump includes the event stream, so capture it; the
             // CSV form is the time series only.
             let capture_events = opts
@@ -844,7 +975,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     .expect("telemetry was enabled above");
                 if path.ends_with(".csv") {
                     std::fs::write(path, telem.time_series.to_csv())
-                        .map_err(|e| format!("writing {path}: {e}"))?;
+                        .map_err(|e| Failure::Io(format!("writing {path}: {e}")))?;
                 } else {
                     let meta = DumpMeta {
                         ports: result.ports,
@@ -856,7 +987,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     let mut buf = Vec::new();
                     telem
                         .write_jsonl(&meta, &mut buf)
-                        .map_err(|e| format!("serializing dump: {e}"))?;
+                        .map_err(|e| Failure::Io(format!("serializing dump: {e}")))?;
                     for event in sink.events() {
                         buf.extend_from_slice(
                             serde_json::to_string(&DumpLine::Event(event))
@@ -865,7 +996,8 @@ fn run(args: &[String]) -> Result<(), String> {
                         );
                         buf.push(b'\n');
                     }
-                    std::fs::write(path, buf).map_err(|e| format!("writing {path}: {e}"))?;
+                    std::fs::write(path, buf)
+                        .map_err(|e| Failure::Io(format!("writing {path}: {e}")))?;
                 }
                 eprintln!("wrote telemetry to {path}");
             }
@@ -922,31 +1054,63 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             }
         }
-        other => return Err(format!("unknown command `{other}`")),
+        other => return Err(Failure::Usage(format!("unknown command `{other}`"))),
     }
+    Ok(())
+}
+
+/// `icn serve` — run the HTTP design-evaluation / simulation job service
+/// until `POST /v1/shutdown` (or a [`icn_serve::ServerHandle::shutdown`])
+/// drains it, then print the run summary as JSON.
+fn serve(opts: &Options) -> Result<(), Failure> {
+    let config = icn_serve::ServeConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        cache_entries: opts.cache_entries,
+        telemetry_out: opts.telemetry_out.clone(),
+        ..icn_serve::ServeConfig::default()
+    };
+    let server = icn_serve::Server::bind(config)
+        .map_err(|e| Failure::Io(format!("binding {}: {e}", opts.addr)))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "icn-serve listening on http://{addr} ({} workers, queue depth {}, cache {})",
+        opts.workers, opts.queue_depth, opts.cache_entries
+    );
+    eprintln!("stop with: curl -X POST http://{addr}/v1/shutdown");
+    let summary = server
+        .run()
+        .map_err(|e| Failure::Io(format!("serving on {addr}: {e}")))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).expect("summary serializes")
+    );
     Ok(())
 }
 
 /// `icn lint [--json] [root]` — run the ICN source rules over the workspace;
 /// `icn lint config <spec.json> [--json]` — statically check a design point
 /// against the paper's pin/board/clock constraints (ICN101–ICN106).
-fn lint(args: &[String]) -> Result<(), String> {
+fn lint(args: &[String]) -> Result<(), Failure> {
     let mut json = false;
     let mut positional: Vec<&str> = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
             other if !other.starts_with("--") => positional.push(other),
-            other => return Err(format!("unknown lint option `{other}`")),
+            other => return Err(Failure::Usage(format!("unknown lint option `{other}`"))),
         }
     }
 
     if positional.first() == Some(&"config") {
         let Some(path) = positional.get(1) else {
-            return Err("lint config needs a design spec: icn lint config <spec.json>".into());
+            return Err(Failure::Usage(
+                "lint config needs a design spec: icn lint config <spec.json>".into(),
+            ));
         };
-        let source =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| Failure::Io(format!("cannot read {path}: {e}")))?;
         let check = icn_lint::check_design_json(path, &source);
         if json {
             print!("{}", icn_lint::render_design_json(&check));
@@ -956,25 +1120,26 @@ fn lint(args: &[String]) -> Result<(), String> {
         return if check.feasible() {
             Ok(())
         } else {
-            Err(format!(
+            Err(Failure::Infeasible(format!(
                 "design violates {} constraint(s)",
                 check.diagnostics.len()
-            ))
+            )))
         };
     }
 
     let root = positional.first().copied().unwrap_or(".");
-    let diags = icn_lint::scan_workspace(std::path::Path::new(root)).map_err(|e| e.to_string())?;
+    let diags = icn_lint::scan_workspace(std::path::Path::new(root))
+        .map_err(|e| Failure::Io(e.to_string()))?;
     if json {
         print!("{}", icn_lint::render_json(&diags));
     } else {
         print!("{}", icn_lint::render_human(&diags));
     }
     if icn_lint::is_failure(&diags) {
-        Err(format!(
+        Err(Failure::Infeasible(format!(
             "{} rule violation(s); see diagnostics above",
             icn_lint::diagnostics::error_count(&diags)
-        ))
+        )))
     } else {
         Ok(())
     }

@@ -360,3 +360,146 @@ fn tech_preset_switches_parameters() {
     assert!(ok);
     assert!(stdout.contains("0.8 µm"), "{stdout}");
 }
+
+/// Run `icn` and return the raw exit code alongside the captured streams.
+fn icn_status(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_icn"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().expect("exited, not signalled"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Golden exit-code contract: scripts branch on the status alone, so the
+/// code for each failure class is pinned here (see `Failure` in
+/// `src/main.rs`): 0 success, 2 usage, 3 negative verdict, 4 I/O, 1 other.
+#[test]
+fn exit_codes_are_distinct_and_stable() {
+    // 0 — success.
+    let (code, _, _) = icn_status(&["table1"]);
+    assert_eq!(code, 0);
+
+    // 2 — usage errors print the message to stderr, then the usage text.
+    for args in [
+        vec!["frobnicate"],
+        vec!["simulate", "--ports", "100"],
+        vec!["simulate", "--ports", "16", "--width", "0"],
+        vec!["lint", "--frobnicate"],
+        vec!["inspect"],
+    ] {
+        let (code, _, stderr) = icn_status(&args);
+        assert_eq!(code, 2, "args {args:?}: {stderr}");
+        assert!(stderr.starts_with("error: "), "args {args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+
+    // 3 — the check ran; the verdict is negative (infeasible design).
+    let spec = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../icn-lint/tests/fixtures/design_infeasible_w8.json");
+    let (code, stdout, stderr) = icn_status(&["lint", "config", spec.to_str().unwrap()]);
+    assert_eq!(code, 3, "{stdout}{stderr}");
+    assert!(stdout.contains("ICN101"), "{stdout}");
+    assert!(!stderr.contains("usage:"), "verdicts are not usage errors");
+
+    // 4 — I/O failures: unreadable dump, unbindable serve address.
+    let (code, _, stderr) = icn_status(&["inspect", "/nonexistent/icn-dump.jsonl"]);
+    assert_eq!(code, 4, "{stderr}");
+    let (code, _, stderr) = icn_status(&["serve", "--addr", "192.0.2.1:0"]);
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("binding"), "{stderr}");
+}
+
+/// `icn serve` end to end through the real binary: healthz, a cached
+/// evaluate pair, graceful shutdown with a JSON summary on stdout, and
+/// `icn inspect` rendering the service telemetry dump.
+#[test]
+fn serve_round_trips_over_http_and_inspect_reads_the_dump() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("icn-serve-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("serve.dump.jsonl");
+    let dump_arg = dump.to_str().unwrap().to_string();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_icn"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--queue-depth",
+            "4",
+            "--cache-entries",
+            "8",
+            "--telemetry-out",
+            &dump_arg,
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let banner = {
+        let stderr = child.stderr.take().unwrap();
+        BufReader::new(stderr).lines().next().unwrap().unwrap()
+    };
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in banner: {banner}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+
+    let call = |method: &str, path: &str, body: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("server reachable");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let health = call("GET", "/v1/healthz", "");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    let spec = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../icn-lint/tests/fixtures/design_feasible_2048.json"),
+    )
+    .unwrap();
+    let first = call("POST", "/v1/evaluate", &spec);
+    assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+    assert!(first.contains("x-icn-cache: miss"), "{first}");
+    let second = call("POST", "/v1/evaluate", &spec);
+    assert!(second.contains("x-icn-cache: hit"), "{second}");
+
+    let bye = call("POST", "/v1/shutdown", "");
+    assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
+
+    let out = child.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0), "serve exits cleanly");
+    let summary: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("summary is JSON");
+    assert!(summary["requests"].as_u64().unwrap() >= 4, "{summary}");
+    assert!(summary["cache"]["hits"].as_u64().unwrap() >= 1, "{summary}");
+
+    let (ok, stdout, stderr) = icn(&["inspect", &dump_arg]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("service telemetry dump: 1 workers"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("request_latency_us"), "{stdout}");
+    assert!(stdout.contains("events:"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -193,6 +193,57 @@ impl DesignReport {
     pub fn feasible(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Human-readable one-line-per-aspect summary of the evaluated design:
+    /// geometry, frequency, pin budget, board/rack layout, clock budget.
+    /// Shared by `icn lint config` and the `icn-serve` evaluation endpoint
+    /// so every surface describes a design identically. `tech_label` is the
+    /// caller's name for the technology (e.g. the preset key a spec file
+    /// used), which may differ from [`Technology::name`].
+    #[must_use]
+    pub fn summary_lines(&self, tech_label: &str) -> Vec<String> {
+        use icn_phys::clock::MAX_SKEW_FRACTION;
+        let p = &self.point;
+        let skew_fraction = self.clock.skew_fraction(p.clock_scheme);
+        vec![
+            format!(
+                "design: {}-port network from {}x{} W={} {} chips on {}-port boards ({})",
+                p.network_ports, p.chip_radix, p.chip_radix, p.width, p.kind, p.board_ports,
+                tech_label
+            ),
+            format!(
+                "frequency: {:.1} MHz ({} scheme), packet {} bits, one-way {:.2} us",
+                self.frequency.mhz(),
+                p.clock_scheme,
+                p.packet_bits,
+                self.one_way.micros()
+            ),
+            format!(
+                "pins: {}/{} per chip (data {}, control {}, power/ground {})",
+                self.pins.total(),
+                self.pins.max_pins,
+                self.pins.data,
+                self.pins.control,
+                self.pins.power_ground
+            ),
+            format!(
+                "board: {} stages x {} chips, edge {:.1} in, {} connectors; rack: {} boards, {} chips",
+                self.board.stages,
+                self.board.chips_per_stage,
+                self.board.edge.inches(),
+                self.board.connectors_needed,
+                self.rack.total_boards,
+                self.rack.total_chips
+            ),
+            format!(
+                "clock: tau {:.2} ns, skew {:.2} ns ({:.1}% of period, limit {:.0}%)",
+                self.clock.tau.nanos(),
+                self.clock.skew.nanos(),
+                skew_fraction * 100.0,
+                MAX_SKEW_FRACTION * 100.0
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]

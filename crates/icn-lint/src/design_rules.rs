@@ -81,14 +81,20 @@ impl DesignSpec {
     }
 }
 
-/// The outcome of checking one design spec.
-#[derive(Debug)]
+/// The outcome of checking one design spec: the structured verdict shared
+/// by `icn lint config` and the `icn-serve` evaluation endpoint (render
+/// with [`render_design_human`]/[`render_design_json`], or serialize the
+/// check itself for machine consumers).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DesignCheck {
     /// Human-readable summary lines describing the evaluated design
     /// (empty when the spec could not be parsed/resolved).
     pub summary: Vec<String>,
     /// Constraint violations as coded diagnostics.
     pub diagnostics: Vec<Diagnostic>,
+    /// The full audited evaluation behind the verdict (`None` when the
+    /// spec could not be parsed or resolved, i.e. on ICN100).
+    pub report: Option<icn_core::DesignReport>,
 }
 
 impl DesignCheck {
@@ -96,6 +102,12 @@ impl DesignCheck {
     #[must_use]
     pub fn feasible(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// The violated rule codes (`ICN100`–`ICN106`), in report order.
+    #[must_use]
+    pub fn codes(&self) -> Vec<&str> {
+        self.diagnostics.iter().map(|d| d.code.as_str()).collect()
     }
 }
 
@@ -124,6 +136,7 @@ pub fn check_design_json(file: &str, json: &str) -> DesignCheck {
                     format!("cannot parse design spec: {e}"),
                     "see DesignSpec in icn-lint for the schema (tech/kind/chip_radix/width/board_ports/network_ports/packet_bits/clock_scheme/memory_access_ns)",
                 )],
+                report: None,
             }
         }
     };
@@ -142,6 +155,7 @@ pub fn check_design(file: &str, spec: &DesignSpec) -> DesignCheck {
                 format!("unknown technology preset `{}`", spec.tech),
                 "use one of: paper1986, scaled_cmos_early90s, conservative1986",
             )],
+            report: None,
         };
     };
     // The evaluation pipeline asserts its structural preconditions; check
@@ -170,6 +184,7 @@ pub fn check_design(file: &str, spec: &DesignSpec) -> DesignCheck {
                 format!("structurally invalid design: {problem}"),
                 "fix the spec field; see DesignSpec in icn-lint for the schema",
             )],
+            report: None,
         };
     }
     let report = spec.to_point(tech).evaluate();
@@ -245,52 +260,14 @@ pub fn check_design(file: &str, spec: &DesignSpec) -> DesignCheck {
         }
     }
 
-    let summary = vec![
-        format!(
-            "design: {}-port network from {}x{} W={} {} chips on {}-port boards ({})",
-            spec.network_ports,
-            spec.chip_radix,
-            spec.chip_radix,
-            spec.width,
-            spec.kind,
-            spec.board_ports,
-            spec.tech
-        ),
-        format!(
-            "frequency: {:.1} MHz ({} scheme), packet {} bits, one-way {:.2} us",
-            report.frequency.mhz(),
-            spec.clock_scheme,
-            spec.packet_bits,
-            report.one_way.micros()
-        ),
-        format!(
-            "pins: {}/{} per chip (data {}, control {}, power/ground {})",
-            report.pins.total(),
-            report.pins.max_pins,
-            report.pins.data,
-            report.pins.control,
-            report.pins.power_ground
-        ),
-        format!(
-            "board: {} stages x {} chips, edge {:.1} in, {} connectors; rack: {} boards, {} chips",
-            report.board.stages,
-            report.board.chips_per_stage,
-            report.board.edge.inches(),
-            report.board.connectors_needed,
-            report.rack.total_boards,
-            report.rack.total_chips
-        ),
-        format!(
-            "clock: tau {:.2} ns, skew {:.2} ns ({:.1}% of period, limit {:.0}%)",
-            report.clock.tau.nanos(),
-            report.clock.skew.nanos(),
-            skew_fraction * 100.0,
-            MAX_SKEW_FRACTION * 100.0
-        ),
-    ];
+    // One shared rendering of the evaluated design (DESIGN.md §9): the
+    // CLI's `lint config`, the service's `/v1/evaluate`, and any future
+    // surface describe a design with the same lines.
+    let summary = report.summary_lines(&spec.tech);
     DesignCheck {
         summary,
         diagnostics,
+        report: Some(report),
     }
 }
 

@@ -41,7 +41,10 @@ pub mod report;
 pub mod rules;
 pub mod walk;
 
-pub use design_rules::{check_design_json, render_design_human, render_design_json, DesignSpec};
+pub use design_rules::{
+    check_design, check_design_json, render_design_human, render_design_json, DesignCheck,
+    DesignSpec,
+};
 pub use diagnostics::{Diagnostic, Severity};
 pub use report::{is_failure, render_human, render_json};
 pub use walk::{scan_workspace, WalkError};

@@ -1,0 +1,177 @@
+//! Content-addressed result cache with least-recently-used eviction.
+//!
+//! The service's responses are pure functions of the *resolved* request
+//! configuration (simulations are replay-deterministic from the seed, and
+//! design evaluation is closed-form), so a finished result can be served
+//! forever. Keys are content hashes of the canonical configuration
+//! ([`crate::api::content_key`]); values are the exact serialized response
+//! bodies, shared by `Arc` so a cache hit never re-serializes and is
+//! byte-identical to the first response.
+//!
+//! The store is a `BTreeMap` plus a logical access clock: each `get`/
+//! `insert` bumps the clock and stamps the entry, and eviction scans for
+//! the smallest stamp. The scan is O(entries), which is fine at the
+//! hundreds-of-entries capacities this service runs with — and it keeps
+//! iteration order deterministic, unlike a hash map.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::Serialize;
+
+/// One cached response body.
+#[derive(Debug)]
+struct Entry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+/// Content-addressed LRU cache of serialized response bodies.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: BTreeMap<String, Entry>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Counter snapshot for `/v1/stats` and the shutdown summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Lookups that returned a cached body.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Bodies currently held.
+    pub entries: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` bodies. Zero disables caching:
+    /// every lookup misses and inserts are dropped (the counters still
+    /// track the misses, so `/v1/stats` shows the cache is cold on
+    /// purpose rather than broken).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look up a body by content key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<String>> {
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.last_used = self.clock;
+            self.hits += 1;
+            Some(Arc::clone(&entry.body))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Store a body under its content key, evicting the least-recently-used
+    /// entry if the cache is full. Re-inserting an existing key refreshes
+    /// its body and recency without eviction.
+    pub fn insert(&mut self, key: &str, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.entries.contains_key(key) && self.entries.len() >= self.capacity {
+            // O(n) scan for the stalest entry; deterministic because the
+            // logical clock stamps are unique.
+            if let Some(stalest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&stalest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key.to_string(),
+            Entry {
+                body,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_body() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get("k").is_none());
+        c.insert("k", body("v"));
+        assert_eq!(c.get("k").unwrap().as_str(), "v");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", body("1"));
+        c.insert("b", body("2"));
+        assert!(c.get("a").is_some()); // refresh "a"; "b" is now stalest
+        c.insert("c", body("3"));
+        assert!(c.get("b").is_none(), "b should have been evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_evict() {
+        let mut c = ResultCache::new(2);
+        c.insert("a", body("1"));
+        c.insert("b", body("2"));
+        c.insert("a", body("1'"));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get("a").unwrap().as_str(), "1'");
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert("k", body("v"));
+        assert!(c.get("k").is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+}

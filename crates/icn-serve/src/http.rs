@@ -1,0 +1,301 @@
+//! Minimal first-party HTTP/1.1 plumbing over [`std::net::TcpStream`].
+//!
+//! The service speaks a deliberately small subset of HTTP/1.1 — enough for
+//! `curl`, load generators, and the integration tests, with nothing the
+//! vendor-free build environment cannot provide:
+//!
+//! * request line + headers + `Content-Length` body (no chunked encoding,
+//!   no pipelining, no TLS);
+//! * every response is `Connection: close`, so one TCP connection carries
+//!   exactly one exchange and the server never tracks idle sockets;
+//! * hard limits on header and body size turn oversized or runaway inputs
+//!   into clean `4xx` responses instead of unbounded buffering.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// How long a connection may sit idle mid-request before it is dropped.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A parsed HTTP request: just the parts the router needs.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target path, e.g. `/v1/evaluate` (query strings are kept
+    /// verbatim; the service does not use them).
+    pub path: String,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending anything — routine
+    /// (health checkers and port scanners do this); not worth a response.
+    Closed,
+    /// The bytes on the wire were not a well-formed request.
+    BadRequest(String),
+    /// The request exceeded [`MAX_HEAD_BYTES`] or [`MAX_BODY_BYTES`].
+    TooLarge(String),
+    /// The socket failed mid-read (timeout included).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed => write!(f, "connection closed before a request arrived"),
+            Self::BadRequest(msg) => write!(f, "malformed request: {msg}"),
+            Self::TooLarge(msg) => write!(f, "request too large: {msg}"),
+            Self::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+/// Read and parse one request from `stream`, enforcing the size limits
+/// and [`READ_TIMEOUT`].
+///
+/// # Errors
+/// Returns an [`HttpError`] describing why the bytes on the wire could not
+/// be turned into a [`Request`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(HttpError::Io)?;
+
+    // Accumulate until the blank line that ends the header block.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "headers exceed {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::BadRequest(
+                "connection closed mid-headers".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(HttpError::BadRequest(format!(
+            "unparseable request line `{request_line}`"
+        )));
+    };
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::BadRequest(format!("bad content-length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+
+    // Body: whatever arrived after the blank line, then read the rest.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed mid-body".to_string(),
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Find the index of the `\r\n\r\n` header terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialize: status, extra headers, JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present content-type/length.
+    pub headers: Vec<(String, String)>,
+    /// The response body (always JSON in this service).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Add a header to the response.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serialize and send the response; the connection closes afterwards.
+    ///
+    /// # Errors
+    /// Propagates socket write errors (the caller logs and drops them —
+    /// a peer that hung up mid-response is not a server failure).
+    pub fn write(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        stream.write_all(out.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase for the status codes this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Push `bytes` through a real socket pair and parse them.
+    fn roundtrip(bytes: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(bytes).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(
+            b"POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/evaluate");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = roundtrip(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_connection_is_closed_not_an_error_response() {
+        assert!(matches!(roundtrip(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn garbage_is_bad_request() {
+        let err = roundtrip(b"\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected() {
+        let err = roundtrip(
+            format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn response_serializes_with_extra_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        Response::json(429, "{\"error\":\"queue full\"}")
+            .with_header("retry-after", "1")
+            .write(&mut server_side)
+            .unwrap();
+        drop(server_side);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"queue full\"}"), "{text}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Bounded job queue with coalescing, backpressure, and graceful drain.
+//!
+//! `/v1/simulate` misses become jobs: a FIFO of validated [`SimConfig`]s
+//! consumed by a fixed pool of worker threads. The queue is **bounded** —
+//! when it is full the service answers `429 Too Many Requests` with a
+//! `Retry-After` hint instead of buffering without limit — and
+//! **coalescing**: a request whose content key already has a queued or
+//! running job joins that job instead of enqueueing a duplicate, so a
+//! thundering herd of identical configurations costs one simulation.
+//!
+//! Synchronization is `std::sync::{Mutex, Condvar}` (the vendored
+//! `parking_lot` stand-in provides no condition variables). Lock poisoning
+//! is survived via [`PoisonError::into_inner`]: a panicking worker must not
+//! take the whole service down with it.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+use icn_sim::SimConfig;
+
+/// Lifecycle of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the result body is available.
+    Done,
+    /// The simulation failed (engine error or worker panic).
+    Failed,
+}
+
+impl JobState {
+    /// The lowercase label used in JSON status bodies.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+        }
+    }
+}
+
+/// Everything the status endpoints need to know about one job.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job id.
+    pub id: u64,
+    /// Content key of the configuration the job computes.
+    pub key: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The serialized result body (`Some` once [`JobState::Done`]).
+    pub result: Option<Arc<String>>,
+    /// The failure message (`Some` once [`JobState::Failed`]).
+    pub error: Option<String>,
+}
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// A new job was queued under this id.
+    Enqueued(u64),
+    /// An identical configuration is already queued or running; this is
+    /// its id.
+    Coalesced(u64),
+    /// The queue is at capacity — tell the client to retry later.
+    Full,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+/// Counter snapshot for `/v1/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs currently waiting in the queue.
+    pub depth: usize,
+    /// Queue capacity.
+    pub capacity: usize,
+    /// Jobs currently being simulated.
+    pub running: usize,
+    /// Jobs accepted since startup (coalesced requests not counted).
+    pub enqueued: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, Job>,
+    /// Content key → job id, for jobs that are queued or running. Entries
+    /// leave this map when the job finishes (later identical requests are
+    /// then served from the result cache, not coalesced).
+    active_by_key: BTreeMap<String, u64>,
+    next_id: u64,
+    shutting_down: bool,
+    running: usize,
+    enqueued: u64,
+    completed: u64,
+    failed: u64,
+}
+
+#[derive(Debug)]
+struct Job {
+    key: String,
+    config: Option<SimConfig>,
+    state: JobState,
+    result: Option<Arc<String>>,
+    error: Option<String>,
+}
+
+/// The shared job queue (cheaply clonable via `Arc` by the server).
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    work_ready: Condvar,
+}
+
+/// Survive lock poisoning: a panicked worker already recorded its job as
+/// failed (or the job is re-reported failed by the panic guard); the
+/// queue's own invariants hold at every await point.
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` waiting jobs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                active_by_key: BTreeMap::new(),
+                next_id: 1,
+                shutting_down: false,
+                running: 0,
+                enqueued: 0,
+                completed: 0,
+                failed: 0,
+            }),
+            work_ready: Condvar::new(),
+        }
+    }
+
+    /// Try to enqueue a job for `config` under content `key`.
+    pub fn enqueue(&self, key: &str, config: SimConfig) -> Enqueue {
+        let mut inner = lock(&self.inner);
+        if inner.shutting_down {
+            return Enqueue::ShuttingDown;
+        }
+        if let Some(&id) = inner.active_by_key.get(key) {
+            return Enqueue::Coalesced(id);
+        }
+        if inner.queue.len() >= self.capacity {
+            return Enqueue::Full;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.jobs.insert(
+            id,
+            Job {
+                key: key.to_string(),
+                config: Some(config),
+                state: JobState::Queued,
+                result: None,
+                error: None,
+            },
+        );
+        inner.active_by_key.insert(key.to_string(), id);
+        inner.queue.push_back(id);
+        inner.enqueued += 1;
+        drop(inner);
+        self.work_ready.notify_one();
+        Enqueue::Enqueued(id)
+    }
+
+    /// Block until a job is available and claim it, or return `None` when
+    /// the queue is shut down and drained — the worker's signal to exit.
+    pub fn take(&self) -> Option<(u64, String, SimConfig)> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(id) = inner.queue.pop_front() {
+                inner.running += 1;
+                let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                job.state = JobState::Running;
+                let config = job.config.take().expect("queued job holds its config");
+                let key = job.key.clone();
+                return Some((id, key, config));
+            }
+            if inner.shutting_down {
+                return None;
+            }
+            inner = self
+                .work_ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Record a claimed job's outcome and release its coalescing slot.
+    pub fn finish(&self, id: u64, outcome: Result<Arc<String>, String>) {
+        let mut inner = lock(&self.inner);
+        inner.running = inner.running.saturating_sub(1);
+        if outcome.is_ok() {
+            inner.completed += 1;
+        } else {
+            inner.failed += 1;
+        }
+        let Some(job) = inner.jobs.get_mut(&id) else {
+            return;
+        };
+        match outcome {
+            Ok(body) => {
+                job.state = JobState::Done;
+                job.result = Some(body);
+            }
+            Err(message) => {
+                job.state = JobState::Failed;
+                job.error = Some(message);
+            }
+        }
+        let key = job.key.clone();
+        inner.active_by_key.remove(&key);
+    }
+
+    /// Look up a job for the status/result endpoints.
+    #[must_use]
+    pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
+        let inner = lock(&self.inner);
+        inner.jobs.get(&id).map(|job| JobSnapshot {
+            id,
+            key: job.key.clone(),
+            state: job.state,
+            result: job.result.clone(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// Begin draining: no new jobs are accepted, queued jobs still run,
+    /// and blocked workers wake to observe the drain.
+    pub fn begin_shutdown(&self) {
+        lock(&self.inner).shutting_down = true;
+        self.work_ready.notify_all();
+    }
+
+    /// Jobs currently waiting (the backpressure gauge).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        lock(&self.inner).queue.len()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let inner = lock(&self.inner);
+        QueueStats {
+            depth: inner.queue.len(),
+            capacity: self.capacity,
+            running: inner.running,
+            enqueued: inner.enqueued,
+            completed: inner.completed,
+            failed: inner.failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icn_topology::StagePlan;
+    use icn_workloads::Workload;
+
+    fn config(seed: u64) -> SimConfig {
+        let mut c = SimConfig::paper_baseline(
+            StagePlan::balanced_pow2(16, 16).unwrap(),
+            icn_sim::ChipModel::Dmc,
+            4,
+            Workload::uniform(0.01),
+        );
+        c.seed = seed;
+        c
+    }
+
+    #[test]
+    fn identical_keys_coalesce_until_finished() {
+        let q = JobQueue::new(4);
+        let Enqueue::Enqueued(id) = q.enqueue("k", config(1)) else {
+            panic!("first enqueue should be accepted");
+        };
+        assert_eq!(q.enqueue("k", config(1)), Enqueue::Coalesced(id));
+        let (taken, key, _) = q.take().unwrap();
+        assert_eq!((taken, key.as_str()), (id, "k"));
+        // Still running: identical requests still coalesce.
+        assert_eq!(q.enqueue("k", config(1)), Enqueue::Coalesced(id));
+        q.finish(id, Ok(Arc::new("{}".to_string())));
+        // Finished: the key is free again (the cache takes over from here).
+        assert!(matches!(q.enqueue("k", config(1)), Enqueue::Enqueued(_)));
+    }
+
+    #[test]
+    fn full_queue_rejects_and_snapshot_tracks_state() {
+        let q = JobQueue::new(1);
+        let Enqueue::Enqueued(id) = q.enqueue("a", config(1)) else {
+            panic!("expected accept");
+        };
+        assert_eq!(q.enqueue("b", config(2)), Enqueue::Full);
+        assert_eq!(q.snapshot(id).unwrap().state, JobState::Queued);
+        let _ = q.take().unwrap();
+        assert_eq!(q.snapshot(id).unwrap().state, JobState::Running);
+        q.finish(id, Err("boom".to_string()));
+        let snap = q.snapshot(id).unwrap();
+        assert_eq!(snap.state, JobState::Failed);
+        assert_eq!(snap.error.as_deref(), Some("boom"));
+        assert_eq!(q.stats().failed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_then_releases_workers() {
+        let q = JobQueue::new(4);
+        let Enqueue::Enqueued(id) = q.enqueue("a", config(1)) else {
+            panic!("expected accept");
+        };
+        q.begin_shutdown();
+        assert_eq!(q.enqueue("b", config(2)), Enqueue::ShuttingDown);
+        // The queued job is still handed out before workers are released.
+        let (taken, _, _) = q.take().unwrap();
+        assert_eq!(taken, id);
+        q.finish(id, Ok(Arc::new("{}".to_string())));
+        assert!(q.take().is_none(), "drained queue should release workers");
+    }
+}

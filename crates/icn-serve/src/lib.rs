@@ -1,0 +1,55 @@
+//! A concurrent design-evaluation and simulation job service over the
+//! Franklin & Dhar reproduction stack, exposed as a dependency-light
+//! HTTP/1.1 JSON API (`std::net` plus first-party worker pools — the
+//! build environment vendors no async runtime or HTTP framework).
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/evaluate` — closed-form design evaluation: a design spec
+//!   (the same JSON `icn lint config` reads) is checked against the
+//!   paper's pin/area/board/clock constraints (ICN100–ICN106) and
+//!   answered inline.
+//! * `POST /v1/simulate` — cycle-level simulation as an asynchronous job:
+//!   the request resolves to a validated `SimConfig`; a cached result is
+//!   returned immediately (`200`, `x-icn-cache: hit`), otherwise the job
+//!   is queued (`202` with polling URLs) or rejected with `429` +
+//!   `Retry-After` when the bounded queue is full.
+//! * `GET /v1/jobs/:id` / `GET /v1/jobs/:id/result` — job status and the
+//!   finished result body.
+//! * `GET /v1/healthz`, `GET /v1/stats` — liveness and counters.
+//! * `POST /v1/shutdown` — graceful drain (the signal-free stop switch).
+//!
+//! Three properties do the heavy lifting:
+//!
+//! 1. **Determinism makes results cacheable forever.** A simulation is a
+//!    pure function of its resolved configuration (PR 3's replay-parity
+//!    guarantee), so the [`cache`] is content-addressed: requests are
+//!    resolved to the fully explicit config, canonically re-serialized,
+//!    and hashed ([`api::content_key`]). Cache hits are byte-identical to
+//!    the first response.
+//! 2. **Bounded queues turn overload into backpressure.** Both the
+//!    connection handoff and the [`jobs`] queue are bounded; beyond
+//!    capacity the service answers `429`/`503` with `Retry-After` instead
+//!    of queueing without limit, and identical in-flight requests
+//!    coalesce onto one job.
+//! 3. **The engine's watchdog bounds every job.** Workers run simulations
+//!    behind a panic guard with the PR 1 watchdog active (zero watchdogs
+//!    are clamped at resolution), so a pathological configuration becomes
+//!    a `Failed` job, never a wedged worker thread.
+//!
+//! Service [`telemetry`] reuses the PR 2 vocabulary — a request-latency
+//! histogram, queue-depth samples, and a typed event stream — dumped as
+//! JSONL that `icn inspect` can read.
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod server;
+pub mod telemetry;
+
+pub use api::{content_key, Limits, SimulateRequest, MIN_WATCHDOG_CYCLES};
+pub use cache::{CacheStats, ResultCache};
+pub use jobs::{Enqueue, JobQueue, JobSnapshot, JobState, QueueStats};
+pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
+pub use telemetry::{ServeDumpLine, ServeEvent, ServeMeta, ServeTelemetry};

@@ -1,0 +1,608 @@
+//! The HTTP server: routing, worker pools, and graceful shutdown.
+//!
+//! Two fixed thread pools share an [`Arc`]ed state:
+//!
+//! * **HTTP workers** pull accepted connections off a bounded handoff
+//!   queue, parse one request, route it, and reply (`Connection: close`).
+//! * **Job workers** pull validated simulation configs off the
+//!   [`JobQueue`] and run them behind a panic guard; the engine's own
+//!   watchdog (PR 1) bounds each job's runtime, so a wedged configuration
+//!   becomes a typed `Failed` job, never a stuck worker.
+//!
+//! Graceful shutdown (`POST /v1/shutdown` or [`ServerHandle::shutdown`])
+//! stops accepting, drains queued connections and jobs, writes the
+//! telemetry dump if one was requested, and returns a [`ServeSummary`].
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use crate::api::{content_key, Limits, SimulateRequest};
+use crate::cache::{CacheStats, ResultCache};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::jobs::{Enqueue, JobQueue, JobState, QueueStats};
+use crate::telemetry::{ServeEvent, ServeTelemetry};
+
+/// Connections buffered between the acceptor and the HTTP workers.
+const CONN_QUEUE_CAPACITY: usize = 128;
+
+/// How long the acceptor sleeps between polls when idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Server configuration (see `icn serve --help` for the CLI surface).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7919` (port 0 picks a free port).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// HTTP worker threads.
+    pub http_workers: usize,
+    /// Job-queue capacity (beyond it, `/v1/simulate` answers 429).
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Write a telemetry JSONL dump here on shutdown.
+    pub telemetry_out: Option<String>,
+    /// Per-job guard rails.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7919".to_string(),
+            workers: 2,
+            http_workers: 4,
+            queue_depth: 64,
+            cache_entries: 256,
+            telemetry_out: None,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// What the server did, returned by [`Server::run`] after shutdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeSummary {
+    /// HTTP requests handled.
+    pub requests: u64,
+    /// Simulation jobs completed.
+    pub jobs_completed: u64,
+    /// Simulation jobs failed.
+    pub jobs_failed: u64,
+    /// Final cache counters.
+    pub cache: CacheStats,
+}
+
+/// Bounded handoff queue between the acceptor and the HTTP workers.
+#[derive(Debug, Default)]
+struct ConnQueue {
+    inner: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    /// Push a connection; returns it back if the queue is full.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.0.len() >= CONN_QUEUE_CAPACITY {
+            return Err(stream);
+        }
+        inner.0.push_back(stream);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop a connection, blocking; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(stream) = inner.0.pop_front() {
+                return Some(stream);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stop accepting pushes after the current backlog drains.
+    fn close(&self) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).1 = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by the acceptor and both worker pools.
+#[derive(Debug)]
+struct ServerState {
+    config: ServeConfig,
+    cache: parking_lot::Mutex<ResultCache>,
+    jobs: JobQueue,
+    telemetry: ServeTelemetry,
+    shutdown: AtomicBool,
+}
+
+/// A handle for observing and stopping a running server from another
+/// thread (the tests and the CLI's signal-free shutdown path).
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful when the config asked for port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request graceful shutdown: stop accepting, drain, return.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.state);
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind the configured address.
+    ///
+    /// # Errors
+    /// Returns the bind error (address in use, permission, bad syntax).
+    pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            cache: parking_lot::Mutex::new(ResultCache::new(config.cache_entries)),
+            jobs: JobQueue::new(config.queue_depth),
+            telemetry: ServeTelemetry::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        Ok(Self {
+            listener,
+            state,
+            addr,
+        })
+    }
+
+    /// The bound listen address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for stopping the server from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+            addr: self.addr,
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain and summarize.
+    ///
+    /// # Errors
+    /// Returns an I/O error only for listener-level failures
+    /// (`set_nonblocking`) or a failed telemetry-dump write; per-connection
+    /// errors are answered on the wire and never abort the server.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let Self {
+            listener, state, ..
+        } = self;
+        listener.set_nonblocking(true)?;
+        let conns = Arc::new(ConnQueue::default());
+
+        std::thread::scope(|scope| {
+            let mut http_handles = Vec::new();
+            for _ in 0..state.config.http_workers.max(1) {
+                let state = Arc::clone(&state);
+                let conns = Arc::clone(&conns);
+                http_handles.push(scope.spawn(move || {
+                    while let Some(mut stream) = conns.pop() {
+                        handle_connection(&state, &mut stream);
+                    }
+                }));
+            }
+            let mut job_handles = Vec::new();
+            for _ in 0..state.config.workers.max(1) {
+                let state = Arc::clone(&state);
+                job_handles.push(scope.spawn(move || job_worker(&state)));
+            }
+
+            // Acceptor: poll so the shutdown flag is observed promptly.
+            while !state.shutdown.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Err(mut stream) = conns.push(stream) {
+                            // Handoff queue full: shed load at the door.
+                            let _ = Response::json(503, r#"{"error":"server overloaded"}"#)
+                                .with_header("retry-after", "1")
+                                .write(&mut stream);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+
+            // Drain: connections first (they may still enqueue nothing —
+            // the shutdown flag 503s new work), then the job queue.
+            conns.close();
+            for handle in http_handles {
+                let _ = handle.join();
+            }
+            state.jobs.begin_shutdown();
+            for handle in job_handles {
+                let _ = handle.join();
+            }
+        });
+
+        if let Some(path) = &state.config.telemetry_out {
+            let mut buf = Vec::new();
+            state
+                .telemetry
+                .write_jsonl(
+                    state.config.workers,
+                    state.config.queue_depth,
+                    state.config.cache_entries,
+                    &mut buf,
+                )
+                .and_then(|()| std::fs::write(path, buf))?;
+        }
+
+        let queue = state.jobs.stats();
+        let cache = state.cache.lock().stats();
+        Ok(ServeSummary {
+            requests: state.telemetry.requests(),
+            jobs_completed: queue.completed,
+            jobs_failed: queue.failed,
+            cache,
+        })
+    }
+}
+
+/// Flip the shutdown flag (idempotent) and log the event once.
+fn request_shutdown(state: &ServerState) {
+    if !state.shutdown.swap(true, Ordering::AcqRel) {
+        state.telemetry.event(ServeEvent::ShutdownRequested {
+            jobs_pending: state.jobs.depth() as u64,
+        });
+    }
+}
+
+/// One simulation worker: claim, run behind a panic guard, publish.
+fn job_worker(state: &ServerState) {
+    while let Some((id, key, config)) = state.jobs.take() {
+        state.telemetry.event(ServeEvent::JobStarted { job: id });
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| icn_sim::try_run(config)));
+        let micros = elapsed_micros(started);
+        let outcome = match outcome {
+            Ok(Ok(result)) => match serde_json::to_string(&result) {
+                Ok(body) => Ok(Arc::new(body)),
+                Err(e) => Err(format!("serializing result: {e}")),
+            },
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(_) => Err("simulation panicked; see server logs".to_string()),
+        };
+        match &outcome {
+            Ok(body) => {
+                state.cache.lock().insert(&key, Arc::clone(body));
+                state
+                    .telemetry
+                    .event(ServeEvent::JobDone { job: id, micros });
+            }
+            Err(error) => {
+                state.telemetry.event(ServeEvent::JobFailed {
+                    job: id,
+                    error: error.clone(),
+                });
+            }
+        }
+        state.jobs.finish(id, outcome);
+    }
+}
+
+/// Serve one connection: read a request, route it, time it, reply.
+fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
+    let started = Instant::now();
+    let request = match read_request(stream) {
+        Ok(request) => request,
+        Err(HttpError::Closed) => return,
+        Err(e @ (HttpError::BadRequest(_) | HttpError::Io(_))) => {
+            let body = error_body(&e.to_string());
+            let _ = Response::json(400, body).write(stream);
+            return;
+        }
+        Err(e @ HttpError::TooLarge(_)) => {
+            let body = error_body(&e.to_string());
+            let _ = Response::json(413, body).write(stream);
+            return;
+        }
+    };
+    let response = route(state, &request);
+    let micros = elapsed_micros(started);
+    let queue = state.jobs.stats();
+    state.telemetry.record_request(
+        &request.method,
+        &request.path,
+        response.status,
+        micros,
+        queue.depth as u64,
+        queue.running as u64,
+    );
+    let _ = response.write(stream);
+}
+
+/// Dispatch one parsed request.
+fn route(state: &ServerState, request: &Request) -> Response {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/v1/healthz") => Response::json(200, r#"{"status":"ok"}"#),
+        ("GET", "/v1/stats") => stats(state),
+        ("POST", "/v1/shutdown") => {
+            request_shutdown(state);
+            Response::json(200, r#"{"status":"draining"}"#)
+        }
+        _ if state.shutdown.load(Ordering::Acquire) => {
+            state.telemetry.event(ServeEvent::Rejected {
+                reason: "draining".to_string(),
+            });
+            Response::json(503, r#"{"error":"server is draining"}"#)
+        }
+        ("POST", "/v1/evaluate") => evaluate(state, &request.body),
+        ("POST", "/v1/simulate") => simulate(state, &request.body),
+        ("GET", _) if path.starts_with("/v1/jobs/") => job_endpoints(state, path),
+        (_, "/v1/evaluate" | "/v1/simulate" | "/v1/shutdown" | "/v1/healthz" | "/v1/stats") => {
+            Response::json(
+                405,
+                error_body(&format!("method {method} not allowed here")),
+            )
+        }
+        _ => Response::json(404, error_body(&format!("no such endpoint: {path}"))),
+    }
+}
+
+/// `POST /v1/evaluate`: closed-form design evaluation, cached.
+fn evaluate(state: &ServerState, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::json(400, error_body("body is not UTF-8"));
+    };
+    let spec: icn_lint::DesignSpec = match serde_json::from_str(text) {
+        Ok(spec) => spec,
+        Err(e) => return Response::json(400, error_body(&format!("invalid design spec: {e}"))),
+    };
+    let canonical = match serde_json::to_string(&spec) {
+        Ok(canonical) => canonical,
+        Err(e) => return Response::json(500, error_body(&format!("canonicalizing spec: {e}"))),
+    };
+    let key = content_key("evaluate", &canonical);
+    if let Some(body) = state.cache.lock().get(&key) {
+        state.telemetry.event(ServeEvent::CacheHit { key });
+        return Response::json(200, body.as_str()).with_header("x-icn-cache", "hit");
+    }
+    state
+        .telemetry
+        .event(ServeEvent::CacheMiss { key: key.clone() });
+    let check = icn_lint::check_design("<request>", &spec);
+    let body = Arc::new(icn_lint::render_design_json(&check));
+    state.cache.lock().insert(&key, Arc::clone(&body));
+    Response::json(200, body.as_str()).with_header("x-icn-cache", "miss")
+}
+
+/// `POST /v1/simulate`: serve from cache or enqueue a job.
+fn simulate(state: &ServerState, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::json(400, error_body("body is not UTF-8"));
+    };
+    let request: SimulateRequest = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => {
+            return Response::json(400, error_body(&format!("invalid simulate request: {e}")))
+        }
+    };
+    let config = match request.resolve(&state.config.limits) {
+        Ok(config) => config,
+        Err(message) => return Response::json(400, error_body(&message)),
+    };
+    let canonical = match serde_json::to_string(&config) {
+        Ok(canonical) => canonical,
+        Err(e) => return Response::json(500, error_body(&format!("canonicalizing config: {e}"))),
+    };
+    let key = content_key("simulate", &canonical);
+    if let Some(body) = state.cache.lock().get(&key) {
+        state.telemetry.event(ServeEvent::CacheHit { key });
+        return Response::json(200, body.as_str()).with_header("x-icn-cache", "hit");
+    }
+    state
+        .telemetry
+        .event(ServeEvent::CacheMiss { key: key.clone() });
+    match state.jobs.enqueue(&key, config) {
+        Enqueue::Enqueued(id) => {
+            state
+                .telemetry
+                .event(ServeEvent::JobEnqueued { job: id, key });
+            accepted(id, "queued")
+        }
+        Enqueue::Coalesced(id) => accepted(id, "coalesced"),
+        Enqueue::Full => {
+            state.telemetry.event(ServeEvent::Rejected {
+                reason: "queue-full".to_string(),
+            });
+            Response::json(429, r#"{"error":"job queue is full; retry shortly"}"#)
+                .with_header("retry-after", "1")
+        }
+        Enqueue::ShuttingDown => {
+            state.telemetry.event(ServeEvent::Rejected {
+                reason: "draining".to_string(),
+            });
+            Response::json(503, r#"{"error":"server is draining"}"#)
+        }
+    }
+}
+
+/// The 202 body for an accepted or coalesced simulation job.
+fn accepted(id: u64, disposition: &str) -> Response {
+    Response::json(
+        202,
+        format!(
+            r#"{{"job":{id},"status":"{disposition}","status_url":"/v1/jobs/{id}","result_url":"/v1/jobs/{id}/result"}}"#
+        ),
+    )
+}
+
+/// `GET /v1/jobs/:id` and `GET /v1/jobs/:id/result`.
+fn job_endpoints(state: &ServerState, path: &str) -> Response {
+    let rest = &path["/v1/jobs/".len()..];
+    let (id_text, want_result) = match rest.strip_suffix("/result") {
+        Some(id_text) => (id_text, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::json(400, error_body(&format!("bad job id `{id_text}`")));
+    };
+    let Some(job) = state.jobs.snapshot(id) else {
+        return Response::json(404, error_body(&format!("no such job: {id}")));
+    };
+    if want_result {
+        return match (job.state, job.result, job.error) {
+            (JobState::Done, Some(body), _) => Response::json(200, body.as_str()),
+            (JobState::Failed, _, error) => Response::json(
+                500,
+                error_body(&error.unwrap_or_else(|| "job failed".to_string())),
+            ),
+            (pending, ..) => Response::json(
+                409,
+                format!(
+                    r#"{{"error":"job not finished","status":"{}"}}"#,
+                    pending.label()
+                ),
+            ),
+        };
+    }
+    let error_field = job.error.map_or(String::new(), |e| {
+        format!(r#","error":{}"#, json_string(&e))
+    });
+    Response::json(
+        200,
+        format!(
+            r#"{{"job":{id},"status":"{}","result_url":"/v1/jobs/{id}/result"{error_field}}}"#,
+            job.state.label()
+        ),
+    )
+}
+
+/// `GET /v1/stats`: counters for dashboards and the smoke tests.
+fn stats(state: &ServerState) -> Response {
+    /// The response envelope (serialized, not hand-formatted: it nests).
+    #[derive(Serialize)]
+    struct StatsBody {
+        requests: u64,
+        cache: CacheStats,
+        queue: QueueBody,
+        jobs: JobsBody,
+        latency_us: LatencyBody,
+    }
+    #[derive(Serialize)]
+    struct QueueBody {
+        depth: usize,
+        capacity: usize,
+        running: usize,
+        workers: usize,
+    }
+    #[derive(Serialize)]
+    struct JobsBody {
+        enqueued: u64,
+        completed: u64,
+        failed: u64,
+    }
+    #[derive(Serialize)]
+    struct LatencyBody {
+        count: u64,
+        p50: u64,
+        p95: u64,
+        p99: u64,
+        max: u64,
+    }
+    let queue: QueueStats = state.jobs.stats();
+    let (count, p50, p95, p99, max) = state.telemetry.latency_summary();
+    let body = StatsBody {
+        requests: state.telemetry.requests(),
+        cache: state.cache.lock().stats(),
+        queue: QueueBody {
+            depth: queue.depth,
+            capacity: queue.capacity,
+            running: queue.running,
+            workers: state.config.workers,
+        },
+        jobs: JobsBody {
+            enqueued: queue.enqueued,
+            completed: queue.completed,
+            failed: queue.failed,
+        },
+        latency_us: LatencyBody {
+            count,
+            p50,
+            p95,
+            p99,
+            max,
+        },
+    };
+    match serde_json::to_string(&body) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => Response::json(500, error_body(&format!("serializing stats: {e}"))),
+    }
+}
+
+/// A `{"error": ...}` body with the message JSON-escaped.
+fn error_body(message: &str) -> String {
+    format!(r#"{{"error":{}}}"#, json_string(message))
+}
+
+/// JSON-encode a string (quotes and escapes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Elapsed wall-clock microseconds since `started`, saturating.
+fn elapsed_micros(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,325 @@
+//! End-to-end tests: a real server on a loopback socket, driven by a raw
+//! `TcpStream` HTTP client (the same dependency-light discipline as the
+//! server itself).
+//!
+//! The headline assertions mirror the service's contract:
+//! * two identical `POST /v1/simulate` requests produce **byte-identical**
+//!   result bodies, with the second served from the content-addressed
+//!   cache (verified via the `x-icn-cache` header and the `/v1/stats`
+//!   hit counter);
+//! * when the bounded job queue is full, `POST /v1/simulate` answers
+//!   `429 Too Many Requests` with a `Retry-After` hint;
+//! * graceful shutdown drains in-flight jobs and `run()` returns.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use icn_serve::{Limits, ServeConfig, Server};
+
+/// One HTTP exchange: status line code, headers (lowercased names), body.
+struct Exchange {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Exchange {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Send one request and read the full response (connection: close).
+fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Exchange {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Exchange {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+/// Poll a job's result endpooint until it is done (or the deadline hits).
+fn poll_result(addr: SocketAddr, result_url: &str, deadline: Duration) -> Exchange {
+    let started = Instant::now();
+    loop {
+        let got = call(addr, "GET", result_url, "");
+        if got.status != 409 {
+            return got;
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "job still pending after {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Extract `"field":<number>` from a flat JSON body without a parser.
+fn json_u64(body: &str, field: &str) -> u64 {
+    let tag = format!("\"{field}\":");
+    let at = body
+        .find(&tag)
+        .unwrap_or_else(|| panic!("{field} in {body}"));
+    body[at + tag.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("numeric {field} in {body}"))
+}
+
+/// Extract `"field":"<text>"` from a flat JSON body.
+fn json_str(body: &str, field: &str) -> String {
+    let tag = format!("\"{field}\":\"");
+    let at = body
+        .find(&tag)
+        .unwrap_or_else(|| panic!("{field} in {body}"));
+    body[at + tag.len()..]
+        .chars()
+        .take_while(|&c| c != '"')
+        .collect()
+}
+
+/// Run a server on an ephemeral port; returns its address, handle, and
+/// the thread that will yield the summary after shutdown.
+fn start(
+    config: ServeConfig,
+) -> (
+    SocketAddr,
+    icn_serve::ServerHandle,
+    std::thread::JoinHandle<icn_serve::ServeSummary>,
+) {
+    let server = Server::bind(config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        http_workers: 2,
+        queue_depth: 8,
+        cache_entries: 32,
+        telemetry_out: None,
+        limits: Limits::default(),
+    }
+}
+
+/// A small, fast simulation request (16 ports, short windows).
+const SMALL_SIM: &str = r#"{"ports":16,"load":0.02,"seed":77,"warmup_cycles":200,"measure_cycles":500,"drain_cycles":2000}"#;
+
+#[test]
+fn simulate_twice_second_hit_is_byte_identical() {
+    let (addr, handle, join) = start(test_config());
+
+    assert_eq!(call(addr, "GET", "/v1/healthz", "").status, 200);
+
+    // First request: cache miss, job accepted.
+    let first = call(addr, "POST", "/v1/simulate", SMALL_SIM);
+    assert_eq!(first.status, 202, "{}", first.body);
+    assert_eq!(first.header("x-icn-cache"), None);
+    let result_url = json_str(&first.body, "result_url");
+    let body_first = poll_result(addr, &result_url, Duration::from_secs(30));
+    assert_eq!(body_first.status, 200, "{}", body_first.body);
+
+    // Second identical request: served inline from the cache.
+    let second = call(addr, "POST", "/v1/simulate", SMALL_SIM);
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_eq!(second.header("x-icn-cache"), Some("hit"));
+    assert_eq!(
+        second.body, body_first.body,
+        "cached response must be byte-identical to the computed one"
+    );
+
+    // A semantically identical spelling (defaults made explicit) also hits.
+    let explicit = r#"{"ports":16,"load":0.02,"seed":77,"warmup_cycles":200,"measure_cycles":500,"drain_cycles":2000,"chip":"Dmc","width":4,"pattern":"Uniform"}"#;
+    let third = call(addr, "POST", "/v1/simulate", explicit);
+    assert_eq!(third.status, 200, "{}", third.body);
+    assert_eq!(third.header("x-icn-cache"), Some("hit"));
+    assert_eq!(third.body, body_first.body);
+
+    // The stats counters saw the hits.
+    let stats = call(addr, "GET", "/v1/stats", "");
+    assert_eq!(stats.status, 200);
+    assert!(json_u64(&stats.body, "hits") >= 2, "{}", stats.body);
+    assert_eq!(json_u64(&stats.body, "completed"), 1, "{}", stats.body);
+
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.jobs_completed, 1);
+    assert_eq!(summary.jobs_failed, 0);
+}
+
+#[test]
+fn evaluate_is_cached_and_reports_verdicts() {
+    let (addr, handle, join) = start(test_config());
+
+    // The paper's 2048-port example: feasible.
+    let spec = r#"{
+        "tech": "paper1986", "kind": "Dmc", "chip_radix": 16, "width": 4,
+        "board_ports": 256, "network_ports": 2048, "packet_bits": 100,
+        "clock_scheme": "MultiplePulse", "memory_access_ns": 100.0
+    }"#;
+    let first = call(addr, "POST", "/v1/evaluate", spec);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-icn-cache"), Some("miss"));
+    assert!(first.body.contains(r#""feasible": true"#), "{}", first.body);
+
+    let second = call(addr, "POST", "/v1/evaluate", spec);
+    assert_eq!(second.header("x-icn-cache"), Some("hit"));
+    assert_eq!(second.body, first.body);
+
+    // An 8-bit-wide variant blows the pin budget: infeasible, with codes.
+    let wide = spec.replace(r#""width": 4"#, r#""width": 8"#);
+    let infeasible = call(addr, "POST", "/v1/evaluate", &wide);
+    assert_eq!(infeasible.status, 200);
+    assert!(
+        infeasible.body.contains(r#""feasible": false"#),
+        "{}",
+        infeasible.body
+    );
+    assert!(infeasible.body.contains("ICN101"), "{}", infeasible.body);
+
+    // Malformed spec: a client error, not a 500.
+    assert_eq!(call(addr, "POST", "/v1/evaluate", "{nope").status, 400);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // One worker, queue depth 1: the first job occupies the worker, the
+    // second fills the queue, the third must be rejected.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..test_config()
+    };
+    let (addr, handle, join) = start(config);
+
+    // Slow-ish jobs (~64 ports, heavy load, long windows), distinct seeds
+    // so they cannot coalesce or hit the cache.
+    let slow = |seed: u64| {
+        format!(
+            r#"{{"ports":64,"load":0.9,"seed":{seed},"warmup_cycles":2000,"measure_cycles":150000,"drain_cycles":40000}}"#
+        )
+    };
+    assert_eq!(call(addr, "POST", "/v1/simulate", &slow(1)).status, 202);
+    // Wait for the worker to claim job 1, guaranteeing job 2 sits alone in
+    // the queue (otherwise the 429 would depend on scheduling luck).
+    let claimed = Instant::now();
+    while json_u64(&call(addr, "GET", "/v1/stats", "").body, "running") == 0 {
+        assert!(
+            claimed.elapsed() < Duration::from_secs(10),
+            "worker never claimed the first job"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(call(addr, "POST", "/v1/simulate", &slow(2)).status, 202);
+
+    let rejected = call(addr, "POST", "/v1/simulate", &slow(3));
+    assert_eq!(rejected.status, 429, "{}", rejected.body);
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    assert!(rejected.body.contains("queue is full"), "{}", rejected.body);
+
+    // An identical re-POST of a queued config coalesces instead of 429ing.
+    let coalesced = call(addr, "POST", "/v1/simulate", &slow(2));
+    assert_eq!(coalesced.status, 202, "{}", coalesced.body);
+    assert_eq!(json_str(&coalesced.body, "status"), "coalesced");
+
+    // Graceful shutdown drains both accepted jobs.
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.jobs_completed, 2, "drain must finish queued jobs");
+}
+
+#[test]
+fn job_endpoints_cover_status_errors_and_unknowns() {
+    let (addr, handle, join) = start(test_config());
+
+    assert_eq!(call(addr, "GET", "/v1/jobs/999", "").status, 404);
+    assert_eq!(call(addr, "GET", "/v1/jobs/xyz", "").status, 400);
+    assert_eq!(call(addr, "GET", "/v1/nope", "").status, 404);
+    assert_eq!(call(addr, "DELETE", "/v1/simulate", "").status, 405);
+
+    // Invalid configurations are 400s with a useful message.
+    let bad = call(addr, "POST", "/v1/simulate", r#"{"ports":100}"#);
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("power of two"), "{}", bad.body);
+
+    // A valid job's status endpoint tracks it to completion.
+    let accepted = call(addr, "POST", "/v1/simulate", SMALL_SIM);
+    assert_eq!(accepted.status, 202);
+    let status_url = json_str(&accepted.body, "status_url");
+    let result_url = json_str(&accepted.body, "result_url");
+    poll_result(addr, &result_url, Duration::from_secs(30));
+    let status = call(addr, "GET", &status_url, "");
+    assert_eq!(json_str(&status.body, "status"), "done");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn shutdown_endpoint_drains_and_telemetry_dump_is_written() {
+    let dump = std::env::temp_dir().join(format!("icn-serve-e2e-{}.jsonl", std::process::id()));
+    let config = ServeConfig {
+        telemetry_out: Some(dump.to_string_lossy().into_owned()),
+        ..test_config()
+    };
+    let (addr, _handle, join) = start(config);
+
+    assert_eq!(call(addr, "POST", "/v1/simulate", SMALL_SIM).status, 202);
+    let off = call(addr, "POST", "/v1/shutdown", "");
+    assert_eq!(off.status, 200);
+    assert!(off.body.contains("draining"), "{}", off.body);
+
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.jobs_completed, 1, "shutdown must drain the job");
+
+    // The dump parses line-by-line as ServeDumpLine with a leading meta.
+    let text = std::fs::read_to_string(&dump).expect("telemetry dump written");
+    let lines: Vec<icn_serve::ServeDumpLine> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("dump line parses"))
+        .collect();
+    assert!(
+        matches!(&lines[0], icn_serve::ServeDumpLine::ServeMeta(m) if m.requests >= 2),
+        "first line: {:?}",
+        lines.first()
+    );
+    assert!(lines
+        .iter()
+        .any(|l| matches!(l, icn_serve::ServeDumpLine::Sample(_))));
+    let _ = std::fs::remove_file(&dump);
+}

@@ -62,7 +62,7 @@ pub use metrics::{LatencyStats, SimResult, StageCounters};
 pub use packet::{Packet, PacketStatus};
 pub use roundtrip::{run_roundtrip, RoundTripConfig, RoundTripResult};
 pub use runner::{
-    run, run_parallel, run_trace, run_with_sink, sweep_load, sweep_module_failures,
+    run, run_parallel, run_trace, run_with_sink, sweep_load, sweep_module_failures, try_run,
     FaultSweepPoint, LoadSweepPoint,
 };
 pub use telemetry::{

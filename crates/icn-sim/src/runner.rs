@@ -14,6 +14,17 @@ pub fn run(config: SimConfig) -> SimResult {
     Engine::new(config).run()
 }
 
+/// Run one configuration to completion, validating it first — the
+/// panic-free job-runner entry point used by services and other drivers
+/// that must map a bad request to a typed error, never a backtrace.
+///
+/// # Errors
+/// Returns the [`crate::error::SimError`] from [`SimConfig::validate`] /
+/// [`Engine::try_new`] when the configuration or fault plan is invalid.
+pub fn try_run(config: SimConfig) -> Result<SimResult, crate::error::SimError> {
+    Ok(Engine::try_new(config)?.run())
+}
+
 /// Run one configuration to completion with an [`EventSink`] attached,
 /// streaming every structured [`crate::telemetry::SimEvent`] the engine
 /// emits. Use a [`crate::telemetry::MemorySink`] clone (or a
