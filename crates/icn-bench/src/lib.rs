@@ -20,8 +20,11 @@
 //! Besides the criterion benches, the [`perf`] module carries the
 //! perf-regression harness the `icn bench` command and CI use: fixed
 //! cases, cycles/sec measurements, and the `BENCH_PR3.json` baseline
-//! format with a >25%-regression gate.
+//! format with a >25%-regression gate. The [`loadgen`] module drives a
+//! live `icn-serve` instance with a concurrent mixed HTTP workload for
+//! `icn bench --serve` (latency percentiles + crash-recovery timing).
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod perf;

@@ -1,0 +1,386 @@
+//! HTTP load generator for `icn bench --serve`.
+//!
+//! Drives a running `icn-serve` instance with a concurrent mixed workload
+//! — ~25% closed-form `/v1/evaluate` calls and ~75% `/v1/simulate`
+//! submissions drawn from a bounded seed set (so the run exercises both
+//! cache hits and misses) — over raw `TcpStream`s, one connection per
+//! request, exactly like the service's own end-to-end tests. Per-request
+//! latency is recorded into the simulator's log-bucketed
+//! [`Histogram`], which gives p50/p95/p999 without keeping every sample.
+//!
+//! The generator is deliberately *honest about degradation*: 429s are
+//! counted as `rejected`, not errors — a loaded server that sheds is
+//! behaving, and the report shows how much it shed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use icn_sim::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Histogram sub-bucket bits: ≤ ~0.4% relative quantile error, plenty
+/// for request latencies.
+const PRECISION: u32 = 7;
+
+/// What to drive at the server.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent client threads.
+    pub threads: usize,
+    /// Total requests across all threads.
+    pub requests: u64,
+    /// Distinct simulate seeds: smaller means more cache hits.
+    pub seeds: u64,
+    /// Per-request deadline passed on simulate submissions (0 = none).
+    pub deadline_ms: u64,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl LoadSpec {
+    /// A short mixed load: small enough for a CI smoke gate.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            threads: 4,
+            requests: 120,
+            seeds: 8,
+            deadline_ms: 0,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// The full load the benchmark harness runs.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            threads: 8,
+            requests: 600,
+            seeds: 24,
+            deadline_ms: 0,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregated outcome of one load phase.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub requests: u64,
+    /// `200` responses (evaluate results and simulate cache hits).
+    pub ok: u64,
+    /// `202` responses (simulate jobs accepted).
+    pub accepted: u64,
+    /// Responses served from the result cache (`x-icn-cache: hit`).
+    pub cache_hits: u64,
+    /// `429` responses — load shed, the server degrading on purpose.
+    pub rejected: u64,
+    /// Transport failures and unexpected statuses.
+    pub errors: u64,
+    /// Wall-clock seconds for the whole phase.
+    pub wall_secs: f64,
+    /// Requests per second (sent / wall).
+    pub rps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// 99.9th-percentile request latency, microseconds.
+    pub p999_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+}
+
+/// Where `icn bench --serve` records its results.
+pub const SERVE_BENCH_OUT: &str = "BENCH_PR6.json";
+
+/// The `BENCH_PR6.json` schema: one load phase against a fresh server,
+/// a `kill -9` + restart with the same journal and cache directory, the
+/// measured recovery time, and a second load phase against the recovered
+/// server (which should see strictly more cache hits — the crash lost
+/// nothing).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Human note: machine, command, context.
+    #[serde(default)]
+    pub note: String,
+    /// Whether this was the CI smoke variant (smaller load).
+    #[serde(default)]
+    pub smoke: bool,
+    /// Load phase 1: fresh server, cold cache.
+    pub loaded: LoadReport,
+    /// Milliseconds from respawn to the first healthy `/v1/healthz`.
+    pub recovery_ms: u64,
+    /// Load phase 2: same workload against the recovered server.
+    pub recovered: LoadReport,
+}
+
+impl ServeBenchReport {
+    /// Write the report (pretty-printed, trailing newline).
+    ///
+    /// # Errors
+    /// Returns a description of the IO failure.
+    pub fn store(&self, path: &str) -> Result<(), String> {
+        let text = serde_json::to_string_pretty(self).map_err(|e| e.to_string())?;
+        std::fs::write(path, text + "\n").map_err(|e| format!("writing {path}: {e}"))
+    }
+}
+
+/// One worker's tallies, merged under a mutex at the end of the phase.
+#[derive(Debug, Default)]
+struct Tally {
+    ok: u64,
+    accepted: u64,
+    cache_hits: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+/// Send one request over a fresh connection; returns the status line code
+/// and whether the response carried `x-icn-cache: hit`.
+fn exchange(
+    addr: SocketAddr,
+    timeout: Duration,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, bool), String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).map_err(|e| e.to_string())?;
+    let head = raw.split("\r\n\r\n").next().unwrap_or("");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed response: {head:.80}"))?;
+    let hit = head
+        .lines()
+        .any(|l| l.to_ascii_lowercase().starts_with("x-icn-cache:") && l.contains("hit"));
+    Ok((status, hit))
+}
+
+/// The `i`-th request of the mix: endpoint path and body.
+///
+/// Every 4th request evaluates a design (closed-form, always answered
+/// inline); the rest submit small simulations whose seeds cycle through
+/// `seeds` values, and every 8th submission rides at low priority so a
+/// saturated server has something to shed.
+#[must_use]
+pub fn request_for(i: u64, seeds: u64, deadline_ms: u64) -> (&'static str, String) {
+    if i.is_multiple_of(4) {
+        let access = 60 + (i / 4) % seeds.max(1);
+        let body = format!(
+            r#"{{"tech":"paper1986","kind":"Dmc","chip_radix":16,"width":4,"board_ports":256,"network_ports":2048,"packet_bits":100,"clock_scheme":"MultiplePulse","memory_access_ns":{access}.0}}"#
+        );
+        ("/v1/evaluate", body)
+    } else {
+        let seed = i % seeds.max(1);
+        let priority = if i % 8 == 3 {
+            r#","priority":"Low""#
+        } else {
+            ""
+        };
+        let deadline = if deadline_ms > 0 {
+            format!(r#","deadline_ms":{deadline_ms}"#)
+        } else {
+            String::new()
+        };
+        let body = format!(
+            r#"{{"ports":16,"load":0.02,"seed":{seed},"warmup_cycles":100,"measure_cycles":400,"drain_cycles":1500{priority}{deadline}}}"#
+        );
+        ("/v1/simulate", body)
+    }
+}
+
+/// Drive the mixed load at `addr` and aggregate the outcome.
+///
+/// Latency covers the full request round-trip (connect to close). The
+/// call returns once every request has been answered or failed; it never
+/// errors itself — transport failures are tallied in
+/// [`LoadReport::errors`].
+#[must_use]
+pub fn drive(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
+    let next = AtomicU64::new(0);
+    let merged: Mutex<(Histogram, Tally)> =
+        Mutex::new((Histogram::new(PRECISION), Tally::default()));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..spec.threads.max(1) {
+            scope.spawn(|| {
+                let mut latency = Histogram::new(PRECISION);
+                let mut tally = Tally::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= spec.requests {
+                        break;
+                    }
+                    let (path, body) = request_for(i, spec.seeds, spec.deadline_ms);
+                    let sent = Instant::now();
+                    let outcome = exchange(addr, spec.timeout, "POST", path, &body);
+                    let micros = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    latency.record(micros);
+                    match outcome {
+                        Ok((200, hit)) => {
+                            tally.ok += 1;
+                            if hit {
+                                tally.cache_hits += 1;
+                            }
+                        }
+                        Ok((202, _)) => tally.accepted += 1,
+                        Ok((429, _)) => tally.rejected += 1,
+                        Ok(_) | Err(_) => tally.errors += 1,
+                    }
+                }
+                let mut m = merged
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                m.0.merge(&latency);
+                m.1.ok += tally.ok;
+                m.1.accepted += tally.accepted;
+                m.1.cache_hits += tally.cache_hits;
+                m.1.rejected += tally.rejected;
+                m.1.errors += tally.errors;
+            });
+        }
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+    let (latency, tally) = merged
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    LoadReport {
+        requests: spec.requests,
+        ok: tally.ok,
+        accepted: tally.accepted,
+        cache_hits: tally.cache_hits,
+        rejected: tally.rejected,
+        errors: tally.errors,
+        wall_secs,
+        rps: spec.requests as f64 / wall_secs.max(1e-9),
+        p50_us: latency.quantile(0.50),
+        p95_us: latency.quantile(0.95),
+        p999_us: latency.quantile(0.999),
+        max_us: latency.max(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    /// A tiny canned-response server: answers every request with the
+    /// given status line and headers, `threads × requests` times.
+    fn canned(listener: TcpListener, head: &'static str, times: u64) {
+        std::thread::spawn(move || {
+            for _ in 0..times {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    return;
+                };
+                // Read until the blank line, then drain the body lazily:
+                // the client half-closes, so just answer.
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                let mut content_length = 0usize;
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    let lower = line.to_ascii_lowercase();
+                    if let Some(v) = lower.strip_prefix("content-length:") {
+                        content_length = v.trim().parse().unwrap_or(0);
+                    }
+                    if line == "\r\n" {
+                        break;
+                    }
+                }
+                let mut body = vec![0u8; content_length];
+                let _ = reader.read_exact(&mut body);
+                let _ = stream.write_all(head.as_bytes());
+            }
+        });
+    }
+
+    #[test]
+    fn mixed_load_counts_statuses_and_latencies() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spec = LoadSpec {
+            threads: 2,
+            requests: 10,
+            seeds: 4,
+            deadline_ms: 0,
+            timeout: Duration::from_secs(5),
+        };
+        canned(
+            listener,
+            "HTTP/1.1 200 OK\r\nx-icn-cache: hit\r\ncontent-length: 2\r\n\r\n{}",
+            spec.requests,
+        );
+        let report = drive(addr, &spec);
+        assert_eq!(report.requests, 10);
+        assert_eq!(report.ok, 10);
+        assert_eq!(report.cache_hits, 10);
+        assert_eq!(report.errors, 0);
+        assert!(report.p50_us <= report.p999_us);
+        assert!(report.rps > 0.0);
+    }
+
+    #[test]
+    fn rejections_count_as_shed_not_errors() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spec = LoadSpec {
+            threads: 1,
+            requests: 3,
+            seeds: 2,
+            deadline_ms: 50,
+            timeout: Duration::from_secs(5),
+        };
+        canned(
+            listener,
+            "HTTP/1.1 429 Too Many Requests\r\nretry-after: 1\r\ncontent-length: 2\r\n\r\n{}",
+            spec.requests,
+        );
+        let report = drive(addr, &spec);
+        assert_eq!(report.rejected, 3);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn request_mix_is_a_quarter_evaluate() {
+        let evaluates = (0..100)
+            .filter(|&i| request_for(i, 8, 0).0 == "/v1/evaluate")
+            .count();
+        assert_eq!(evaluates, 25);
+        // Low-priority submissions exist so shedding has a target.
+        let lows = (0..100)
+            .map(|i| request_for(i, 8, 250))
+            .filter(|(path, body)| *path == "/v1/simulate" && body.contains("\"priority\":\"Low\""))
+            .count();
+        assert!(lows > 0);
+        // Deadlines propagate when requested.
+        let (_, body) = request_for(1, 8, 250);
+        assert!(body.contains("\"deadline_ms\":250"));
+    }
+}

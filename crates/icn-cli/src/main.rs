@@ -23,6 +23,11 @@
 //! icn bench [--smoke]          perf-regression harness: measure simulator
 //!                              cycles/sec and gate against BENCH_PR3.json
 //!                              (--update-baseline before|after re-records)
+//! icn bench --serve [--smoke]  service load harness: drive a spawned
+//!                              `icn serve` with mixed concurrent requests,
+//!                              kill -9 it mid-backlog, restart on the same
+//!                              journal + cache dir, and record latency
+//!                              percentiles + recovery time in BENCH_PR6.json
 //! icn lint [--json]            run the ICN determinism/panic-freedom rules
 //!                              (ICN001-ICN005) over the workspace sources
 //! icn lint config <spec.json>  statically check a design point against the
@@ -32,6 +37,10 @@
 //!                              POST /v1/simulate (async job, content-addressed
 //!                              result cache), GET /v1/healthz, GET /v1/stats;
 //!                              --workers/--queue-depth/--cache-entries size it,
+//!                              --journal enables the crash-safe job journal,
+//!                              --cache-dir spills results to disk (both together
+//!                              make restarts lossless), --deadline-ms sets a
+//!                              default per-job wall-clock budget,
 //!                              --telemetry-out records a dump for `icn inspect`
 //!
 //! options: --tech <preset>  --json  --full
@@ -126,10 +135,12 @@ fn usage() -> &'static str {
      \t inspect <dump.jsonl>\n\
      \t bench [--smoke] [--json] [--iters N] [--baseline BENCH_PR3.json]\n\
      \t       [--update-baseline before|after]\n\
+     \t bench --serve [--smoke] [--json]\n\
      \t lint [--json] [root]\n\
      \t lint config <spec.json> [--json]\n\
      \t serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
-     \t       [--cache-entries N] [--telemetry-out dump.jsonl]"
+     \t       [--cache-entries N] [--journal FILE] [--cache-dir DIR]\n\
+     \t       [--deadline-ms N] [--telemetry-out dump.jsonl]"
 }
 
 struct Options {
@@ -159,6 +170,12 @@ struct Options {
     workers: usize,
     queue_depth: usize,
     cache_entries: usize,
+    journal: Option<String>,
+    cache_dir: Option<String>,
+    deadline_ms: u64,
+    /// `bench --serve`: run the service load harness instead of the
+    /// simulator throughput cases.
+    serve_bench: bool,
     /// First bare (non-`--`) argument: the dump path for `inspect`.
     path: Option<String>,
 }
@@ -191,6 +208,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workers: 2,
         queue_depth: 64,
         cache_entries: 256,
+        journal: None,
+        cache_dir: None,
+        deadline_ms: 0,
+        serve_bench: false,
         path: None,
     };
     let mut i = 0;
@@ -350,6 +371,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .and_then(|s| s.parse().ok())
                     .ok_or("--cache-entries needs a count (0 disables caching)")?;
             }
+            "--journal" => {
+                i += 1;
+                opts.journal = Some(args.get(i).ok_or("--journal needs a file path")?.clone());
+            }
+            "--cache-dir" => {
+                i += 1;
+                opts.cache_dir = Some(
+                    args.get(i)
+                        .ok_or("--cache-dir needs a directory path")?
+                        .clone(),
+                );
+            }
+            "--deadline-ms" => {
+                i += 1;
+                opts.deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--deadline-ms needs a millisecond count (0 disables)")?;
+            }
+            "--serve" => opts.serve_bench = true,
             "--smoke" => opts.smoke = true,
             "--iters" => {
                 i += 1;
@@ -747,6 +788,206 @@ fn bench(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// One ad-hoc HTTP exchange against a spawned server (bench plumbing).
+fn http_call(addr: &str, method: &str, path: &str, body: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    Ok(response)
+}
+
+/// Spawn `icn serve` as a child process on an ephemeral port with the
+/// given journal and cache directory; returns the child and the bound
+/// address parsed from the startup banner (printed only after bind and
+/// journal recovery succeed).
+fn spawn_serve(journal: &str, cache_dir: &str) -> Result<(std::process::Child, String), Failure> {
+    use std::io::BufRead;
+    let exe = std::env::current_exe()
+        .map_err(|e| Failure::Io(format!("locating the icn binary: {e}")))?;
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "48",
+            "--cache-entries",
+            "64",
+            "--journal",
+            journal,
+            "--cache-dir",
+            cache_dir,
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .map_err(|e| Failure::Io(format!("spawning icn serve: {e}")))?;
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut banner = String::new();
+    reader
+        .read_line(&mut banner)
+        .map_err(|e| Failure::Io(format!("reading serve banner: {e}")))?;
+    // Keep draining stderr in the background so the child never blocks
+    // on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut reader, &mut sink);
+    });
+    let Some(addr) = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+    else {
+        let _ = child.kill();
+        return Err(Failure::Other(format!(
+            "icn serve did not start: {}",
+            banner.trim()
+        )));
+    };
+    Ok((child, addr))
+}
+
+/// Poll `/v1/healthz` until the server answers 200 (or time out).
+fn wait_healthy(addr: &str) -> Result<(), Failure> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        if let Ok(response) = http_call(addr, "GET", "/v1/healthz", "") {
+            if response.starts_with("HTTP/1.1 200") {
+                return Ok(());
+            }
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(Failure::Other(format!(
+                "server at {addr} not healthy within 30s"
+            )));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// `icn bench --serve` — the crash-recovery load harness: drive a child
+/// `icn serve` with the mixed workload, `kill -9` it with the job backlog
+/// still draining, restart it on the same journal + cache directory
+/// (timing the recovery), drive the same load again, and record both
+/// phases plus the recovery time in `BENCH_PR6.json`.
+fn bench_serve(opts: &Options) -> Result<(), Failure> {
+    use icn_bench::loadgen::{drive, LoadSpec, ServeBenchReport, SERVE_BENCH_OUT};
+
+    let mut spec = if opts.smoke {
+        LoadSpec::smoke()
+    } else {
+        LoadSpec::full()
+    };
+    if opts.deadline_ms > 0 {
+        spec.deadline_ms = opts.deadline_ms;
+    }
+    let dir = std::env::temp_dir().join(format!("icn-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| Failure::Io(format!("creating {}: {e}", dir.display())))?;
+    let journal = dir.join("jobs.journal").to_string_lossy().into_owned();
+    let cache_dir = dir.join("cache").to_string_lossy().into_owned();
+
+    eprintln!(
+        "phase 1: fresh server, {} requests on {} threads ({} seeds)...",
+        spec.requests, spec.threads, spec.seeds
+    );
+    let (mut child, addr) = spawn_serve(&journal, &cache_dir)?;
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| Failure::Other(format!("bad serve address {addr}: {e}")))?;
+    let loaded = drive(sock, &spec);
+
+    // SIGKILL with the submission backlog still draining — the journal
+    // and spill must make the restart lossless.
+    child
+        .kill()
+        .map_err(|e| Failure::Other(format!("killing the server: {e}")))?;
+    let _ = child.wait();
+
+    eprintln!("killed -9; restarting on the same journal + cache dir...");
+    let restart = std::time::Instant::now();
+    let (mut child2, addr2) = spawn_serve(&journal, &cache_dir)?;
+    wait_healthy(&addr2)?;
+    let recovery_ms = u64::try_from(restart.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let sock2: std::net::SocketAddr = addr2
+        .parse()
+        .map_err(|e| Failure::Other(format!("bad serve address {addr2}: {e}")))?;
+
+    eprintln!("phase 2: recovered server, same workload...");
+    let recovered = drive(sock2, &spec);
+
+    let _ = http_call(&addr2, "POST", "/v1/shutdown", "");
+    let _ = child2.wait();
+
+    let report = ServeBenchReport {
+        note: format!(
+            "icn bench --serve{}: mixed evaluate/simulate load over loopback, \
+             kill -9 + restart on the same journal and cache dir between phases",
+            if opts.smoke { " --smoke" } else { "" }
+        ),
+        smoke: opts.smoke,
+        loaded,
+        recovery_ms,
+        recovered,
+    };
+    report.store(SERVE_BENCH_OUT).map_err(Failure::Io)?;
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        let phase_line = |name: &str, r: &icn_bench::loadgen::LoadReport| {
+            println!(
+                "{name}: {} req in {:.2}s ({:.0} rps) — ok {}, accepted {}, \
+                 cache hits {}, shed {}, errors {}; latency p50 {}µs p95 {}µs \
+                 p999 {}µs max {}µs",
+                r.requests,
+                r.wall_secs,
+                r.rps,
+                r.ok,
+                r.accepted,
+                r.cache_hits,
+                r.rejected,
+                r.errors,
+                r.p50_us,
+                r.p95_us,
+                r.p999_us,
+                r.max_us
+            );
+        };
+        phase_line("loaded   ", &report.loaded);
+        println!("recovery : {recovery_ms} ms from respawn to healthy");
+        phase_line("recovered", &report.recovered);
+        println!("wrote {SERVE_BENCH_OUT}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if report.loaded.errors > 0 || report.recovered.errors > 0 {
+        return Err(Failure::Other(format!(
+            "load harness saw transport errors: {} before the crash, {} after",
+            report.loaded.errors, report.recovered.errors
+        )));
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), Failure> {
     let command = args.first().map_or("help", String::as_str);
     if command == "lint" {
@@ -869,6 +1110,7 @@ fn run(args: &[String]) -> Result<(), Failure> {
             inspect(path)?;
         }
         "serve" => serve(&opts)?,
+        "bench" if opts.serve_bench => bench_serve(&opts)?,
         "bench" => bench(&opts)?,
         "explore" => {
             let designs = explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
@@ -1069,16 +1311,43 @@ fn serve(opts: &Options) -> Result<(), Failure> {
         queue_depth: opts.queue_depth,
         cache_entries: opts.cache_entries,
         telemetry_out: opts.telemetry_out.clone(),
+        journal: opts.journal.clone(),
+        cache_dir: opts.cache_dir.clone(),
+        default_deadline_ms: opts.deadline_ms,
         ..icn_serve::ServeConfig::default()
     };
-    let server = icn_serve::Server::bind(config)
-        .map_err(|e| Failure::Io(format!("binding {}: {e}", opts.addr)))?;
+    let server = icn_serve::Server::bind(config).map_err(|e| {
+        Failure::Io(if e.kind() == std::io::ErrorKind::AddrInUse {
+            format!(
+                "binding {}: address already in use — is another icn serve \
+                 running? pick a free port with --addr",
+                opts.addr
+            )
+        } else {
+            format!("binding {}: {e}", opts.addr)
+        })
+    })?;
     let addr = server.local_addr();
-    eprintln!(
-        "icn-serve listening on http://{addr} ({} workers, queue depth {}, cache {})",
-        opts.workers, opts.queue_depth, opts.cache_entries
-    );
-    eprintln!("stop with: curl -X POST http://{addr}/v1/shutdown");
+    let durability = match (&opts.journal, &opts.cache_dir) {
+        (Some(_), Some(_)) => ", journal + disk cache",
+        (Some(_), None) => ", journal",
+        (None, Some(_)) => ", disk cache",
+        (None, None) => "",
+    };
+    // Banner via fallible writes, not eprintln!: a supervisor that reads
+    // the first line and closes the pipe must not kill the server with
+    // an EPIPE panic between the two lines.
+    {
+        use std::io::Write as _;
+        let stderr = std::io::stderr();
+        let mut stderr = stderr.lock();
+        let _ = writeln!(
+            stderr,
+            "icn-serve listening on http://{addr} ({} workers, queue depth {}, cache {}{durability})",
+            opts.workers, opts.queue_depth, opts.cache_entries
+        );
+        let _ = writeln!(stderr, "stop with: curl -X POST http://{addr}/v1/shutdown");
+    }
     let summary = server
         .run()
         .map_err(|e| Failure::Io(format!("serving on {addr}: {e}")))?;

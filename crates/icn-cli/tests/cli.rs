@@ -411,6 +411,16 @@ fn exit_codes_are_distinct_and_stable() {
     let (code, _, stderr) = icn_status(&["serve", "--addr", "192.0.2.1:0"]);
     assert_eq!(code, 4, "{stderr}");
     assert!(stderr.contains("binding"), "{stderr}");
+
+    // 4 — address already in use: a held port fails fast with a clear
+    // message, not a hang or a panic.
+    let held = std::net::TcpListener::bind("127.0.0.1:0").expect("hold a port");
+    let addr = held.local_addr().unwrap().to_string();
+    let (code, _, stderr) = icn_status(&["serve", "--addr", &addr]);
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("binding"), "{stderr}");
+    assert!(stderr.contains("address already in use"), "{stderr}");
+    assert!(stderr.contains("--addr"), "hints at the fix: {stderr}");
 }
 
 /// `icn serve` end to end through the real binary: healthz, a cached
@@ -465,7 +475,9 @@ fn serve_round_trips_over_http_and_inspect_reads_the_dump() {
         )
         .unwrap();
         let mut response = String::new();
-        stream.read_to_string(&mut response).unwrap();
+        stream
+            .read_to_string(&mut response)
+            .unwrap_or_else(|e| panic!("reading {method} {path} response: {e}"));
         response
     };
 

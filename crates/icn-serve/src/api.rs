@@ -12,7 +12,25 @@
 use icn_sim::{ChipModel, FaultPlan, RetryPolicy, SimConfig};
 use icn_topology::StagePlan;
 use icn_workloads::{Pattern, Workload};
-use serde::Deserialize;
+use serde::{Deserialize, Serialize};
+
+/// Admission priority of a job, used by the overload shed policy: past the
+/// queue's high-water mark, `Low` work is rejected first; only a
+/// completely full queue rejects `Normal` and `High`.
+///
+/// Priority is a *service* concern: it never enters the resolved
+/// [`SimConfig`], so two requests differing only in priority share one
+/// cache entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Priority {
+    /// Shed first under load (batch/speculative work).
+    Low,
+    /// The default for interactive requests.
+    #[default]
+    Normal,
+    /// Last to be shed (operator probes, deadline-critical work).
+    High,
+}
 
 /// Server-side guard rails on what one `/v1/simulate` job may cost.
 #[derive(Debug, Clone, Copy)]
@@ -96,6 +114,16 @@ pub struct SimulateRequest {
     /// Source retry limit for packets lost to faults (default 3).
     #[serde(default)]
     pub retry_limit: Option<u32>,
+    /// Admission priority (default `Normal`). A service concern only:
+    /// excluded from the resolved configuration and the cache key.
+    #[serde(default)]
+    pub priority: Option<Priority>,
+    /// Wall-clock budget for the job in milliseconds (default: the
+    /// server's `--deadline-ms`, 0 = none). Like `priority`, excluded
+    /// from the cache key — a deadline changes *whether* the job
+    /// finishes, never *what* it computes.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 impl SimulateRequest {
@@ -321,6 +349,28 @@ mod tests {
             let req: SimulateRequest = serde_json::from_str(case).unwrap();
             assert!(req.resolve(&Limits::default()).is_err(), "{case}");
         }
+    }
+
+    #[test]
+    fn priority_and_deadline_do_not_change_the_cache_key() {
+        let limits = Limits::default();
+        let plain: SimulateRequest = serde_json::from_str(r#"{"seed":11}"#).unwrap();
+        let decorated: SimulateRequest =
+            serde_json::from_str(r#"{"seed":11,"priority":"Low","deadline_ms":250}"#).unwrap();
+        assert_eq!(decorated.priority, Some(Priority::Low));
+        assert_eq!(decorated.deadline_ms, Some(250));
+        let key = |r: &SimulateRequest| {
+            let canon = serde_json::to_string(&r.resolve(&limits).unwrap()).unwrap();
+            content_key("simulate", &canon)
+        };
+        assert_eq!(key(&plain), key(&decorated));
+    }
+
+    #[test]
+    fn priority_defaults_to_normal_and_orders_sensibly() {
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
     }
 
     #[test]

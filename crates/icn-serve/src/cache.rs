@@ -1,4 +1,4 @@
-//! Content-addressed result cache with least-recently-used eviction.
+//! Content-addressed result cache: memory LRU front, optional disk behind.
 //!
 //! The service's responses are pure functions of the *resolved* request
 //! configuration (simulations are replay-deterministic from the seed, and
@@ -8,16 +8,27 @@
 //! bodies, shared by `Arc` so a cache hit never re-serializes and is
 //! byte-identical to the first response.
 //!
-//! The store is a `BTreeMap` plus a logical access clock: each `get`/
-//! `insert` bumps the clock and stamps the entry, and eviction scans for
-//! the smallest stamp. The scan is O(entries), which is fine at the
+//! The memory store is a `BTreeMap` plus a logical access clock: each
+//! `get`/`insert` bumps the clock and stamps the entry, and eviction scans
+//! for the smallest stamp. The scan is O(entries), which is fine at the
 //! hundreds-of-entries capacities this service runs with — and it keeps
 //! iteration order deterministic, unlike a hash map.
+//!
+//! With a spill directory configured ([`ResultCache::with_spill`]) the
+//! cache becomes two-level: inserts write **through** to a
+//! [`crate::spill::DiskStore`] (so every completed result is durable even
+//! after memory eviction), and a memory miss falls back to disk, promoting
+//! the body back into the LRU on a disk hit. Corrupt or truncated disk
+//! entries are detected by their checksum frame and silently discarded —
+//! the result simply recomputes.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use serde::Serialize;
+
+use crate::spill::DiskStore;
 
 /// One cached response body.
 #[derive(Debug)]
@@ -26,7 +37,8 @@ struct Entry {
     last_used: u64,
 }
 
-/// Content-addressed LRU cache of serialized response bodies.
+/// Content-addressed LRU cache of serialized response bodies, with an
+/// optional write-through disk spill behind it.
 #[derive(Debug)]
 pub struct ResultCache {
     entries: BTreeMap<String, Entry>,
@@ -35,28 +47,35 @@ pub struct ResultCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    spill: Option<Arc<DiskStore>>,
 }
 
 /// Counter snapshot for `/v1/stats` and the shutdown summary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct CacheStats {
-    /// Lookups that returned a cached body.
+    /// Lookups that returned a cached body (memory or disk).
     pub hits: u64,
-    /// Lookups that found nothing.
+    /// Lookups that found nothing anywhere.
     pub misses: u64,
-    /// Entries displaced to make room.
+    /// Entries displaced from memory to make room.
     pub evictions: u64,
-    /// Bodies currently held.
+    /// Bodies currently held in memory.
     pub entries: usize,
-    /// Configured capacity (0 = caching disabled).
+    /// Configured memory capacity (0 = memory caching disabled).
     pub capacity: usize,
+    /// Bodies written through to the disk spill.
+    pub spill_writes: u64,
+    /// Memory misses answered by the disk spill.
+    pub disk_hits: u64,
+    /// Corrupt or truncated disk entries detected and discarded.
+    pub disk_discarded: u64,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` bodies. Zero disables caching:
-    /// every lookup misses and inserts are dropped (the counters still
-    /// track the misses, so `/v1/stats` shows the cache is cold on
-    /// purpose rather than broken).
+    /// A memory-only cache holding at most `capacity` bodies. Zero
+    /// disables memory caching: every lookup misses and inserts are
+    /// dropped (the counters still track the misses, so `/v1/stats` shows
+    /// the cache is cold on purpose rather than broken).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
@@ -66,30 +85,60 @@ impl ResultCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            spill: None,
         }
     }
 
-    /// Look up a body by content key, refreshing its recency on a hit.
+    /// Attach a disk spill behind the memory LRU: inserts write through,
+    /// memory misses fall back to disk. With `capacity == 0` the cache
+    /// becomes disk-only — still correct, just slower on hits.
+    #[must_use]
+    pub fn with_spill(capacity: usize, spill: Arc<DiskStore>) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.spill = Some(spill);
+        cache
+    }
+
+    /// Look up a body by content key: memory first (refreshing recency on
+    /// a hit), then the disk spill, promoting a disk hit back into memory.
     pub fn get(&mut self, key: &str) -> Option<Arc<String>> {
         self.clock += 1;
         if let Some(entry) = self.entries.get_mut(key) {
             entry.last_used = self.clock;
             self.hits += 1;
-            Some(Arc::clone(&entry.body))
-        } else {
-            self.misses += 1;
-            None
+            return Some(Arc::clone(&entry.body));
         }
+        if let Some(body) = self.spill.as_ref().and_then(|s| s.get(key)) {
+            let body = Arc::new(body);
+            self.promote(key, Arc::clone(&body));
+            self.hits += 1;
+            return Some(body);
+        }
+        self.misses += 1;
+        None
     }
 
     /// Store a body under its content key, evicting the least-recently-used
-    /// entry if the cache is full. Re-inserting an existing key refreshes
-    /// its body and recency without eviction.
+    /// memory entry if full, and writing through to the disk spill when one
+    /// is attached. Re-inserting an existing key refreshes its body and
+    /// recency without eviction.
     pub fn insert(&mut self, key: &str, body: Arc<String>) {
+        if let Some(spill) = &self.spill {
+            // Write-through; a spill I/O error costs durability for this
+            // one entry, not correctness — the job result is still served
+            // from memory and recomputable after a restart.
+            let _ = spill.put(key, &body);
+        }
+        self.clock += 1;
+        self.promote(key, body);
+    }
+
+    /// Place a body in the memory LRU (shared by insert and disk-hit
+    /// promotion). Assumes the clock was already bumped.
+    fn promote(&mut self, key: &str, body: Arc<String>) {
         if self.capacity == 0 {
             return;
         }
-        self.clock += 1;
         if !self.entries.contains_key(key) && self.entries.len() >= self.capacity {
             // O(n) scan for the stalest entry; deterministic because the
             // logical clock stamps are unique.
@@ -115,12 +164,23 @@ impl ResultCache {
     /// Current counter snapshot.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
+        let (spill_writes, disk_hits, disk_discarded) = match &self.spill {
+            Some(s) => (
+                s.counters.writes.load(Ordering::Relaxed),
+                s.counters.hits.load(Ordering::Relaxed),
+                s.counters.discarded.load(Ordering::Relaxed),
+            ),
+            None => (0, 0, 0),
+        };
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
             entries: self.entries.len(),
             capacity: self.capacity,
+            spill_writes,
+            disk_hits,
+            disk_discarded,
         }
     }
 }
@@ -131,6 +191,13 @@ mod tests {
 
     fn body(s: &str) -> Arc<String> {
         Arc::new(s.to_string())
+    }
+
+    fn spill(name: &str) -> Arc<DiskStore> {
+        let dir =
+            std::env::temp_dir().join(format!("icn-cache-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(DiskStore::open(&dir).unwrap())
     }
 
     #[test]
@@ -168,10 +235,43 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_disables_caching() {
+    fn zero_capacity_disables_memory_caching() {
         let mut c = ResultCache::new(0);
         c.insert("k", body("v"));
         assert!(c.get("k").is_none());
         assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn evicted_entry_comes_back_from_disk() {
+        let mut c = ResultCache::with_spill(1, spill("evict"));
+        c.insert("a", body("first"));
+        c.insert("b", body("second")); // evicts "a" from memory
+        assert_eq!(c.stats().entries, 1);
+        let got = c.get("a").expect("disk answers the memory miss");
+        assert_eq!(got.as_str(), "first");
+        assert_eq!(c.stats().disk_hits, 1);
+        // Promotion put "a" back in memory (displacing "b" in memory only).
+        assert_eq!(c.get("a").unwrap().as_str(), "first");
+        assert_eq!(c.stats().disk_hits, 1, "second hit served from memory");
+    }
+
+    #[test]
+    fn fresh_cache_reloads_from_the_same_spill_dir() {
+        let s = spill("reload");
+        {
+            let mut c = ResultCache::with_spill(4, Arc::clone(&s));
+            c.insert("k", body("{\"persisted\":true}"));
+        }
+        let mut c2 = ResultCache::with_spill(4, s);
+        assert_eq!(c2.get("k").unwrap().as_str(), "{\"persisted\":true}");
+    }
+
+    #[test]
+    fn disk_only_mode_still_round_trips() {
+        let mut c = ResultCache::with_spill(0, spill("diskonly"));
+        c.insert("k", body("v"));
+        assert_eq!(c.get("k").unwrap().as_str(), "v");
+        assert_eq!(c.stats().entries, 0, "nothing pinned in memory");
     }
 }

@@ -201,6 +201,64 @@ impl Response {
     }
 }
 
+/// A chunked (`Transfer-Encoding: chunked`) response in progress — the
+/// streaming counterpart of [`Response`], used by `/v1/jobs/:id/stream`
+/// to push progress lines before the total body size is known.
+#[derive(Debug)]
+pub struct ChunkedResponse<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedResponse<'a> {
+    /// Write the status line and headers, switching the connection into
+    /// chunked transfer mode. `content_type` is typically
+    /// `application/x-ndjson` for line-oriented progress streams.
+    ///
+    /// # Errors
+    /// Propagates socket write errors.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            status,
+            reason(status),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(Self { stream })
+    }
+
+    /// Send one chunk (framed as hex length, CRLF, payload, CRLF). Empty
+    /// payloads are skipped — an empty chunk would terminate the stream.
+    ///
+    /// # Errors
+    /// Propagates socket write errors (the usual cause is the client
+    /// hanging up; callers stop streaming on the first error).
+    pub fn chunk(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(b"\r\n");
+        self.stream.write_all(&out)?;
+        self.stream.flush()
+    }
+
+    /// Terminate the stream with the zero-length chunk.
+    ///
+    /// # Errors
+    /// Propagates socket write errors.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
 /// The reason phrase for the status codes this service emits.
 #[must_use]
 pub fn reason(status: u16) -> &'static str {
@@ -276,6 +334,27 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, HttpError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn chunked_response_frames_and_terminates() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let mut chunked =
+            ChunkedResponse::begin(&mut server_side, 200, "application/x-ndjson").unwrap();
+        chunked.chunk(b"{\"cycle\":1}\n").unwrap();
+        chunked.chunk(b"").unwrap(); // skipped, must not terminate
+        chunked.chunk(b"{\"cycle\":2}\n").unwrap();
+        chunked.finish().unwrap();
+        drop(server_side);
+        let mut text = String::new();
+        client.read_to_string(&mut text).unwrap();
+        assert!(text.contains("transfer-encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("c\r\n{\"cycle\":1}\n\r\n"), "{text}");
+        assert!(text.contains("c\r\n{\"cycle\":2}\n\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
     }
 
     #[test]

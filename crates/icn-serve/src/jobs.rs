@@ -1,12 +1,26 @@
-//! Bounded job queue with coalescing, backpressure, and graceful drain.
+//! Bounded, priority-banded job queue with coalescing, load shedding,
+//! deadlines, and crash recovery.
 //!
-//! `/v1/simulate` misses become jobs: a FIFO of validated [`SimConfig`]s
-//! consumed by a fixed pool of worker threads. The queue is **bounded** —
-//! when it is full the service answers `429 Too Many Requests` with a
-//! `Retry-After` hint instead of buffering without limit — and
-//! **coalescing**: a request whose content key already has a queued or
-//! running job joins that job instead of enqueueing a duplicate, so a
-//! thundering herd of identical configurations costs one simulation.
+//! `/v1/simulate` misses become jobs: validated [`SimConfig`]s consumed by
+//! a fixed pool of worker threads. The queue is **bounded** — when it is
+//! full the service answers `429 Too Many Requests` with an honest
+//! `Retry-After` (queue depth × observed mean service time ÷ workers)
+//! instead of buffering without limit — and **banded**: three FIFOs by
+//! [`Priority`], drained high-to-low, with a *high-water mark* at 3/4 of
+//! capacity past which `Low`-priority work is shed pre-emptively so that
+//! an overload degrades batch traffic first and interactive traffic last.
+//!
+//! It is also **coalescing**: a request whose content key already has a
+//! queued or running job joins that job instead of enqueueing a duplicate,
+//! so a thundering herd of identical configurations costs one simulation.
+//!
+//! Jobs carry an optional wall-clock **deadline**; the worker turns it
+//! into a stop predicate for [`icn_sim::Engine::run_bounded`], so an
+//! over-budget simulation is abandoned mid-run rather than pinning a
+//! worker. And the queue can be **rebuilt from a journal** after a crash
+//! ([`JobQueue::with_recovered`] + [`JobQueue::restore`]): terminal jobs
+//! come back with their results, unfinished jobs re-enter the queue, and
+//! the id counter never moves backwards.
 //!
 //! Synchronization is `std::sync::{Mutex, Condvar}` (the vendored
 //! `parking_lot` stand-in provides no condition variables). Lock poisoning
@@ -16,8 +30,21 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use icn_sim::SimConfig;
+
+use crate::api::Priority;
+use crate::telemetry::Progress;
+
+/// Mean service time assumed before any job has completed, in
+/// microseconds (the `Retry-After` fallback; half a second).
+pub const DEFAULT_MEAN_SERVICE_US: u64 = 500_000;
+
+/// Terminal jobs kept in memory for status lookups; older ones are pruned
+/// so an unattended server's job table stays bounded. (Their *results*
+/// outlive pruning in the content-addressed cache.)
+pub const RETAINED_FINISHED_JOBS: usize = 4096;
 
 /// Lifecycle of one job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +55,7 @@ pub enum JobState {
     Running,
     /// Finished; the result body is available.
     Done,
-    /// The simulation failed (engine error or worker panic).
+    /// The simulation failed (engine error, deadline, or worker panic).
     Failed,
 }
 
@@ -54,10 +81,14 @@ pub struct JobSnapshot {
     pub key: String,
     /// Current lifecycle state.
     pub state: JobState,
+    /// Admission priority.
+    pub priority: Priority,
     /// The serialized result body (`Some` once [`JobState::Done`]).
     pub result: Option<Arc<String>>,
     /// The failure message (`Some` once [`JobState::Failed`]).
     pub error: Option<String>,
+    /// Live simulation progress counters (shared with the worker).
+    pub progress: Arc<Progress>,
 }
 
 /// Outcome of an enqueue attempt.
@@ -70,6 +101,9 @@ pub enum Enqueue {
     Coalesced(u64),
     /// The queue is at capacity — tell the client to retry later.
     Full,
+    /// The queue is past its high-water mark and this job's priority is
+    /// too low to admit under load.
+    Shed,
     /// The server is draining and accepts no new work.
     ShuttingDown,
 }
@@ -77,10 +111,12 @@ pub enum Enqueue {
 /// Counter snapshot for `/v1/stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Jobs currently waiting in the queue.
+    /// Jobs currently waiting in the queue (all bands).
     pub depth: usize,
     /// Queue capacity.
     pub capacity: usize,
+    /// Depth past which `Low`-priority work is shed.
+    pub high_water: usize,
     /// Jobs currently being simulated.
     pub running: usize,
     /// Jobs accepted since startup (coalesced requests not counted).
@@ -89,11 +125,69 @@ pub struct QueueStats {
     pub completed: u64,
     /// Jobs that failed.
     pub failed: u64,
+    /// Jobs rejected by the priority shed policy.
+    pub shed: u64,
+    /// Observed mean service time in microseconds (the `Retry-After`
+    /// input; [`DEFAULT_MEAN_SERVICE_US`] until a job completes).
+    pub mean_service_us: u64,
+}
+
+/// A claimed job, handed to a worker by [`JobQueue::take`].
+#[derive(Debug)]
+pub struct TakenJob {
+    /// The job id.
+    pub id: u64,
+    /// Content key of the configuration.
+    pub key: String,
+    /// The validated configuration to simulate.
+    pub config: SimConfig,
+    /// Absolute wall-clock deadline, if the job carries one.
+    pub deadline: Option<Instant>,
+    /// Progress counters to feed from the engine's event stream.
+    pub progress: Arc<Progress>,
+}
+
+/// A journal-recovered job to reinstall via [`JobQueue::restore`].
+#[derive(Debug)]
+pub struct RestoredJob {
+    /// Original job id (preserved across the restart).
+    pub id: u64,
+    /// Content key.
+    pub key: String,
+    /// Admission priority.
+    pub priority: Priority,
+    /// Wall-clock budget to re-grant from *now* (the pre-crash wait is
+    /// forgiven), in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Canonical configuration JSON (journaled form).
+    pub canonical: Arc<String>,
+    /// Parsed configuration; required when `outcome` is `None`.
+    pub config: Option<SimConfig>,
+    /// Terminal outcome, if the job reached one before the crash.
+    pub outcome: Option<Result<Arc<String>, String>>,
+}
+
+/// One job as the journal compactor needs it.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: u64,
+    /// Content key.
+    pub key: String,
+    /// Admission priority.
+    pub priority: Priority,
+    /// Original wall-clock budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Canonical configuration JSON.
+    pub canonical: Arc<String>,
+    /// Terminal outcome (`None` = still pending, must be re-journaled).
+    pub outcome: Option<Result<Arc<String>, String>>,
 }
 
 #[derive(Debug)]
 struct Inner {
-    queue: VecDeque<u64>,
+    /// One FIFO per band, drained high-to-low.
+    bands: [VecDeque<u64>; 3],
     jobs: BTreeMap<u64, Job>,
     /// Content key → job id, for jobs that are queued or running. Entries
     /// leave this map when the job finishes (later identical requests are
@@ -105,15 +199,28 @@ struct Inner {
     enqueued: u64,
     completed: u64,
     failed: u64,
+    shed: u64,
+    /// Completed-job service time accumulator, for the `Retry-After` mean.
+    service_us_total: u64,
+    service_samples: u64,
 }
 
 #[derive(Debug)]
 struct Job {
     key: String,
+    canonical: Arc<String>,
+    priority: Priority,
+    deadline_ms: Option<u64>,
+    deadline: Option<Instant>,
     config: Option<SimConfig>,
     state: JobState,
     result: Option<Arc<String>>,
     error: Option<String>,
+    progress: Arc<Progress>,
+    /// Set when journal recovery found two live submits for one content
+    /// key (an append-race artifact): this job defers to that one, and its
+    /// snapshot resolves through it — the work runs exactly once.
+    alias_of: Option<u64>,
 }
 
 /// The shared job queue (cheaply clonable via `Arc` by the server).
@@ -131,29 +238,76 @@ fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Band index for a priority (drain order is index 0 first).
+const fn band(priority: Priority) -> usize {
+    match priority {
+        Priority::High => 0,
+        Priority::Normal => 1,
+        Priority::Low => 2,
+    }
+}
+
+/// The honest `Retry-After`: how long until a slot frees up, assuming the
+/// backlog drains at the observed mean service rate across the worker
+/// pool. Clamped to `[1, 60]` seconds — a hint, not a contract.
+#[must_use]
+pub fn retry_after_secs(depth: usize, workers: usize, mean_service_us: u64) -> u64 {
+    let workers = workers.max(1) as u64;
+    let depth = depth.max(1) as u64;
+    let wait_us = depth.saturating_mul(mean_service_us) / workers;
+    wait_us.div_ceil(1_000_000).clamp(1, 60)
+}
+
 impl JobQueue {
     /// A queue holding at most `capacity` waiting jobs.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        Self::with_recovered(capacity, 1)
+    }
+
+    /// A queue whose id counter starts at `next_id` — the journal's floor,
+    /// so restarted servers never reuse a job id.
+    #[must_use]
+    pub fn with_recovered(capacity: usize, next_id: u64) -> Self {
         Self {
             capacity,
             inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
+                bands: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 jobs: BTreeMap::new(),
                 active_by_key: BTreeMap::new(),
-                next_id: 1,
+                next_id: next_id.max(1),
                 shutting_down: false,
                 running: 0,
                 enqueued: 0,
                 completed: 0,
                 failed: 0,
+                shed: 0,
+                service_us_total: 0,
+                service_samples: 0,
             }),
             work_ready: Condvar::new(),
         }
     }
 
+    /// Depth past which `Low`-priority work is shed: 3/4 of capacity, at
+    /// least 1.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        (self.capacity * 3 / 4).max(1)
+    }
+
     /// Try to enqueue a job for `config` under content `key`.
-    pub fn enqueue(&self, key: &str, config: SimConfig) -> Enqueue {
+    ///
+    /// `canonical` is the resolved configuration's canonical JSON (kept
+    /// for journaling); `deadline_ms` is the job's wall-clock budget.
+    pub fn enqueue(
+        &self,
+        key: &str,
+        config: SimConfig,
+        canonical: Arc<String>,
+        priority: Priority,
+        deadline_ms: Option<u64>,
+    ) -> Enqueue {
         let mut inner = lock(&self.inner);
         if inner.shutting_down {
             return Enqueue::ShuttingDown;
@@ -161,41 +315,118 @@ impl JobQueue {
         if let Some(&id) = inner.active_by_key.get(key) {
             return Enqueue::Coalesced(id);
         }
-        if inner.queue.len() >= self.capacity {
+        let depth: usize = inner.bands.iter().map(VecDeque::len).sum();
+        if depth >= self.capacity {
             return Enqueue::Full;
+        }
+        if depth >= self.high_water() && priority == Priority::Low {
+            inner.shed += 1;
+            return Enqueue::Shed;
         }
         let id = inner.next_id;
         inner.next_id += 1;
+        let deadline = deadline_ms
+            .filter(|&ms| ms > 0)
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
         inner.jobs.insert(
             id,
             Job {
                 key: key.to_string(),
+                canonical,
+                priority,
+                deadline_ms,
+                deadline,
                 config: Some(config),
                 state: JobState::Queued,
                 result: None,
                 error: None,
+                progress: Arc::new(Progress::default()),
+                alias_of: None,
             },
         );
         inner.active_by_key.insert(key.to_string(), id);
-        inner.queue.push_back(id);
+        inner.bands[band(priority)].push_back(id);
         inner.enqueued += 1;
         drop(inner);
         self.work_ready.notify_one();
         Enqueue::Enqueued(id)
     }
 
+    /// Reinstall a journal-recovered job under its original id. Terminal
+    /// jobs come back terminal; unfinished jobs re-enter their band with a
+    /// fresh deadline. A pending job whose key is already pending (a
+    /// journal append-race artifact) becomes an *alias* of the earlier
+    /// job, so the simulation still runs exactly once. Recovery may
+    /// restore more pending jobs than `capacity` — the backlog is honored,
+    /// not shed.
+    pub fn restore(&self, job: RestoredJob) {
+        let mut inner = lock(&self.inner);
+        inner.next_id = inner.next_id.max(job.id + 1);
+        let mut entry = Job {
+            key: job.key.clone(),
+            canonical: job.canonical,
+            priority: job.priority,
+            deadline_ms: job.deadline_ms,
+            deadline: None,
+            config: None,
+            state: JobState::Queued,
+            result: None,
+            error: None,
+            progress: Arc::new(Progress::default()),
+            alias_of: None,
+        };
+        match job.outcome {
+            Some(Ok(body)) => {
+                entry.state = JobState::Done;
+                entry.result = Some(body);
+                inner.completed += 1;
+                inner.jobs.insert(job.id, entry);
+            }
+            Some(Err(message)) => {
+                entry.state = JobState::Failed;
+                entry.error = Some(message);
+                inner.failed += 1;
+                inner.jobs.insert(job.id, entry);
+            }
+            None => {
+                if let Some(&earlier) = inner.active_by_key.get(&job.key) {
+                    entry.alias_of = Some(earlier);
+                    inner.jobs.insert(job.id, entry);
+                    return;
+                }
+                entry.deadline = job
+                    .deadline_ms
+                    .filter(|&ms| ms > 0)
+                    .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+                entry.config = job.config;
+                inner.active_by_key.insert(job.key.clone(), job.id);
+                inner.bands[band(job.priority)].push_back(job.id);
+                inner.enqueued += 1;
+                inner.jobs.insert(job.id, entry);
+                drop(inner);
+                self.work_ready.notify_one();
+            }
+        }
+    }
+
     /// Block until a job is available and claim it, or return `None` when
     /// the queue is shut down and drained — the worker's signal to exit.
-    pub fn take(&self) -> Option<(u64, String, SimConfig)> {
+    pub fn take(&self) -> Option<TakenJob> {
         let mut inner = lock(&self.inner);
         loop {
-            if let Some(id) = inner.queue.pop_front() {
+            let id = inner.bands.iter_mut().find_map(VecDeque::pop_front);
+            if let Some(id) = id {
                 inner.running += 1;
                 let job = inner.jobs.get_mut(&id).expect("queued job exists");
                 job.state = JobState::Running;
                 let config = job.config.take().expect("queued job holds its config");
-                let key = job.key.clone();
-                return Some((id, key, config));
+                return Some(TakenJob {
+                    id,
+                    key: job.key.clone(),
+                    config,
+                    deadline: job.deadline,
+                    progress: Arc::clone(&job.progress),
+                });
             }
             if inner.shutting_down {
                 return None;
@@ -207,43 +438,115 @@ impl JobQueue {
         }
     }
 
-    /// Record a claimed job's outcome and release its coalescing slot.
-    pub fn finish(&self, id: u64, outcome: Result<Arc<String>, String>) {
+    /// Record a claimed job's outcome, its service time (for the
+    /// `Retry-After` mean), and release its coalescing slot. Prunes the
+    /// oldest terminal jobs past [`RETAINED_FINISHED_JOBS`].
+    pub fn finish(&self, id: u64, outcome: Result<Arc<String>, String>, service_us: u64) {
         let mut inner = lock(&self.inner);
         inner.running = inner.running.saturating_sub(1);
         if outcome.is_ok() {
             inner.completed += 1;
+            inner.service_us_total = inner.service_us_total.saturating_add(service_us);
+            inner.service_samples += 1;
         } else {
             inner.failed += 1;
         }
-        let Some(job) = inner.jobs.get_mut(&id) else {
-            return;
-        };
-        match outcome {
-            Ok(body) => {
-                job.state = JobState::Done;
-                job.result = Some(body);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            match outcome {
+                Ok(body) => {
+                    job.state = JobState::Done;
+                    job.result = Some(body);
+                }
+                Err(message) => {
+                    job.state = JobState::Failed;
+                    job.error = Some(message);
+                }
             }
-            Err(message) => {
-                job.state = JobState::Failed;
-                job.error = Some(message);
+            let key = job.key.clone();
+            if inner.active_by_key.get(&key) == Some(&id) {
+                inner.active_by_key.remove(&key);
             }
         }
-        let key = job.key.clone();
-        inner.active_by_key.remove(&key);
+        // Bound the job table: drop the oldest terminal entries (their
+        // results live on in the content-addressed cache).
+        let terminal: Vec<u64> = inner
+            .jobs
+            .iter()
+            .filter(|(_, j)| {
+                matches!(j.state, JobState::Done | JobState::Failed) || j.alias_of.is_some()
+            })
+            .map(|(&jid, _)| jid)
+            .collect();
+        if terminal.len() > RETAINED_FINISHED_JOBS {
+            for jid in &terminal[..terminal.len() - RETAINED_FINISHED_JOBS] {
+                inner.jobs.remove(jid);
+            }
+        }
     }
 
-    /// Look up a job for the status/result endpoints.
+    /// Look up a job for the status/result endpoints. An alias job
+    /// resolves through its target (same work, same outcome).
     #[must_use]
     pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
         let inner = lock(&self.inner);
-        inner.jobs.get(&id).map(|job| JobSnapshot {
+        let mut job = inner.jobs.get(&id)?;
+        if let Some(target) = job.alias_of {
+            job = inner.jobs.get(&target).unwrap_or(job);
+        }
+        Some(JobSnapshot {
             id,
             key: job.key.clone(),
             state: job.state,
+            priority: job.priority,
             result: job.result.clone(),
             error: job.error.clone(),
+            progress: Arc::clone(&job.progress),
         })
+    }
+
+    /// Project every known job for the journal compactor, together with
+    /// the id floor to persist. Alias jobs report their target's outcome.
+    #[must_use]
+    pub fn journal_view(&self) -> (u64, Vec<JobRecord>) {
+        let inner = lock(&self.inner);
+        let records = inner
+            .jobs
+            .iter()
+            .map(|(&id, job)| {
+                let resolved = job.alias_of.and_then(|t| inner.jobs.get(&t)).unwrap_or(job);
+                let outcome = match resolved.state {
+                    JobState::Done => Some(Ok(resolved
+                        .result
+                        .clone()
+                        .unwrap_or_else(|| Arc::new(String::new())))),
+                    JobState::Failed => Some(Err(resolved
+                        .error
+                        .clone()
+                        .unwrap_or_else(|| "failed".to_string()))),
+                    JobState::Queued | JobState::Running => None,
+                };
+                JobRecord {
+                    id,
+                    key: job.key.clone(),
+                    priority: job.priority,
+                    deadline_ms: job.deadline_ms,
+                    canonical: Arc::clone(&job.canonical),
+                    outcome,
+                }
+            })
+            .collect();
+        (inner.next_id, records)
+    }
+
+    /// Observed mean service time in microseconds, falling back to
+    /// [`DEFAULT_MEAN_SERVICE_US`] before the first completion.
+    #[must_use]
+    pub fn mean_service_us(&self) -> u64 {
+        let inner = lock(&self.inner);
+        inner
+            .service_us_total
+            .checked_div(inner.service_samples)
+            .unwrap_or(DEFAULT_MEAN_SERVICE_US)
     }
 
     /// Begin draining: no new jobs are accepted, queued jobs still run,
@@ -256,20 +559,27 @@ impl JobQueue {
     /// Jobs currently waiting (the backpressure gauge).
     #[must_use]
     pub fn depth(&self) -> usize {
-        lock(&self.inner).queue.len()
+        lock(&self.inner).bands.iter().map(VecDeque::len).sum()
     }
 
     /// Counter snapshot.
     #[must_use]
     pub fn stats(&self) -> QueueStats {
         let inner = lock(&self.inner);
+        let mean_service_us = inner
+            .service_us_total
+            .checked_div(inner.service_samples)
+            .unwrap_or(DEFAULT_MEAN_SERVICE_US);
         QueueStats {
-            depth: inner.queue.len(),
+            depth: inner.bands.iter().map(VecDeque::len).sum(),
             capacity: self.capacity,
+            high_water: self.high_water(),
             running: inner.running,
             enqueued: inner.enqueued,
             completed: inner.completed,
             failed: inner.failed,
+            shed: inner.shed,
+            mean_service_us,
         }
     }
 }
@@ -291,33 +601,44 @@ mod tests {
         c
     }
 
+    fn canon(seed: u64) -> Arc<String> {
+        Arc::new(format!("{{\"seed\":{seed}}}"))
+    }
+
+    fn push(q: &JobQueue, key: &str, seed: u64, priority: Priority) -> Enqueue {
+        q.enqueue(key, config(seed), canon(seed), priority, None)
+    }
+
     #[test]
     fn identical_keys_coalesce_until_finished() {
         let q = JobQueue::new(4);
-        let Enqueue::Enqueued(id) = q.enqueue("k", config(1)) else {
+        let Enqueue::Enqueued(id) = push(&q, "k", 1, Priority::Normal) else {
             panic!("first enqueue should be accepted");
         };
-        assert_eq!(q.enqueue("k", config(1)), Enqueue::Coalesced(id));
-        let (taken, key, _) = q.take().unwrap();
-        assert_eq!((taken, key.as_str()), (id, "k"));
+        assert_eq!(push(&q, "k", 1, Priority::Normal), Enqueue::Coalesced(id));
+        let taken = q.take().unwrap();
+        assert_eq!((taken.id, taken.key.as_str()), (id, "k"));
         // Still running: identical requests still coalesce.
-        assert_eq!(q.enqueue("k", config(1)), Enqueue::Coalesced(id));
-        q.finish(id, Ok(Arc::new("{}".to_string())));
+        assert_eq!(push(&q, "k", 1, Priority::Normal), Enqueue::Coalesced(id));
+        q.finish(id, Ok(Arc::new("{}".to_string())), 1000);
         // Finished: the key is free again (the cache takes over from here).
-        assert!(matches!(q.enqueue("k", config(1)), Enqueue::Enqueued(_)));
+        assert!(matches!(
+            push(&q, "k", 1, Priority::Normal),
+            Enqueue::Enqueued(_)
+        ));
     }
 
     #[test]
     fn full_queue_rejects_and_snapshot_tracks_state() {
         let q = JobQueue::new(1);
-        let Enqueue::Enqueued(id) = q.enqueue("a", config(1)) else {
+        let Enqueue::Enqueued(id) = push(&q, "a", 1, Priority::Normal) else {
             panic!("expected accept");
         };
-        assert_eq!(q.enqueue("b", config(2)), Enqueue::Full);
+        assert_eq!(push(&q, "b", 2, Priority::Normal), Enqueue::Full);
         assert_eq!(q.snapshot(id).unwrap().state, JobState::Queued);
         let _ = q.take().unwrap();
         assert_eq!(q.snapshot(id).unwrap().state, JobState::Running);
-        q.finish(id, Err("boom".to_string()));
+        q.finish(id, Err("boom".to_string()), 0);
         let snap = q.snapshot(id).unwrap();
         assert_eq!(snap.state, JobState::Failed);
         assert_eq!(snap.error.as_deref(), Some("boom"));
@@ -327,15 +648,174 @@ mod tests {
     #[test]
     fn shutdown_drains_then_releases_workers() {
         let q = JobQueue::new(4);
-        let Enqueue::Enqueued(id) = q.enqueue("a", config(1)) else {
+        let Enqueue::Enqueued(id) = push(&q, "a", 1, Priority::Normal) else {
             panic!("expected accept");
         };
         q.begin_shutdown();
-        assert_eq!(q.enqueue("b", config(2)), Enqueue::ShuttingDown);
+        assert_eq!(push(&q, "b", 2, Priority::Normal), Enqueue::ShuttingDown);
         // The queued job is still handed out before workers are released.
-        let (taken, _, _) = q.take().unwrap();
-        assert_eq!(taken, id);
-        q.finish(id, Ok(Arc::new("{}".to_string())));
+        let taken = q.take().unwrap();
+        assert_eq!(taken.id, id);
+        q.finish(id, Ok(Arc::new("{}".to_string())), 500);
         assert!(q.take().is_none(), "drained queue should release workers");
+    }
+
+    #[test]
+    fn high_priority_jumps_the_line_and_low_is_shed_past_high_water() {
+        let q = JobQueue::new(4); // high_water = 3
+        assert_eq!(q.high_water(), 3);
+        assert!(matches!(
+            push(&q, "n1", 1, Priority::Normal),
+            Enqueue::Enqueued(_)
+        ));
+        assert!(matches!(
+            push(&q, "l1", 2, Priority::Low),
+            Enqueue::Enqueued(_)
+        ));
+        let Enqueue::Enqueued(high_id) = push(&q, "h1", 3, Priority::High) else {
+            panic!("expected accept");
+        };
+        // Depth 3 == high water: Low is shed, Normal still admitted.
+        assert_eq!(push(&q, "l2", 4, Priority::Low), Enqueue::Shed);
+        assert!(matches!(
+            push(&q, "n2", 5, Priority::Normal),
+            Enqueue::Enqueued(_)
+        ));
+        // Depth 4 == capacity: everyone is rejected as Full.
+        assert_eq!(push(&q, "h2", 6, Priority::High), Enqueue::Full);
+        // Drain order: the High job first despite arriving third.
+        assert_eq!(q.take().unwrap().id, high_id);
+        assert_eq!(q.stats().shed, 1);
+    }
+
+    #[test]
+    fn retry_after_is_depth_times_mean_over_workers() {
+        // 8 queued jobs × 2s mean ÷ 2 workers = 8s of backlog.
+        assert_eq!(retry_after_secs(8, 2, 2_000_000), 8);
+        // Light backlog still hints at least one second.
+        assert_eq!(retry_after_secs(1, 4, 100_000), 1);
+        // Empty queue (a race) behaves like depth 1.
+        assert_eq!(retry_after_secs(0, 2, 600_000), 1);
+        // Hopeless backlog is clamped to a minute.
+        assert_eq!(retry_after_secs(1000, 1, 60_000_000), 60);
+        // Division is per-worker: double the pool, halve the hint.
+        assert_eq!(retry_after_secs(8, 4, 2_000_000), 4);
+    }
+
+    #[test]
+    fn mean_service_time_tracks_completions() {
+        let q = JobQueue::new(8);
+        assert_eq!(q.mean_service_us(), DEFAULT_MEAN_SERVICE_US);
+        let Enqueue::Enqueued(a) = push(&q, "a", 1, Priority::Normal) else {
+            panic!("expected accept");
+        };
+        let Enqueue::Enqueued(b) = push(&q, "b", 2, Priority::Normal) else {
+            panic!("expected accept");
+        };
+        let _ = q.take().unwrap();
+        let _ = q.take().unwrap();
+        q.finish(a, Ok(Arc::new("{}".into())), 1_000_000);
+        q.finish(b, Ok(Arc::new("{}".into())), 3_000_000);
+        assert_eq!(q.mean_service_us(), 2_000_000);
+        // Failures don't pollute the service-time mean.
+        let Enqueue::Enqueued(c) = push(&q, "c", 3, Priority::Normal) else {
+            panic!("expected accept");
+        };
+        let _ = q.take().unwrap();
+        q.finish(c, Err("boom".into()), 0);
+        assert_eq!(q.mean_service_us(), 2_000_000);
+    }
+
+    #[test]
+    fn restore_rebuilds_terminal_and_pending_jobs() {
+        let q = JobQueue::with_recovered(4, 10);
+        q.restore(RestoredJob {
+            id: 3,
+            key: "done".into(),
+            priority: Priority::Normal,
+            deadline_ms: None,
+            canonical: canon(3),
+            config: None,
+            outcome: Some(Ok(Arc::new("{\"x\":1}".into()))),
+        });
+        q.restore(RestoredJob {
+            id: 5,
+            key: "pending".into(),
+            priority: Priority::High,
+            deadline_ms: Some(60_000),
+            canonical: canon(5),
+            config: Some(config(5)),
+            outcome: None,
+        });
+        let done = q.snapshot(3).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.result.unwrap().as_str(), "{\"x\":1}");
+        let taken = q.take().unwrap();
+        assert_eq!(taken.id, 5);
+        assert!(taken.deadline.is_some(), "budget re-granted from now");
+        // Ids continue past everything recovered.
+        let Enqueue::Enqueued(next) = push(&q, "new", 9, Priority::Normal) else {
+            panic!("expected accept");
+        };
+        assert!(next >= 10, "id floor respected, got {next}");
+    }
+
+    #[test]
+    fn duplicate_pending_key_becomes_an_alias_and_runs_once() {
+        let q = JobQueue::new(4);
+        q.restore(RestoredJob {
+            id: 1,
+            key: "k".into(),
+            priority: Priority::Normal,
+            deadline_ms: None,
+            canonical: canon(1),
+            config: Some(config(1)),
+            outcome: None,
+        });
+        q.restore(RestoredJob {
+            id: 2,
+            key: "k".into(),
+            priority: Priority::Normal,
+            deadline_ms: None,
+            canonical: canon(1),
+            config: Some(config(1)),
+            outcome: None,
+        });
+        let taken = q.take().unwrap();
+        assert_eq!(taken.id, 1);
+        q.finish(1, Ok(Arc::new("{\"once\":true}".into())), 100);
+        // Both ids observe the single run's result.
+        for id in [1, 2] {
+            let snap = q.snapshot(id).unwrap();
+            assert_eq!(snap.state, JobState::Done, "job {id}");
+            assert_eq!(snap.result.as_ref().unwrap().as_str(), "{\"once\":true}");
+        }
+        assert_eq!(q.depth(), 0, "no second copy of the work was queued");
+    }
+
+    #[test]
+    fn journal_view_projects_outcomes_and_id_floor() {
+        let q = JobQueue::with_recovered(4, 7);
+        let Enqueue::Enqueued(id) = push(&q, "a", 1, Priority::Low) else {
+            panic!("expected accept");
+        };
+        let (_, records) = q.journal_view();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].outcome.is_none());
+        assert_eq!(records[0].priority, Priority::Low);
+        let _ = q.take().unwrap();
+        q.finish(id, Ok(Arc::new("{\"r\":1}".into())), 10);
+        let (next_id, records) = q.journal_view();
+        assert!(next_id > id);
+        assert_eq!(
+            records[0]
+                .outcome
+                .as_ref()
+                .unwrap()
+                .as_ref()
+                .unwrap()
+                .as_str(),
+            "{\"r\":1}"
+        );
     }
 }

@@ -14,8 +14,11 @@
 //!   returned immediately (`200`, `x-icn-cache: hit`), otherwise the job
 //!   is queued (`202` with polling URLs) or rejected with `429` +
 //!   `Retry-After` when the bounded queue is full.
-//! * `GET /v1/jobs/:id` / `GET /v1/jobs/:id/result` — job status and the
-//!   finished result body.
+//! * `GET /v1/jobs/:id` / `GET /v1/jobs/:id/result` — job status (with
+//!   live progress counters) and the finished result body.
+//! * `GET /v1/jobs/:id/stream` — chunked ndjson progress stream, fed by
+//!   the worker's engine event sink, until the job reaches a terminal
+//!   state.
 //! * `GET /v1/healthz`, `GET /v1/stats` — liveness and counters.
 //! * `POST /v1/shutdown` — graceful drain (the signal-free stop switch).
 //!
@@ -37,6 +40,22 @@
 //!    are clamped at resolution), so a pathological configuration becomes
 //!    a `Failed` job, never a wedged worker thread.
 //!
+//! Two further properties make the service **crash-safe and
+//! overload-tolerant** (PR 6):
+//!
+//! 4. **A write-ahead [`journal`] makes jobs durable.** With `--journal`,
+//!    every submit/start/complete/fail is an fsync'd, checksummed record;
+//!    restart replays the file (truncating any torn tail from `kill -9`),
+//!    restores finished results, and re-enqueues unfinished jobs — each
+//!    submitted job reaches a terminal state exactly once. The [`spill`]
+//!    directory (`--cache-dir`) keeps completed bodies on disk behind the
+//!    memory LRU, which is also what lets journal compaction drop them.
+//! 5. **Degradation is prioritized and honest.** Jobs carry a
+//!    [`api::Priority`] and optional wall-clock deadline; past the
+//!    queue's high-water mark `Low` work is shed first, and every `429`'s
+//!    `Retry-After` is computed from the observed mean service time, not
+//!    a constant.
+//!
 //! Service [`telemetry`] reuses the PR 2 vocabulary — a request-latency
 //! histogram, queue-depth samples, and a typed event stream — dumped as
 //! JSONL that `icn inspect` can read.
@@ -45,11 +64,17 @@ pub mod api;
 pub mod cache;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod server;
+pub mod spill;
 pub mod telemetry;
 
-pub use api::{content_key, Limits, SimulateRequest, MIN_WATCHDOG_CYCLES};
+pub use api::{content_key, Limits, Priority, SimulateRequest, MIN_WATCHDOG_CYCLES};
 pub use cache::{CacheStats, ResultCache};
-pub use jobs::{Enqueue, JobQueue, JobSnapshot, JobState, QueueStats};
+pub use jobs::{
+    retry_after_secs, Enqueue, JobQueue, JobSnapshot, JobState, QueueStats, DEFAULT_MEAN_SERVICE_US,
+};
+pub use journal::{Journal, Record, Recovery};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
-pub use telemetry::{ServeDumpLine, ServeEvent, ServeMeta, ServeTelemetry};
+pub use spill::DiskStore;
+pub use telemetry::{Progress, ProgressSink, ServeDumpLine, ServeEvent, ServeMeta, ServeTelemetry};

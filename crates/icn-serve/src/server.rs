@@ -1,4 +1,4 @@
-//! The HTTP server: routing, worker pools, and graceful shutdown.
+//! The HTTP server: routing, worker pools, durability, and shutdown.
 //!
 //! Two fixed thread pools share an [`Arc`]ed state:
 //!
@@ -6,8 +6,23 @@
 //!   queue, parse one request, route it, and reply (`Connection: close`).
 //! * **Job workers** pull validated simulation configs off the
 //!   [`JobQueue`] and run them behind a panic guard; the engine's own
-//!   watchdog (PR 1) bounds each job's runtime, so a wedged configuration
-//!   becomes a typed `Failed` job, never a stuck worker.
+//!   watchdog (PR 1) bounds each job's cycles, a per-request wall-clock
+//!   deadline bounds its time (via [`icn_sim::Engine::run_bounded`]), so a
+//!   wedged configuration becomes a typed `Failed` job, never a stuck
+//!   worker.
+//!
+//! With `--journal` the server is **crash-safe**: every job transition is
+//! appended (fsync'd) to a write-ahead journal before the client observes
+//! it, and [`Server::bind`] replays the journal on startup — completed
+//! results come back servable, unfinished jobs re-enter the queue, and a
+//! torn tail from `kill -9` is truncated, not trusted. With `--cache-dir`
+//! the result cache spills to disk, so cached bodies survive restarts and
+//! memory eviction both (see [`crate::spill`]).
+//!
+//! Overload degrades in layers: the accept handoff queue sheds whole
+//! connections at 503; the job queue sheds `Low`-priority work past its
+//! high-water mark and everything at capacity, each 429 carrying an
+//! honest `Retry-After` derived from the observed mean service time.
 //!
 //! Graceful shutdown (`POST /v1/shutdown` or [`ServerHandle::shutdown`])
 //! stops accepting, drains queued connections and jobs, writes the
@@ -16,23 +31,36 @@
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use icn_sim::{SimConfig, SimError};
 use serde::Serialize;
 
 use crate::api::{content_key, Limits, SimulateRequest};
 use crate::cache::{CacheStats, ResultCache};
-use crate::http::{read_request, HttpError, Request, Response};
-use crate::jobs::{Enqueue, JobQueue, JobState, QueueStats};
-use crate::telemetry::{ServeEvent, ServeTelemetry};
+use crate::http::{read_request, ChunkedResponse, HttpError, Request, Response};
+use crate::jobs::{
+    retry_after_secs, Enqueue, JobQueue, JobRecord, JobState, QueueStats, RestoredJob, TakenJob,
+};
+use crate::journal::{compaction_records, CompactionJob, Journal, Record};
+use crate::spill::DiskStore;
+use crate::telemetry::{ProgressSink, ServeEvent, ServeTelemetry};
 
 /// Connections buffered between the acceptor and the HTTP workers.
 const CONN_QUEUE_CAPACITY: usize = 128;
 
 /// How long the acceptor sleeps between polls when idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// How often `/v1/jobs/:id/stream` emits a progress line.
+const STREAM_POLL: Duration = Duration::from_millis(100);
+
+/// Upper bound on one progress stream's lifetime (a defense against
+/// clients that never disconnect; 10 minutes at [`STREAM_POLL`]).
+const STREAM_MAX_TICKS: u32 = 6000;
 
 /// Server configuration (see `icn serve --help` for the CLI surface).
 #[derive(Debug, Clone)]
@@ -45,10 +73,17 @@ pub struct ServeConfig {
     pub http_workers: usize,
     /// Job-queue capacity (beyond it, `/v1/simulate` answers 429).
     pub queue_depth: usize,
-    /// Result-cache capacity in entries (0 disables caching).
+    /// Result-cache capacity in entries (0 disables memory caching).
     pub cache_entries: usize,
     /// Write a telemetry JSONL dump here on shutdown.
     pub telemetry_out: Option<String>,
+    /// Write-ahead job journal path (None = no crash safety).
+    pub journal: Option<String>,
+    /// Result-cache disk spill directory (None = memory-only cache).
+    pub cache_dir: Option<String>,
+    /// Default per-job wall-clock budget in milliseconds (0 = none);
+    /// requests may override with their own `deadline_ms`.
+    pub default_deadline_ms: u64,
     /// Per-job guard rails.
     pub limits: Limits,
 }
@@ -62,6 +97,9 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_entries: 256,
             telemetry_out: None,
+            journal: None,
+            cache_dir: None,
+            default_deadline_ms: 0,
             limits: Limits::default(),
         }
     }
@@ -132,6 +170,13 @@ struct ServerState {
     jobs: JobQueue,
     telemetry: ServeTelemetry,
     shutdown: AtomicBool,
+    /// The write-ahead journal, when durability is enabled. Lock order:
+    /// journal before jobs (compaction holds the journal lock while
+    /// snapshotting the queue); nothing locks the other way around.
+    journal: Option<Mutex<Journal>>,
+    /// Whether the cache has a disk spill (decides whether `Complete`
+    /// records need their body inline).
+    spill_active: bool,
 }
 
 /// A handle for observing and stopping a running server from another
@@ -164,20 +209,112 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the configured address.
+    /// Bind the configured address and, when a journal and/or cache spill
+    /// directory is configured, recover the previous run's state: replay
+    /// the journal (truncating any torn tail), restore completed results
+    /// into the cache, re-enqueue unfinished jobs, and compact the journal
+    /// down to what is still live.
     ///
     /// # Errors
-    /// Returns the bind error (address in use, permission, bad syntax).
+    /// Returns the bind error (address in use, permission, bad syntax) or
+    /// a journal/spill I/O error. Journal *corruption* is not an error —
+    /// it is the expected signature of a crash, handled by truncation.
     pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+
+        let spill = config
+            .cache_dir
+            .as_deref()
+            .map(|dir| DiskStore::open(Path::new(dir)).map(Arc::new))
+            .transpose()?;
+        let spill_active = spill.is_some();
+        let mut cache = match &spill {
+            Some(store) => ResultCache::with_spill(config.cache_entries, Arc::clone(store)),
+            None => ResultCache::new(config.cache_entries),
+        };
+
+        let mut journal = None;
+        let mut recovered_event = None;
+        let jobs = match config.journal.as_deref() {
+            None => JobQueue::new(config.queue_depth),
+            Some(path) => {
+                let (mut handle, recovery) = Journal::recover(Path::new(path))?;
+                let jobs = JobQueue::with_recovered(config.queue_depth, recovery.next_id);
+                let mut restored_cache = 0u64;
+                for (key, body) in recovery.orphan_results {
+                    cache.insert(&key, Arc::new(body));
+                    restored_cache += 1;
+                }
+                let total_jobs = recovery.jobs.len() as u64;
+                let mut requeued = 0u64;
+                for job in recovery.jobs {
+                    let outcome = match job.outcome {
+                        Some(Ok(Some(body))) => {
+                            let body = Arc::new(body);
+                            cache.insert(&job.key, Arc::clone(&body));
+                            restored_cache += 1;
+                            Some(Ok(body))
+                        }
+                        // Body lives in the spill (or is lost): a cache
+                        // probe either restores it or the job re-runs.
+                        Some(Ok(None)) => cache.get(&job.key).map(Ok),
+                        Some(Err(message)) => Some(Err(message)),
+                        None => None,
+                    };
+                    let parsed = if outcome.is_none() {
+                        serde_json::from_str::<SimConfig>(&job.config).ok()
+                    } else {
+                        None
+                    };
+                    let outcome = match (outcome, parsed.is_some()) {
+                        (None, false) => Some(Err(
+                            "unrecoverable: journaled configuration no longer parses".to_string(),
+                        )),
+                        (outcome, _) => outcome,
+                    };
+                    if outcome.is_none() {
+                        requeued += 1;
+                    }
+                    jobs.restore(RestoredJob {
+                        id: job.id,
+                        key: job.key,
+                        priority: job.priority,
+                        deadline_ms: job.deadline_ms,
+                        canonical: Arc::new(job.config),
+                        config: parsed,
+                        outcome,
+                    });
+                }
+                // Compact away everything the spill now owns.
+                let (next_id, records) = jobs.journal_view();
+                handle.compact(&compaction_records(
+                    next_id,
+                    &compaction_jobs(records, spill_active),
+                ))?;
+                recovered_event = Some(ServeEvent::Recovered {
+                    jobs: total_jobs,
+                    requeued,
+                    cache_entries: restored_cache,
+                    discarded_bytes: recovery.discarded_bytes,
+                });
+                journal = Some(Mutex::new(handle));
+                jobs
+            }
+        };
+
         let state = Arc::new(ServerState {
-            cache: parking_lot::Mutex::new(ResultCache::new(config.cache_entries)),
-            jobs: JobQueue::new(config.queue_depth),
+            cache: parking_lot::Mutex::new(cache),
+            jobs,
             telemetry: ServeTelemetry::new(),
             shutdown: AtomicBool::new(false),
+            journal,
+            spill_active,
             config,
         });
+        if let Some(event) = recovered_event {
+            state.telemetry.event(event);
+        }
         Ok(Self {
             listener,
             state,
@@ -293,40 +430,167 @@ fn request_shutdown(state: &ServerState) {
     }
 }
 
-/// One simulation worker: claim, run behind a panic guard, publish.
+/// Append one record to the journal, if one is configured. Append errors
+/// are swallowed by design: losing one record's durability must not fail
+/// the in-memory job it describes.
+fn journal_append(state: &ServerState, record: &Record) {
+    if let Some(journal) = &state.journal {
+        let mut journal = journal.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = journal.append(record);
+    }
+}
+
+/// Project the queue's jobs into the journal compactor's shape. With a
+/// disk spill active, completed bodies are *not* inlined — the spill owns
+/// them, keyed by content — which is what lets compaction drop them.
+fn compaction_jobs(records: Vec<JobRecord>, spill_active: bool) -> Vec<CompactionJob> {
+    records
+        .into_iter()
+        .map(|r| CompactionJob {
+            id: r.id,
+            key: r.key,
+            priority: r.priority,
+            deadline_ms: r.deadline_ms,
+            config: r.canonical.as_str().to_string(),
+            outcome: r.outcome.map(|outcome| match outcome {
+                Ok(body) => Ok(if spill_active {
+                    None
+                } else {
+                    Some(body.as_str().to_string())
+                }),
+                Err(message) => Err(message),
+            }),
+        })
+        .collect()
+}
+
+/// Compact the journal if it has outgrown its threshold.
+fn maybe_compact(state: &ServerState) {
+    let Some(journal) = &state.journal else {
+        return;
+    };
+    let mut journal = journal.lock().unwrap_or_else(PoisonError::into_inner);
+    if !journal.wants_compaction() {
+        return;
+    }
+    let before_bytes = journal.bytes();
+    let (next_id, records) = state.jobs.journal_view();
+    if journal
+        .compact(&compaction_records(
+            next_id,
+            &compaction_jobs(records, state.spill_active),
+        ))
+        .is_ok()
+    {
+        state.telemetry.event(ServeEvent::JournalCompacted {
+            before_bytes,
+            after_bytes: journal.bytes(),
+        });
+    }
+}
+
+/// Run one simulation behind a panic guard, feeding its event stream into
+/// the job's progress counters and honoring its wall-clock deadline.
+fn run_job(
+    state: &ServerState,
+    id: u64,
+    config: SimConfig,
+    progress: Arc<crate::telemetry::Progress>,
+    deadline: Option<Instant>,
+) -> Result<Arc<String>, String> {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut engine = icn_sim::Engine::try_new(config)?;
+        engine.set_event_sink(ProgressSink(progress));
+        match deadline {
+            Some(deadline) => engine.run_bounded(move || Instant::now() >= deadline),
+            None => Ok(engine.run()),
+        }
+    }));
+    match result {
+        Ok(Ok(result)) => match serde_json::to_string(&result) {
+            Ok(body) => Ok(Arc::new(body)),
+            Err(e) => Err(format!("serializing result: {e}")),
+        },
+        Ok(Err(e)) => {
+            if matches!(e, SimError::DeadlineExceeded { .. }) {
+                state
+                    .telemetry
+                    .event(ServeEvent::DeadlineExceeded { job: id });
+            }
+            Err(e.to_string())
+        }
+        Err(_) => Err("simulation panicked; see server logs".to_string()),
+    }
+}
+
+/// One simulation worker: claim, journal the claim, run behind a panic
+/// guard and deadline, publish to the cache, journal the outcome.
 fn job_worker(state: &ServerState) {
-    while let Some((id, key, config)) = state.jobs.take() {
+    while let Some(taken) = state.jobs.take() {
+        let TakenJob {
+            id,
+            key,
+            config,
+            deadline,
+            progress,
+        } = taken;
+        journal_append(state, &Record::Start { id });
         state.telemetry.event(ServeEvent::JobStarted { job: id });
         let started = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| icn_sim::try_run(config)));
-        let micros = elapsed_micros(started);
-        let outcome = match outcome {
-            Ok(Ok(result)) => match serde_json::to_string(&result) {
-                Ok(body) => Ok(Arc::new(body)),
-                Err(e) => Err(format!("serializing result: {e}")),
-            },
-            Ok(Err(e)) => Err(e.to_string()),
-            Err(_) => Err("simulation panicked; see server logs".to_string()),
+        let outcome = match deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                state
+                    .telemetry
+                    .event(ServeEvent::DeadlineExceeded { job: id });
+                Err("deadline exceeded before the job started".to_string())
+            }
+            deadline => run_job(state, id, config, progress, deadline),
         };
+        let micros = elapsed_micros(started);
         match &outcome {
             Ok(body) => {
                 state.cache.lock().insert(&key, Arc::clone(body));
+                // With a spill, the body is already durable on disk under
+                // its content key; journaling it again would only bloat.
+                let inline = if state.spill_active {
+                    None
+                } else {
+                    Some(body.as_str().to_string())
+                };
+                journal_append(
+                    state,
+                    &Record::Complete {
+                        id,
+                        key: key.clone(),
+                        body: inline,
+                    },
+                );
                 state
                     .telemetry
                     .event(ServeEvent::JobDone { job: id, micros });
             }
             Err(error) => {
+                journal_append(
+                    state,
+                    &Record::Fail {
+                        id,
+                        error: error.clone(),
+                    },
+                );
                 state.telemetry.event(ServeEvent::JobFailed {
                     job: id,
                     error: error.clone(),
                 });
             }
         }
-        state.jobs.finish(id, outcome);
+        state.jobs.finish(id, outcome, micros);
+        maybe_compact(state);
     }
 }
 
-/// Serve one connection: read a request, route it, time it, reply.
+/// Serve one connection: read a request, route it, time it, reply. The
+/// progress-stream endpoint takes over the socket for chunked output;
+/// everything else goes through [`route`].
 fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
     let started = Instant::now();
     let request = match read_request(stream) {
@@ -343,6 +607,18 @@ fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
             return;
         }
     };
+    if request.method == "GET" {
+        if let Some(id_text) = request
+            .path
+            .strip_prefix("/v1/jobs/")
+            .and_then(|rest| rest.strip_suffix("/stream"))
+        {
+            if let Ok(id) = id_text.parse::<u64>() {
+                stream_job(state, stream, &request, id, started);
+                return;
+            }
+        }
+    }
     let response = route(state, &request);
     let micros = elapsed_micros(started);
     let queue = state.jobs.stats();
@@ -355,6 +631,66 @@ fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
         queue.running as u64,
     );
     let _ = response.write(stream);
+}
+
+/// `GET /v1/jobs/:id/stream`: chunked ndjson progress lines (one every
+/// [`STREAM_POLL`]) until the job reaches a terminal state, the client
+/// hangs up, or [`STREAM_MAX_TICKS`] elapse. Fed by the worker's
+/// [`ProgressSink`] counters.
+fn stream_job(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    request: &Request,
+    id: u64,
+    started: Instant,
+) {
+    let record = |status: u16| {
+        let queue = state.jobs.stats();
+        state.telemetry.record_request(
+            &request.method,
+            &request.path,
+            status,
+            elapsed_micros(started),
+            queue.depth as u64,
+            queue.running as u64,
+        );
+    };
+    if state.jobs.snapshot(id).is_none() {
+        record(404);
+        let _ = Response::json(404, error_body(&format!("no such job: {id}"))).write(stream);
+        return;
+    }
+    let Ok(mut chunked) = ChunkedResponse::begin(stream, 200, "application/x-ndjson") else {
+        record(200);
+        return;
+    };
+    let mut ticks = 0u32;
+    // Exits when the job goes terminal, the tick cap fires, or the job
+    // is pruned mid-stream (snapshot returns None).
+    while let Some(job) = state.jobs.snapshot(id) {
+        let (cycle, injected, delivered, dropped) = job.progress.read();
+        let terminal = matches!(job.state, JobState::Done | JobState::Failed);
+        let line = format!(
+            "{{\"job\":{id},\"status\":\"{}\",\"cycle\":{cycle},\"injected\":{injected},\"delivered\":{delivered},\"dropped\":{dropped}{}}}\n",
+            job.state.label(),
+            if terminal {
+                format!(",\"result_url\":\"/v1/jobs/{id}/result\"")
+            } else {
+                String::new()
+            }
+        );
+        if chunked.chunk(line.as_bytes()).is_err() {
+            record(200);
+            return; // client hung up; nothing left to finish
+        }
+        ticks += 1;
+        if terminal || ticks >= STREAM_MAX_TICKS {
+            break;
+        }
+        std::thread::sleep(STREAM_POLL);
+    }
+    let _ = chunked.finish();
+    record(200);
 }
 
 /// Dispatch one parsed request.
@@ -414,6 +750,16 @@ fn evaluate(state: &ServerState, body: &[u8]) -> Response {
     Response::json(200, body.as_str()).with_header("x-icn-cache", "miss")
 }
 
+/// The honest 429: `Retry-After` from the live backlog and service rate.
+fn too_many_requests(state: &ServerState, message: &str) -> Response {
+    let secs = retry_after_secs(
+        state.jobs.depth(),
+        state.config.workers,
+        state.jobs.mean_service_us(),
+    );
+    Response::json(429, error_body(message)).with_header("retry-after", secs.to_string())
+}
+
 /// `POST /v1/simulate`: serve from cache or enqueue a job.
 fn simulate(state: &ServerState, body: &[u8]) -> Response {
     let Ok(text) = std::str::from_utf8(body) else {
@@ -441,8 +787,29 @@ fn simulate(state: &ServerState, body: &[u8]) -> Response {
     state
         .telemetry
         .event(ServeEvent::CacheMiss { key: key.clone() });
-    match state.jobs.enqueue(&key, config) {
+    let priority = request.priority.unwrap_or_default();
+    // `deadline_ms: 0` explicitly opts out of the server default.
+    let deadline_ms = match request.deadline_ms {
+        Some(0) => None,
+        Some(ms) => Some(ms),
+        None => (state.config.default_deadline_ms > 0).then_some(state.config.default_deadline_ms),
+    };
+    let canonical = Arc::new(canonical);
+    match state
+        .jobs
+        .enqueue(&key, config, Arc::clone(&canonical), priority, deadline_ms)
+    {
         Enqueue::Enqueued(id) => {
+            journal_append(
+                state,
+                &Record::Submit {
+                    id,
+                    key: key.clone(),
+                    priority,
+                    deadline_ms,
+                    config: canonical.as_str().to_string(),
+                },
+            );
             state
                 .telemetry
                 .event(ServeEvent::JobEnqueued { job: id, key });
@@ -453,8 +820,16 @@ fn simulate(state: &ServerState, body: &[u8]) -> Response {
             state.telemetry.event(ServeEvent::Rejected {
                 reason: "queue-full".to_string(),
             });
-            Response::json(429, r#"{"error":"job queue is full; retry shortly"}"#)
-                .with_header("retry-after", "1")
+            too_many_requests(state, "job queue is full; retry shortly")
+        }
+        Enqueue::Shed => {
+            state.telemetry.event(ServeEvent::Rejected {
+                reason: "shed-low-priority".to_string(),
+            });
+            too_many_requests(
+                state,
+                "queue past high water; low-priority work is shed under load",
+            )
         }
         Enqueue::ShuttingDown => {
             state.telemetry.event(ServeEvent::Rejected {
@@ -470,7 +845,7 @@ fn accepted(id: u64, disposition: &str) -> Response {
     Response::json(
         202,
         format!(
-            r#"{{"job":{id},"status":"{disposition}","status_url":"/v1/jobs/{id}","result_url":"/v1/jobs/{id}/result"}}"#
+            r#"{{"job":{id},"status":"{disposition}","status_url":"/v1/jobs/{id}","result_url":"/v1/jobs/{id}/result","stream_url":"/v1/jobs/{id}/stream"}}"#
         ),
     )
 }
@@ -507,10 +882,11 @@ fn job_endpoints(state: &ServerState, path: &str) -> Response {
     let error_field = job.error.map_or(String::new(), |e| {
         format!(r#","error":{}"#, json_string(&e))
     });
+    let (cycle, injected, delivered, dropped) = job.progress.read();
     Response::json(
         200,
         format!(
-            r#"{{"job":{id},"status":"{}","result_url":"/v1/jobs/{id}/result"{error_field}}}"#,
+            r#"{{"job":{id},"status":"{}","result_url":"/v1/jobs/{id}/result","stream_url":"/v1/jobs/{id}/stream","cycle":{cycle},"injected":{injected},"delivered":{delivered},"dropped":{dropped}{error_field}}}"#,
             job.state.label()
         ),
     )
@@ -531,8 +907,11 @@ fn stats(state: &ServerState) -> Response {
     struct QueueBody {
         depth: usize,
         capacity: usize,
+        high_water: usize,
         running: usize,
         workers: usize,
+        shed: u64,
+        mean_service_us: u64,
     }
     #[derive(Serialize)]
     struct JobsBody {
@@ -556,8 +935,11 @@ fn stats(state: &ServerState) -> Response {
         queue: QueueBody {
             depth: queue.depth,
             capacity: queue.capacity,
+            high_water: queue.high_water,
             running: queue.running,
             workers: state.config.workers,
+            shed: queue.shed,
+            mean_service_us: queue.mean_service_us,
         },
         jobs: JobsBody {
             enqueued: queue.enqueued,

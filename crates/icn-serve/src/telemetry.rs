@@ -18,8 +18,11 @@
 
 use std::collections::VecDeque;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use icn_sim::telemetry::{Histogram, NamedHistogram, Sample, DEFAULT_PRECISION};
+use icn_sim::{EventSink, SimEvent};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -80,13 +83,37 @@ pub enum ServeEvent {
     },
     /// A request was turned away.
     Rejected {
-        /// Why (`queue-full`, `draining`, ...).
+        /// Why (`queue-full`, `shed-low-priority`, `draining`, ...).
         reason: String,
     },
     /// Graceful shutdown began.
     ShutdownRequested {
         /// Jobs still queued when the drain started.
         jobs_pending: u64,
+    },
+    /// Startup replayed a write-ahead journal.
+    Recovered {
+        /// Jobs reinstalled from the journal (all states).
+        jobs: u64,
+        /// Of those, jobs re-enqueued to run (were queued/running at the
+        /// crash).
+        requeued: u64,
+        /// Result bodies restored into the cache (journal + disk spill).
+        cache_entries: u64,
+        /// Corrupt/truncated journal tail bytes discarded.
+        discarded_bytes: u64,
+    },
+    /// The write-ahead journal was compacted.
+    JournalCompacted {
+        /// File size before, in bytes.
+        before_bytes: u64,
+        /// File size after, in bytes.
+        after_bytes: u64,
+    },
+    /// A job was abandoned because its wall-clock deadline expired.
+    DeadlineExceeded {
+        /// Job id.
+        job: u64,
     },
 }
 
@@ -104,6 +131,71 @@ impl ServeEvent {
             Self::JobFailed { .. } => "job-failed",
             Self::Rejected { .. } => "rejected",
             Self::ShutdownRequested { .. } => "shutdown-requested",
+            Self::Recovered { .. } => "recovered",
+            Self::JournalCompacted { .. } => "journal-compacted",
+            Self::DeadlineExceeded { .. } => "deadline-exceeded",
+        }
+    }
+}
+
+/// Live progress counters for one running job, shared between the worker
+/// (writer, via [`ProgressSink`]) and the status/stream endpoints
+/// (readers). Plain relaxed atomics: the counters are monotone gauges,
+/// not a synchronization protocol.
+#[derive(Debug, Default)]
+pub struct Progress {
+    /// Latest simulation cycle observed.
+    pub cycle: AtomicU64,
+    /// Packets injected so far.
+    pub injected: AtomicU64,
+    /// Packets delivered so far.
+    pub delivered: AtomicU64,
+    /// Packets dropped so far.
+    pub dropped: AtomicU64,
+}
+
+impl Progress {
+    /// Snapshot the four gauges: `(cycle, injected, delivered, dropped)`.
+    #[must_use]
+    pub fn read(&self) -> (u64, u64, u64, u64) {
+        (
+            self.cycle.load(Ordering::Relaxed),
+            self.injected.load(Ordering::Relaxed),
+            self.delivered.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// An [`EventSink`] that folds the engine's event stream into a job's
+/// [`Progress`] counters, giving `/v1/jobs/:id` (and the streaming
+/// endpoint) a live view of a simulation in flight.
+#[derive(Debug)]
+pub struct ProgressSink(pub Arc<Progress>);
+
+impl EventSink for ProgressSink {
+    fn record(&mut self, event: &SimEvent) {
+        let p = &self.0;
+        match event {
+            SimEvent::Inject { cycle, .. } => {
+                p.injected.fetch_add(1, Ordering::Relaxed);
+                p.cycle.store(*cycle, Ordering::Relaxed);
+            }
+            SimEvent::Deliver { cycle, .. } => {
+                p.delivered.fetch_add(1, Ordering::Relaxed);
+                p.cycle.store(*cycle, Ordering::Relaxed);
+            }
+            SimEvent::Drop { cycle, .. } => {
+                p.dropped.fetch_add(1, Ordering::Relaxed);
+                p.cycle.store(*cycle, Ordering::Relaxed);
+            }
+            SimEvent::Enter { cycle, .. }
+            | SimEvent::Grant { cycle, .. }
+            | SimEvent::Retry { cycle, .. }
+            | SimEvent::FaultActivate { cycle, .. }
+            | SimEvent::Stall { cycle, .. } => {
+                p.cycle.store(*cycle, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -369,6 +461,32 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| matches!(l, ServeDumpLine::ServeEvent(ServeEvent::JobEnqueued { .. }))));
+    }
+
+    #[test]
+    fn progress_sink_folds_engine_events_into_counters() {
+        let progress = Arc::new(Progress::default());
+        let mut sink = ProgressSink(Arc::clone(&progress));
+        sink.record(&SimEvent::Inject {
+            cycle: 3,
+            id: 1,
+            src: 0,
+            dest: 5,
+            tracked: true,
+        });
+        sink.record(&SimEvent::Deliver {
+            cycle: 40,
+            id: 1,
+            dest: 5,
+            latency: 37,
+        });
+        sink.record(&SimEvent::Enter {
+            cycle: 41,
+            id: 2,
+            src: 1,
+        });
+        let (cycle, injected, delivered, dropped) = progress.read();
+        assert_eq!((cycle, injected, delivered, dropped), (41, 1, 1, 0));
     }
 
     #[test]

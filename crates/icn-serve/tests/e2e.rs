@@ -130,6 +130,9 @@ fn test_config() -> ServeConfig {
         queue_depth: 8,
         cache_entries: 32,
         telemetry_out: None,
+        journal: None,
+        cache_dir: None,
+        default_deadline_ms: 0,
         limits: Limits::default(),
     }
 }
@@ -285,6 +288,118 @@ fn job_endpoints_cover_status_errors_and_unknowns() {
     poll_result(addr, &result_url, Duration::from_secs(30));
     let status = call(addr, "GET", &status_url, "");
     assert_eq!(json_str(&status.body, "status"), "done");
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn deadline_exceeded_job_fails_with_a_typed_error() {
+    let (addr, handle, join) = start(test_config());
+
+    // A heavy job (long measure window at high load) with a 50 ms budget:
+    // the worker's stop predicate must abandon it mid-run.
+    let doomed = r#"{"ports":64,"load":0.9,"seed":404,"warmup_cycles":2000,"measure_cycles":1500000,"drain_cycles":100000,"deadline_ms":50}"#;
+    let accepted = call(addr, "POST", "/v1/simulate", doomed);
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let result_url = json_str(&accepted.body, "result_url");
+    let result = poll_result(addr, &result_url, Duration::from_secs(30));
+    assert_eq!(result.status, 500, "{}", result.body);
+    assert!(result.body.contains("deadline exceeded"), "{}", result.body);
+
+    let status_url = json_str(&accepted.body, "status_url");
+    let status = call(addr, "GET", &status_url, "");
+    assert_eq!(json_str(&status.body, "status"), "failed");
+
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.jobs_failed, 1);
+    assert_eq!(summary.jobs_completed, 0);
+}
+
+#[test]
+fn low_priority_work_is_shed_past_the_high_water_mark() {
+    // One worker, capacity 4 → high water 3.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 4,
+        ..test_config()
+    };
+    let (addr, handle, join) = start(config);
+
+    let slow = |seed: u64, extra: &str| {
+        format!(
+            r#"{{"ports":64,"load":0.9,"seed":{seed},"warmup_cycles":2000,"measure_cycles":150000,"drain_cycles":40000{extra}}}"#
+        )
+    };
+    // Occupy the worker, then fill the queue to the high-water mark.
+    assert_eq!(call(addr, "POST", "/v1/simulate", &slow(1, "")).status, 202);
+    let claimed = Instant::now();
+    while json_u64(&call(addr, "GET", "/v1/stats", "").body, "running") == 0 {
+        assert!(claimed.elapsed() < Duration::from_secs(10));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for seed in 2..=4 {
+        assert_eq!(
+            call(addr, "POST", "/v1/simulate", &slow(seed, "")).status,
+            202
+        );
+    }
+
+    // Depth 3 == high water: Low is shed with an honest Retry-After...
+    let shed = call(
+        addr,
+        "POST",
+        "/v1/simulate",
+        &slow(5, r#","priority":"Low""#),
+    );
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert!(shed.body.contains("shed"), "{}", shed.body);
+    let retry_after: u64 = shed
+        .header("retry-after")
+        .expect("retry-after header")
+        .parse()
+        .expect("numeric retry-after");
+    assert!((1..=60).contains(&retry_after), "{retry_after}");
+
+    // ...while Normal work is still admitted (capacity remains).
+    assert_eq!(call(addr, "POST", "/v1/simulate", &slow(6, "")).status, 202);
+
+    let stats = call(addr, "GET", "/v1/stats", "");
+    assert_eq!(json_u64(&stats.body, "shed"), 1, "{}", stats.body);
+
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(
+        summary.jobs_completed, 5,
+        "drain finishes everything queued"
+    );
+}
+
+#[test]
+fn stream_endpoint_emits_chunked_progress_until_terminal() {
+    let (addr, handle, join) = start(test_config());
+
+    let sim = r#"{"ports":16,"load":0.02,"seed":4242,"warmup_cycles":200,"measure_cycles":500,"drain_cycles":2000}"#;
+    let accepted = call(addr, "POST", "/v1/simulate", sim);
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let stream_url = json_str(&accepted.body, "stream_url");
+
+    let streamed = call(addr, "GET", &stream_url, "");
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.header("transfer-encoding"), Some("chunked"));
+    // The raw chunked body: at least one progress line, a terminal line
+    // pointing at the result, and the zero-chunk terminator.
+    assert!(
+        streamed.body.contains("\"status\":\"done\""),
+        "{}",
+        streamed.body
+    );
+    assert!(streamed.body.contains("result_url"), "{}", streamed.body);
+    assert!(streamed.body.ends_with("0\r\n\r\n"), "{}", streamed.body);
+
+    // Unknown jobs 404 instead of streaming forever.
+    assert_eq!(call(addr, "GET", "/v1/jobs/424242/stream", "").status, 404);
 
     handle.shutdown();
     join.join().expect("server thread");

@@ -69,6 +69,13 @@ use crate::trace::{HopTrace, PacketTrace};
 /// Sentinel for "this input has no ready head" in the grant scratch.
 const NO_TAG: u32 = u32::MAX;
 
+/// How often (in cycles) [`Engine::run_bounded`] polls its stop predicate.
+/// Coarse on purpose: the predicate typically reads a wall clock, and a
+/// check every ~thousand cycles keeps that entirely off the hot path while
+/// still bounding overshoot to well under a second at any realistic
+/// cycles-per-second rate.
+pub const STOP_POLL_CYCLES: u64 = 1024;
+
 /// The engine's attached event sink (kept behind a wrapper so `Engine`
 /// can keep deriving `Debug`).
 struct SinkHandle(Box<dyn EventSink>);
@@ -577,6 +584,34 @@ impl Engine {
     /// closed and every tracked packet has drained.
     #[must_use]
     pub fn run(mut self) -> SimResult {
+        self.run_core(None);
+        self.finish()
+    }
+
+    /// [`Engine::run`] under a caller-supplied stop predicate, polled every
+    /// [`STOP_POLL_CYCLES`] cycles. Services use this to bound a job by a
+    /// wall-clock deadline without the engine ever reading a clock itself
+    /// (the ICN002 determinism rule): the caller closes over whatever
+    /// budget it enforces and returns `true` to abort.
+    ///
+    /// The predicate only ever causes *early termination* — until it fires,
+    /// the cycle-by-cycle evolution is bit-identical to [`Engine::run`].
+    ///
+    /// # Errors
+    /// Returns [`SimError::DeadlineExceeded`] when `should_stop` fired; the
+    /// partial simulation state is discarded (a deadline-bounded caller has
+    /// no use for a result it cannot trust to be complete).
+    pub fn run_bounded(mut self, should_stop: impl FnMut() -> bool) -> Result<SimResult, SimError> {
+        let mut should_stop = should_stop;
+        if self.run_core(Some(&mut should_stop)) {
+            return Err(SimError::DeadlineExceeded { at_cycle: self.now });
+        }
+        Ok(self.finish())
+    }
+
+    /// The shared run loop. Returns `true` iff the stop predicate fired
+    /// (never when `should_stop` is `None`).
+    fn run_core(&mut self, mut should_stop: Option<&mut dyn FnMut() -> bool>) -> bool {
         let measure_end = self.config.warmup_cycles + self.config.measure_cycles;
         let hard_end = measure_end + self.config.drain_cycles;
         while self.now < hard_end {
@@ -594,9 +629,14 @@ impl Engine {
             if self.live_packets == 0 && self.config.workload.load <= 0.0 {
                 break;
             }
+            if let Some(stop) = should_stop.as_deref_mut() {
+                if self.now.is_multiple_of(STOP_POLL_CYCLES) && stop() {
+                    return true;
+                }
+            }
             self.step();
         }
-        self.finish()
+        false
     }
 
     /// Consume the engine and summarize.

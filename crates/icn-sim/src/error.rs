@@ -29,6 +29,14 @@ pub enum SimError {
     /// A fault event names a stage, module, link, or port that does not
     /// exist in the configured network (or has a degenerate duration).
     InvalidFault(String),
+    /// A bounded run ([`crate::Engine::run_bounded`]) was stopped by its
+    /// caller-supplied stop predicate before the schedule finished —
+    /// typically a service-level wall-clock deadline. The engine itself
+    /// never consults a clock; the predicate decides.
+    DeadlineExceeded {
+        /// The simulation cycle at which the predicate fired.
+        at_cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +50,9 @@ impl fmt::Display for SimError {
                 )
             }
             Self::InvalidFault(msg) => write!(f, "invalid fault plan: {msg}"),
+            Self::DeadlineExceeded { at_cycle } => {
+                write!(f, "deadline exceeded at cycle {at_cycle}")
+            }
         }
     }
 }
@@ -69,6 +80,10 @@ mod tests {
         assert!(SimError::InvalidFault("stage 7".into())
             .to_string()
             .contains("stage 7"));
+        assert_eq!(
+            SimError::DeadlineExceeded { at_cycle: 4096 }.to_string(),
+            "deadline exceeded at cycle 4096"
+        );
     }
 
     #[test]

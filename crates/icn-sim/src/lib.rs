@@ -55,7 +55,7 @@ pub mod telemetry;
 mod trace;
 
 pub use config::{Arbitration, ChipModel, SimConfig};
-pub use engine::{Delivery, DroppedPacket, Engine};
+pub use engine::{Delivery, DroppedPacket, Engine, STOP_POLL_CYCLES};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, FaultTarget, RetryPolicy, StallReport};
 pub use metrics::{LatencyStats, SimResult, StageCounters};
@@ -63,7 +63,7 @@ pub use packet::{Packet, PacketStatus};
 pub use roundtrip::{run_roundtrip, RoundTripConfig, RoundTripResult};
 pub use runner::{
     run, run_parallel, run_trace, run_with_sink, sweep_load, sweep_module_failures, try_run,
-    FaultSweepPoint, LoadSweepPoint,
+    try_run_bounded, FaultSweepPoint, LoadSweepPoint,
 };
 pub use telemetry::{
     EventSink, Histogram, JsonlSink, MemorySink, NullSink, Sample, SimEvent, TelemetryConfig,

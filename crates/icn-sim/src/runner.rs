@@ -25,6 +25,23 @@ pub fn try_run(config: SimConfig) -> Result<SimResult, crate::error::SimError> {
     Ok(Engine::try_new(config)?.run())
 }
 
+/// [`try_run`] under a caller-supplied stop predicate (see
+/// [`Engine::run_bounded`]): validate first, then run until the schedule
+/// completes or the predicate fires. The engine polls the predicate every
+/// [`crate::engine::STOP_POLL_CYCLES`] cycles, so a service can bound a
+/// job by wall-clock time while the engine itself stays clock-free.
+///
+/// # Errors
+/// Returns the validation [`crate::error::SimError`] for a bad
+/// configuration, or [`crate::error::SimError::DeadlineExceeded`] when
+/// `should_stop` fired mid-run.
+pub fn try_run_bounded(
+    config: SimConfig,
+    should_stop: impl FnMut() -> bool,
+) -> Result<SimResult, crate::error::SimError> {
+    Engine::try_new(config)?.run_bounded(should_stop)
+}
+
 /// Run one configuration to completion with an [`EventSink`] attached,
 /// streaming every structured [`crate::telemetry::SimEvent`] the engine
 /// emits. Use a [`crate::telemetry::MemorySink`] clone (or a
