@@ -11,6 +11,12 @@
 //! The generator is deliberately *honest about degradation*: 429s are
 //! counted as `rejected`, not errors — a loaded server that sheds is
 //! behaving, and the report shows how much it shed.
+//!
+//! Every request is stamped with a client-generated 128-bit trace id
+//! (`x-icn-trace-id`, the same header icn-serve echoes), and the report
+//! names the ids of the slowest and failed requests — so a bad latency
+//! tail in `BENCH_PR6.json` can be chased into the server's own trace
+//! and telemetry by id instead of by guesswork.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -24,6 +30,29 @@ use serde::{Deserialize, Serialize};
 /// Histogram sub-bucket bits: ≤ ~0.4% relative quantile error, plenty
 /// for request latencies.
 const PRECISION: u32 = 7;
+
+/// Slowest requests named in the report (covers the p999 tail at the
+/// request counts the harness runs).
+const SLOWEST_KEPT: usize = 8;
+
+/// Failed-request trace ids kept in the report.
+const FAILED_KEPT: usize = 16;
+
+/// A 32-hex-digit trace id for request `i`, unique across concurrent
+/// harness runs (mixes the wall clock and pid with the request index).
+#[must_use]
+pub fn trace_id_for(i: u64) -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+    format!(
+        "{:016x}{:016x}",
+        nanos ^ (u64::from(std::process::id()).rotate_left(32)),
+        i
+    )
+}
 
 /// What to drive at the server.
 #[derive(Debug, Clone)]
@@ -93,6 +122,26 @@ pub struct LoadReport {
     pub p999_us: u64,
     /// Worst request latency, microseconds.
     pub max_us: u64,
+    /// The slowest requests of the phase (worst first): latency, path,
+    /// and the `x-icn-trace-id` the request was stamped with, so the
+    /// latency tail can be chased into the server by id.
+    #[serde(default)]
+    pub slowest: Vec<SlowRequest>,
+    /// Trace ids of requests that failed (transport errors and
+    /// unexpected statuses), capped at a handful.
+    #[serde(default)]
+    pub failed_trace_ids: Vec<String>,
+}
+
+/// One slow request, attributable by trace id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// The `x-icn-trace-id` stamped on the request.
+    pub trace_id: String,
+    /// Endpoint path.
+    pub path: String,
+    /// Round-trip latency in microseconds.
+    pub micros: u64,
 }
 
 /// Where `icn bench --serve` records its results.
@@ -138,16 +187,33 @@ struct Tally {
     cache_hits: u64,
     rejected: u64,
     errors: u64,
+    slowest: Vec<SlowRequest>,
+    failed_trace_ids: Vec<String>,
 }
 
-/// Send one request over a fresh connection; returns the status line code
-/// and whether the response carried `x-icn-cache: hit`.
+impl Tally {
+    /// Keep at most [`SLOWEST_KEPT`] entries, worst first.
+    fn note_latency(&mut self, trace_id: &str, path: &str, micros: u64) {
+        self.slowest.push(SlowRequest {
+            trace_id: trace_id.to_string(),
+            path: path.to_string(),
+            micros,
+        });
+        self.slowest.sort_by_key(|s| std::cmp::Reverse(s.micros));
+        self.slowest.truncate(SLOWEST_KEPT);
+    }
+}
+
+/// Send one request over a fresh connection, stamped with `trace_id`;
+/// returns the status line code and whether the response carried
+/// `x-icn-cache: hit`.
 fn exchange(
     addr: SocketAddr,
     timeout: Duration,
     method: &str,
     path: &str,
     body: &str,
+    trace_id: &str,
 ) -> Result<(u16, bool), String> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(|e| e.to_string())?;
     stream
@@ -157,7 +223,7 @@ fn exchange(
         .set_write_timeout(Some(timeout))
         .map_err(|e| e.to_string())?;
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nhost: bench\r\nx-icn-trace-id: {trace_id}\r\ncontent-length: {}\r\n\r\n{body}",
         body.len()
     );
     stream
@@ -234,10 +300,12 @@ pub fn drive(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
                         break;
                     }
                     let (path, body) = request_for(i, spec.seeds, spec.deadline_ms);
+                    let trace_id = trace_id_for(i);
                     let sent = Instant::now();
-                    let outcome = exchange(addr, spec.timeout, "POST", path, &body);
+                    let outcome = exchange(addr, spec.timeout, "POST", path, &body, &trace_id);
                     let micros = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
                     latency.record(micros);
+                    tally.note_latency(&trace_id, path, micros);
                     match outcome {
                         Ok((200, hit)) => {
                             tally.ok += 1;
@@ -247,7 +315,12 @@ pub fn drive(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
                         }
                         Ok((202, _)) => tally.accepted += 1,
                         Ok((429, _)) => tally.rejected += 1,
-                        Ok(_) | Err(_) => tally.errors += 1,
+                        Ok(_) | Err(_) => {
+                            tally.errors += 1;
+                            if tally.failed_trace_ids.len() < FAILED_KEPT {
+                                tally.failed_trace_ids.push(trace_id);
+                            }
+                        }
                     }
                 }
                 let mut m = merged
@@ -259,6 +332,11 @@ pub fn drive(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
                 m.1.cache_hits += tally.cache_hits;
                 m.1.rejected += tally.rejected;
                 m.1.errors += tally.errors;
+                m.1.slowest.append(&mut tally.slowest);
+                m.1.slowest.sort_by_key(|s| std::cmp::Reverse(s.micros));
+                m.1.slowest.truncate(SLOWEST_KEPT);
+                m.1.failed_trace_ids.append(&mut tally.failed_trace_ids);
+                m.1.failed_trace_ids.truncate(FAILED_KEPT);
             });
         }
     });
@@ -279,6 +357,8 @@ pub fn drive(addr: SocketAddr, spec: &LoadSpec) -> LoadReport {
         p95_us: latency.quantile(0.95),
         p999_us: latency.quantile(0.999),
         max_us: latency.max(),
+        slowest: tally.slowest,
+        failed_trace_ids: tally.failed_trace_ids,
     }
 }
 
@@ -344,6 +424,19 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert!(report.p50_us <= report.p999_us);
         assert!(report.rps > 0.0);
+        // Every request succeeded, so the report names slow ones but no
+        // failed ones.
+        assert!(!report.slowest.is_empty());
+        assert!(report.slowest.len() <= SLOWEST_KEPT);
+        assert!(report
+            .slowest
+            .windows(2)
+            .all(|w| w[0].micros >= w[1].micros));
+        for slow in &report.slowest {
+            assert_eq!(slow.trace_id.len(), 32);
+            assert!(slow.trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+        assert!(report.failed_trace_ids.is_empty());
     }
 
     #[test]
@@ -365,6 +458,41 @@ mod tests {
         let report = drive(addr, &spec);
         assert_eq!(report.rejected, 3);
         assert_eq!(report.errors, 0);
+        // Shed requests are not failures, so no trace ids are reported.
+        assert!(report.failed_trace_ids.is_empty());
+    }
+
+    #[test]
+    fn trace_ids_are_well_formed_and_distinct() {
+        let a = trace_id_for(1);
+        let b = trace_id_for(2);
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, b, "the request index distinguishes ids");
+    }
+
+    #[test]
+    fn failed_requests_are_named_by_trace_id() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let spec = LoadSpec {
+            threads: 1,
+            requests: 2,
+            seeds: 2,
+            deadline_ms: 0,
+            timeout: Duration::from_secs(5),
+        };
+        canned(
+            listener,
+            "HTTP/1.1 500 Internal Server Error\r\ncontent-length: 2\r\n\r\n{}",
+            spec.requests,
+        );
+        let report = drive(addr, &spec);
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.failed_trace_ids.len(), 2);
+        for id in &report.failed_trace_ids {
+            assert_eq!(id.len(), 32);
+        }
     }
 
     #[test]

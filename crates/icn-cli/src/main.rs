@@ -20,6 +20,13 @@
 //!                              --warmup/measure/drain-cycles set the schedule
 //! icn inspect <dump.jsonl>     render a telemetry dump: occupancy sparklines,
 //!                              per-stage heatmap, histogram quantiles
+//! icn trace <dump.jsonl | URL> render a span profile: the per-phase span
+//!                              tree and hotspot heatmap from a profiled
+//!                              dump (simulate --profile), or a job's
+//!                              wall-clock trace fetched live from
+//!                              http://HOST:PORT/v1/jobs/ID/trace
+//! icn metrics <URL | file>     scrape a Prometheus text exposition and
+//!                              validate it with the service's parser
 //! icn bench [--smoke]          perf-regression harness: measure simulator
 //!                              cycles/sec and gate against BENCH_PR3.json
 //!                              (--update-baseline before|after re-records)
@@ -51,7 +58,9 @@ use std::process::ExitCode;
 use icn_core::experiments::{self, SimEffort};
 use icn_core::table::{sparkline, trim_float, TextTable};
 use icn_core::{explore, ExperimentRecord};
-use icn_sim::telemetry::{DumpLine, DumpMeta, NamedHistogram, Sample};
+use icn_sim::telemetry::{
+    DumpLine, DumpMeta, Heatmap, NamedHistogram, Sample, SpanNode, SpanProfile,
+};
 use icn_sim::{ChipModel, Engine, FaultPlan, MemorySink, RetryPolicy, SimConfig, TelemetryConfig};
 use icn_tech::{presets, Technology};
 use icn_topology::StagePlan;
@@ -132,10 +141,14 @@ fn usage() -> &'static str {
      \t          [--retry-limit N] [--watchdog-cycles N]\n\
      \t          [--warmup-cycles N] [--measure-cycles N] [--drain-cycles N]\n\
      \t          [--sample-interval K] [--telemetry-out dump.jsonl|series.csv]\n\
+     \t          [--profile]\n\
      \t inspect <dump.jsonl>\n\
+     \t trace <dump.jsonl | http://HOST:PORT/v1/jobs/ID/trace>\n\
+     \t metrics <http://HOST:PORT/v1/metrics | metrics.txt>\n\
      \t bench [--smoke] [--json] [--iters N] [--baseline BENCH_PR3.json]\n\
      \t       [--update-baseline before|after]\n\
      \t bench --serve [--smoke] [--json]\n\
+     \t bench --overhead [--smoke] [--json] [--iters N]\n\
      \t lint [--json] [root]\n\
      \t lint config <spec.json> [--json]\n\
      \t serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
@@ -159,6 +172,9 @@ struct Options {
     watchdog_cycles: Option<u64>,
     sample_interval: u64,
     telemetry_out: Option<String>,
+    /// `simulate --profile`: enable the engine span profiler and hotspot
+    /// heatmap (rendered by `icn trace`).
+    profile: bool,
     warmup_cycles: Option<u64>,
     measure_cycles: Option<u64>,
     drain_cycles: Option<u64>,
@@ -176,6 +192,9 @@ struct Options {
     /// `bench --serve`: run the service load harness instead of the
     /// simulator throughput cases.
     serve_bench: bool,
+    /// `bench --overhead`: measure profiler-on vs profiler-off simulator
+    /// throughput and record it in `BENCH_PR7.json`.
+    overhead_bench: bool,
     /// First bare (non-`--`) argument: the dump path for `inspect`.
     path: Option<String>,
 }
@@ -197,6 +216,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         watchdog_cycles: None,
         sample_interval: 0,
         telemetry_out: None,
+        profile: false,
         warmup_cycles: None,
         measure_cycles: None,
         drain_cycles: None,
@@ -212,6 +232,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         cache_dir: None,
         deadline_ms: 0,
         serve_bench: false,
+        overhead_bench: false,
         path: None,
     };
     let mut i = 0;
@@ -391,6 +412,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .ok_or("--deadline-ms needs a millisecond count (0 disables)")?;
             }
             "--serve" => opts.serve_bench = true,
+            "--overhead" => opts.overhead_bench = true,
+            "--profile" => opts.profile = true,
             "--smoke" => opts.smoke = true,
             "--iters" => {
                 i += 1;
@@ -459,6 +482,10 @@ fn inspect(path: &str) -> Result<(), Failure> {
     let mut histograms: Vec<NamedHistogram> = Vec::new();
     let mut event_counts: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
+    let mut has_profile = false;
+    let mut cache_stats: Option<icn_serve::CacheStats> = None;
+    let mut unknown_tags: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
     for (number, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -468,6 +495,9 @@ fn inspect(path: &str) -> Result<(), Failure> {
             Ok(DumpLine::Sample(s)) => samples.push(s),
             Ok(DumpLine::Histogram(h)) => histograms.push(h),
             Ok(DumpLine::Event(e)) => *event_counts.entry(e.kind()).or_insert(0) += 1,
+            // Profiler lines have their own renderer (`icn trace`); note
+            // their presence rather than drowning the summary here.
+            Ok(DumpLine::Span(_) | DumpLine::Heatmap(_)) => has_profile = true,
             // Not an engine line: try the service dialect before failing.
             Err(engine_error) => match serde_json::from_str::<icn_serve::ServeDumpLine>(line) {
                 Ok(icn_serve::ServeDumpLine::ServeMeta(m)) => serve_meta = Some(m),
@@ -476,12 +506,22 @@ fn inspect(path: &str) -> Result<(), Failure> {
                 Ok(icn_serve::ServeDumpLine::ServeEvent(e)) => {
                     *event_counts.entry(e.kind()).or_insert(0) += 1;
                 }
-                Err(_) => {
-                    return Err(Failure::Io(format!(
-                        "{path}:{}: not a telemetry dump line: {engine_error}",
-                        number + 1
-                    )))
-                }
+                Ok(icn_serve::ServeDumpLine::CacheStats(s)) => cache_stats = Some(s),
+                // A line neither dialect knows. A future dialect's tagged
+                // line ({"Tag":{...}}) is tallied and reported instead of
+                // aborting the whole render; anything else is garbage.
+                Err(_) => match serde_json::from_str::<serde_json::Value>(line) {
+                    Ok(serde_json::Value::Object(map)) if map.len() == 1 => {
+                        let tag = map.keys().next().expect("single-key object").clone();
+                        *unknown_tags.entry(tag).or_insert(0) += 1;
+                    }
+                    _ => {
+                        return Err(Failure::Io(format!(
+                            "{path}:{}: not a telemetry dump line: {engine_error}",
+                            number + 1
+                        )))
+                    }
+                },
             },
         }
     }
@@ -657,12 +697,247 @@ fn inspect(path: &str) -> Result<(), Failure> {
         println!("{}", t.render());
     }
 
+    if let Some(c) = &cache_stats {
+        println!(
+            "cache: {} hits, {} misses, {} evictions, {}/{} entries in memory, \
+             {} spill writes, {} disk hits, {} disk entries discarded",
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.entries,
+            c.capacity,
+            c.spill_writes,
+            c.disk_hits,
+            c.disk_discarded
+        );
+    }
+
     if !event_counts.is_empty() {
         let rendered: Vec<String> = event_counts
             .iter()
             .map(|(kind, n)| format!("{kind} {n}"))
             .collect();
         println!("events: {}", rendered.join(", "));
+    }
+    if has_profile {
+        println!("span profile recorded: render it with `icn trace {path}`");
+    }
+    if !unknown_tags.is_empty() {
+        let rendered: Vec<String> = unknown_tags
+            .iter()
+            .map(|(tag, n)| format!("{tag} ×{n}"))
+            .collect();
+        println!(
+            "skipped lines with unknown tags (newer dump dialect?): {}",
+            rendered.join(", ")
+        );
+    }
+    Ok(())
+}
+
+/// Render one engine span and its children: cycle bounds, busy cycles,
+/// and attributed operations, indented by tree depth.
+fn render_engine_span(node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let duration = node.duration();
+    let busy_pct = if duration > 0 {
+        format!(
+            " ({}% busy)",
+            trim_float(node.busy_cycles as f64 * 100.0 / duration as f64, 1)
+        )
+    } else {
+        String::new()
+    };
+    println!(
+        "{indent}{:<12} [{}..{}) {} cycles, busy {}{busy_pct}, ops {}",
+        node.name, node.start_cycle, node.end_cycle, duration, node.busy_cycles, node.ops
+    );
+    for child in &node.children {
+        render_engine_span(child, depth + 1);
+    }
+}
+
+/// Render the hotspot heatmap: one glyph row per stage (modules grouped
+/// into at most 64 columns, shaded by output utilization), with the
+/// hottest module called out per stage.
+fn render_engine_heatmap(heat: &Heatmap) {
+    const WIDTH: usize = 64;
+    println!(
+        "stage utilization heatmap over {} cycles (shade = output utilization, \
+         occupancy sampled every {} cycles):",
+        heat.cycles, heat.occupancy_interval
+    );
+    for stage in &heat.stages {
+        let modules = &stage.modules;
+        if modules.is_empty() {
+            continue;
+        }
+        let columns = WIDTH.min(modules.len());
+        let mut row = String::new();
+        for col in 0..columns {
+            let lo = col * modules.len() / columns;
+            let hi = ((col + 1) * modules.len() / columns).max(lo + 1);
+            let ppm = modules[lo..hi]
+                .iter()
+                .map(|m| m.utilization_ppm)
+                .max()
+                .unwrap_or(0);
+            let level = (ppm * (SHADES.len() as u64 - 1) + 500_000) / 1_000_000;
+            row.push(SHADES[level.min(SHADES.len() as u64 - 1) as usize]);
+        }
+        let hottest = modules
+            .iter()
+            .max_by_key(|m| (m.utilization_ppm, m.peak_occupancy))
+            .expect("non-empty modules");
+        println!(
+            "stage {} (radix {}) |{row}| hottest module {}: {}% util, \
+             mean occupancy {}, peak {}",
+            stage.stage,
+            stage.radix,
+            hottest.module,
+            trim_float(hottest.utilization_ppm as f64 / 10_000.0, 1),
+            trim_float(hottest.mean_occupancy_milli as f64 / 1000.0, 2),
+            hottest.peak_occupancy
+        );
+    }
+}
+
+/// Render one wall-clock span of a service job trace (a node of the
+/// `/v1/jobs/:id/trace` tree), recursing into children and nesting the
+/// engine's cycle-domain profile under the `execute` span.
+fn render_serve_span(span: &serde_json::Value, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let name = span["name"].as_str().unwrap_or("?");
+    let start = span["start_us"].as_u64().unwrap_or(0);
+    match span["duration_us"].as_u64() {
+        Some(duration) => println!("{indent}{name:<16} +{start}µs  {duration}µs"),
+        None => println!("{indent}{name:<16} +{start}µs  (in progress)"),
+    }
+    if let Some(engine) = span.get("engine") {
+        if let Ok(profile) = serde_json::from_str::<SpanProfile>(&engine.to_string()) {
+            println!("{indent}  engine profile (cycles):");
+            render_engine_span(&profile.root, depth + 2);
+        }
+    }
+    if let Some(children) = span["children"].as_array() {
+        for child in children {
+            render_serve_span(child, depth + 1);
+        }
+    }
+}
+
+/// `icn metrics <URL | file>` — scrape (or read) a Prometheus text
+/// exposition and validate it with the service's own parser
+/// (`icn_serve::parse_exposition`): HELP/TYPE pairing, name and label
+/// syntax, label escaping, histogram bucket monotonicity. Prints a
+/// per-family summary on success; exits non-zero on a malformed
+/// document, so CI can gate the `/v1/metrics` format.
+fn metrics_check(target: &str) -> Result<(), Failure> {
+    let text = if let Some(rest) = target.strip_prefix("http://") {
+        let (addr, path) = rest.split_at(rest.find('/').unwrap_or(rest.len()));
+        if addr.is_empty() {
+            return Err(Failure::Usage(format!("no host in metrics URL `{target}`")));
+        }
+        let path = if path.is_empty() { "/v1/metrics" } else { path };
+        let response = http_call(addr, "GET", path, "")
+            .map_err(|e| Failure::Io(format!("fetching {target}: {e}")))?;
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .unwrap_or((response.as_str(), ""));
+        if !head.starts_with("HTTP/1.1 200") {
+            return Err(Failure::Other(format!(
+                "{target}: {}",
+                head.lines().next().unwrap_or("empty response")
+            )));
+        }
+        body.to_string()
+    } else {
+        std::fs::read_to_string(target)
+            .map_err(|e| Failure::Io(format!("reading {target}: {e}")))?
+    };
+    let exposition = icn_serve::parse_exposition(&text)
+        .map_err(|e| Failure::Other(format!("{target}: invalid exposition: {e}")))?;
+    println!(
+        "{target}: valid Prometheus exposition, {} metric families",
+        exposition.families.len()
+    );
+    for family in &exposition.families {
+        println!(
+            "  {} ({}, {} sample{})",
+            family.name,
+            family.kind,
+            family.samples.len(),
+            if family.samples.len() == 1 { "" } else { "s" }
+        );
+    }
+    Ok(())
+}
+
+/// `icn trace <dump.jsonl | URL>` — render a span profile: either the
+/// `Span` + `Heatmap` lines of a profiled telemetry dump (recorded with
+/// `icn simulate --profile --telemetry-out dump.jsonl`), or a job's
+/// wall-clock span tree fetched live from a running service
+/// (`http://HOST:PORT/v1/jobs/ID/trace`), with the engine profile nested
+/// under the `execute` span.
+fn trace(target: &str) -> Result<(), Failure> {
+    if let Some(rest) = target.strip_prefix("http://") {
+        let (addr, path) = rest.split_at(rest.find('/').unwrap_or(rest.len()));
+        if addr.is_empty() {
+            return Err(Failure::Usage(format!("no host in trace URL `{target}`")));
+        }
+        let path = if path.is_empty() { "/" } else { path };
+        let response = http_call(addr, "GET", path, "")
+            .map_err(|e| Failure::Io(format!("fetching {target}: {e}")))?;
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .unwrap_or((response.as_str(), ""));
+        if !head.starts_with("HTTP/1.1 200") {
+            return Err(Failure::Other(format!(
+                "{target}: {}",
+                head.lines().next().unwrap_or("empty response")
+            )));
+        }
+        let tree: serde_json::Value = serde_json::from_str(body.trim())
+            .map_err(|e| Failure::Other(format!("{target}: unparseable trace body: {e}")))?;
+        println!(
+            "job {} — status {}, trace id {}",
+            tree["job"],
+            tree["status"].as_str().unwrap_or("?"),
+            tree["trace_id"].as_str().unwrap_or("?")
+        );
+        render_serve_span(&tree["spans"], 0);
+        return Ok(());
+    }
+
+    let text = std::fs::read_to_string(target)
+        .map_err(|e| Failure::Io(format!("reading {target}: {e}")))?;
+    let mut spans: Option<SpanProfile> = None;
+    let mut heatmap: Option<Heatmap> = None;
+    for line in text.lines() {
+        // Other line kinds (samples, histograms, events, service lines)
+        // belong to `icn inspect`; this renderer wants the profile only.
+        match serde_json::from_str::<DumpLine>(line) {
+            Ok(DumpLine::Span(p)) => spans = Some(p),
+            Ok(DumpLine::Heatmap(h)) => heatmap = Some(h),
+            _ => {}
+        }
+    }
+    if spans.is_none() && heatmap.is_none() {
+        return Err(Failure::Other(format!(
+            "no span profile in {target} — record one with `icn simulate --profile \
+             --telemetry-out {target}`, or point at a live job trace \
+             (http://HOST:PORT/v1/jobs/ID/trace)"
+        )));
+    }
+    if let Some(profile) = &spans {
+        println!("engine span profile (all times in cycles):");
+        render_engine_span(&profile.root, 0);
+    }
+    if let Some(heat) = &heatmap {
+        if spans.is_some() {
+            println!();
+        }
+        render_engine_heatmap(heat);
     }
     Ok(())
 }
@@ -786,6 +1061,89 @@ fn bench(opts: &Options) -> Result<(), String> {
     } else {
         Err(format!("throughput regression: {}", failures.join("; ")))
     }
+}
+
+/// Where `icn bench --overhead` records its results.
+const OVERHEAD_BENCH_OUT: &str = "BENCH_PR7.json";
+
+/// The profiled run may lose at most this fraction of the disabled run's
+/// throughput before the gate fails.
+const OVERHEAD_TOLERANCE: f64 = 0.05;
+
+/// `icn bench --overhead` — the observability-overhead gate: run one
+/// throughput case with telemetry fully disabled, run it again with the
+/// span profiler + hotspot heatmap on, record both into `BENCH_PR7.json`
+/// (`before` = disabled, `after` = profiled), and fail when profiling
+/// costs more than [`OVERHEAD_TOLERANCE`] of throughput.
+fn bench_overhead(opts: &Options) -> Result<(), Failure> {
+    use icn_bench::perf;
+
+    let mut case = perf::cases()
+        .into_iter()
+        .find(|c| c.smoke == opts.smoke)
+        .ok_or_else(|| Failure::Other("no overhead bench case selected".to_string()))?;
+    eprintln!(
+        "measuring {} ({} ports, {} cycles, best of {}) with telemetry disabled...",
+        case.name,
+        case.config.plan.ports(),
+        case.config.measure_cycles,
+        opts.iters
+    );
+    let disabled = perf::measure(&case, opts.iters);
+    eprintln!("measuring again with the span profiler + hotspot heatmap on...");
+    case.config.telemetry = TelemetryConfig::profiled(0);
+    let profiled = perf::measure(&case, opts.iters);
+    let ratio = profiled.cycles_per_sec / disabled.cycles_per_sec;
+
+    let mut file = perf::BaselineFile {
+        note: format!(
+            "icn bench --overhead: {} cycles/sec with telemetry disabled (before) \
+             vs the span profiler + hotspot heatmap enabled (after); the gate \
+             fails below {:.0}% of disabled throughput",
+            case.name,
+            (1.0 - OVERHEAD_TOLERANCE) * 100.0
+        ),
+        ..Default::default()
+    };
+    file.before.insert(
+        case.name.to_string(),
+        perf::BaselineEntry {
+            cycles_per_sec: disabled.cycles_per_sec,
+        },
+    );
+    file.after.insert(
+        case.name.to_string(),
+        perf::BaselineEntry {
+            cycles_per_sec: profiled.cycles_per_sec,
+        },
+    );
+    file.store(OVERHEAD_BENCH_OUT).map_err(Failure::Io)?;
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&file).expect("baselines serialize")
+        );
+    } else {
+        println!(
+            "{}: {:.0} cycles/sec disabled, {:.0} cycles/sec profiled \
+             ({:.1}% of disabled)",
+            case.name,
+            disabled.cycles_per_sec,
+            profiled.cycles_per_sec,
+            ratio * 100.0
+        );
+        println!("wrote {OVERHEAD_BENCH_OUT}");
+    }
+    if ratio < 1.0 - OVERHEAD_TOLERANCE {
+        return Err(Failure::Other(format!(
+            "observability overhead too high: profiled throughput is {:.1}% of \
+             disabled (floor {:.0}%)",
+            ratio * 100.0,
+            (1.0 - OVERHEAD_TOLERANCE) * 100.0
+        )));
+    }
+    Ok(())
 }
 
 /// One ad-hoc HTTP exchange against a spawned server (bench plumbing).
@@ -976,6 +1334,15 @@ fn bench_serve(opts: &Options) -> Result<(), Failure> {
         phase_line("loaded   ", &report.loaded);
         println!("recovery : {recovery_ms} ms from respawn to healthy");
         phase_line("recovered", &report.recovered);
+        if let Some(worst) = report.loaded.slowest.first() {
+            println!(
+                "slowest request: {} {}µs, trace id {} (top {} in {SERVE_BENCH_OUT})",
+                worst.path,
+                worst.micros,
+                worst.trace_id,
+                report.loaded.slowest.len()
+            );
+        }
         println!("wrote {SERVE_BENCH_OUT}");
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -1109,8 +1476,29 @@ fn run(args: &[String]) -> Result<(), Failure> {
             })?;
             inspect(path)?;
         }
+        "trace" => {
+            let target = opts.path.as_deref().ok_or_else(|| {
+                Failure::Usage(
+                    "trace needs a dump path or job-trace URL: \
+                     icn trace <dump.jsonl | http://HOST:PORT/v1/jobs/ID/trace>"
+                        .into(),
+                )
+            })?;
+            trace(target)?;
+        }
+        "metrics" => {
+            let target = opts.path.as_deref().ok_or_else(|| {
+                Failure::Usage(
+                    "metrics needs an exposition to validate: \
+                     icn metrics <http://HOST:PORT/v1/metrics | metrics.txt>"
+                        .into(),
+                )
+            })?;
+            metrics_check(target)?;
+        }
         "serve" => serve(&opts)?,
         "bench" if opts.serve_bench => bench_serve(&opts)?,
+        "bench" if opts.overhead_bench => bench_overhead(&opts)?,
         "bench" => bench(&opts)?,
         "explore" => {
             let designs = explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
@@ -1188,13 +1576,21 @@ fn run(args: &[String]) -> Result<(), Failure> {
                 config.drain_cycles = cycles;
             }
             // Asking for a dump implies sampling; default to a 100-cycle
-            // cadence unless --sample-interval says otherwise.
+            // cadence unless --sample-interval says otherwise. --profile
+            // additionally turns on the span profiler + hotspot heatmap.
             if opts.sample_interval > 0 || opts.telemetry_out.is_some() {
-                config.telemetry = TelemetryConfig::sampled(if opts.sample_interval > 0 {
+                let interval = if opts.sample_interval > 0 {
                     opts.sample_interval
                 } else {
                     100
-                });
+                };
+                config.telemetry = if opts.profile {
+                    TelemetryConfig::profiled(interval)
+                } else {
+                    TelemetryConfig::sampled(interval)
+                };
+            } else if opts.profile {
+                config.telemetry = TelemetryConfig::profiled(0);
             }
             // try_new validates the config and fault plan; a bad request is
             // a typed error and a nonzero exit, never a panic.

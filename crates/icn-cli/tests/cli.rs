@@ -309,6 +309,98 @@ fn inspect_without_a_path_fails_helpfully() {
 }
 
 #[test]
+fn trace_renders_a_profiled_dump() {
+    let dir = std::env::temp_dir().join(format!("icn-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("profiled.jsonl");
+    let dump_arg = dump.to_str().unwrap();
+    let (ok, _, stderr) = icn(&[
+        "simulate",
+        "--ports",
+        "64",
+        "--load",
+        "0.01",
+        "--profile",
+        "--telemetry-out",
+        dump_arg,
+    ]);
+    assert!(ok, "{stderr}");
+
+    let (ok, stdout, stderr) = icn(&["trace", dump_arg]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("engine span profile"), "{stdout}");
+    // The three-level tree: run → schedule windows → per-cycle phases.
+    for span in ["run", "warmup", "measure", "route", "arbitrate", "advance"] {
+        assert!(stdout.contains(span), "missing span {span} in:\n{stdout}");
+    }
+    assert!(stdout.contains("stage utilization heatmap"), "{stdout}");
+    assert!(stdout.contains("hottest module"), "{stdout}");
+
+    // inspect points profiled dumps at `icn trace` and keeps working.
+    let (ok, stdout, _) = icn(&["inspect", dump_arg]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("span profile recorded"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_on_an_unprofiled_dump_says_how_to_record_one() {
+    let dir = std::env::temp_dir().join(format!("icn-trace-miss-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("plain.jsonl");
+    let dump_arg = dump.to_str().unwrap();
+    let (ok, _, _) = icn(&[
+        "simulate",
+        "--ports",
+        "16",
+        "--load",
+        "0.005",
+        "--telemetry-out",
+        dump_arg,
+    ]);
+    assert!(ok);
+    let (code, _, stderr) = icn_status(&["trace", dump_arg]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("--profile"), "{stderr}");
+
+    // And no argument at all is a usage error.
+    let (code, _, stderr) = icn_status(&["trace"]);
+    assert_eq!(code, 2, "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inspect_labels_unknown_dump_tags_instead_of_aborting() {
+    let dir = std::env::temp_dir().join(format!("icn-unknown-tag-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("future.jsonl");
+    // A single-key tagged object from a future dump dialect is skipped
+    // and reported; the known lines still render.
+    std::fs::write(
+        &dump,
+        concat!(
+            r#"{"Meta":{"ports":16,"stages":2,"cycles_run":100,"sample_interval":10,"dropped_samples":0}}"#,
+            "\n",
+            r#"{"FlameGraph":{"v":2}}"#,
+            "\n",
+            r#"{"FlameGraph":{"v":3}}"#,
+            "\n"
+        ),
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = icn(&["inspect", dump.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("unknown tags"), "{stdout}");
+    assert!(stdout.contains("FlameGraph ×2"), "{stdout}");
+
+    // Outright garbage still aborts with the I/O exit code.
+    std::fs::write(&dump, "not json at all\n").unwrap();
+    let (code, _, stderr) = icn_status(&["inspect", dump.to_str().unwrap()]);
+    assert_eq!(code, 4, "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn fig1_dot_emits_graphviz() {
     let (ok, stdout, _) = icn(&["fig1-dot"]);
     assert!(ok);
@@ -495,6 +587,17 @@ fn serve_round_trips_over_http_and_inspect_reads_the_dump() {
     let second = call("POST", "/v1/evaluate", &spec);
     assert!(second.contains("x-icn-cache: hit"), "{second}");
 
+    // `icn metrics` scrapes /v1/metrics live and validates the exposition
+    // with the service's own parser.
+    let (ok, stdout, stderr) = icn(&["metrics", &format!("http://{addr}/v1/metrics")]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("valid Prometheus exposition"), "{stdout}");
+    assert!(stdout.contains("icn_requests_total"), "{stdout}");
+    assert!(
+        stdout.contains("icn_request_latency_us (histogram"),
+        "{stdout}"
+    );
+
     let bye = call("POST", "/v1/shutdown", "");
     assert!(bye.starts_with("HTTP/1.1 200"), "{bye}");
 
@@ -513,5 +616,9 @@ fn serve_round_trips_over_http_and_inspect_reads_the_dump() {
     );
     assert!(stdout.contains("request_latency_us"), "{stdout}");
     assert!(stdout.contains("events:"), "{stdout}");
+    // The dump's CacheStats line renders as a counter summary, spill
+    // counters included.
+    assert!(stdout.contains("cache: "), "{stdout}");
+    assert!(stdout.contains("spill writes"), "{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -9,7 +9,7 @@
 //! land on the same cache entry, while any semantic difference (a seed, a
 //! cycle count) yields a distinct key.
 
-use icn_sim::{ChipModel, FaultPlan, RetryPolicy, SimConfig};
+use icn_sim::{ChipModel, FaultPlan, RetryPolicy, SimConfig, TelemetryConfig};
 use icn_topology::StagePlan;
 use icn_workloads::{Pattern, Workload};
 use serde::{Deserialize, Serialize};
@@ -124,6 +124,11 @@ pub struct SimulateRequest {
     /// finishes, never *what* it computes.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Enable the engine's span profiler and hotspot heatmap (default
+    /// off). Unlike `priority`, this *does* enter the resolved config —
+    /// and hence the cache key — because it changes the response body.
+    #[serde(default)]
+    pub profile: Option<bool>,
 }
 
 impl SimulateRequest {
@@ -196,6 +201,9 @@ impl SimulateRequest {
                     ));
         }
         config.retry = RetryPolicy::retries(self.retry_limit.unwrap_or(3));
+        if self.profile == Some(true) {
+            config.telemetry = TelemetryConfig::profiled(0);
+        }
 
         // The engine's own validation is the last word; surface its typed
         // error as a client message rather than letting a worker hit it.
@@ -364,6 +372,25 @@ mod tests {
             content_key("simulate", &canon)
         };
         assert_eq!(key(&plain), key(&decorated));
+    }
+
+    #[test]
+    fn profile_flag_changes_the_cache_key() {
+        let limits = Limits::default();
+        let plain: SimulateRequest = serde_json::from_str(r#"{"seed":11}"#).unwrap();
+        let profiled: SimulateRequest =
+            serde_json::from_str(r#"{"seed":11,"profile":true}"#).unwrap();
+        let resolved = profiled.resolve(&limits).unwrap();
+        assert!(resolved.telemetry.profile, "flag must reach the engine");
+        let key = |r: &SimulateRequest| {
+            let canon = serde_json::to_string(&r.resolve(&limits).unwrap()).unwrap();
+            content_key("simulate", &canon)
+        };
+        assert_ne!(
+            key(&plain),
+            key(&profiled),
+            "a profiled response body differs, so the cache entry must too"
+        );
     }
 
     #[test]

@@ -34,6 +34,19 @@ pub struct Request {
     pub path: String,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Request headers with lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first value of header `name` (ASCII case-insensitive), if sent.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be read.
@@ -107,13 +120,17 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     };
 
     let mut content_length: usize = 0;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    HttpError::BadRequest(format!("bad content-length `{}`", value.trim()))
-                })?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad content-length `{value}`")))?;
             }
+            headers.push((name, value));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -139,6 +156,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         method: method.to_string(),
         path: path.to_string(),
         body,
+        headers,
     })
 }
 
@@ -154,8 +172,10 @@ pub struct Response {
     pub status: u16,
     /// Extra headers beyond the always-present content-type/length.
     pub headers: Vec<(String, String)>,
-    /// The response body (always JSON in this service).
+    /// The response body (JSON except for `/v1/metrics`).
     pub body: String,
+    /// The `content-type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -166,6 +186,18 @@ impl Response {
             status,
             headers: Vec::new(),
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response in the Prometheus exposition content type.
+    #[must_use]
+    pub fn metrics_text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -183,9 +215,10 @@ impl Response {
     /// a peer that hung up mid-response is not a server failure).
     pub fn write(&self, stream: &mut TcpStream) -> std::io::Result<()> {
         let mut out = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             reason(self.status),
+            self.content_type,
             self.body.len()
         );
         for (name, value) in &self.headers {
@@ -302,6 +335,21 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/evaluate");
         assert_eq!(req.body, b"{\"a\":1}");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn headers_are_lowercased_and_case_insensitive_to_look_up() {
+        let req = roundtrip(
+            b"GET /v1/healthz HTTP/1.1\r\nX-Icn-Trace-Id: 00aabb00aabb00aabb00aabb00aabb00\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(
+            req.header("x-icn-trace-id"),
+            Some("00aabb00aabb00aabb00aabb00aabb00")
+        );
+        assert_eq!(req.header("X-ICN-TRACE-ID"), req.header("x-icn-trace-id"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]

@@ -19,7 +19,13 @@
 //! * `GET /v1/jobs/:id/stream` — chunked ndjson progress stream, fed by
 //!   the worker's engine event sink, until the job reaches a terminal
 //!   state.
+//! * `GET /v1/jobs/:id/trace` — the job's span tree: request-lifecycle
+//!   wall-clock spans (parse, cache lookup, journal append, queue wait,
+//!   execute), with the engine's cycle-domain profile nested under the
+//!   execute span when the job ran with `"profile": true`.
 //! * `GET /v1/healthz`, `GET /v1/stats` — liveness and counters.
+//! * `GET /v1/metrics` — Prometheus text exposition (first-party
+//!   [`metrics`] renderer and validating parser; no client library).
 //! * `POST /v1/shutdown` — graceful drain (the signal-free stop switch).
 //!
 //! Three properties do the heavy lifting:
@@ -65,9 +71,11 @@ pub mod cache;
 pub mod http;
 pub mod jobs;
 pub mod journal;
+pub mod metrics;
 pub mod server;
 pub mod spill;
 pub mod telemetry;
+pub mod trace;
 
 pub use api::{content_key, Limits, Priority, SimulateRequest, MIN_WATCHDOG_CYCLES};
 pub use cache::{CacheStats, ResultCache};
@@ -75,6 +83,10 @@ pub use jobs::{
     retry_after_secs, Enqueue, JobQueue, JobSnapshot, JobState, QueueStats, DEFAULT_MEAN_SERVICE_US,
 };
 pub use journal::{Journal, Record, Recovery};
+pub use metrics::{parse_exposition, Exposition, MetricFamily, MetricSample, MetricsSnapshot};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
 pub use spill::DiskStore;
-pub use telemetry::{Progress, ProgressSink, ServeDumpLine, ServeEvent, ServeMeta, ServeTelemetry};
+pub use telemetry::{
+    Progress, ProgressSink, ServeCounters, ServeDumpLine, ServeEvent, ServeMeta, ServeTelemetry,
+};
+pub use trace::{generate_trace_id, resolve_trace_id, valid_trace_id, TraceBuilder, TraceStore};

@@ -32,22 +32,26 @@ use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use icn_sim::{SimConfig, SimError};
 use serde::Serialize;
+use serde_json::Value;
 
 use crate::api::{content_key, Limits, SimulateRequest};
 use crate::cache::{CacheStats, ResultCache};
 use crate::http::{read_request, ChunkedResponse, HttpError, Request, Response};
 use crate::jobs::{
-    retry_after_secs, Enqueue, JobQueue, JobRecord, JobState, QueueStats, RestoredJob, TakenJob,
+    retry_after_secs, Enqueue, JobQueue, JobRecord, JobSnapshot, JobState, QueueStats, RestoredJob,
+    TakenJob,
 };
 use crate::journal::{compaction_records, CompactionJob, Journal, Record};
+use crate::metrics::{self, MetricsSnapshot};
 use crate::spill::DiskStore;
 use crate::telemetry::{ProgressSink, ServeEvent, ServeTelemetry};
+use crate::trace::{resolve_trace_id, TraceBuilder, TraceStore};
 
 /// Connections buffered between the acceptor and the HTTP workers.
 const CONN_QUEUE_CAPACITY: usize = 128;
@@ -177,6 +181,12 @@ struct ServerState {
     /// Whether the cache has a disk spill (decides whether `Complete`
     /// records need their body inline).
     spill_active: bool,
+    /// Per-job span traces for `GET /v1/jobs/:id/trace`.
+    traces: TraceStore,
+    /// Records appended to the write-ahead journal (metrics counter).
+    journal_appends: AtomicU64,
+    /// Jobs re-enqueued from the journal at startup (metrics counter).
+    journal_replayed: AtomicU64,
 }
 
 /// A handle for observing and stopping a running server from another
@@ -236,6 +246,7 @@ impl Server {
 
         let mut journal = None;
         let mut recovered_event = None;
+        let mut replayed_jobs = 0u64;
         let jobs = match config.journal.as_deref() {
             None => JobQueue::new(config.queue_depth),
             Some(path) => {
@@ -298,6 +309,7 @@ impl Server {
                     cache_entries: restored_cache,
                     discarded_bytes: recovery.discarded_bytes,
                 });
+                replayed_jobs = requeued;
                 journal = Some(Mutex::new(handle));
                 jobs
             }
@@ -310,6 +322,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             journal,
             spill_active,
+            traces: TraceStore::new(),
+            journal_appends: AtomicU64::new(0),
+            journal_replayed: AtomicU64::new(replayed_jobs),
             config,
         });
         if let Some(event) = recovered_event {
@@ -398,6 +413,7 @@ impl Server {
         });
 
         if let Some(path) = &state.config.telemetry_out {
+            let cache_stats = state.cache.lock().stats();
             let mut buf = Vec::new();
             state
                 .telemetry
@@ -405,6 +421,7 @@ impl Server {
                     state.config.workers,
                     state.config.queue_depth,
                     state.config.cache_entries,
+                    Some(cache_stats),
                     &mut buf,
                 )
                 .and_then(|()| std::fs::write(path, buf))?;
@@ -436,7 +453,9 @@ fn request_shutdown(state: &ServerState) {
 fn journal_append(state: &ServerState, record: &Record) {
     if let Some(journal) = &state.journal {
         let mut journal = journal.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = journal.append(record);
+        if journal.append(record).is_ok() {
+            state.journal_appends.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -536,6 +555,7 @@ fn job_worker(state: &ServerState) {
         } = taken;
         journal_append(state, &Record::Start { id });
         state.telemetry.event(ServeEvent::JobStarted { job: id });
+        state.traces.started(id);
         let started = Instant::now();
         let outcome = match deadline {
             Some(deadline) if Instant::now() >= deadline => {
@@ -583,14 +603,16 @@ fn job_worker(state: &ServerState) {
                 });
             }
         }
+        state.traces.finished(id);
         state.jobs.finish(id, outcome, micros);
         maybe_compact(state);
     }
 }
 
-/// Serve one connection: read a request, route it, time it, reply. The
-/// progress-stream endpoint takes over the socket for chunked output;
-/// everything else goes through [`route`].
+/// Serve one connection: read a request, resolve its trace id, route it,
+/// time it, reply (echoing `x-icn-trace-id`). The progress-stream
+/// endpoint takes over the socket for chunked output; everything else
+/// goes through [`route`].
 fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
     let started = Instant::now();
     let request = match read_request(stream) {
@@ -619,7 +641,8 @@ fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
             }
         }
     }
-    let response = route(state, &request);
+    let trace_id = resolve_trace_id(request.header("x-icn-trace-id"));
+    let response = route(state, &request, &trace_id, started);
     let micros = elapsed_micros(started);
     let queue = state.jobs.stats();
     state.telemetry.record_request(
@@ -630,7 +653,9 @@ fn handle_connection(state: &ServerState, stream: &mut TcpStream) {
         queue.depth as u64,
         queue.running as u64,
     );
-    let _ = response.write(stream);
+    let _ = response
+        .with_header("x-icn-trace-id", trace_id)
+        .write(stream);
 }
 
 /// `GET /v1/jobs/:id/stream`: chunked ndjson progress lines (one every
@@ -693,13 +718,18 @@ fn stream_job(
     record(200);
 }
 
-/// Dispatch one parsed request.
-fn route(state: &ServerState, request: &Request) -> Response {
+/// Dispatch one parsed request. `trace_id` and `started` describe the
+/// enclosing exchange; `/v1/simulate` records them as the submit side of
+/// the job's trace.
+fn route(state: &ServerState, request: &Request, trace_id: &str, started: Instant) -> Response {
     let method = request.method.as_str();
     let path = request.path.as_str();
     match (method, path) {
         ("GET", "/v1/healthz") => Response::json(200, r#"{"status":"ok"}"#),
         ("GET", "/v1/stats") => stats(state),
+        // Scrapers keep working through a drain: metrics sit above the
+        // shutdown guard, like /v1/stats.
+        ("GET", "/v1/metrics") => metrics_endpoint(state),
         ("POST", "/v1/shutdown") => {
             request_shutdown(state);
             Response::json(200, r#"{"status":"draining"}"#)
@@ -711,16 +741,31 @@ fn route(state: &ServerState, request: &Request) -> Response {
             Response::json(503, r#"{"error":"server is draining"}"#)
         }
         ("POST", "/v1/evaluate") => evaluate(state, &request.body),
-        ("POST", "/v1/simulate") => simulate(state, &request.body),
+        ("POST", "/v1/simulate") => simulate(state, &request.body, trace_id, started),
         ("GET", _) if path.starts_with("/v1/jobs/") => job_endpoints(state, path),
-        (_, "/v1/evaluate" | "/v1/simulate" | "/v1/shutdown" | "/v1/healthz" | "/v1/stats") => {
-            Response::json(
-                405,
-                error_body(&format!("method {method} not allowed here")),
-            )
-        }
+        (
+            _,
+            "/v1/evaluate" | "/v1/simulate" | "/v1/shutdown" | "/v1/healthz" | "/v1/stats"
+            | "/v1/metrics",
+        ) => Response::json(
+            405,
+            error_body(&format!("method {method} not allowed here")),
+        ),
         _ => Response::json(404, error_body(&format!("no such endpoint: {path}"))),
     }
+}
+
+/// `GET /v1/metrics`: Prometheus text exposition of the live counters.
+fn metrics_endpoint(state: &ServerState) -> Response {
+    let snapshot = MetricsSnapshot {
+        counters: state.telemetry.counters(),
+        latency_us: state.telemetry.latency_histogram(),
+        queue: state.jobs.stats(),
+        cache: state.cache.lock().stats(),
+        journal_appends: state.journal_appends.load(Ordering::Relaxed),
+        journal_replayed_jobs: state.journal_replayed.load(Ordering::Relaxed),
+    };
+    Response::metrics_text(200, metrics::render(&snapshot))
 }
 
 /// `POST /v1/evaluate`: closed-form design evaluation, cached.
@@ -760,8 +805,12 @@ fn too_many_requests(state: &ServerState, message: &str) -> Response {
     Response::json(429, error_body(message)).with_header("retry-after", secs.to_string())
 }
 
-/// `POST /v1/simulate`: serve from cache or enqueue a job.
-fn simulate(state: &ServerState, body: &[u8]) -> Response {
+/// `POST /v1/simulate`: serve from cache or enqueue a job, recording the
+/// submit-side spans (`parse`, `cache_lookup`, `journal_append`) of the
+/// job's trace as it goes.
+fn simulate(state: &ServerState, body: &[u8], trace_id: &str, started: Instant) -> Response {
+    let mut trace = TraceBuilder::new(trace_id.to_string(), started);
+    let parse_started = Instant::now();
     let Ok(text) = std::str::from_utf8(body) else {
         return Response::json(400, error_body("body is not UTF-8"));
     };
@@ -779,11 +828,14 @@ fn simulate(state: &ServerState, body: &[u8]) -> Response {
         Ok(canonical) => canonical,
         Err(e) => return Response::json(500, error_body(&format!("canonicalizing config: {e}"))),
     };
+    trace.span("parse", parse_started);
     let key = content_key("simulate", &canonical);
+    let lookup_started = Instant::now();
     if let Some(body) = state.cache.lock().get(&key) {
         state.telemetry.event(ServeEvent::CacheHit { key });
         return Response::json(200, body.as_str()).with_header("x-icn-cache", "hit");
     }
+    trace.span("cache_lookup", lookup_started);
     state
         .telemetry
         .event(ServeEvent::CacheMiss { key: key.clone() });
@@ -800,6 +852,7 @@ fn simulate(state: &ServerState, body: &[u8]) -> Response {
         .enqueue(&key, config, Arc::clone(&canonical), priority, deadline_ms)
     {
         Enqueue::Enqueued(id) => {
+            let journal_started = Instant::now();
             journal_append(
                 state,
                 &Record::Submit {
@@ -810,9 +863,13 @@ fn simulate(state: &ServerState, body: &[u8]) -> Response {
                     config: canonical.as_str().to_string(),
                 },
             );
+            if state.journal.is_some() {
+                trace.span("journal_append", journal_started);
+            }
             state
                 .telemetry
                 .event(ServeEvent::JobEnqueued { job: id, key });
+            state.traces.submitted(id, trace);
             accepted(id, "queued")
         }
         Enqueue::Coalesced(id) => accepted(id, "coalesced"),
@@ -850,12 +907,16 @@ fn accepted(id: u64, disposition: &str) -> Response {
     )
 }
 
-/// `GET /v1/jobs/:id` and `GET /v1/jobs/:id/result`.
+/// `GET /v1/jobs/:id`, `GET /v1/jobs/:id/result`, and
+/// `GET /v1/jobs/:id/trace`.
 fn job_endpoints(state: &ServerState, path: &str) -> Response {
     let rest = &path["/v1/jobs/".len()..];
-    let (id_text, want_result) = match rest.strip_suffix("/result") {
-        Some(id_text) => (id_text, true),
-        None => (rest, false),
+    let (id_text, want_result, want_trace) = match rest.strip_suffix("/result") {
+        Some(id_text) => (id_text, true, false),
+        None => match rest.strip_suffix("/trace") {
+            Some(id_text) => (id_text, false, true),
+            None => (rest, false, false),
+        },
     };
     let Ok(id) = id_text.parse::<u64>() else {
         return Response::json(400, error_body(&format!("bad job id `{id_text}`")));
@@ -863,6 +924,15 @@ fn job_endpoints(state: &ServerState, path: &str) -> Response {
     let Some(job) = state.jobs.snapshot(id) else {
         return Response::json(404, error_body(&format!("no such job: {id}")));
     };
+    if want_trace {
+        let engine = engine_profile(&job);
+        return match state.traces.render(id, job.state.label(), engine) {
+            Some(body) => Response::json(200, body),
+            // The job exists but predates this process (journal recovery)
+            // or its trace was pruned.
+            None => Response::json(404, error_body(&format!("no trace recorded for job {id}"))),
+        };
+    }
     if want_result {
         return match (job.state, job.result, job.error) {
             (JobState::Done, Some(body), _) => Response::json(200, body.as_str()),
@@ -890,6 +960,20 @@ fn job_endpoints(state: &ServerState, path: &str) -> Response {
             job.state.label()
         ),
     )
+}
+
+/// The engine's cycle-domain span profile from a finished job's result
+/// body (`telemetry.spans`), present only when the job ran with
+/// `"profile": true`.
+fn engine_profile(job: &JobSnapshot) -> Option<Value> {
+    let body = job.result.as_ref()?;
+    let value: Value = serde_json::from_str(body).ok()?;
+    let spans = value.get("telemetry")?.get("spans")?;
+    if spans.is_null() {
+        None
+    } else {
+        Some(spans.clone())
+    }
 }
 
 /// `GET /v1/stats`: counters for dashboards and the smoke tests.

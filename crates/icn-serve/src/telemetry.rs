@@ -231,6 +231,8 @@ pub enum ServeDumpLine {
     Histogram(NamedHistogram),
     /// One service lifecycle event.
     ServeEvent(ServeEvent),
+    /// Final result-cache counters (memory and disk-spill traffic).
+    CacheStats(crate::cache::CacheStats),
 }
 
 #[derive(Debug)]
@@ -244,6 +246,20 @@ struct Inner {
     requests: u64,
     responses_ok: u64,
     rejected: u64,
+    deadline_expired: u64,
+}
+
+/// Monotone totals for the metrics endpoint, snapshot under one lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Total HTTP requests handled.
+    pub requests: u64,
+    /// Responses with a 2xx status.
+    pub responses_ok: u64,
+    /// Responses with a 429 or 503 status (shed or draining).
+    pub rejected: u64,
+    /// Jobs abandoned because their wall-clock deadline expired.
+    pub deadline_expired: u64,
 }
 
 /// Thread-safe service telemetry collector.
@@ -273,6 +289,7 @@ impl ServeTelemetry {
                 requests: 0,
                 responses_ok: 0,
                 rejected: 0,
+                deadline_expired: 0,
             }),
         }
     }
@@ -342,6 +359,9 @@ impl ServeTelemetry {
     pub fn event(&self, event: ServeEvent) {
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
+        if matches!(event, ServeEvent::DeadlineExceeded { .. }) {
+            inner.deadline_expired += 1;
+        }
         push_bounded(&mut inner.events, event, &mut inner.dropped_events);
     }
 
@@ -366,7 +386,28 @@ impl ServeTelemetry {
         self.inner.lock().requests
     }
 
-    /// Write the full dump as JSONL of [`ServeDumpLine`]s.
+    /// Snapshot the monotone totals for the metrics endpoint.
+    #[must_use]
+    pub fn counters(&self) -> ServeCounters {
+        let inner = self.inner.lock();
+        ServeCounters {
+            requests: inner.requests,
+            responses_ok: inner.responses_ok,
+            rejected: inner.rejected,
+            deadline_expired: inner.deadline_expired,
+        }
+    }
+
+    /// Clone of the request-latency histogram, for exposition as
+    /// cumulative Prometheus buckets.
+    #[must_use]
+    pub fn latency_histogram(&self) -> Histogram {
+        self.inner.lock().latency_us.clone()
+    }
+
+    /// Write the full dump as JSONL of [`ServeDumpLine`]s. `cache` (when
+    /// given) becomes a `CacheStats` line after the header, so `icn
+    /// inspect` can show spill and disk-hit traffic.
     ///
     /// # Errors
     /// Propagates I/O errors from `out`.
@@ -375,6 +416,7 @@ impl ServeTelemetry {
         workers: usize,
         queue_capacity: usize,
         cache_capacity: usize,
+        cache: Option<crate::cache::CacheStats>,
         out: &mut W,
     ) -> std::io::Result<()> {
         let inner = self.inner.lock();
@@ -394,6 +436,9 @@ impl ServeTelemetry {
             }),
             out,
         )?;
+        if let Some(stats) = cache {
+            write_line(&ServeDumpLine::CacheStats(stats), out)?;
+        }
         for sample in &inner.samples {
             write_line(&ServeDumpLine::Sample(sample.clone()), out)?;
         }
@@ -436,8 +481,14 @@ mod tests {
             job: 1,
             key: "simulate:abc".to_string(),
         });
+        let cache = crate::cache::CacheStats {
+            hits: 2,
+            spill_writes: 1,
+            disk_hits: 1,
+            ..Default::default()
+        };
         let mut buf = Vec::new();
-        t.write_jsonl(2, 8, 64, &mut buf).unwrap();
+        t.write_jsonl(2, 8, 64, Some(cache), &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<ServeDumpLine> = text
             .lines()
@@ -461,6 +512,13 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| matches!(l, ServeDumpLine::ServeEvent(ServeEvent::JobEnqueued { .. }))));
+        assert!(
+            lines.iter().any(|l| matches!(
+                l,
+                ServeDumpLine::CacheStats(s) if s.spill_writes == 1 && s.disk_hits == 1
+            )),
+            "cache counters round-trip through the dump"
+        );
     }
 
     #[test]

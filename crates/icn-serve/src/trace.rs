@@ -1,0 +1,461 @@
+//! Trace-context propagation: 128-bit trace ids and per-job span trees.
+//!
+//! Every HTTP exchange carries a **trace id** — a 32-hex-digit (128-bit)
+//! identifier echoed back as the `x-icn-trace-id` response header. A
+//! client may supply its own id on ingress (any 32-hex-digit value);
+//! otherwise the server mints one. The id stamped on the request that
+//! *submits* a simulation job becomes the job's trace.
+//!
+//! Per job, the server records wall-clock spans for the request lifecycle
+//! — `parse`, `cache_lookup`, `journal_append`, `queue_wait`, `execute` —
+//! as offsets from the submitting request's arrival. `GET
+//! /v1/jobs/:id/trace` renders them as a span tree, with the engine's own
+//! cycle-domain profile (see `icn_sim::telemetry::SpanProfile`) nested
+//! under the `execute` span once the job has finished.
+//!
+//! Wall clocks live *here*, in the service — the engine stays
+//! cycle-deterministic (ICN002); the two domains meet only in the
+//! rendered tree, each span labeled with its own unit.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use serde_json::Value;
+
+/// Traces retained in memory; older jobs' traces are pruned first.
+pub const RETAINED_TRACES: usize = 4096;
+
+/// Process-wide counter folded into generated ids so two requests in the
+/// same nanosecond still differ.
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Mint a 128-bit trace id as 32 lowercase hex digits, from the wall
+/// clock, the process id, and a process-wide counter, mixed through
+/// splitmix64 so consecutive ids share no visible structure.
+#[must_use]
+pub fn generate_trace_id() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+    let seq = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let hi = splitmix64(nanos ^ (u64::from(std::process::id()) << 32) ^ seq);
+    let lo = splitmix64(hi ^ nanos.rotate_left(17));
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// One round of splitmix64 — enough mixing for id dispersion (this is an
+/// identifier, not a security token).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Whether `s` is an acceptable ingress trace id: exactly 32 hex digits.
+#[must_use]
+pub fn valid_trace_id(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// Resolve the trace id for a request: a valid `x-icn-trace-id` ingress
+/// header (lower-cased) wins; otherwise a fresh id is minted.
+#[must_use]
+pub fn resolve_trace_id(ingress: Option<&str>) -> String {
+    match ingress {
+        Some(id) if valid_trace_id(id) => id.to_ascii_lowercase(),
+        _ => generate_trace_id(),
+    }
+}
+
+/// One completed span: microsecond offset from the trace origin plus
+/// duration.
+#[derive(Debug, Clone, Copy)]
+struct SpanRecord {
+    name: &'static str,
+    start_us: u64,
+    duration_us: u64,
+}
+
+/// The recorded trace of one submitted job.
+#[derive(Debug)]
+struct JobTrace {
+    trace_id: String,
+    /// The submitting request's arrival — the origin all offsets are
+    /// measured from.
+    origin: Instant,
+    /// Submit-side spans (`parse`, `cache_lookup`, `journal_append`),
+    /// recorded before the job entered the queue.
+    submit_spans: Vec<SpanRecord>,
+    /// Offset at which the job entered the queue (`queue_wait` start).
+    enqueued_us: u64,
+    /// Offset at which a worker claimed the job (`queue_wait` end /
+    /// `execute` start).
+    execute_start_us: Option<u64>,
+    /// Offset at which the job reached a terminal state (`execute` end).
+    execute_end_us: Option<u64>,
+}
+
+/// Builder for the submit-side of a job trace, driven by the
+/// `/v1/simulate` handler as it works through a request.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    trace_id: String,
+    origin: Instant,
+    spans: Vec<SpanRecord>,
+}
+
+impl TraceBuilder {
+    /// Start a trace at `origin` (the request's arrival).
+    #[must_use]
+    pub fn new(trace_id: String, origin: Instant) -> Self {
+        Self {
+            trace_id,
+            origin,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Record a span that started at `started` and ends now.
+    pub fn span(&mut self, name: &'static str, started: Instant) {
+        let start_us = micros_between(self.origin, started);
+        let duration_us = micros_between(started, Instant::now());
+        self.spans.push(SpanRecord {
+            name,
+            start_us,
+            duration_us,
+        });
+    }
+
+    /// The trace id this builder stamps.
+    #[must_use]
+    pub fn trace_id(&self) -> &str {
+        &self.trace_id
+    }
+}
+
+/// Saturating microseconds from `a` to `b` (0 when `b` precedes `a`).
+fn micros_between(a: Instant, b: Instant) -> u64 {
+    u64::try_from(b.saturating_duration_since(a).as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Worker-side marks observed before the submit path registered the
+/// job's trace. With an idle worker the claim can beat `submitted()` to
+/// the store; the marks are buffered here and applied at registration so
+/// the `execute` span is never lost to that race.
+#[derive(Debug, Default, Clone, Copy)]
+struct PendingMarks {
+    started: Option<Instant>,
+    finished: Option<Instant>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    traces: BTreeMap<u64, JobTrace>,
+    /// Marks for jobs with no registered trace yet. Journal-recovered
+    /// jobs never get one, so this map is pruned to the same bound.
+    pending: BTreeMap<u64, PendingMarks>,
+}
+
+/// Per-job trace storage, bounded at [`RETAINED_TRACES`] entries.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    inner: Mutex<StoreInner>,
+}
+
+/// Survive lock poisoning like the job queue does: span records are
+/// monotone observations, never a synchronization protocol.
+fn lock(m: &Mutex<StoreInner>) -> MutexGuard<'_, StoreInner> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bound the pending-marks map: journal-recovered jobs report marks but
+/// never register a trace, so their entries would otherwise accumulate.
+fn prune_pending(inner: &mut StoreInner) {
+    while inner.pending.len() > RETAINED_TRACES {
+        let oldest = *inner
+            .pending
+            .keys()
+            .next()
+            .expect("non-empty map has a first key");
+        inner.pending.remove(&oldest);
+    }
+}
+
+impl TraceStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach the submit-side trace to job `job` the moment it is
+    /// enqueued. Prunes the oldest traces past [`RETAINED_TRACES`].
+    pub fn submitted(&self, job: u64, builder: TraceBuilder) {
+        let enqueued_us = micros_between(builder.origin, Instant::now());
+        let mut inner = lock(&self.inner);
+        // A fast worker may already have claimed (or even finished) the
+        // job between enqueue and this registration — fold those
+        // buffered marks in now.
+        let marks = inner.pending.remove(&job).unwrap_or_default();
+        let origin = builder.origin;
+        let execute_start_us = marks.started.map(|at| micros_between(origin, at));
+        // Keep the tree monotone: the queue can only have been entered at
+        // or before the moment a worker claimed the job.
+        let enqueued_us = execute_start_us.map_or(enqueued_us, |s| enqueued_us.min(s));
+        inner.traces.insert(
+            job,
+            JobTrace {
+                trace_id: builder.trace_id,
+                origin,
+                submit_spans: builder.spans,
+                enqueued_us,
+                execute_start_us,
+                execute_end_us: marks.finished.map(|at| micros_between(origin, at)),
+            },
+        );
+        while inner.traces.len() > RETAINED_TRACES {
+            let oldest = *inner
+                .traces
+                .keys()
+                .next()
+                .expect("non-empty map has a first key");
+            inner.traces.remove(&oldest);
+        }
+    }
+
+    /// Mark the job claimed by a worker: closes `queue_wait`, opens
+    /// `execute`. If the trace is not registered yet (the worker beat the
+    /// submit path) the mark is buffered and applied on registration.
+    pub fn started(&self, job: u64) {
+        let now = Instant::now();
+        let mut inner = lock(&self.inner);
+        if let Some(trace) = inner.traces.get_mut(&job) {
+            trace.execute_start_us = Some(micros_between(trace.origin, now));
+        } else {
+            inner.pending.entry(job).or_default().started = Some(now);
+            prune_pending(&mut inner);
+        }
+    }
+
+    /// Mark the job terminal: closes `execute`. Buffered like
+    /// [`TraceStore::started`] when the trace is not registered yet.
+    pub fn finished(&self, job: u64) {
+        let now = Instant::now();
+        let mut inner = lock(&self.inner);
+        if let Some(trace) = inner.traces.get_mut(&job) {
+            trace.execute_end_us = Some(micros_between(trace.origin, now));
+        } else {
+            inner.pending.entry(job).or_default().finished = Some(now);
+            prune_pending(&mut inner);
+        }
+    }
+
+    /// The trace id recorded for `job`, if any.
+    #[must_use]
+    pub fn trace_id(&self, job: u64) -> Option<String> {
+        lock(&self.inner)
+            .traces
+            .get(&job)
+            .map(|t| t.trace_id.clone())
+    }
+
+    /// Render the span tree for `job` as a JSON body, nesting
+    /// `engine_profile` (the result's `telemetry.spans` value, if the job
+    /// ran with `profile: true`) under the `execute` span. Returns `None`
+    /// for jobs with no recorded trace.
+    #[must_use]
+    pub fn render(&self, job: u64, status: &str, engine_profile: Option<Value>) -> Option<String> {
+        let inner = lock(&self.inner);
+        let trace = inner.traces.get(&job)?;
+
+        let span_value = |name: &str, start_us: u64, duration_us: Option<u64>| -> Value {
+            let mut map = serde_json::Map::new();
+            map.insert("name".to_string(), Value::from(name));
+            map.insert("start_us".to_string(), Value::from(start_us));
+            match duration_us {
+                Some(d) => map.insert("duration_us".to_string(), Value::from(d)),
+                None => map.insert("in_progress".to_string(), Value::from(true)),
+            };
+            Value::Object(map)
+        };
+
+        let mut children: Vec<Value> = trace
+            .submit_spans
+            .iter()
+            .map(|s| span_value(s.name, s.start_us, Some(s.duration_us)))
+            .collect();
+        children.push(span_value(
+            "queue_wait",
+            trace.enqueued_us,
+            trace
+                .execute_start_us
+                .map(|start| start.saturating_sub(trace.enqueued_us)),
+        ));
+        if let Some(start) = trace.execute_start_us {
+            let mut execute = span_value(
+                "execute",
+                start,
+                trace.execute_end_us.map(|end| end.saturating_sub(start)),
+            );
+            if let Some(profile) = engine_profile {
+                if let Some(map) = execute.as_object_mut() {
+                    map.insert("engine".to_string(), profile);
+                }
+            }
+            children.push(execute);
+        }
+
+        let end_us = trace
+            .execute_end_us
+            .unwrap_or_else(|| micros_between(trace.origin, Instant::now()));
+        let mut root = serde_json::Map::new();
+        root.insert("name".to_string(), Value::from("job"));
+        root.insert("start_us".to_string(), Value::from(0u64));
+        root.insert("duration_us".to_string(), Value::from(end_us));
+        root.insert("children".to_string(), Value::Array(children));
+
+        let mut body = serde_json::Map::new();
+        body.insert("job".to_string(), Value::from(job));
+        body.insert("trace_id".to_string(), Value::from(trace.trace_id.as_str()));
+        body.insert("status".to_string(), Value::from(status));
+        body.insert("spans".to_string(), Value::Object(root));
+        serde_json::to_string(&Value::Object(body)).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ids_are_valid_and_distinct() {
+        let a = generate_trace_id();
+        let b = generate_trace_id();
+        assert!(valid_trace_id(&a), "{a}");
+        assert!(valid_trace_id(&b), "{b}");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ingress_ids_are_honored_only_when_valid() {
+        let good = "00AABB00aabb00aabb00aabb00aabb00";
+        assert_eq!(
+            resolve_trace_id(Some(good)),
+            good.to_ascii_lowercase(),
+            "valid ingress id is kept (lower-cased)"
+        );
+        for bad in [
+            "",
+            "xyz",
+            "00aabb",
+            &"0".repeat(33),
+            "g0aabb00aabb00aabb00aabb00aabb00",
+        ] {
+            let resolved = resolve_trace_id(Some(bad));
+            assert_ne!(resolved, bad);
+            assert!(valid_trace_id(&resolved));
+        }
+        assert!(valid_trace_id(&resolve_trace_id(None)));
+    }
+
+    #[test]
+    fn job_trace_renders_the_full_span_tree() {
+        let store = TraceStore::new();
+        let origin = Instant::now();
+        let mut builder = TraceBuilder::new("ab".repeat(16), origin);
+        builder.span("parse", origin);
+        builder.span("cache_lookup", origin);
+        builder.span("journal_append", origin);
+        store.submitted(7, builder);
+        store.started(7);
+        store.finished(7);
+
+        let engine = serde_json::from_str::<Value>(r#"{"root":{"name":"run"}}"#).unwrap();
+        let body = store.render(7, "done", Some(engine)).unwrap();
+        let tree: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(tree["job"], 7);
+        assert_eq!(tree["trace_id"], "ab".repeat(16));
+        assert_eq!(tree["status"], "done");
+        assert_eq!(tree["spans"]["name"], "job");
+        let children = tree["spans"]["children"].as_array().unwrap();
+        let names: Vec<&str> = children
+            .iter()
+            .map(|c| c["name"].as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "parse",
+                "cache_lookup",
+                "journal_append",
+                "queue_wait",
+                "execute"
+            ]
+        );
+        let execute = &children[4];
+        assert_eq!(
+            execute["engine"]["root"]["name"], "run",
+            "engine profile nests under the execute span"
+        );
+        assert!(execute["duration_us"].as_u64().is_some());
+    }
+
+    #[test]
+    fn unclaimed_job_reports_queue_wait_in_progress() {
+        let store = TraceStore::new();
+        let builder = TraceBuilder::new(generate_trace_id(), Instant::now());
+        store.submitted(1, builder);
+        let body = store.render(1, "queued", None).unwrap();
+        let tree: Value = serde_json::from_str(&body).unwrap();
+        let children = tree["spans"]["children"].as_array().unwrap();
+        let queue_wait = children.iter().find(|c| c["name"] == "queue_wait").unwrap();
+        assert_eq!(queue_wait["in_progress"], true);
+        assert!(
+            !children.iter().any(|c| c["name"] == "execute"),
+            "no execute span before a worker claims the job"
+        );
+    }
+
+    #[test]
+    fn worker_marks_arriving_before_submit_are_not_lost() {
+        // With an idle worker the claim (and even completion) can land
+        // before the submit path registers the trace; the execute span
+        // must still close.
+        let store = TraceStore::new();
+        store.started(3);
+        store.finished(3);
+        store.submitted(3, TraceBuilder::new("cd".repeat(16), Instant::now()));
+
+        let body = store.render(3, "done", None).unwrap();
+        let tree: Value = serde_json::from_str(&body).unwrap();
+        let children = tree["spans"]["children"].as_array().unwrap();
+        let queue_wait = children.iter().find(|c| c["name"] == "queue_wait").unwrap();
+        assert!(
+            queue_wait["duration_us"].as_u64().is_some(),
+            "queue_wait closed: {queue_wait}"
+        );
+        let execute = children.iter().find(|c| c["name"] == "execute").unwrap();
+        assert!(
+            execute["duration_us"].as_u64().is_some(),
+            "execute closed: {execute}"
+        );
+    }
+
+    #[test]
+    fn store_prunes_oldest_traces_and_misses_return_none() {
+        let store = TraceStore::new();
+        assert!(store.render(99, "queued", None).is_none());
+        for job in 0..(RETAINED_TRACES as u64 + 8) {
+            store.submitted(job, TraceBuilder::new(generate_trace_id(), Instant::now()));
+        }
+        assert!(store.render(0, "queued", None).is_none(), "oldest pruned");
+        assert!(store
+            .render(RETAINED_TRACES as u64 + 7, "queued", None)
+            .is_some());
+    }
+}

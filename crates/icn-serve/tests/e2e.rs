@@ -35,12 +35,27 @@ impl Exchange {
 
 /// Send one request and read the full response (connection: close).
 fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> Exchange {
+    call_with_headers(addr, method, path, body, &[])
+}
+
+/// [`call`], with extra request headers.
+fn call_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra: &[(&str, &str)],
+) -> Exchange {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
+    let extra_headers: String = extra
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nhost: test\r\n{extra_headers}content-length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).expect("send");
@@ -400,6 +415,127 @@ fn stream_endpoint_emits_chunked_progress_until_terminal() {
 
     // Unknown jobs 404 instead of streaming forever.
     assert_eq!(call(addr, "GET", "/v1/jobs/424242/stream", "").status, 404);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn trace_endpoint_nests_the_engine_profile_under_execute() {
+    let (addr, handle, join) = start(test_config());
+
+    // A client-supplied trace id is echoed on every response.
+    let trace_id = "deadbeefdeadbeefdeadbeefdeadbeef";
+    let profiled = r#"{"ports":16,"load":0.02,"seed":91,"warmup_cycles":200,"measure_cycles":500,"drain_cycles":2000,"profile":true}"#;
+    let accepted = call_with_headers(
+        addr,
+        "POST",
+        "/v1/simulate",
+        profiled,
+        &[("x-icn-trace-id", trace_id)],
+    );
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    assert_eq!(accepted.header("x-icn-trace-id"), Some(trace_id));
+
+    let result_url = json_str(&accepted.body, "result_url");
+    let result = poll_result(addr, &result_url, Duration::from_secs(30));
+    assert_eq!(result.status, 200, "{}", result.body);
+    // Responses without a client id still carry a generated one.
+    let generated = result.header("x-icn-trace-id").expect("generated id");
+    assert_eq!(generated.len(), 32, "{generated}");
+
+    let job = json_u64(&accepted.body, "job");
+    let trace = call(addr, "GET", &format!("/v1/jobs/{job}/trace"), "");
+    assert_eq!(trace.status, 200, "{}", trace.body);
+    let tree: serde_json::Value = serde_json::from_str(&trace.body).expect("trace body parses");
+    assert_eq!(tree["trace_id"], trace_id, "{}", trace.body);
+    assert_eq!(tree["status"], "done");
+    let children = tree["spans"]["children"].as_array().expect("children");
+    let names: Vec<&str> = children.iter().filter_map(|c| c["name"].as_str()).collect();
+    for required in ["parse", "cache_lookup", "queue_wait", "execute"] {
+        assert!(names.contains(&required), "missing {required} in {names:?}");
+    }
+    // The job ran with `profile: true`, so the engine's cycle-domain span
+    // tree is nested under the execute span.
+    let execute = children.iter().find(|c| c["name"] == "execute").unwrap();
+    assert_eq!(execute["engine"]["root"]["name"], "run", "{}", trace.body);
+
+    // Unknown jobs 404.
+    assert_eq!(call(addr, "GET", "/v1/jobs/424242/trace", "").status, 404);
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+#[test]
+fn metrics_endpoint_scrapes_clean_under_load() {
+    let (addr, handle, join) = start(test_config());
+
+    // Drive mixed traffic from a few client threads while scraping.
+    let sims: Vec<String> = (0..6)
+        .map(|seed| {
+            format!(
+                r#"{{"ports":16,"load":0.02,"seed":{seed},"warmup_cycles":200,"measure_cycles":500,"drain_cycles":2000}}"#
+            )
+        })
+        .collect();
+    std::thread::scope(|scope| {
+        for sim in &sims {
+            scope.spawn(move || {
+                let accepted = call(addr, "POST", "/v1/simulate", sim);
+                assert!(
+                    accepted.status == 202 || accepted.status == 200,
+                    "{}",
+                    accepted.body
+                );
+            });
+        }
+        // Concurrent scrapes must always parse and validate.
+        for _ in 0..4 {
+            let scrape = call(addr, "GET", "/v1/metrics", "");
+            assert_eq!(scrape.status, 200);
+            assert_eq!(
+                scrape.header("content-type"),
+                Some("text/plain; version=0.0.4")
+            );
+            icn_serve::parse_exposition(&scrape.body)
+                .unwrap_or_else(|e| panic!("mid-load scrape invalid: {e}\n{}", scrape.body));
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+
+    // Wait for all jobs to finish, then check the final counters.
+    let started = Instant::now();
+    loop {
+        let stats = call(addr, "GET", "/v1/stats", "");
+        if json_u64(&stats.body, "completed") >= sims.len() as u64 {
+            break;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "{}",
+            stats.body
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let scrape = call(addr, "GET", "/v1/metrics", "");
+    let parsed = icn_serve::parse_exposition(&scrape.body).expect("final scrape parses");
+    let value = |name: &str| {
+        parsed
+            .value(name)
+            .unwrap_or_else(|| panic!("{name} missing from scrape:\n{}", scrape.body))
+    };
+    assert!(value("icn_requests_total") >= sims.len() as f64);
+    assert!(value("icn_jobs_completed_total") >= sims.len() as f64);
+    assert!(value("icn_cache_misses_total") >= sims.len() as f64);
+    assert_eq!(value("icn_jobs_failed_total"), 0.0);
+    let hist = parsed
+        .family("icn_request_latency_us")
+        .expect("latency histogram family");
+    assert_eq!(hist.kind, "histogram");
+
+    // Methods other than GET are rejected, not routed.
+    assert_eq!(call(addr, "POST", "/v1/metrics", "").status, 405);
 
     handle.shutdown();
     join.join().expect("server thread");

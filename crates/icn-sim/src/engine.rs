@@ -63,7 +63,7 @@ use crate::metrics::{LatencyStats, SimResult, StageCounters};
 use crate::module::Stage;
 use crate::packet::Packet;
 use crate::store::{PacketRef, PacketStore, NO_TRACE};
-use crate::telemetry::{EventSink, Gauges, SimEvent, TelemetryState};
+use crate::telemetry::{EventSink, Gauges, PhaseGauges, SimEvent, StageDims, TelemetryState};
 use crate::trace::{HopTrace, PacketTrace};
 
 /// Sentinel for "this input has no ready head" in the grant scratch.
@@ -283,7 +283,15 @@ impl Engine {
         let stage_counters = vec![StageCounters::default(); stage_count];
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
         let faults = FaultState::build(&config.faults, &config.plan);
-        let telem = TelemetryState::build(&config.telemetry, stage_count);
+        let stage_dims: Vec<StageDims> = radices
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| StageDims {
+                modules: config.plan.modules_in_stage(i as u32),
+                radix: r,
+            })
+            .collect();
+        let telem = TelemetryState::build(&config.telemetry, &stage_dims, flits);
         Ok(Self {
             topology,
             stages,
@@ -544,13 +552,14 @@ impl Engine {
                 }
             }
         }
-        self.vacate_all();
+        let vacated = self.vacate_all();
         self.release_retries();
         self.workload_inject();
         self.source_grants();
         self.module_grants();
         self.check_watchdog();
         self.sample_telemetry();
+        self.profile_telemetry(vacated);
         #[cfg(debug_assertions)]
         self.debug_assert_conservation();
         self.now += 1;
@@ -677,11 +686,57 @@ impl Engine {
         }
     }
 
-    fn vacate_all(&mut self) {
+    /// Free drained buffer slots across every stage; returns the count
+    /// (the profiler's per-cycle "advance" op tally).
+    fn vacate_all(&mut self) -> u64 {
         let now = self.now;
+        let mut freed = 0;
         for stage in &mut self.stages {
             for input in &mut stage.inputs {
-                input.vacate(now);
+                freed += input.vacate(now);
+            }
+        }
+        freed
+    }
+
+    /// Feed the span profiler and hotspot heatmap (runs after the cycle's
+    /// phases, like [`Engine::sample_telemetry`]). A single early-out when
+    /// profiling is off keeps the hot path untouched.
+    fn profile_telemetry(&mut self, vacated: u64) {
+        let Some(telem) = self.telem.as_deref_mut() else {
+            return;
+        };
+        if !telem.profiling() {
+            return;
+        }
+        let measure_end = self.config.warmup_cycles + self.config.measure_cycles;
+        let window = if self.now < self.config.warmup_cycles {
+            0
+        } else if self.now < measure_end {
+            1
+        } else {
+            2
+        };
+        let grants_total = self.stage_counters.iter().map(|c| c.grants).sum();
+        telem.profile_cycle(&PhaseGauges {
+            cycle: self.now,
+            window,
+            injected_total: self.injected_total,
+            delivered_total: self.delivered_total,
+            dropped_total: self.dropped_total,
+            grants_total,
+            vacated,
+        });
+        if telem.heat_due(self.now) {
+            for (s, stage) in self.stages.iter().enumerate() {
+                let radix = stage.radix as usize;
+                for m in 0..stage.module_count as usize {
+                    let occ: u64 = stage.inputs[m * radix..(m + 1) * radix]
+                        .iter()
+                        .map(|input| input.queue.len() as u64)
+                        .sum();
+                    telem.heat_occupancy(s, m, occ);
+                }
             }
         }
     }
@@ -1028,6 +1083,7 @@ impl Engine {
                             now - (front.head_arrival + ready_offset),
                         );
                     }
+                    telem.heat_grant(stage_idx, module_idx);
                 }
                 let Some(r) = stage.inputs[base + winner as usize].grant_front(now + flits) else {
                     debug_assert!(false, "arbitration winner has no front slot");

@@ -41,15 +41,19 @@ impl InputPort {
         self.queue.len() < capacity as usize
     }
 
-    /// Drop front slots whose tails have fully left the buffer.
-    pub fn vacate(&mut self, now: u64) {
+    /// Drop front slots whose tails have fully left the buffer. Returns
+    /// how many slots were freed (the profiler's "advance" op count).
+    pub fn vacate(&mut self, now: u64) -> u64 {
+        let mut freed = 0;
         while let Some(front) = self.queue.front() {
             if front.granted && front.vacate_at <= now {
                 self.queue.pop_front();
+                freed += 1;
             } else {
                 break;
             }
         }
+        freed
     }
 
     /// The front packet if it is ready to request its output this cycle:

@@ -169,6 +169,12 @@ impl Histogram {
         self.count == 0
     }
 
+    /// Exact sum of the recorded samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Exact mean of the recorded samples (0 when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {

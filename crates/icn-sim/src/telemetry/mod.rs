@@ -43,10 +43,11 @@ use crate::metrics::StageCounters;
 
 /// Telemetry knobs, carried in [`crate::SimConfig::telemetry`].
 ///
-/// The default (`sample_interval` = 0) disables collection entirely.
+/// The default (`sample_interval` = 0, `profile` off) disables collection
+/// entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TelemetryConfig {
-    /// Cycles between time-series samples; 0 disables telemetry.
+    /// Cycles between time-series samples; 0 disables sampling.
     pub sample_interval: u64,
     /// Ring-buffer capacity in samples: the most recent
     /// `ring_capacity` samples are retained, older ones are dropped
@@ -54,6 +55,11 @@ pub struct TelemetryConfig {
     pub ring_capacity: u32,
     /// Histogram sub-bucket bits; quantile error is ≤ `2^−(p+1)`.
     pub histogram_precision: u32,
+    /// Collect the deterministic span profile and per-module hotspot
+    /// heatmap (see [`SpanProfile`] and [`Heatmap`]). Independent of
+    /// `sample_interval`: profiling alone never touches the sample ring.
+    #[serde(default)]
+    pub profile: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -62,6 +68,7 @@ impl Default for TelemetryConfig {
             sample_interval: 0,
             ring_capacity: 4096,
             histogram_precision: DEFAULT_PRECISION,
+            profile: false,
         }
     }
 }
@@ -77,10 +84,21 @@ impl TelemetryConfig {
         }
     }
 
+    /// A config with the span profiler and hotspot heatmap on, sampling
+    /// every `sample_interval` cycles (0 = profile only, no time series).
+    #[must_use]
+    pub fn profiled(sample_interval: u64) -> Self {
+        Self {
+            sample_interval,
+            profile: true,
+            ..Self::default()
+        }
+    }
+
     /// Whether telemetry collection is on.
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.sample_interval > 0
+        self.sample_interval > 0 || self.profile
     }
 
     /// Validate the knobs (called from [`crate::SimConfig::validate`]).
@@ -119,6 +137,14 @@ pub struct TelemetryReport {
     /// Per-stage distributions of cycles a ready head waited (blocked or
     /// arbitrating) before winning its output grant.
     pub stage_waits: Vec<Histogram>,
+    /// The cycle-denominated span profile (`None` unless
+    /// [`TelemetryConfig::profile`] was set).
+    #[serde(default)]
+    pub spans: Option<SpanProfile>,
+    /// The per-stage/per-module hotspot heatmap (`None` unless
+    /// [`TelemetryConfig::profile`] was set).
+    #[serde(default)]
+    pub heatmap: Option<Heatmap>,
 }
 
 impl TelemetryReport {
@@ -154,9 +180,102 @@ impl TelemetryReport {
                 histogram: histogram.clone(),
             }))?;
         }
+        if let Some(spans) = &self.spans {
+            line(&DumpLine::Span(spans.clone()))?;
+        }
+        if let Some(heatmap) = &self.heatmap {
+            line(&DumpLine::Heatmap(heatmap.clone()))?;
+        }
         Ok(())
     }
 }
+
+/// One node of the deterministic span tree: a named region of the run,
+/// bounded in engine cycles (never wall clock — the ICN002 rule), with the
+/// cycles it was *active* (did work) and the operations attributed to it.
+///
+/// The engine emits a three-level tree: a `run` root, one child per
+/// schedule window (`warmup`/`measure`/`drain`), and under each window the
+/// four per-cycle phases `route` (workload injection), `arbitrate` (output
+/// grants), `advance` (buffer slots vacated), and `drain` (deliveries and
+/// final drops).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name (`run`, `warmup`, `measure`, `drain`, `route`,
+    /// `arbitrate`, `advance`).
+    pub name: String,
+    /// First cycle covered by this span.
+    pub start_cycle: u64,
+    /// One past the last cycle covered.
+    pub end_cycle: u64,
+    /// Cycles in which the span did any work.
+    pub busy_cycles: u64,
+    /// Operations attributed to the span (phase-specific unit: packets
+    /// injected, grants issued, slots vacated, packets delivered/dropped).
+    pub ops: u64,
+    /// Child spans, in schedule order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total cycles the span covers (`end_cycle − start_cycle`).
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+}
+
+/// The whole-run span tree (see [`SpanNode`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanProfile {
+    /// The `run` root span.
+    pub root: SpanNode,
+}
+
+/// Per-stage/per-module utilization and buffer-occupancy matrix — the
+/// hotspot heatmap. Occupancy is point-sampled every
+/// [`HEAT_SAMPLE_CYCLES`] cycles; grant counts are exact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Cycles between occupancy point samples.
+    pub occupancy_interval: u64,
+    /// Cycles the profiler observed (the utilization denominator).
+    pub cycles: u64,
+    /// One row per stage, in network order.
+    pub stages: Vec<StageHeat>,
+}
+
+/// One stage's row of the hotspot heatmap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageHeat {
+    /// Stage index.
+    pub stage: u32,
+    /// Module radix at this stage.
+    pub radix: u32,
+    /// One cell per module.
+    pub modules: Vec<ModuleHeat>,
+}
+
+/// One module's cell of the hotspot heatmap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleHeat {
+    /// Module index within its stage.
+    pub module: u32,
+    /// Output grants issued by this module.
+    pub grants: u64,
+    /// Output utilization in parts per million: grants × packet service
+    /// cycles over radix × observed cycles, saturating at 1 000 000.
+    pub utilization_ppm: u64,
+    /// Mean sampled input-buffer occupancy, in thousandths of a packet.
+    pub mean_occupancy_milli: u64,
+    /// Peak sampled input-buffer occupancy, in packets.
+    pub peak_occupancy: u64,
+}
+
+/// Cycles between hotspot-heatmap occupancy point samples. Fixed (not a
+/// config knob) so profiled runs stay comparable and the sweep stays far
+/// off the per-cycle hot path.
+pub const HEAT_SAMPLE_CYCLES: u64 = 64;
 
 /// The header line of a telemetry dump.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,8 +303,8 @@ pub struct NamedHistogram {
 }
 
 /// One line of a telemetry JSONL dump (externally tagged: `{"Meta":{...}}`,
-/// `{"Sample":{...}}`, `{"Histogram":{...}}`, or — in event files —
-/// `{"Event":{...}}`).
+/// `{"Sample":{...}}`, `{"Histogram":{...}}`, `{"Span":{...}}`,
+/// `{"Heatmap":{...}}`, or — in event files — `{"Event":{...}}`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DumpLine {
     /// The run header.
@@ -196,6 +315,10 @@ pub enum DumpLine {
     Histogram(NamedHistogram),
     /// One engine event.
     Event(SimEvent),
+    /// The whole-run span profile.
+    Span(SpanProfile),
+    /// The per-module hotspot heatmap.
+    Heatmap(Heatmap),
 }
 
 /// Engine-side collector. Built only when
@@ -214,6 +337,77 @@ pub(crate) struct TelemetryState {
     total_latency: Histogram,
     network_latency: Histogram,
     stage_waits: Vec<Histogram>,
+    profile: Option<ProfileState>,
+}
+
+/// Per-stage dimensions the profiler needs to size its heat matrix.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StageDims {
+    pub modules: u32,
+    pub radix: u32,
+}
+
+/// Accumulators behind [`TelemetryConfig::profile`].
+#[derive(Debug)]
+struct ProfileState {
+    /// Cycles one grant holds a module output (≈ flits per packet), the
+    /// utilization numerator's scale.
+    service_cycles: u64,
+    /// warmup/measure/drain accumulators, in schedule order.
+    windows: [WindowAccum; 3],
+    /// Flattened per-module heat cells; `stage_base[s] + m` indexes stage
+    /// `s` module `m`.
+    heat: Vec<ModuleAccum>,
+    stage_base: Vec<usize>,
+    dims: Vec<StageDims>,
+    // Whole-run counter snapshots at the previous profiled cycle.
+    last_injected: u64,
+    last_delivered: u64,
+    last_dropped: u64,
+    last_grants: u64,
+    /// One past the last cycle profiled.
+    cycles_seen: u64,
+}
+
+/// One schedule window's span accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+struct WindowAccum {
+    started: bool,
+    start: u64,
+    end: u64,
+    /// Cycles in which any phase did work.
+    active_cycles: u64,
+    /// route / arbitrate / advance / drain.
+    phases: [PhaseAccum; 4],
+}
+
+/// One phase's span accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseAccum {
+    busy_cycles: u64,
+    ops: u64,
+}
+
+/// One module's heat accumulator.
+#[derive(Debug, Default, Clone, Copy)]
+struct ModuleAccum {
+    grants: u64,
+    occ_sum: u64,
+    occ_peak: u64,
+    occ_samples: u64,
+}
+
+/// The per-cycle counters the engine hands the span profiler.
+pub(crate) struct PhaseGauges {
+    pub cycle: u64,
+    /// 0 = warmup, 1 = measure, 2 = drain.
+    pub window: usize,
+    pub injected_total: u64,
+    pub delivered_total: u64,
+    pub dropped_total: u64,
+    pub grants_total: u64,
+    /// Buffer slots vacated this cycle (already a per-cycle count).
+    pub vacated: u64,
 }
 
 /// The instantaneous gauges the engine hands the sampler.
@@ -230,13 +424,39 @@ pub(crate) struct Gauges<'a> {
 }
 
 impl TelemetryState {
-    /// Materialize the config for a `stages`-stage network; `None` when
-    /// disabled.
-    pub fn build(config: &TelemetryConfig, stages: usize) -> Option<Box<Self>> {
+    /// Materialize the config for a network with the given per-stage
+    /// dimensions; `None` when disabled. `service_cycles` is the packet
+    /// transfer time (flits), the heatmap's utilization scale.
+    pub fn build(
+        config: &TelemetryConfig,
+        dims: &[StageDims],
+        service_cycles: u64,
+    ) -> Option<Box<Self>> {
         if !config.enabled() {
             return None;
         }
+        let stages = dims.len();
         let precision = config.histogram_precision;
+        let profile = config.profile.then(|| {
+            let mut stage_base = Vec::with_capacity(stages);
+            let mut total = 0usize;
+            for d in dims {
+                stage_base.push(total);
+                total += d.modules as usize;
+            }
+            ProfileState {
+                service_cycles,
+                windows: [WindowAccum::default(); 3],
+                heat: vec![ModuleAccum::default(); total],
+                stage_base,
+                dims: dims.to_vec(),
+                last_injected: 0,
+                last_delivered: 0,
+                last_dropped: 0,
+                last_grants: 0,
+                cycles_seen: 0,
+            }
+        });
         Some(Box::new(Self {
             config: *config,
             samples: VecDeque::new(),
@@ -248,12 +468,93 @@ impl TelemetryState {
             total_latency: Histogram::new(precision),
             network_latency: Histogram::new(precision),
             stage_waits: (0..stages).map(|_| Histogram::new(precision)).collect(),
+            profile,
         }))
     }
 
-    /// Whether `cycle` is a sampling cycle.
+    /// Whether `cycle` is a sampling cycle (never true with sampling off,
+    /// even when the state exists for profiling alone).
     pub fn due(&self, cycle: u64) -> bool {
-        cycle.is_multiple_of(self.config.sample_interval)
+        self.config.sample_interval > 0 && cycle.is_multiple_of(self.config.sample_interval)
+    }
+
+    /// Whether the span profiler and heatmap are collecting.
+    pub fn profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Whether `cycle` is a heatmap occupancy-sampling cycle.
+    pub fn heat_due(&self, cycle: u64) -> bool {
+        self.profile.is_some() && cycle.is_multiple_of(HEAT_SAMPLE_CYCLES)
+    }
+
+    /// Attribute one cycle's work to the span tree (profiled runs only).
+    pub fn profile_cycle(&mut self, g: &PhaseGauges) {
+        let Some(p) = self.profile.as_mut() else {
+            return;
+        };
+        let route = g.injected_total - p.last_injected;
+        let arbitrate = g.grants_total - p.last_grants;
+        let advance = g.vacated;
+        let drain = (g.delivered_total - p.last_delivered) + (g.dropped_total - p.last_dropped);
+        p.last_injected = g.injected_total;
+        p.last_grants = g.grants_total;
+        p.last_delivered = g.delivered_total;
+        p.last_dropped = g.dropped_total;
+        let Some(window) = p.windows.get_mut(g.window) else {
+            return;
+        };
+        if !window.started {
+            window.started = true;
+            window.start = g.cycle;
+        }
+        window.end = g.cycle + 1;
+        let mut any = false;
+        for (slot, ops) in window
+            .phases
+            .iter_mut()
+            .zip([route, arbitrate, advance, drain])
+        {
+            if ops > 0 {
+                slot.busy_cycles += 1;
+                slot.ops += ops;
+                any = true;
+            }
+        }
+        if any {
+            window.active_cycles += 1;
+        }
+        p.cycles_seen = g.cycle + 1;
+    }
+
+    /// Count one output grant for the heatmap (profiled runs only; inert
+    /// single-branch call otherwise).
+    #[inline]
+    pub fn heat_grant(&mut self, stage: usize, module: usize) {
+        if let Some(p) = self.profile.as_mut() {
+            if let Some(cell) = p
+                .stage_base
+                .get(stage)
+                .and_then(|&base| p.heat.get_mut(base + module))
+            {
+                cell.grants += 1;
+            }
+        }
+    }
+
+    /// Record one module's point-sampled input-buffer occupancy.
+    pub fn heat_occupancy(&mut self, stage: usize, module: usize, occupancy: u64) {
+        if let Some(p) = self.profile.as_mut() {
+            if let Some(cell) = p
+                .stage_base
+                .get(stage)
+                .and_then(|&base| p.heat.get_mut(base + module))
+            {
+                cell.occ_sum += occupancy;
+                cell.occ_peak = cell.occ_peak.max(occupancy);
+                cell.occ_samples += 1;
+            }
+        }
     }
 
     /// Take one sample from the current gauges.
@@ -313,6 +614,10 @@ impl TelemetryState {
 
     /// Finalize into the run report.
     pub fn into_report(self) -> TelemetryReport {
+        let (spans, heatmap) = match self.profile {
+            None => (None, None),
+            Some(p) => (Some(p.span_profile()), Some(p.heatmap())),
+        };
         TelemetryReport {
             time_series: TimeSeries {
                 interval: self.config.sample_interval,
@@ -322,6 +627,101 @@ impl TelemetryState {
             total_latency: self.total_latency,
             network_latency: self.network_latency,
             stage_waits: self.stage_waits,
+            spans,
+            heatmap,
+        }
+    }
+}
+
+impl ProfileState {
+    /// Assemble the span tree: `run` → windows → phases.
+    fn span_profile(&self) -> SpanProfile {
+        const PHASES: [&str; 4] = ["route", "arbitrate", "advance", "drain"];
+        const WINDOWS: [&str; 3] = ["warmup", "measure", "drain"];
+        let mut children = Vec::new();
+        let mut root_busy = 0;
+        let mut root_ops = 0;
+        for (name, window) in WINDOWS.iter().zip(&self.windows) {
+            if !window.started {
+                continue;
+            }
+            let phases: Vec<SpanNode> = PHASES
+                .iter()
+                .zip(&window.phases)
+                .map(|(phase, accum)| SpanNode {
+                    name: (*phase).to_string(),
+                    start_cycle: window.start,
+                    end_cycle: window.end,
+                    busy_cycles: accum.busy_cycles,
+                    ops: accum.ops,
+                    children: Vec::new(),
+                })
+                .collect();
+            let ops = window.phases.iter().map(|p| p.ops).sum();
+            root_busy += window.active_cycles;
+            root_ops += ops;
+            children.push(SpanNode {
+                name: (*name).to_string(),
+                start_cycle: window.start,
+                end_cycle: window.end,
+                busy_cycles: window.active_cycles,
+                ops,
+                children: phases,
+            });
+        }
+        SpanProfile {
+            root: SpanNode {
+                name: "run".to_string(),
+                start_cycle: 0,
+                end_cycle: self.cycles_seen,
+                busy_cycles: root_busy,
+                ops: root_ops,
+                children,
+            },
+        }
+    }
+
+    /// Assemble the hotspot heatmap.
+    fn heatmap(&self) -> Heatmap {
+        let cycles = self.cycles_seen;
+        let stages = self
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(s, d)| {
+                let base = self.stage_base.get(s).copied().unwrap_or(0);
+                let modules = (0..d.modules as usize)
+                    .map(|m| {
+                        let cell = self.heat.get(base + m).copied().unwrap_or_default();
+                        let denom = u128::from(d.radix) * u128::from(cycles);
+                        let busy =
+                            u128::from(cell.grants) * u128::from(self.service_cycles) * 1_000_000;
+                        let utilization_ppm = busy
+                            .checked_div(denom)
+                            .map_or(0, |q| u64::try_from(q).unwrap_or(u64::MAX).min(1_000_000));
+                        let mean_occupancy_milli = (cell.occ_sum * 1000)
+                            .checked_div(cell.occ_samples)
+                            .unwrap_or(0);
+                        ModuleHeat {
+                            module: m as u32,
+                            grants: cell.grants,
+                            utilization_ppm,
+                            mean_occupancy_milli,
+                            peak_occupancy: cell.occ_peak,
+                        }
+                    })
+                    .collect();
+                StageHeat {
+                    stage: s as u32,
+                    radix: d.radix,
+                    modules,
+                }
+            })
+            .collect();
+        Heatmap {
+            occupancy_interval: HEAT_SAMPLE_CYCLES,
+            cycles,
+            stages,
         }
     }
 }
@@ -330,10 +730,22 @@ impl TelemetryState {
 mod tests {
     use super::*;
 
+    /// Uniform stage dims for tests: `n` stages of one 2-wide module each.
+    fn dims(n: usize) -> Vec<StageDims> {
+        vec![
+            StageDims {
+                modules: 1,
+                radix: 2
+            };
+            n
+        ]
+    }
+
     #[test]
     fn disabled_config_builds_no_state() {
-        assert!(TelemetryState::build(&TelemetryConfig::default(), 3).is_none());
-        assert!(TelemetryState::build(&TelemetryConfig::sampled(10), 3).is_some());
+        assert!(TelemetryState::build(&TelemetryConfig::default(), &dims(3), 1).is_none());
+        assert!(TelemetryState::build(&TelemetryConfig::sampled(10), &dims(3), 1).is_some());
+        assert!(TelemetryState::build(&TelemetryConfig::profiled(0), &dims(3), 1).is_some());
     }
 
     #[test]
@@ -342,8 +754,9 @@ mod tests {
             sample_interval: 1,
             ring_capacity: 2,
             histogram_precision: 7,
+            profile: false,
         };
-        let mut state = TelemetryState::build(&config, 1).unwrap();
+        let mut state = TelemetryState::build(&config, &dims(1), 1).unwrap();
         let counters = [StageCounters::default()];
         for cycle in 0..5 {
             state.sample(Gauges {
@@ -368,7 +781,7 @@ mod tests {
 
     #[test]
     fn deltas_are_differences_between_samples() {
-        let mut state = TelemetryState::build(&TelemetryConfig::sampled(5), 2).unwrap();
+        let mut state = TelemetryState::build(&TelemetryConfig::sampled(5), &dims(2), 1).unwrap();
         let mut counters = [StageCounters::default(), StageCounters::default()];
         state.sample(Gauges {
             cycle: 0,
@@ -439,6 +852,8 @@ mod tests {
             total_latency: Histogram::default(),
             network_latency: Histogram::default(),
             stage_waits: vec![Histogram::default(), Histogram::default()],
+            spans: None,
+            heatmap: None,
         };
         let meta = DumpMeta {
             ports: 16,
@@ -464,5 +879,160 @@ mod tests {
             lines[2]
         );
         assert!(matches!(&lines[5], DumpLine::Histogram(h) if h.name == "stage1_wait"));
+    }
+
+    #[test]
+    fn profile_cycle_attributes_phases_to_windows() {
+        let mut state = TelemetryState::build(&TelemetryConfig::profiled(0), &dims(2), 2).unwrap();
+        assert!(state.profiling());
+        // Cycle 0 (warmup): 2 injections, 1 grant, nothing else.
+        state.profile_cycle(&PhaseGauges {
+            cycle: 0,
+            window: 0,
+            injected_total: 2,
+            delivered_total: 0,
+            dropped_total: 0,
+            grants_total: 1,
+            vacated: 0,
+        });
+        // Cycle 1 (measure): 1 more grant, 1 slot vacated, 1 delivery.
+        state.profile_cycle(&PhaseGauges {
+            cycle: 1,
+            window: 1,
+            injected_total: 2,
+            delivered_total: 1,
+            dropped_total: 0,
+            grants_total: 2,
+            vacated: 1,
+        });
+        // Cycle 2 (measure): fully idle.
+        state.profile_cycle(&PhaseGauges {
+            cycle: 2,
+            window: 1,
+            injected_total: 2,
+            delivered_total: 1,
+            dropped_total: 0,
+            grants_total: 2,
+            vacated: 0,
+        });
+        state.heat_grant(0, 0);
+        state.heat_grant(0, 0);
+        state.heat_grant(1, 0);
+        state.heat_occupancy(0, 0, 3);
+        state.heat_occupancy(0, 0, 1);
+        let report = state.into_report();
+        let spans = report.spans.expect("profiled run has spans");
+        let root = &spans.root;
+        assert_eq!(root.name, "run");
+        assert_eq!(root.end_cycle, 3);
+        // Both warmup and measure were entered; drain never was.
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["warmup", "measure"]);
+        let warmup = &root.children[0];
+        assert_eq!(warmup.start_cycle, 0);
+        assert_eq!(warmup.end_cycle, 1);
+        assert_eq!(warmup.busy_cycles, 1);
+        let route = &warmup.children[0];
+        assert_eq!(
+            (route.name.as_str(), route.busy_cycles, route.ops),
+            ("route", 1, 2)
+        );
+        let measure = &root.children[1];
+        assert_eq!(measure.start_cycle, 1);
+        assert_eq!(measure.end_cycle, 3);
+        // Cycle 1 was busy (grant + vacate + delivery), cycle 2 idle.
+        assert_eq!(measure.busy_cycles, 1);
+        let arb = &measure.children[1];
+        assert_eq!(
+            (arb.name.as_str(), arb.busy_cycles, arb.ops),
+            ("arbitrate", 1, 1)
+        );
+        let adv = &measure.children[2];
+        assert_eq!(
+            (adv.name.as_str(), adv.busy_cycles, adv.ops),
+            ("advance", 1, 1)
+        );
+        let drain = &measure.children[3];
+        assert_eq!(
+            (drain.name.as_str(), drain.busy_cycles, drain.ops),
+            ("drain", 1, 1)
+        );
+        assert_eq!(root.busy_cycles, 2);
+
+        let heat = report.heatmap.expect("profiled run has heatmap");
+        assert_eq!(heat.cycles, 3);
+        assert_eq!(heat.occupancy_interval, HEAT_SAMPLE_CYCLES);
+        assert_eq!(heat.stages.len(), 2);
+        let m00 = &heat.stages[0].modules[0];
+        assert_eq!(m00.grants, 2);
+        // 2 grants x 2 service cycles / (radix 2 x 3 cycles) = 2/3 busy.
+        assert_eq!(m00.utilization_ppm, 666_666);
+        assert_eq!(m00.mean_occupancy_milli, 2000);
+        assert_eq!(m00.peak_occupancy, 3);
+        let m10 = &heat.stages[1].modules[0];
+        assert_eq!(m10.grants, 1);
+        assert_eq!(m10.mean_occupancy_milli, 0);
+        assert_eq!(m10.peak_occupancy, 0);
+    }
+
+    #[test]
+    fn utilization_is_clamped_to_one_million_ppm() {
+        let mut state =
+            TelemetryState::build(&TelemetryConfig::profiled(0), &dims(1), 100).unwrap();
+        state.profile_cycle(&PhaseGauges {
+            cycle: 0,
+            window: 1,
+            injected_total: 0,
+            delivered_total: 0,
+            dropped_total: 0,
+            grants_total: 1,
+            vacated: 0,
+        });
+        for _ in 0..50 {
+            state.heat_grant(0, 0);
+        }
+        let heat = state.into_report().heatmap.unwrap();
+        assert_eq!(heat.stages[0].modules[0].utilization_ppm, 1_000_000);
+    }
+
+    #[test]
+    fn span_and_heatmap_dump_lines_round_trip() {
+        let mut state = TelemetryState::build(&TelemetryConfig::profiled(0), &dims(1), 1).unwrap();
+        state.profile_cycle(&PhaseGauges {
+            cycle: 0,
+            window: 0,
+            injected_total: 1,
+            delivered_total: 0,
+            dropped_total: 0,
+            grants_total: 0,
+            vacated: 0,
+        });
+        let report = state.into_report();
+        let meta = DumpMeta {
+            ports: 2,
+            stages: 1,
+            cycles_run: 1,
+            sample_interval: 0,
+            dropped_samples: 0,
+        };
+        let mut buf = Vec::new();
+        report.write_jsonl(&meta, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<DumpLine> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("line parses"))
+            .collect();
+        // Meta + 2 run histograms + 1 stage histogram + span + heatmap.
+        let span = lines.iter().find_map(|l| match l {
+            DumpLine::Span(s) => Some(s.clone()),
+            _ => None,
+        });
+        assert_eq!(span.as_ref().map(|s| s.root.name.as_str()), Some("run"));
+        assert_eq!(span, report.spans);
+        let heat = lines.iter().find_map(|l| match l {
+            DumpLine::Heatmap(h) => Some(h.clone()),
+            _ => None,
+        });
+        assert_eq!(heat, report.heatmap);
     }
 }

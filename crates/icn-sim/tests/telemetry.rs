@@ -98,6 +98,81 @@ fn disabled_telemetry_equals_enabled_field_for_field() {
     }
 }
 
+/// The span profiler is purely observational: enabling it perturbs no
+/// pre-existing result field, and its output is deterministic and
+/// internally consistent (phase ops reconcile with run totals, heatmap
+/// grants reconcile with stage counters).
+#[test]
+fn profiler_is_observational_deterministic_and_reconciles() {
+    let config = loaded_config(0.05, 13);
+    let off = icn_sim::run(config.clone());
+
+    let mut on_config = config;
+    on_config.telemetry = TelemetryConfig::profiled(0);
+    let on_a = icn_sim::run(on_config.clone());
+    let on_b = icn_sim::run(on_config);
+    assert_eq!(on_a, on_b, "profiled runs must reproduce from the seed");
+
+    let mut stripped = on_a.clone();
+    stripped.telemetry = None;
+    assert_eq!(off, stripped, "profiling must not perturb the simulation");
+
+    let telem = on_a.telemetry.expect("profiling enabled");
+    assert!(
+        telem.time_series.samples.is_empty(),
+        "profile-only mode takes no time-series samples"
+    );
+    let spans = telem.spans.expect("profiled run emits spans");
+    let root = &spans.root;
+    assert_eq!(root.name, "run");
+    assert_eq!(root.start_cycle, 0);
+    assert_eq!(root.end_cycle, on_a.cycles_run);
+    let window_names: Vec<&str> = root.children.iter().map(|w| w.name.as_str()).collect();
+    assert_eq!(window_names, vec!["warmup", "measure", "drain"]);
+    // Windows tile the run without gaps.
+    assert_eq!(root.children[0].start_cycle, 0);
+    assert_eq!(root.children[0].end_cycle, root.children[1].start_cycle);
+    assert_eq!(root.children[1].end_cycle, root.children[2].start_cycle);
+    assert_eq!(root.children[2].end_cycle, on_a.cycles_run);
+    for window in &root.children {
+        let phase_names: Vec<&str> = window.children.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(phase_names, vec!["route", "arbitrate", "advance", "drain"]);
+        assert!(window.busy_cycles <= window.duration());
+        for phase in &window.children {
+            assert!(phase.busy_cycles <= window.busy_cycles);
+        }
+    }
+    // Phase op totals reconcile with the run's counters.
+    let phase_ops = |name: &str| -> u64 {
+        root.children
+            .iter()
+            .flat_map(|w| &w.children)
+            .filter(|p| p.name == name)
+            .map(|p| p.ops)
+            .sum()
+    };
+    assert_eq!(phase_ops("route"), on_a.injected_total);
+    assert_eq!(
+        phase_ops("drain"),
+        on_a.delivered_total + on_a.dropped_total
+    );
+    let total_grants: u64 = on_a.stage_counters.iter().map(|c| c.grants).sum();
+    assert_eq!(phase_ops("arbitrate"), total_grants);
+
+    // Heatmap grants reconcile per stage, and utilization is a ratio.
+    let heatmap = telem.heatmap.expect("profiled run emits a heatmap");
+    assert_eq!(heatmap.cycles, on_a.cycles_run);
+    assert_eq!(heatmap.stages.len() as u32, on_a.stages);
+    for (stage_heat, counters) in heatmap.stages.iter().zip(&on_a.stage_counters) {
+        let grants: u64 = stage_heat.modules.iter().map(|m| m.grants).sum();
+        assert_eq!(grants, counters.grants);
+        for module in &stage_heat.modules {
+            assert!(module.utilization_ppm <= 1_000_000);
+        }
+    }
+    assert!(total_grants > 0, "loaded run must grant packets");
+}
+
 /// Event counts reconcile exactly with the result's totals, and the
 /// conservation invariant closes over the event stream alone.
 #[test]
@@ -212,6 +287,7 @@ fn samples_land_on_interval_and_deltas_reconcile() {
         sample_interval: 100,
         ring_capacity: 1 << 20,
         histogram_precision: 7,
+        profile: false,
     };
     let result = icn_sim::run(config);
     let telem = result.telemetry.expect("enabled");
