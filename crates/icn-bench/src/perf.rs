@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use icn_sim::{ChipModel, Engine, SimConfig};
+use icn_sim::{ChipModel, Engine, EngineOptions, SimConfig};
 use icn_topology::StagePlan;
 use icn_workloads::Workload;
 use serde::{Deserialize, Serialize};
@@ -71,6 +71,15 @@ pub fn cases() -> Vec<BenchCase> {
     ]
 }
 
+/// The machine's available parallelism, recorded alongside every
+/// measurement so BENCH_*.json numbers are interpretable across hosts
+/// (a 4-thread number from a 1-core container is not a 4-thread number
+/// from a 16-core workstation).
+#[must_use]
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
 /// One measurement: the best (fastest) of N runs, reported as simulated
 /// cycles per wall-clock second.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,23 +94,44 @@ pub struct Measurement {
     pub best_secs: f64,
     /// `cycles / best_secs`.
     pub cycles_per_sec: f64,
+    /// Engine shard threads the run used (1 = serial).
+    #[serde(default)]
+    pub threads: usize,
+    /// Cores available on the measuring host.
+    #[serde(default)]
+    pub host_cores: usize,
 }
 
-/// Measure one case: run it `iters` times and keep the fastest run
-/// (minimum wall time is the standard noise-robust estimator for a
+/// Measure one case serially: run it `iters` times and keep the fastest
+/// run (minimum wall time is the standard noise-robust estimator for a
 /// deterministic workload).
 ///
 /// # Panics
 /// Panics if `iters` is zero.
 #[must_use]
 pub fn measure(case: &BenchCase, iters: u32) -> Measurement {
+    measure_with_threads(case, iters, 1)
+}
+
+/// [`measure`] with a shard-thread budget: the run is the exact
+/// [`Engine::run`] loop under [`EngineOptions::threaded`], so the number
+/// is the throughput a `--threads N` user actually gets.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+#[must_use]
+pub fn measure_with_threads(case: &BenchCase, iters: u32, threads: usize) -> Measurement {
     assert!(iters >= 1, "need at least one iteration");
+    let options = EngineOptions::threaded(threads);
     let mut best_secs = f64::INFINITY;
     let mut cycles = 0;
+    let mut resolved_threads = threads.max(1);
     for _ in 0..iters {
         let config = case.config.clone();
         let start = Instant::now();
-        let result = Engine::new(config).run();
+        let engine = Engine::with_options(config, options);
+        resolved_threads = engine.threads();
+        let result = engine.run();
         let secs = start.elapsed().as_secs_f64();
         cycles = result.cycles_run;
         best_secs = best_secs.min(secs);
@@ -112,6 +142,8 @@ pub fn measure(case: &BenchCase, iters: u32) -> Measurement {
         cycles,
         best_secs,
         cycles_per_sec: cycles as f64 / best_secs,
+        threads: resolved_threads,
+        host_cores: host_cores(),
     }
 }
 
@@ -120,6 +152,33 @@ pub fn measure(case: &BenchCase, iters: u32) -> Measurement {
 pub struct BaselineEntry {
     /// Simulated cycles per wall-clock second.
     pub cycles_per_sec: f64,
+    /// Engine shard threads the baseline was recorded at. `0` marks a
+    /// record written before threads were tracked — everything pre-PR-8
+    /// was serial, so read it through [`BaselineEntry::recorded_threads`].
+    #[serde(default)]
+    pub threads: usize,
+    /// Cores on the recording host (0 = unknown, for old records).
+    #[serde(default)]
+    pub host_cores: usize,
+}
+
+impl BaselineEntry {
+    /// The thread budget this entry was recorded at, normalizing the
+    /// pre-PR-8 "field absent" sentinel (0) to serial.
+    #[must_use]
+    pub fn recorded_threads(self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+/// Whether a measurement and a baseline entry have the same execution
+/// shape — the regression gate compares like-for-like only: a 4-thread
+/// run must never be gated against a serial baseline (or vice versa).
+/// Host core counts are recorded for cross-machine interpretation but
+/// not matched, since CI runners legitimately vary.
+#[must_use]
+pub fn comparable(m: &Measurement, baseline: BaselineEntry) -> bool {
+    m.threads.max(1) == baseline.recorded_threads()
 }
 
 /// The `BENCH_PR3.json` schema: cycles/sec per case, before and after
@@ -213,29 +272,70 @@ mod tests {
         assert_eq!(m.cycles, 50);
         assert!(m.cycles_per_sec > 0.0);
         assert_eq!(m.ports, 256);
+        assert_eq!(m.threads, 1);
+        assert!(m.host_cores >= 1);
     }
 
     #[test]
-    fn regression_gate_trips_beyond_tolerance() {
-        let m = Measurement {
+    fn threaded_measurement_records_its_budget() {
+        let mut case = cases().into_iter().find(|c| c.smoke).expect("smoke case");
+        case.config.measure_cycles = 50;
+        let m = measure_with_threads(&case, 1, 2);
+        assert_eq!(m.cycles, 50);
+        assert_eq!(m.threads, 2);
+        assert!(m.host_cores >= 1);
+    }
+
+    fn entry(cycles_per_sec: f64, threads: usize) -> BaselineEntry {
+        BaselineEntry {
+            cycles_per_sec,
+            threads,
+            host_cores: 0,
+        }
+    }
+
+    fn measurement(cycles_per_sec: f64, threads: usize) -> Measurement {
+        Measurement {
             name: "x".into(),
             ports: 256,
             cycles: 1000,
             best_secs: 1.0,
-            cycles_per_sec: 1000.0,
-        };
-        let baseline = BaselineEntry {
-            cycles_per_sec: 1000.0,
-        };
-        assert!(check_regression(&m, baseline).is_ok());
-        let fast_baseline = BaselineEntry {
-            cycles_per_sec: 1400.0,
-        };
-        assert!(check_regression(&m, fast_baseline).is_err());
-        let improved = BaselineEntry {
-            cycles_per_sec: 500.0,
-        };
-        assert!((check_regression(&m, improved).unwrap() - 2.0).abs() < 1e-12);
+            cycles_per_sec,
+            threads,
+            host_cores: 8,
+        }
+    }
+
+    #[test]
+    fn regression_gate_trips_beyond_tolerance() {
+        let m = measurement(1000.0, 1);
+        assert!(check_regression(&m, entry(1000.0, 1)).is_ok());
+        assert!(check_regression(&m, entry(1400.0, 1)).is_err());
+        assert!((check_regression(&m, entry(500.0, 1)).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_comparability_is_like_for_like_on_threads() {
+        let serial = measurement(1000.0, 1);
+        let threaded = measurement(3000.0, 4);
+        assert!(comparable(&serial, entry(900.0, 1)));
+        assert!(!comparable(&serial, entry(3000.0, 4)));
+        assert!(comparable(&threaded, entry(3000.0, 4)));
+        assert!(!comparable(&threaded, entry(900.0, 1)));
+    }
+
+    /// Pre-PR-8 baseline files carry no threads/host_cores fields; they
+    /// must parse as serial records so BENCH_PR3.json keeps gating.
+    #[test]
+    fn old_baseline_records_parse_as_serial() {
+        let json = r#"{"after": {"smoke_256": {"cycles_per_sec": 123.0}}}"#;
+        let file: BaselineFile = serde_json::from_str(json).unwrap();
+        let entry = file.after["smoke_256"];
+        assert_eq!(entry.recorded_threads(), 1);
+        assert_eq!(entry.host_cores, 0);
+        // …and a serial measurement still gates against it.
+        assert!(comparable(&measurement(100.0, 1), entry));
+        assert!(!comparable(&measurement(100.0, 4), entry));
     }
 
     #[test]
@@ -248,12 +348,15 @@ mod tests {
             "smoke_256".into(),
             BaselineEntry {
                 cycles_per_sec: 123.0,
+                threads: 2,
+                host_cores: 4,
             },
         );
         assert!(file.section_mut("sideways").is_err());
         let json = serde_json::to_string(&file).unwrap();
         let back: BaselineFile = serde_json::from_str(&json).unwrap();
         assert_eq!(back.before["smoke_256"].cycles_per_sec, 123.0);
+        assert_eq!(back.before["smoke_256"].threads, 2);
         assert!(back.after.is_empty());
     }
 }

@@ -141,19 +141,19 @@ fn usage() -> &'static str {
      \t          [--retry-limit N] [--watchdog-cycles N]\n\
      \t          [--warmup-cycles N] [--measure-cycles N] [--drain-cycles N]\n\
      \t          [--sample-interval K] [--telemetry-out dump.jsonl|series.csv]\n\
-     \t          [--profile]\n\
+     \t          [--profile] [--threads N]\n\
      \t inspect <dump.jsonl>\n\
      \t trace <dump.jsonl | http://HOST:PORT/v1/jobs/ID/trace>\n\
      \t metrics <http://HOST:PORT/v1/metrics | metrics.txt>\n\
-     \t bench [--smoke] [--json] [--iters N] [--baseline BENCH_PR3.json]\n\
-     \t       [--update-baseline before|after]\n\
+     \t bench [--smoke] [--json] [--iters N] [--threads N]\n\
+     \t       [--baseline BENCH_PR3.json] [--update-baseline before|after]\n\
      \t bench --serve [--smoke] [--json]\n\
      \t bench --overhead [--smoke] [--json] [--iters N]\n\
      \t lint [--json] [root]\n\
      \t lint config <spec.json> [--json]\n\
-     \t serve [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
-     \t       [--cache-entries N] [--journal FILE] [--cache-dir DIR]\n\
-     \t       [--deadline-ms N] [--telemetry-out dump.jsonl]"
+     \t serve [--addr HOST:PORT] [--workers N] [--sim-threads N]\n\
+     \t       [--queue-depth N] [--cache-entries N] [--journal FILE]\n\
+     \t       [--cache-dir DIR] [--deadline-ms N] [--telemetry-out dump.jsonl]"
 }
 
 struct Options {
@@ -178,6 +178,13 @@ struct Options {
     warmup_cycles: Option<u64>,
     measure_cycles: Option<u64>,
     drain_cycles: Option<u64>,
+    /// `simulate`/`bench --threads`: shard one simulation across this
+    /// many threads (1 = serial, 0 = one per core). Results are
+    /// byte-identical for every value.
+    threads: usize,
+    /// `serve --sim-threads`: per-job shard-thread budget for the
+    /// service's engines (journal replay included).
+    sim_threads: usize,
     smoke: bool,
     iters: u32,
     baseline: String,
@@ -220,6 +227,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         warmup_cycles: None,
         measure_cycles: None,
         drain_cycles: None,
+        threads: 1,
+        sim_threads: 1,
         smoke: false,
         iters: 3,
         baseline: icn_bench::perf::DEFAULT_BASELINE.to_string(),
@@ -364,6 +373,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .and_then(|s| s.parse().ok())
                         .ok_or("--drain-cycles needs a cycle count")?,
                 );
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a count (1 = serial, 0 = one per core)")?;
+            }
+            "--sim-threads" => {
+                i += 1;
+                opts.sim_threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--sim-threads needs a positive count")?;
             }
             "--addr" => {
                 i += 1;
@@ -966,13 +990,14 @@ fn bench(opts: &Options) -> Result<(), String> {
         .iter()
         .map(|case| {
             eprintln!(
-                "measuring {} ({} ports, {} cycles, best of {})...",
+                "measuring {} ({} ports, {} cycles, {} thread(s), best of {})...",
                 case.name,
                 case.config.plan.ports(),
                 case.config.measure_cycles,
+                opts.threads,
                 opts.iters
             );
-            perf::measure(case, opts.iters)
+            perf::measure_with_threads(case, opts.iters, opts.threads)
         })
         .collect();
 
@@ -996,7 +1021,13 @@ fn bench(opts: &Options) -> Result<(), String> {
                 .and_then(|b| b.after.get(&m.name))
                 .map_or_else(
                     || "-".to_string(),
-                    |entry| format!("{:.2}x", m.cycles_per_sec / entry.cycles_per_sec),
+                    |entry| {
+                        if perf::comparable(m, *entry) {
+                            format!("{:.2}x", m.cycles_per_sec / entry.cycles_per_sec)
+                        } else {
+                            format!("- ({}t baseline)", entry.threads)
+                        }
+                    },
                 );
             t.row(vec![
                 m.name.clone(),
@@ -1023,6 +1054,8 @@ fn bench(opts: &Options) -> Result<(), String> {
                 m.name.clone(),
                 perf::BaselineEntry {
                     cycles_per_sec: m.cycles_per_sec,
+                    threads: m.threads,
+                    host_cores: m.host_cores,
                 },
             );
         }
@@ -1048,6 +1081,16 @@ fn bench(opts: &Options) -> Result<(), String> {
             println!("note: no `after` baseline for {}; skipping gate", m.name);
             continue;
         };
+        // Like-for-like only: never gate an N-thread run against a
+        // baseline recorded at a different thread budget.
+        if !perf::comparable(m, *entry) {
+            println!(
+                "note: {} baseline was recorded at {} thread(s), this run used {}; \
+                 skipping gate",
+                m.name, entry.threads, m.threads
+            );
+            continue;
+        }
         match perf::check_regression(m, *entry) {
             Ok(ratio) => println!(
                 "{}: ok ({:.0} cycles/sec, {:.2}x baseline)",
@@ -1109,12 +1152,16 @@ fn bench_overhead(opts: &Options) -> Result<(), Failure> {
         case.name.to_string(),
         perf::BaselineEntry {
             cycles_per_sec: disabled.cycles_per_sec,
+            threads: disabled.threads,
+            host_cores: disabled.host_cores,
         },
     );
     file.after.insert(
         case.name.to_string(),
         perf::BaselineEntry {
             cycles_per_sec: profiled.cycles_per_sec,
+            threads: profiled.threads,
+            host_cores: profiled.host_cores,
         },
     );
     file.store(OVERHEAD_BENCH_OUT).map_err(Failure::Io)?;
@@ -1592,9 +1639,12 @@ fn run(args: &[String]) -> Result<(), Failure> {
             } else if opts.profile {
                 config.telemetry = TelemetryConfig::profiled(0);
             }
-            // try_new validates the config and fault plan; a bad request is
-            // a typed error and a nonzero exit, never a panic.
-            let mut engine = Engine::try_new(config).map_err(|e| Failure::Usage(e.to_string()))?;
+            // try_with_options validates the config and fault plan; a bad
+            // request is a typed error and a nonzero exit, never a panic.
+            // --threads only changes how fast the result is produced.
+            let mut engine =
+                Engine::try_with_options(config, icn_sim::EngineOptions::threaded(opts.threads))
+                    .map_err(|e| Failure::Usage(e.to_string()))?;
             // A JSONL dump includes the event stream, so capture it; the
             // CSV form is the time series only.
             let capture_events = opts
@@ -1710,6 +1760,7 @@ fn serve(opts: &Options) -> Result<(), Failure> {
         journal: opts.journal.clone(),
         cache_dir: opts.cache_dir.clone(),
         default_deadline_ms: opts.deadline_ms,
+        sim_threads: opts.sim_threads,
         ..icn_serve::ServeConfig::default()
     };
     let server = icn_serve::Server::bind(config).map_err(|e| {

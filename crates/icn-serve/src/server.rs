@@ -88,6 +88,11 @@ pub struct ServeConfig {
     /// Default per-job wall-clock budget in milliseconds (0 = none);
     /// requests may override with their own `deadline_ms`.
     pub default_deadline_ms: u64,
+    /// Engine shard threads per simulation job (1 = serial, 0 = one per
+    /// core). A deployment knob, not part of the job config: results —
+    /// and therefore content-addressed cache keys and journal replays —
+    /// are byte-identical at any budget.
+    pub sim_threads: usize,
     /// Per-job guard rails.
     pub limits: Limits,
 }
@@ -104,6 +109,7 @@ impl Default for ServeConfig {
             journal: None,
             cache_dir: None,
             default_deadline_ms: 0,
+            sim_threads: 1,
             limits: Limits::default(),
         }
     }
@@ -518,7 +524,11 @@ fn run_job(
     deadline: Option<Instant>,
 ) -> Result<Arc<String>, String> {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut engine = icn_sim::Engine::try_new(config)?;
+        // The configured shard budget applies to every job — fresh or
+        // replayed from the journal — and never changes the result bytes,
+        // so cache keys and recorded bodies stay valid across budgets.
+        let options = icn_sim::EngineOptions::threaded(state.config.sim_threads);
+        let mut engine = icn_sim::Engine::try_with_options(config, options)?;
         engine.set_event_sink(ProgressSink(progress));
         match deadline {
             Some(deadline) => engine.run_bounded(move || Instant::now() >= deadline),

@@ -148,6 +148,7 @@ fn test_config() -> ServeConfig {
         journal: None,
         cache_dir: None,
         default_deadline_ms: 0,
+        sim_threads: 1,
         limits: Limits::default(),
     }
 }
@@ -195,6 +196,33 @@ fn simulate_twice_second_hit_is_byte_identical() {
     let summary = join.join().expect("server thread");
     assert_eq!(summary.jobs_completed, 1);
     assert_eq!(summary.jobs_failed, 0);
+}
+
+#[test]
+fn threaded_server_bodies_match_serial_server_bodies() {
+    // `sim_threads` is a deployment knob: a server running its engines
+    // across 4 threads must produce the same bytes (and therefore the
+    // same cache keys) as a serial one.
+    let run = |sim_threads: usize| {
+        let config = ServeConfig {
+            sim_threads,
+            ..test_config()
+        };
+        let (addr, handle, join) = start(config);
+        let accepted = call(addr, "POST", "/v1/simulate", SMALL_SIM);
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        let result_url = json_str(&accepted.body, "result_url");
+        let result = poll_result(addr, &result_url, Duration::from_secs(30));
+        assert_eq!(result.status, 200, "{}", result.body);
+        handle.shutdown();
+        join.join().expect("server thread");
+        result.body
+    };
+    assert_eq!(
+        run(4),
+        run(1),
+        "thread budget must not leak into result bytes"
+    );
 }
 
 #[test]

@@ -201,6 +201,7 @@ fn serve_config(dir: &std::path::Path) -> ServeConfig {
         journal: Some(dir.join("jobs.journal").to_string_lossy().into_owned()),
         cache_dir: None,
         default_deadline_ms: 0,
+        sim_threads: 1,
         limits: Limits::default(),
     }
 }

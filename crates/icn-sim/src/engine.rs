@@ -45,6 +45,15 @@
 //!   delivery/drop lists live in reusable engine-owned buffers; each
 //!   module probes its input fronts once per cycle (O(r)) instead of once
 //!   per output (O(r²)).
+//! * **Module sharding** — the vacate and grant phases run as per-stage
+//!   *module chunks* (see [`crate::shard`]); with
+//!   [`EngineOptions::threads`] > 1 the chunks execute on a persistent
+//!   first-party [`crate::pool::WorkerPool`] with a barrier per phase,
+//!   and every globally-ordered effect is buffered per chunk and merged
+//!   in module index order — never thread completion order — so parallel
+//!   runs are byte-identical to serial ones. The serial path runs the
+//!   same chunked code (one chunk per stage), which is what lets the
+//!   parity fixtures pin both.
 //!
 //! Telemetry and event sinks keep their zero-cost-when-disabled shape:
 //! every observation site is a single `Option` check.
@@ -56,18 +65,20 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use icn_topology::Topology;
 
-use crate::config::{Arbitration, SimConfig};
+use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::fault::{FaultEvent, FaultState, Health, StallReport};
 use crate::metrics::{LatencyStats, SimResult, StageCounters};
-use crate::module::Stage;
+use crate::module::{InputPort, OutputPort, Stage};
+use crate::options::EngineOptions;
 use crate::packet::Packet;
+use crate::shard::{
+    add_counters, grant_chunk, run_jobs, schedule, vacate_chunk, ExecState, GrantJob, GrantShared,
+    ShardEffects, ShardScratch, StageMeta, VacateJob,
+};
 use crate::store::{PacketRef, PacketStore, NO_TRACE};
 use crate::telemetry::{EventSink, Gauges, PhaseGauges, SimEvent, StageDims, TelemetryState};
-use crate::trace::{HopTrace, PacketTrace};
-
-/// Sentinel for "this input has no ready head" in the grant scratch.
-const NO_TAG: u32 = u32::MAX;
+use crate::trace::PacketTrace;
 
 /// How often (in cycles) [`Engine::run_bounded`] polls its stop predicate.
 /// Coarse on purpose: the predicate typically reads a wall clock, and a
@@ -185,10 +196,11 @@ pub struct Engine {
     stage_count: usize,
     // Reusable per-cycle scratch (never shrunk, so steady state is
     // allocation-free).
-    scratch_ready: Vec<u32>,
-    scratch_tag_count: Vec<u32>,
     scratch_deliveries: Vec<(PacketRef, u32, u64)>,
     scratch_drops: Vec<PacketRef>,
+    // Sharded-execution state: chunk plan, worker pool, per-chunk
+    // buffers (see `crate::shard`).
+    exec: ExecState,
     // Statistics.
     injected_total: u64,
     delivered_total: u64,
@@ -237,10 +249,35 @@ impl Engine {
 
     /// Build an engine for the given configuration, reporting an invalid
     /// configuration (including an invalid fault plan) as a typed error.
+    /// Runs serially; use [`Engine::try_with_options`] for a sharded run.
     ///
     /// # Errors
     /// Returns whatever [`SimConfig::validate`] rejects.
     pub fn try_new(config: SimConfig) -> Result<Self, SimError> {
+        Self::try_with_options(config, EngineOptions::default())
+    }
+
+    /// Build an engine with explicit [`EngineOptions`] (thread budget,
+    /// chunking). Options steer *how* the run executes, never what it
+    /// computes: results are byte-identical across every option value.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`SimConfig::validate`]);
+    /// use [`Engine::try_with_options`] for a typed error instead.
+    #[must_use]
+    pub fn with_options(config: SimConfig, options: EngineOptions) -> Self {
+        match Self::try_with_options(config, options) {
+            Ok(engine) => engine,
+            // icn-lint: allow(ICN003) -- documented panicking wrapper; try_with_options returns the typed error
+            Err(e) => panic!("invalid simulation config: {e}"),
+        }
+    }
+
+    /// [`Engine::try_new`] with explicit [`EngineOptions`].
+    ///
+    /// # Errors
+    /// Returns whatever [`SimConfig::validate`] rejects.
+    pub fn try_with_options(config: SimConfig, options: EngineOptions) -> Result<Self, SimError> {
         config.validate()?;
         let topology = Topology::new(config.plan.clone());
         let flits = config.flits_per_packet();
@@ -253,13 +290,7 @@ impl Engine {
         let stages: Vec<Stage> = radices
             .iter()
             .enumerate()
-            .map(|(i, &r)| {
-                Stage::new(
-                    r,
-                    config.plan.modules_in_stage(i as u32),
-                    config.stage_head_latency(r),
-                )
-            })
+            .map(|(i, &r)| Stage::new(r, config.plan.modules_in_stage(i as u32)))
             .collect();
         let ports = config.plan.ports();
         let stage_count = config.plan.stages() as usize;
@@ -278,7 +309,16 @@ impl Engine {
                     .collect()
             })
             .collect();
-        let max_radix = radices.iter().copied().max().unwrap_or(0) as usize;
+        let meta: Vec<StageMeta> = radices
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| StageMeta {
+                radix: r,
+                modules: config.plan.modules_in_stage(i as u32),
+                head_latency: config.stage_head_latency(r),
+            })
+            .collect();
+        let exec = ExecState::build(&options, meta);
         let sources = (0..ports).map(|_| Source::default()).collect();
         let stage_counters = vec![StageCounters::default(); stage_count];
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
@@ -305,10 +345,9 @@ impl Engine {
             routes,
             entry,
             stage_count,
-            scratch_ready: vec![NO_TAG; max_radix],
-            scratch_tag_count: vec![0; max_radix],
             scratch_deliveries: Vec::new(),
             scratch_drops: Vec::new(),
+            exec,
             injected_total: 0,
             delivered_total: 0,
             tracked_injected: 0,
@@ -355,6 +394,14 @@ impl Engine {
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Resolved shard-thread count this engine executes with (`1` means
+    /// the serial path). Execution options never affect results — see
+    /// [`EngineOptions`].
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.exec.threads
     }
 
     /// Tracked packets still somewhere between generation and delivery.
@@ -552,11 +599,11 @@ impl Engine {
                 }
             }
         }
-        let vacated = self.vacate_all();
+        let vacated = self.vacate_phase();
         self.release_retries();
         self.workload_inject();
         self.source_grants();
-        self.module_grants();
+        self.grant_phase();
         self.check_watchdog();
         self.sample_telemetry();
         self.profile_telemetry(vacated);
@@ -686,17 +733,53 @@ impl Engine {
         }
     }
 
-    /// Free drained buffer slots across every stage; returns the count
-    /// (the profiler's per-cycle "advance" op tally).
-    fn vacate_all(&mut self) -> u64 {
+    /// Free drained buffer slots across every stage (chunked over the
+    /// shard plan) and snapshot the post-vacate occupancy the grant
+    /// phase's back-pressure checks read; returns the freed count (the
+    /// profiler's per-cycle "advance" op tally).
+    fn vacate_phase(&mut self) -> u64 {
         let now = self.now;
-        let mut freed = 0;
-        for stage in &mut self.stages {
-            for input in &mut stage.inputs {
-                freed += input.vacate(now);
+        let Self { stages, exec, .. } = self;
+        let ExecState {
+            pool,
+            chunks,
+            freed,
+            occ,
+            meta,
+            perturb,
+            ..
+        } = exec;
+        let (perm, yield_bits) = schedule(pool.as_ref(), perturb, chunks.len());
+        let mut jobs = Vec::with_capacity(chunks.len());
+        {
+            // Slice each stage's flat tables into the plan's disjoint
+            // chunks (chunks are stage-major, so one pass suffices).
+            let mut occ_rest: &mut [u32] = occ;
+            let mut freed_rest: &mut [u64] = freed;
+            let mut ci = 0;
+            for (s, stage) in stages.iter_mut().enumerate() {
+                let radix = meta[s].radix as usize;
+                let mut in_rest: &mut [InputPort] = &mut stage.inputs;
+                while ci < chunks.len() && chunks[ci].stage == s {
+                    let ports = chunks[ci].modules * radix;
+                    let (inputs, in_next) = std::mem::take(&mut in_rest).split_at_mut(ports);
+                    in_rest = in_next;
+                    let (occ_chunk, occ_next) = std::mem::take(&mut occ_rest).split_at_mut(ports);
+                    occ_rest = occ_next;
+                    let (freed_chunk, freed_next) = std::mem::take(&mut freed_rest).split_at_mut(1);
+                    freed_rest = freed_next;
+                    jobs.push(VacateJob {
+                        now,
+                        inputs,
+                        occ: occ_chunk,
+                        freed: &mut freed_chunk[0],
+                    });
+                    ci += 1;
+                }
             }
         }
-        freed
+        run_jobs(pool.as_ref(), perm, yield_bits, jobs, &vacate_chunk);
+        freed.iter().sum()
     }
 
     /// Feed the span profiler and hotspot heatmap (runs after the cycle's
@@ -852,279 +935,160 @@ impl Engine {
         self.scratch_drops = drops;
     }
 
-    fn module_grants(&mut self) {
-        for stage_idx in 0..self.stages.len() {
-            let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
-            let mut drops = std::mem::take(&mut self.scratch_drops);
-            self.grant_stage(stage_idx, &mut deliveries, &mut drops);
+    /// The grant phase: dispatch every stage's module chunks (in
+    /// parallel when a pool exists), then merge their deferred effects in
+    /// canonical chunk order. All stages' chunks run in one broadcast —
+    /// back-pressure reads the vacate phase's occupancy snapshot, so no
+    /// chunk observes another's same-cycle writes (see [`crate::shard`]).
+    fn grant_phase(&mut self) {
+        self.dispatch_grants();
+        self.merge_grants();
+    }
+
+    /// Run [`grant_chunk`] over the shard plan, filling each chunk's
+    /// [`ShardEffects`].
+    fn dispatch_grants(&mut self) {
+        let now = self.now;
+        let flits = self.flits;
+        let ready_offset = self.ready_offset;
+        let capacity = self.config.buffer_capacity;
+        let arbitration = self.config.arbitration;
+        let stage_count = self.stage_count;
+        let record_events = self.events.is_some();
+        let record_waits = self.telem.is_some();
+        let record_heat = self.telem.as_deref().is_some_and(TelemetryState::profiling);
+        let Self {
+            stages,
+            exec,
+            store,
+            routes,
+            entry,
+            faults,
+            ..
+        } = self;
+        let ExecState {
+            pool,
+            chunks,
+            effects,
+            scratch,
+            occ,
+            occ_base,
+            meta,
+            perturb,
+            ..
+        } = exec;
+        let (perm, yield_bits) = schedule(pool.as_ref(), perturb, chunks.len());
+        let shared = GrantShared {
+            now,
+            flits,
+            ready_offset,
+            capacity,
+            arbitration,
+            stage_count,
+            store,
+            routes,
+            entry,
+            faults: faults.as_deref(),
+            meta,
+            occ,
+            occ_base,
+            record_events,
+            record_waits,
+            record_heat,
+        };
+        let mut jobs = Vec::with_capacity(chunks.len());
+        {
+            let mut fx_rest: &mut [ShardEffects] = effects;
+            let mut sc_rest: &mut [ShardScratch] = scratch;
+            let mut ci = 0;
+            for (s, stage) in stages.iter_mut().enumerate() {
+                let radix = meta[s].radix as usize;
+                let mut in_rest: &mut [InputPort] = &mut stage.inputs;
+                let mut out_rest: &mut [OutputPort] = &mut stage.outputs;
+                while ci < chunks.len() && chunks[ci].stage == s {
+                    let desc = chunks[ci];
+                    let ports = desc.modules * radix;
+                    let (inputs, in_next) = std::mem::take(&mut in_rest).split_at_mut(ports);
+                    in_rest = in_next;
+                    let (outputs, out_next) = std::mem::take(&mut out_rest).split_at_mut(ports);
+                    out_rest = out_next;
+                    let (fx, fx_next) = std::mem::take(&mut fx_rest).split_at_mut(1);
+                    fx_rest = fx_next;
+                    let (sc, sc_next) = std::mem::take(&mut sc_rest).split_at_mut(1);
+                    sc_rest = sc_next;
+                    let fx = &mut fx[0];
+                    fx.clear();
+                    jobs.push(GrantJob {
+                        desc,
+                        inputs,
+                        outputs,
+                        scratch: &mut sc[0],
+                        fx,
+                    });
+                    ci += 1;
+                }
+            }
+        }
+        run_jobs(pool.as_ref(), perm, yield_bits, jobs, &|job| {
+            grant_chunk(&shared, job);
+        });
+    }
+
+    /// Apply the grant chunks' deferred effects serially, stage by stage
+    /// in chunk (= module) order — the canonical merge that makes thread
+    /// count and chunking unobservable. Reproduces the serial sweep's
+    /// exact event interleaving: a stage's grant events, then its
+    /// retry/drop events, then the next stage's.
+    fn merge_grants(&mut self) {
+        let now = self.now;
+        let mut effects = std::mem::take(&mut self.exec.effects);
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        let mut drops = std::mem::take(&mut self.scratch_drops);
+        let mut ci = 0;
+        for s in 0..self.stage_count {
+            while ci < effects.len() && self.exec.chunks[ci].stage == s {
+                let fx = &mut effects[ci];
+                add_counters(&mut self.stage_counters[s], &fx.counters);
+                if fx.progressed {
+                    self.last_progress = now;
+                }
+                if let Some(sink) = self.events.as_mut() {
+                    for event in &fx.events {
+                        sink.0.record(event);
+                    }
+                }
+                for (trace, hop) in fx.hops.drain(..) {
+                    self.traces[trace as usize].hops.push(hop);
+                }
+                if let Some(telem) = self.telem.as_deref_mut() {
+                    for &waited in &fx.stage_waits {
+                        telem.record_stage_wait(s, waited);
+                    }
+                    for &module in &fx.heat_grants {
+                        telem.heat_grant(s, module as usize);
+                    }
+                }
+                // Deferred downstream insertions: each port gets at most
+                // one push per cycle (its upstream line is unique), so
+                // applying them here is behavior-identical to the serial
+                // sweep's in-place pushes.
+                for (port, r, head_arrival) in fx.pushes.drain(..) {
+                    self.stages[s + 1].inputs[port as usize].push(r, head_arrival);
+                }
+                deliveries.extend_from_slice(&fx.deliveries);
+                drops.extend_from_slice(&fx.drops);
+                ci += 1;
+            }
             for (r, out_line, delivered_at) in deliveries.drain(..) {
                 self.deliver(r, out_line, delivered_at);
             }
             for r in drops.drain(..) {
                 self.drop_packet(r);
             }
-            self.scratch_deliveries = deliveries;
-            self.scratch_drops = drops;
         }
-    }
-
-    /// Arbitrate and grant every free output of stage `stage_idx`; fills
-    /// `deliveries` with the packets that left the network this cycle
-    /// (last stage only) and `drops` with the packets dropped by permanent
-    /// faults in this stage.
-    #[allow(clippy::too_many_lines)]
-    fn grant_stage(
-        &mut self,
-        stage_idx: usize,
-        deliveries: &mut Vec<(PacketRef, u32, u64)>,
-        drops: &mut Vec<PacketRef>,
-    ) {
-        let now = self.now;
-        let flits = self.flits;
-        let ready_offset = self.ready_offset;
-        let capacity = self.config.buffer_capacity;
-        let arbitration = self.config.arbitration;
-        let is_last = stage_idx + 1 == self.stages.len();
-        let stage_count = self.stage_count;
-
-        let Self {
-            stages,
-            stage_counters,
-            scratch_ready,
-            scratch_tag_count,
-            store,
-            routes,
-            entry,
-            telem,
-            events,
-            traces,
-            faults,
-            last_progress,
-            ..
-        } = self;
-        let faults = faults.as_deref();
-        let store: &PacketStore = store;
-        let routes: &[u32] = routes;
-        let next_entry: Option<&[u32]> = entry.get(stage_idx + 1).map(Vec::as_slice);
-        let (left, right) = stages.split_at_mut(stage_idx + 1);
-        let stage = &mut left[stage_idx];
-        let mut next_stage = right.first_mut();
-        let radix = stage.radix as usize;
-        let radix_u = stage.radix;
-        let head_latency = stage.head_latency;
-        let counters = &mut stage_counters[stage_idx];
-        let ready = &mut scratch_ready[..radix];
-        let tag_count = &mut scratch_tag_count[..radix];
-        // Routing is a pure function of the destination; `stage_idx`'s tag
-        // is the destination's digit for this stage.
-        let tag_of = |r: PacketRef| routes[store.get(r).dest as usize * stage_count + stage_idx];
-
-        for module_idx in 0..stage.module_count as usize {
-            let base = module_idx * radix;
-            match faults.map_or(Health::Up, |f| {
-                f.module_health(stage_idx as u32, module_idx as u32, now)
-            }) {
-                Health::Up => {}
-                // A transiently failed module refuses all grants: ready
-                // heads wait it out under ordinary back-pressure.
-                Health::TransientDown => {
-                    for in_port in 0..radix {
-                        if stage.inputs[base + in_port]
-                            .requesting_head(now, ready_offset)
-                            .is_some()
-                        {
-                            counters.blocked_fault += 1;
-                        }
-                    }
-                    continue;
-                }
-                // A permanently dead module severs the unique path of every
-                // packet inside it: drain each input's ready heads as drops.
-                // (Heads arriving later drop on the cycle they become ready.)
-                Health::PermanentDown => {
-                    for in_port in 0..radix {
-                        let input = &mut stage.inputs[base + in_port];
-                        while input.requesting_head(now, ready_offset).is_some() {
-                            let Some(dropped) = input.drop_front() else {
-                                break;
-                            };
-                            drops.push(dropped);
-                            counters.dropped += 1;
-                        }
-                    }
-                    continue;
-                }
-            }
-
-            // One pass over the inputs: each ready head's requested output
-            // (the old path probed every input once per output).
-            let mut any_ready = false;
-            tag_count.fill(0);
-            for (in_port, slot) in ready.iter_mut().enumerate() {
-                *slot = match stage.inputs[base + in_port].requesting_head(now, ready_offset) {
-                    Some(r) => {
-                        let tag = tag_of(r);
-                        tag_count[tag as usize] += 1;
-                        any_ready = true;
-                        tag
-                    }
-                    None => NO_TAG,
-                };
-            }
-            if !any_ready {
-                // Nothing can be granted, blocked, or fault-dropped here
-                // this cycle.
-                continue;
-            }
-
-            for out_port in 0..radix {
-                let out_port_u = out_port as u32;
-                let out_line = (base + out_port) as u32;
-                match faults.map_or(Health::Up, |f| {
-                    f.link_health(stage_idx as u32, out_line, now)
-                }) {
-                    Health::Up => {}
-                    Health::TransientDown => {
-                        if tag_count[out_port] > 0 {
-                            counters.blocked_fault += 1;
-                        }
-                        continue;
-                    }
-                    Health::PermanentDown => {
-                        // Drain every consecutive ready head routed at this
-                        // severed link; each drop exposes the next head,
-                        // which may be ready with any tag — recompute so
-                        // later outputs see it this cycle (exactly as the
-                        // per-output probing did).
-                        for (in_port, slot) in ready.iter_mut().enumerate() {
-                            while *slot == out_port_u {
-                                let input = &mut stage.inputs[base + in_port];
-                                let Some(dropped) = input.drop_front() else {
-                                    tag_count[out_port] -= 1;
-                                    *slot = NO_TAG;
-                                    break;
-                                };
-                                drops.push(dropped);
-                                counters.dropped += 1;
-                                tag_count[out_port] -= 1;
-                                *slot = match input.requesting_head(now, ready_offset) {
-                                    Some(r) => {
-                                        let tag = tag_of(r);
-                                        tag_count[tag as usize] += 1;
-                                        tag
-                                    }
-                                    None => NO_TAG,
-                                };
-                            }
-                        }
-                        continue;
-                    }
-                }
-                let matching = tag_count[out_port];
-                if matching == 0 {
-                    continue;
-                }
-                if !stage.outputs[base + out_port].free(now) {
-                    // Every ready head wanting this output waits for it.
-                    counters.blocked_output_busy += u64::from(matching);
-                    continue;
-                }
-
-                // Back-pressure: the downstream buffer must accept a packet.
-                if let (Some(next), Some(next_entry)) = (next_stage.as_deref(), next_entry) {
-                    let downstream = &next.inputs[next_entry[out_line as usize] as usize];
-                    if !downstream.has_space(capacity) {
-                        counters.blocked_downstream_full += u64::from(matching);
-                        continue;
-                    }
-                }
-
-                // Arbitrate among the ready heads requesting this output.
-                let winner = match arbitration {
-                    Arbitration::FixedPriority => {
-                        let Some(pos) = ready.iter().position(|&tag| tag == out_port_u) else {
-                            debug_assert!(false, "matching > 0 but no ready head tagged");
-                            continue;
-                        };
-                        pos as u32
-                    }
-                    Arbitration::RoundRobin => {
-                        let rr = stage.outputs[base + out_port].rr_next;
-                        let mut winner = 0;
-                        let mut best = u32::MAX;
-                        for (in_port, &tag) in ready.iter().enumerate() {
-                            if tag == out_port_u {
-                                let key = (in_port as u32 + radix_u - rr) % radix_u;
-                                if key < best {
-                                    best = key;
-                                    winner = in_port as u32;
-                                }
-                            }
-                        }
-                        winner
-                    }
-                };
-                {
-                    let output = &mut stage.outputs[base + out_port];
-                    output.rr_next = (winner + 1) % radix_u;
-                    output.busy_until = now + head_latency + flits;
-                }
-                counters.grants += 1;
-                *last_progress = now;
-                // Count the losers as output-busy blocked for this cycle.
-                counters.blocked_output_busy += u64::from(matching - 1);
-
-                if let Some(telem) = telem.as_deref_mut() {
-                    // Cycles the winning head sat ready (arbitration loss,
-                    // busy output, or back-pressure) before this grant.
-                    if let Some(front) = stage.inputs[base + winner as usize].queue.front() {
-                        telem.record_stage_wait(
-                            stage_idx,
-                            now - (front.head_arrival + ready_offset),
-                        );
-                    }
-                    telem.heat_grant(stage_idx, module_idx);
-                }
-                let Some(r) = stage.inputs[base + winner as usize].grant_front(now + flits) else {
-                    debug_assert!(false, "arbitration winner has no front slot");
-                    continue;
-                };
-                ready[winner as usize] = NO_TAG;
-                tag_count[out_port] -= 1;
-                let head_arrival = now + head_latency;
-                if let Some(sink) = events.as_mut() {
-                    sink.0.record(&SimEvent::Grant {
-                        cycle: now,
-                        id: store.get(r).id,
-                        stage: stage_idx as u32,
-                        module: module_idx as u32,
-                        in_port: winner,
-                        out_port: out_port_u,
-                        head_out_at: head_arrival,
-                    });
-                }
-                let trace = store.trace_of(r);
-                if trace != NO_TRACE {
-                    traces[trace as usize].hops.push(HopTrace {
-                        stage: stage_idx as u32,
-                        module: module_idx as u32,
-                        in_port: winner,
-                        out_port: out_port_u,
-                        granted_at: now,
-                        head_out_at: head_arrival,
-                    });
-                }
-                match (next_stage.as_deref_mut(), next_entry) {
-                    (Some(next), Some(next_entry)) if !is_last => {
-                        next.inputs[next_entry[out_line as usize] as usize].push(r, head_arrival);
-                    }
-                    _ => {
-                        debug_assert!(is_last);
-                        deliveries.push((r, out_line, head_arrival + flits));
-                    }
-                }
-            }
-        }
+        self.scratch_deliveries = deliveries;
+        self.scratch_drops = drops;
+        self.exec.effects = effects;
     }
 
     fn deliver(&mut self, r: PacketRef, out_line: u32, delivered_at: u64) {

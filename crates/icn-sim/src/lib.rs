@@ -47,9 +47,12 @@ mod fault;
 pub mod mesh;
 mod metrics;
 mod module;
+mod options;
 mod packet;
+mod pool;
 mod roundtrip;
 mod runner;
+mod shard;
 mod store;
 pub mod telemetry;
 mod trace;
@@ -59,11 +62,13 @@ pub use engine::{Delivery, DroppedPacket, Engine, STOP_POLL_CYCLES};
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultPlan, FaultTarget, RetryPolicy, StallReport};
 pub use metrics::{LatencyStats, SimResult, StageCounters};
+pub use options::EngineOptions;
 pub use packet::{Packet, PacketStatus};
 pub use roundtrip::{run_roundtrip, RoundTripConfig, RoundTripResult};
 pub use runner::{
-    run, run_parallel, run_trace, run_with_sink, sweep_load, sweep_module_failures, try_run,
-    try_run_bounded, FaultSweepPoint, LoadSweepPoint,
+    run, run_parallel, run_trace, run_with_options, run_with_sink, sweep_load,
+    sweep_module_failures, try_run, try_run_bounded, try_run_bounded_with_options,
+    try_run_with_options, FaultSweepPoint, LoadSweepPoint,
 };
 pub use telemetry::{
     EventSink, Histogram, JsonlSink, MemorySink, NullSink, Sample, SimEvent, TelemetryConfig,

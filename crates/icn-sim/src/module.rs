@@ -129,7 +129,6 @@ impl OutputPort {
 pub(crate) struct Stage {
     pub radix: u32,
     pub module_count: u32,
-    pub head_latency: u64,
     /// Input ports, module-major: `inputs[m * radix + port]`.
     pub inputs: Vec<InputPort>,
     /// Output ports, module-major: `outputs[m * radix + port]`.
@@ -137,14 +136,14 @@ pub(crate) struct Stage {
 }
 
 impl Stage {
-    /// An empty stage of `module_count` radix-`radix` modules whose heads
-    /// become eligible after `head_latency` cycles.
-    pub fn new(radix: u32, module_count: u32, head_latency: u64) -> Self {
+    /// An empty stage of `module_count` radix-`radix` modules. (Per-stage
+    /// head latency lives in the engine's `StageMeta`, shared with the
+    /// grant kernel.)
+    pub fn new(radix: u32, module_count: u32) -> Self {
         let ports = (radix * module_count) as usize;
         Self {
             radix,
             module_count,
-            head_latency,
             inputs: (0..ports).map(|_| InputPort::default()).collect(),
             outputs: (0..ports).map(|_| OutputPort::default()).collect(),
         }
@@ -234,7 +233,7 @@ mod tests {
 
     #[test]
     fn flat_stage_layout_is_module_major() {
-        let stage = Stage::new(4, 3, 2);
+        let stage = Stage::new(4, 3);
         assert_eq!(stage.inputs.len(), 12);
         assert_eq!(stage.outputs.len(), 12);
         assert_eq!(stage.occupancy(), 0);

@@ -6,12 +6,49 @@ use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::fault::FaultPlan;
 use crate::metrics::SimResult;
+use crate::options::EngineOptions;
 use crate::telemetry::EventSink;
 
 /// Run one configuration to completion.
 #[must_use]
 pub fn run(config: SimConfig) -> SimResult {
     Engine::new(config).run()
+}
+
+/// [`run`] under explicit [`EngineOptions`] — e.g. a shard-thread budget.
+/// Options never affect the result, only how fast it is produced.
+///
+/// # Panics
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+#[must_use]
+pub fn run_with_options(config: SimConfig, options: EngineOptions) -> SimResult {
+    Engine::with_options(config, options).run()
+}
+
+/// [`try_run`] under explicit [`EngineOptions`].
+///
+/// # Errors
+/// Returns the [`crate::error::SimError`] from [`SimConfig::validate`]
+/// when the configuration or fault plan is invalid.
+pub fn try_run_with_options(
+    config: SimConfig,
+    options: EngineOptions,
+) -> Result<SimResult, crate::error::SimError> {
+    Ok(Engine::try_with_options(config, options)?.run())
+}
+
+/// [`try_run_bounded`] under explicit [`EngineOptions`].
+///
+/// # Errors
+/// Returns the validation [`crate::error::SimError`] for a bad
+/// configuration, or [`crate::error::SimError::DeadlineExceeded`] when
+/// `should_stop` fired mid-run.
+pub fn try_run_bounded_with_options(
+    config: SimConfig,
+    options: EngineOptions,
+    should_stop: impl FnMut() -> bool,
+) -> Result<SimResult, crate::error::SimError> {
+    Engine::try_with_options(config, options)?.run_bounded(should_stop)
 }
 
 /// Run one configuration to completion, validating it first — the
@@ -290,6 +327,32 @@ mod tests {
         assert!(parallel[2].telemetry.is_some());
         assert!(parallel[3].telemetry.is_some());
         assert!(parallel[0].telemetry.is_none());
+    }
+
+    /// Fast always-on check that the sharded engine is unobservable in
+    /// the result; the full byte-level matrix lives in `tests/parity.rs`.
+    #[test]
+    fn threaded_engine_matches_serial() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        use crate::telemetry::TelemetryConfig;
+
+        let mut config = small_config(0.02, 9);
+        config.telemetry = TelemetryConfig::sampled(50);
+        config.faults = FaultPlan::random_module_failures(&config.plan, 1, 400, 0xBEEF);
+        config.retry = RetryPolicy::retries(2);
+        config.watchdog_cycles = 5_000;
+        let serial = run(config.clone());
+        for threads in [2, 4] {
+            for chunk_modules in [0, 1, 3] {
+                let options = EngineOptions {
+                    threads,
+                    chunk_modules,
+                    perturb_seed: Some(7),
+                };
+                let threaded = run_with_options(config.clone(), options);
+                assert_eq!(serial, threaded, "threads={threads} chunk={chunk_modules}");
+            }
+        }
     }
 
     #[test]
