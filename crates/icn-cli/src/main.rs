@@ -35,8 +35,10 @@
 //!                              kill -9 it mid-backlog, restart on the same
 //!                              journal + cache dir, and record latency
 //!                              percentiles + recovery time in BENCH_PR6.json
-//! icn lint [--json]            run the ICN determinism/panic-freedom rules
-//!                              (ICN001-ICN005) over the workspace sources
+//! icn lint [--json] [PATH ..]  run the ICN determinism/panic-freedom rules
+//!                              (ICN001-ICN005) and the shard-concurrency
+//!                              pass (ICN201-ICN205) over the workspace
+//!                              sources, or over the given files/dirs
 //! icn lint config <spec.json>  statically check a design point against the
 //!                              paper's pin/board/clock limits (ICN101-ICN106)
 //! icn serve [--addr A] [...]   HTTP design-evaluation / simulation job
@@ -149,7 +151,7 @@ fn usage() -> &'static str {
      \t       [--baseline BENCH_PR3.json] [--update-baseline before|after]\n\
      \t bench --serve [--smoke] [--json]\n\
      \t bench --overhead [--smoke] [--json] [--iters N]\n\
-     \t lint [--json] [root]\n\
+     \t lint [--json] [PATH ...]\n\
      \t lint config <spec.json> [--json]\n\
      \t serve [--addr HOST:PORT] [--workers N] [--sim-threads N]\n\
      \t       [--queue-depth N] [--cache-entries N] [--journal FILE]\n\
@@ -1805,7 +1807,11 @@ fn serve(opts: &Options) -> Result<(), Failure> {
     Ok(())
 }
 
-/// `icn lint [--json] [root]` — run the ICN source rules over the workspace;
+/// `icn lint [--json] [PATH ...]` — run the ICN source rules. With no
+/// paths (or a single workspace-root path), the whole workspace is
+/// scanned; otherwise each path (a `.rs` file or a directory) selects a
+/// subset for the per-file rules, while the crate-level ICN200 pass still
+/// analyzes every crate the selection touches.
 /// `icn lint config <spec.json> [--json]` — statically check a design point
 /// against the paper's pin/board/clock constraints (ICN101–ICN106).
 fn lint(args: &[String]) -> Result<(), Failure> {
@@ -1843,9 +1849,19 @@ fn lint(args: &[String]) -> Result<(), Failure> {
         };
     }
 
-    let root = positional.first().copied().unwrap_or(".");
-    let diags = icn_lint::scan_workspace(std::path::Path::new(root))
-        .map_err(|e| Failure::Io(e.to_string()))?;
+    // Back-compat: no paths, or one path that is itself a workspace root
+    // (contains `crates/`), means a full scan rooted there.
+    let diags = if positional.is_empty()
+        || (positional.len() == 1 && std::path::Path::new(positional[0]).join("crates").is_dir())
+    {
+        let root = positional.first().copied().unwrap_or(".");
+        icn_lint::scan_workspace(std::path::Path::new(root))
+    } else {
+        let paths: Vec<std::path::PathBuf> =
+            positional.iter().map(std::path::PathBuf::from).collect();
+        icn_lint::scan_paths(std::path::Path::new("."), &paths)
+    }
+    .map_err(|e| Failure::Io(e.to_string()))?;
     if json {
         print!("{}", icn_lint::render_json(&diags));
     } else {

@@ -1,0 +1,160 @@
+//! The lightweight AST produced by [`crate::parse`].
+//!
+//! Deliberately shallow: items, impl blocks, fn signatures, and fn bodies
+//! reduced to their token ranges plus the extracted call sites and
+//! identifier uses. That is exactly the shape the ICN200-series
+//! concurrency pass needs — a symbol table and a call graph — without
+//! expression-level parsing or type resolution (DESIGN.md §8 records what
+//! that scope excludes). Everything is positioned by 1-based source line
+//! and by index into the lexed token stream, so spans can be checked for
+//! in-boundedness mechanically (see `tests/parser_props.rs`).
+
+/// A source region: inclusive 1-based lines plus the half-open token
+/// index range `[first_tok, end_tok)` into the lexed token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line of the first token.
+    pub first_line: u32,
+    /// 1-based line of the last token.
+    pub last_line: u32,
+    /// Index of the first token.
+    pub first_tok: usize,
+    /// One past the index of the last token.
+    pub end_tok: usize,
+}
+
+/// How a function takes `self`, as far as the rules need to distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// A free function or associated function without `self`.
+    None,
+    /// `&self` (or `self: &Self`).
+    Shared,
+    /// `&mut self` (or `self: &mut Self`).
+    Mut,
+    /// `self` / `mut self` by value.
+    Owned,
+}
+
+/// One call site extracted from a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// The called name (the identifier directly before the `(`).
+    pub name: String,
+    /// For `path::name(…)`, the segment directly before the `::`.
+    pub qualifier: Option<String>,
+    /// Whether this is a method call (`recv.name(…)`).
+    pub method: bool,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// Token index of the called name.
+    pub tok: usize,
+}
+
+/// A function body reduced to its token range and extracted uses.
+#[derive(Debug, Clone, Default)]
+pub struct Body {
+    /// Half-open token index range of the tokens between the braces.
+    pub first_tok: usize,
+    /// End of the body token range (exclusive, past the closing brace).
+    pub end_tok: usize,
+    /// Every call site, in source order.
+    pub calls: Vec<Call>,
+    /// Token index of every identifier use, in source order (keywords
+    /// included; consumers filter against the symbol table).
+    pub idents: Vec<usize>,
+}
+
+/// One parsed `fn` (free, associated, or trait method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name (raw identifiers keep their `r#` sigil).
+    pub name: String,
+    /// How the function takes `self`.
+    pub receiver: Receiver,
+    /// The impl block's self type, e.g. `Engine` for `impl Engine` —
+    /// the final path segment, generics stripped.
+    pub self_ty: Option<String>,
+    /// The implemented trait for `impl Trait for Type` blocks.
+    pub trait_name: Option<String>,
+    /// The parameter list as space-joined token text (receiver included).
+    pub params: String,
+    /// Whether this fn (or an enclosing module) is test-only
+    /// (`#[cfg(test)]` / `#[test]`).
+    pub is_test: bool,
+    /// The item's span.
+    pub span: Span,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// The body, absent for bodyless trait-method signatures.
+    pub body: Option<Body>,
+}
+
+/// One parsed `static` item.
+#[derive(Debug, Clone)]
+pub struct StaticDef {
+    /// The static's name.
+    pub name: String,
+    /// Whether it is `static mut`.
+    pub mutable: bool,
+    /// Whether it sits in test-only code.
+    pub is_test: bool,
+    /// 1-based line of the `static` keyword.
+    pub line: u32,
+}
+
+/// What kind of item a [`Item`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (indexes into [`Ast::fns`]).
+    Fn,
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+    /// `trait`.
+    Trait,
+    /// `impl` block.
+    Impl,
+    /// `mod` (inline or out-of-line).
+    Mod,
+    /// `use` declaration.
+    Use,
+    /// `const` item.
+    Const,
+    /// `static` item (indexes into [`Ast::statics`]).
+    Static,
+    /// `type` alias.
+    TypeAlias,
+    /// `macro_rules!` definition.
+    MacroDef,
+    /// `extern` block or crate declaration.
+    Extern,
+    /// Anything the parser skipped over without recognizing.
+    Other,
+}
+
+/// One item, in the flat item list (nested items are flattened in source
+/// order; the tree structure is not needed by any rule).
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// The item kind.
+    pub kind: ItemKind,
+    /// The item's name, empty where it has none (`impl`, `use`, …).
+    pub name: String,
+    /// The item's span.
+    pub span: Span,
+}
+
+/// The parse result for one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Ast {
+    /// Every item, flattened, in source order.
+    pub items: Vec<Item>,
+    /// Every function (including nested and trait-default fns).
+    pub fns: Vec<FnDef>,
+    /// Every static item.
+    pub statics: Vec<StaticDef>,
+}

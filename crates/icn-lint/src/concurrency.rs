@@ -1,0 +1,656 @@
+//! The ICN200-series concurrency/determinism pass.
+//!
+//! PR 8's module-sharded engine is byte-identical to serial runs only
+//! because shard code obeys a contract that, until this pass, lived in
+//! DESIGN.md prose and a nightly TSan sweep: shards mutate nothing but
+//! their own `ShardEffects`, all cross-thread communication flows through
+//! the two-barrier broadcast in `pool.rs`, and the effect merge walks
+//! chunk-index order. This module promotes the contract to machine-checked
+//! rules over the [`crate::resolve::CrateIndex`] call graph:
+//!
+//! * **ICN201 shard-purity** — a shard-reachable function may not take
+//!   `&mut self` on `Engine` (or `&mut Engine` parameters) and may not
+//!   write statics; the only mutable state a kernel owns is its
+//!   `ShardEffects`.
+//! * **ICN202 no interior mutability** — no `Cell`/`RefCell`/`UnsafeCell`/
+//!   atomics/`static mut` anywhere shard-reachable: interior mutability is
+//!   exactly what lets a `&` shard alias turn into a cross-thread write.
+//! * **ICN203 lock confinement** — `Mutex`/`RwLock`/`Condvar`/`spawn`
+//!   appear only in `pool.rs`; the rest of the crate stays lock-free by
+//!   construction so the barrier protocol is the single synchronization
+//!   point.
+//! * **ICN204 barrier pairing** — any function that triggers the vacate
+//!   broadcast (directly or transitively) must later trigger the
+//!   snapshot+grant broadcast in the same function body; a lone vacate
+//!   leaves the pool parked on a half-completed cycle.
+//! * **ICN205 merge order** — functions touching `ShardEffects`/effect
+//!   buffers may not route them through `HashMap`/`HashSet` or reorder
+//!   them (`rev`/`sort*`/`shuffle`); the merge must consume chunks in
+//!   chunk-index order for the canonical-order determinism argument
+//!   (DESIGN.md §7.5) to hold.
+//!
+//! The pass arms itself per crate: it runs only where shard kernels exist
+//! (non-test `*_chunk` functions in `shard.rs`), so ordinary crates pay
+//! nothing. Resolution is name-based and over-approximate (see
+//! [`crate::resolve`]); every rule honours the standard
+//! `// icn-lint: allow(CODE) -- reason` escape hatch.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::resolve::{CrateIndex, FnId};
+use crate::rules::{push_unless_allowed, without_test_modules, FileContext};
+
+/// Interior-mutability type names banned from shard-reachable code.
+const INTERIOR_MUTABILITY: [&str; 7] = [
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "LazyCell",
+    "OnceLock",
+    "LazyLock",
+];
+
+/// Method names that reorder a sequence (ICN205).
+const REORDERING_METHODS: [&str; 8] = [
+    "rev",
+    "shuffle",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// Run the ICN200-series pass over one crate. Returns nothing for crates
+/// without shard kernels.
+#[must_use]
+pub fn check_crate(crate_name: &str, index: &CrateIndex) -> Vec<Diagnostic> {
+    let roots = index.shard_roots();
+    if roots.is_empty() {
+        return Vec::new();
+    }
+    let reach = index.reachable_from(&roots);
+    let mut diags = Vec::new();
+    icn201_shard_purity(crate_name, index, &reach, &mut diags);
+    icn202_no_interior_mutability(crate_name, index, &reach, &mut diags);
+    icn203_lock_confinement(crate_name, index, &mut diags);
+    icn204_barrier_pairing(crate_name, index, &roots, &mut diags);
+    icn205_merge_order(crate_name, index, &mut diags);
+    diags
+}
+
+fn file_ctx(crate_name: &str, rel_path: &str) -> FileContext {
+    FileContext {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        is_crate_root: rel_path.ends_with("src/lib.rs"),
+    }
+}
+
+/// Is the token at `k` (a static's name) the target of an assignment?
+/// Recognizes `S = …` (not `==`), compound `S += …`, and shifts `S <<= …`.
+fn is_static_write(index: &CrateIndex, file: usize, k: usize) -> bool {
+    let toks = &index.files[file].lexed.tokens;
+    let p = |i: usize, ch: char| toks.get(i).is_some_and(|t| t.is_punct(ch));
+    if p(k + 1, '=') && !p(k + 2, '=') {
+        // `x == S` arrives here with `S` *after* the operator; only a
+        // plain `=` directly following the name is a write target.
+        return !p(k.wrapping_sub(1), '=')
+            && !p(k.wrapping_sub(1), '!')
+            && !p(k.wrapping_sub(1), '<')
+            && !p(k.wrapping_sub(1), '>');
+    }
+    let compound = ['+', '-', '*', '/', '%', '&', '|', '^'];
+    if compound.iter().any(|&c| p(k + 1, c)) && p(k + 2, '=') {
+        return true;
+    }
+    // `S <<= …` / `S >>= …`.
+    (p(k + 1, '<') && p(k + 2, '<') && p(k + 3, '='))
+        || (p(k + 1, '>') && p(k + 2, '>') && p(k + 3, '='))
+}
+
+/// ICN201 `shard-purity`: shard-reachable functions may not mutate engine
+/// state — no `&mut self` on `Engine`, no `&mut Engine` parameters, no
+/// static writes. Effects go through the kernel's own `ShardEffects`.
+fn icn201_shard_purity(
+    crate_name: &str,
+    index: &CrateIndex,
+    reach: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for id in (0..index.fns.len()).filter(|&id| reach[id]) {
+        let def = index.fn_def(id);
+        let unit = index.fn_file(id);
+        let ctx = file_ctx(crate_name, &unit.rel_path);
+        if def.self_ty.as_deref() == Some("Engine") && def.receiver == crate::ast::Receiver::Mut {
+            push_unless_allowed(
+                &ctx,
+                &unit.lexed,
+                diags,
+                "ICN201",
+                def.line,
+                format!(
+                    "shard-reachable fn `{}` takes `&mut self` on `Engine`",
+                    def.name
+                ),
+                "shard code may only mutate its own ShardEffects; move engine mutation to the serial merge phase",
+            );
+        } else if params_take_mut_engine(&def.params) {
+            push_unless_allowed(
+                &ctx,
+                &unit.lexed,
+                diags,
+                "ICN201",
+                def.line,
+                format!(
+                    "shard-reachable fn `{}` takes a `&mut Engine` parameter",
+                    def.name
+                ),
+                "pass shared engine state by `&` and collect writes into ShardEffects",
+            );
+        }
+        let Some(body) = def.body.as_ref() else {
+            continue;
+        };
+        let file = index.fns[id].file;
+        let mut flagged = BTreeSet::new();
+        for &k in &body.idents {
+            let Some(t) = unit.lexed.tokens.get(k) else {
+                continue;
+            };
+            if index.static_named(&t.text).is_some()
+                && is_static_write(index, file, k)
+                && flagged.insert(t.line)
+            {
+                push_unless_allowed(
+                    &ctx,
+                    &unit.lexed,
+                    diags,
+                    "ICN201",
+                    t.line,
+                    format!(
+                        "shard-reachable fn `{}` writes static `{}`",
+                        def.name, t.text
+                    ),
+                    "statics are shared across shards; route the write through ShardEffects",
+                );
+            }
+        }
+    }
+}
+
+/// Does a space-joined parameter list contain `& mut … Engine` before the
+/// next `,`?
+fn params_take_mut_engine(params: &str) -> bool {
+    let words: Vec<&str> = params.split_whitespace().collect();
+    for w in 0..words.len() {
+        if words[w] == "&" && words.get(w + 1) == Some(&"mut") {
+            for rest in &words[w + 2..] {
+                match *rest {
+                    "," => break,
+                    "Engine" => return true,
+                    _ => {}
+                }
+            }
+        }
+    }
+    false
+}
+
+/// ICN202 `no-interior-mutability`: `Cell`-family types, atomics, and
+/// `static mut` reads/writes in shard-reachable code.
+fn icn202_no_interior_mutability(
+    crate_name: &str,
+    index: &CrateIndex,
+    reach: &[bool],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for id in (0..index.fns.len()).filter(|&id| reach[id]) {
+        let def = index.fn_def(id);
+        let Some(body) = def.body.as_ref() else {
+            continue;
+        };
+        let unit = index.fn_file(id);
+        let ctx = file_ctx(crate_name, &unit.rel_path);
+        let mut flagged = BTreeSet::new();
+        for &k in &body.idents {
+            let Some(t) = unit.lexed.tokens.get(k) else {
+                continue;
+            };
+            let what = if INTERIOR_MUTABILITY.contains(&t.text.as_str()) {
+                Some(format!("interior-mutability type `{}`", t.text))
+            } else if t.text.starts_with("Atomic") && t.text.len() > "Atomic".len() {
+                Some(format!("atomic type `{}`", t.text))
+            } else if index.static_named(&t.text).is_some_and(|s| s.mutable) {
+                Some(format!("`static mut {}`", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                if flagged.insert((t.line, t.text.clone())) {
+                    push_unless_allowed(
+                        &ctx,
+                        &unit.lexed,
+                        diags,
+                        "ICN202",
+                        t.line,
+                        format!("{what} in shard-reachable fn `{}`", def.name),
+                        "shard code must be observably pure; buffer the state change in ShardEffects and apply it in the merge phase",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// ICN203 `lock-confinement`: `Mutex`/`RwLock`/`Condvar` and `spawn(…)`
+/// anywhere in the crate outside `pool.rs` (whole-file scan, test modules
+/// stripped). The worker pool is the single synchronization authority.
+fn icn203_lock_confinement(crate_name: &str, index: &CrateIndex, diags: &mut Vec<Diagnostic>) {
+    for unit in &index.files {
+        if unit.rel_path.ends_with("/pool.rs") {
+            continue;
+        }
+        let ctx = file_ctx(crate_name, &unit.rel_path);
+        let tokens = without_test_modules(&unit.lexed.tokens);
+        let mut flagged = BTreeSet::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let what = match t.text.as_str() {
+                "Mutex" | "RwLock" | "Condvar" => {
+                    Some(format!("synchronization primitive `{}`", t.text))
+                }
+                "spawn" if tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                    Some("thread spawn".to_string())
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                if flagged.insert((t.line, t.text.clone())) {
+                    push_unless_allowed(
+                        &ctx,
+                        &unit.lexed,
+                        diags,
+                        "ICN203",
+                        t.line,
+                        format!("{what} outside pool.rs"),
+                        "cross-thread communication flows through the pool.rs barrier protocol; move the primitive there or annotate why this site is outside the engine cycle",
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// ICN204 `barrier-pairing`: a function that reaches the vacate broadcast
+/// without reaching the grant broadcast must be followed, later in the
+/// same body, by a reference that reaches the grant broadcast. Functions
+/// that *directly* invoke a vacate kernel are the broadcast implementation
+/// itself (single-phase helpers by design) and are exempt — the pairing
+/// obligation sits with their callers.
+fn icn204_barrier_pairing(
+    crate_name: &str,
+    index: &CrateIndex,
+    roots: &[FnId],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let vacate_kernels: Vec<FnId> = roots
+        .iter()
+        .copied()
+        .filter(|&id| index.fn_def(id).name.contains("vacate"))
+        .collect();
+    let grant_kernels: Vec<FnId> = roots
+        .iter()
+        .copied()
+        .filter(|&id| index.fn_def(id).name.contains("grant"))
+        .collect();
+    if vacate_kernels.is_empty() || grant_kernels.is_empty() {
+        return;
+    }
+    let reaches_vacate = reaches(index, &vacate_kernels);
+    let reaches_grant = reaches(index, &grant_kernels);
+    for id in 0..index.fns.len() {
+        let def = index.fn_def(id);
+        let Some(body) = def.body.as_ref() else {
+            continue;
+        };
+        let unit = index.fn_file(id);
+        // Resolve each body ident once, in source order.
+        let refs: Vec<(usize, u32, &str, &[FnId])> = body
+            .idents
+            .iter()
+            .filter_map(|&k| {
+                let t = unit.lexed.tokens.get(k)?;
+                let ids = index.lookup(&t.text);
+                (!ids.is_empty()).then_some((k, t.line, t.text.as_str(), ids))
+            })
+            .collect();
+        // Direct kernel invokers are the broadcast implementation: exempt.
+        if refs
+            .iter()
+            .any(|(_, _, _, ids)| ids.iter().any(|g| vacate_kernels.contains(g)))
+        {
+            continue;
+        }
+        let ctx = file_ctx(crate_name, &unit.rel_path);
+        for (pos, (_, line, name, ids)) in refs.iter().enumerate() {
+            let vacate_only = ids.iter().any(|&g| reaches_vacate[g] && !reaches_grant[g]);
+            if !vacate_only {
+                continue;
+            }
+            let paired = refs[pos + 1..]
+                .iter()
+                .any(|(_, _, _, later)| later.iter().any(|&h| reaches_grant[h]));
+            if !paired {
+                push_unless_allowed(
+                    &ctx,
+                    &unit.lexed,
+                    diags,
+                    "ICN204",
+                    *line,
+                    format!(
+                        "`{}` triggers the vacate broadcast but fn `{}` never follows with the snapshot+grant broadcast",
+                        name, def.name
+                    ),
+                    "every vacate must be paired with a grant in the same function so the pool completes the two-barrier cycle",
+                );
+                break; // one diagnostic per function keeps the signal clear
+            }
+        }
+    }
+}
+
+/// The set of functions that can reach (by forward call edges) any of the
+/// given targets, targets included.
+fn reaches(index: &CrateIndex, targets: &[FnId]) -> Vec<bool> {
+    // Reverse BFS from the targets over reversed edges.
+    let mut rev: Vec<Vec<FnId>> = vec![Vec::new(); index.fns.len()];
+    for f in 0..index.fns.len() {
+        for &g in index.callees(f) {
+            rev[g].push(f);
+        }
+    }
+    let mut seen = vec![false; index.fns.len()];
+    let mut queue: VecDeque<FnId> = VecDeque::new();
+    for &t in targets {
+        if t < seen.len() && !seen[t] {
+            seen[t] = true;
+            queue.push_back(t);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for &caller in &rev[f] {
+            if !seen[caller] {
+                seen[caller] = true;
+                queue.push_back(caller);
+            }
+        }
+    }
+    seen
+}
+
+/// ICN205 `merge-order`: functions handling effect buffers (their body
+/// mentions `ShardEffects`/`effects`, or they are `ShardEffects` methods)
+/// may not introduce `HashMap`/`HashSet` or reorder sequences between
+/// shard output and the merge.
+fn icn205_merge_order(crate_name: &str, index: &CrateIndex, diags: &mut Vec<Diagnostic>) {
+    for id in 0..index.fns.len() {
+        let def = index.fn_def(id);
+        let Some(body) = def.body.as_ref() else {
+            continue;
+        };
+        let unit = index.fn_file(id);
+        let mentions_effects =
+            |text: &str| text == "ShardEffects" || text == "effects" || text == "effect";
+        let handles_effects = def.self_ty.as_deref() == Some("ShardEffects")
+            || def.params.split_whitespace().any(mentions_effects)
+            || body.idents.iter().any(|&k| {
+                unit.lexed
+                    .tokens
+                    .get(k)
+                    .is_some_and(|t| mentions_effects(&t.text))
+            });
+        if !handles_effects {
+            continue;
+        }
+        let ctx = file_ctx(crate_name, &unit.rel_path);
+        let mut flagged = BTreeSet::new();
+        for &k in &body.idents {
+            let Some(t) = unit.lexed.tokens.get(k) else {
+                continue;
+            };
+            if (t.text == "HashMap" || t.text == "HashSet")
+                && flagged.insert((t.line, t.text.clone()))
+            {
+                push_unless_allowed(
+                    &ctx,
+                    &unit.lexed,
+                    diags,
+                    "ICN205",
+                    t.line,
+                    format!(
+                        "`{}` between shard output and merge in fn `{}`",
+                        t.text, def.name
+                    ),
+                    "effect buffers must stay in chunk-index order; use Vec indexed by chunk or BTreeMap",
+                );
+            }
+        }
+        for call in &body.calls {
+            if call.method
+                && REORDERING_METHODS.contains(&call.name.as_str())
+                && flagged.insert((call.line, call.name.clone()))
+            {
+                push_unless_allowed(
+                    &ctx,
+                    &unit.lexed,
+                    diags,
+                    "ICN205",
+                    call.line,
+                    format!(
+                        "`.{}()` reorders effect handling in fn `{}`",
+                        call.name, def.name
+                    ),
+                    "the merge must iterate chunks in chunk-index order; remove the reordering or annotate why order is immaterial here",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let index = CrateIndex::build(
+            files
+                .iter()
+                .map(|(p, s)| ((*p).to_string(), lex(s)))
+                .collect(),
+        );
+        check_crate("icn-sim", &index)
+    }
+
+    fn codes(files: &[(&str, &str)]) -> Vec<String> {
+        check(files).into_iter().map(|d| d.code).collect()
+    }
+
+    const SHARD: &str = "pub fn vacate_chunk(s: &State) { s.tick(); }\n\
+                         pub fn grant_chunk(s: &State) { s.tick(); }\n";
+
+    #[test]
+    fn pass_is_inert_without_shard_kernels() {
+        let got = codes(&[(
+            "crates/icn-x/src/lib.rs",
+            "fn anything() { let m = Mutex::new(0); }\n",
+        )]);
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn icn201_flags_mut_engine_receiver_and_param() {
+        let got = codes(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "impl State {\n\
+                     fn tick(&self) { mutate(self.e); deliver(self.e); }\n\
+                 }\n\
+                 impl Engine {\n\
+                     fn deliver(&mut self) {}\n\
+                 }\n\
+                 fn mutate(e: &mut Engine) {}\n\
+                 fn deliver(e: &Engine) {}\n",
+            ),
+        ]);
+        assert_eq!(got.iter().filter(|c| *c == "ICN201").count(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn icn201_flags_static_writes_but_not_reads() {
+        let got = check(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "static TICKS: u64 = 0;\n\
+                 impl State {\n\
+                     fn tick(&self) { let r = TICKS; if r == TICKS { TICKS += 1; } }\n\
+                 }\n",
+            ),
+        ]);
+        let lines: Vec<u32> = got
+            .iter()
+            .filter(|d| d.code == "ICN201")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(lines, vec![3]);
+    }
+
+    #[test]
+    fn icn202_flags_interior_mutability_only_when_reachable() {
+        let got = codes(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "impl State {\n\
+                     fn tick(&self) { let c = RefCell::new(0); }\n\
+                 }\n\
+                 fn unreached() { let a = AtomicUsize::new(0); }\n",
+            ),
+        ]);
+        assert_eq!(got, vec!["ICN202"]);
+    }
+
+    #[test]
+    fn icn203_confines_locks_to_pool_rs() {
+        let got = check(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "impl State { fn tick(&self) {} }\n\
+                 fn serial_helper() { let m = Mutex::new(0); thread::spawn(|| {});\n }\n",
+            ),
+            (
+                "crates/icn-sim/src/pool.rs",
+                "fn barrier() { let m = Mutex::new(0); let c = Condvar::new(); }\n",
+            ),
+        ]);
+        let hits: Vec<(String, u32)> = got
+            .iter()
+            .filter(|d| d.code == "ICN203")
+            .map(|d| (d.file.clone(), d.line))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![
+                ("crates/icn-sim/src/state.rs".to_string(), 2),
+                ("crates/icn-sim/src/state.rs".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn icn204_requires_grant_after_vacate() {
+        let engine_ok = "fn vacate_phase(s: &State) { run(&vacate_chunk, s); }\n\
+                         fn grant_phase(s: &State) { run(&grant_chunk, s); }\n\
+                         fn run(k: &fn(&State), s: &State) {}\n\
+                         fn step(s: &State) { vacate_phase(s); grant_phase(s); }\n";
+        let ok = codes(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "impl State { fn tick(&self) {} }\n",
+            ),
+            ("crates/icn-sim/src/engine.rs", engine_ok),
+        ]);
+        assert!(!ok.contains(&"ICN204".to_string()), "{ok:?}");
+
+        let engine_bad = "fn vacate_phase(s: &State) { run(&vacate_chunk, s); }\n\
+                          fn grant_phase(s: &State) { run(&grant_chunk, s); }\n\
+                          fn run(k: &fn(&State), s: &State) {}\n\
+                          fn half_step(s: &State) { vacate_phase(s); }\n";
+        let bad = check(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "impl State { fn tick(&self) {} }\n",
+            ),
+            ("crates/icn-sim/src/engine.rs", engine_bad),
+        ]);
+        let hits: Vec<u32> = bad
+            .iter()
+            .filter(|d| d.code == "ICN204")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(hits, vec![4]);
+    }
+
+    #[test]
+    fn icn205_flags_hashmap_and_reordering_near_effects() {
+        let got = check(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "impl State { fn tick(&self) {} }\n",
+            ),
+            (
+                "crates/icn-sim/src/engine.rs",
+                "fn merge(effects: &[Effect]) { for e in effects.iter().rev() { apply(e); } }\n\
+                 fn stash(effects: &[Effect]) { let m: HashMap<u32, u32> = HashMap::new(); }\n\
+                 fn unrelated(v: &[u32]) { for x in v.iter().rev() {} }\n\
+                 fn apply(e: &Effect) {}\n",
+            ),
+        ]);
+        let hits: Vec<(String, u32)> = got
+            .iter()
+            .filter(|d| d.code == "ICN205")
+            .map(|d| (d.code.clone(), d.line))
+            .collect();
+        assert_eq!(hits.len(), 2, "{got:?}");
+        assert_eq!(hits[0].1, 1); // .rev() in merge
+        assert_eq!(hits[1].1, 2); // HashMap in stash
+    }
+
+    #[test]
+    fn allow_directives_suppress_concurrency_findings() {
+        let got = codes(&[
+            ("crates/icn-sim/src/shard.rs", SHARD),
+            (
+                "crates/icn-sim/src/state.rs",
+                "impl State {\n\
+                     // icn-lint: allow(ICN202) -- lock-free stat counter audited in PR 9\n\
+                     fn tick(&self) { let c = RefCell::new(0); }\n\
+                 }\n",
+            ),
+        ]);
+        assert!(!got.contains(&"ICN202".to_string()), "{got:?}");
+    }
+}

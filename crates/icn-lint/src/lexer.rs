@@ -435,36 +435,55 @@ impl Lexer<'_> {
         );
     }
 
-    /// An identifier, keyword, or a prefixed literal (`r"…"`, `b"…"`, `b'…'`).
+    /// An identifier, keyword, a raw identifier (`r#type`), or a prefixed
+    /// literal (`r"…"`, `r##"…"##`, `b"…"`, `br"…"`, `b'…'`).
     fn ident_or_prefixed_literal(&mut self, pos: usize) {
         let rest = &self.source[pos..];
-        for (prefix, raw) in [
-            ("r\"", true),
-            ("r#\"", true),
-            ("br\"", true),
-            ("br#\"", true),
-            ("b\"", false),
-        ] {
-            if rest.starts_with(prefix) {
-                // Consume the letter prefix, leave `#`s/quote for the helper.
-                for _ in 0..prefix.len() - prefix.chars().filter(|&c| c == '#' || c == '"').count()
-                {
-                    self.chars.next();
-                }
-                if raw {
-                    self.raw_string_literal();
-                } else {
-                    self.string_literal();
-                }
-                return;
-            }
-        }
         if rest.starts_with("b'") {
             self.chars.next(); // b
             self.chars.next(); // '
             let line = self.line;
             self.char_literal(line);
             return;
+        }
+        if rest.starts_with("b\"") {
+            self.chars.next(); // b
+            self.string_literal();
+            return;
+        }
+        // `r`/`br` followed by any number of `#`s and a quote opens a raw
+        // (byte) string of that hash count; the helper re-counts the `#`s.
+        let letters = if rest.starts_with("br") {
+            2
+        } else {
+            usize::from(rest.starts_with('r'))
+        };
+        if letters > 0 {
+            let hashes = rest[letters..].chars().take_while(|&c| c == '#').count();
+            let after_hashes = rest[letters + hashes..].chars().next();
+            if after_hashes == Some('"') {
+                for _ in 0..letters {
+                    self.chars.next();
+                }
+                self.raw_string_literal();
+                return;
+            }
+            // `r#ident` is a *raw identifier*, not a raw string: one Ident
+            // token whose text keeps the `r#` sigil, so `r#fn`/`r#type`
+            // never masquerade as the keyword to downstream consumers.
+            if letters == 1
+                && hashes == 1
+                && matches!(after_hashes, Some(c) if c == '_' || c.is_alphabetic())
+            {
+                self.chars.next(); // r
+                self.chars.next(); // #
+                let mut text = String::from("r#");
+                while matches!(self.peek_char(), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    text.push(self.bump().unwrap_or('\0'));
+                }
+                self.push(TokenKind::Ident, text);
+                return;
+            }
         }
         let mut text = String::new();
         while matches!(self.peek_char(), Some(c) if c == '_' || c.is_alphanumeric()) {
@@ -578,6 +597,57 @@ mod tests {
         assert_eq!(lexed.allows.len(), 1);
         assert!(lexed.allows[0].reason.is_empty());
         assert!(!lexed.is_allowed("ICN003", 2));
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_ident_tokens() {
+        // Regression: `r#type` must not lex as `r` + `#` + keyword `type`
+        // (which derailed the parser), nor as the start of a raw string
+        // (which swallowed the rest of the line and derailed spans).
+        let lexed = lex("let r#type = 1; let r#fn = r#type;\nlet after = 2;\n");
+        let raws: Vec<&Token> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text.starts_with("r#"))
+            .collect();
+        assert_eq!(raws.len(), 3);
+        assert!(raws.iter().all(|t| t.kind == TokenKind::Ident));
+        assert_eq!(raws[0].text, "r#type");
+        assert_eq!(raws[1].text, "r#fn");
+        // The keyword spellings never appear as their own tokens…
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        // …and spans on the following line stay intact.
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("token after raw idents survives");
+        assert_eq!(after.line, 2);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_hide_their_contents() {
+        // Regression: `r##"…"##` used to lex as ident `r` + `#` + `#` +
+        // an ordinary string ending at the first inner quote.
+        let lexed = lex("let s = r##\"say \"hi\" HashMap\"##; let t = br##\"also \"quoted\"\"##;\nlet after = 1;\n");
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("hi")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("quoted")));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            2
+        );
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("token after raw strings survives");
+        assert_eq!(after.line, 2);
     }
 
     #[test]

@@ -29,15 +29,29 @@
 //!   (§3.3–3.4), and clock-skew (eq. 5.3) constraints checked statically
 //!   against a JSON design spec before any simulation runs.
 //!
-//! The analyzer is built on a first-party token scanner ([`lexer`]) rather
-//! than a full AST: the build environment vendors no `syn`, and every rule
-//! above keys on token patterns that need no type resolution (DESIGN.md §8
-//! records what that scope excludes).
+//! * **Concurrency rules** (ICN201–ICN205), run per crate wherever shard
+//!   kernels exist and surfaced through the same `icn lint` entry points:
+//!   the PR 8 sharding contract — shard purity, no interior mutability in
+//!   shard-reachable code, lock confinement to `pool.rs`, vacate/grant
+//!   barrier pairing, and chunk-index merge order — promoted from a parity
+//!   suite and a nightly TSan sweep into machine-checked rules. See
+//!   [`concurrency`].
+//!
+//! The analyzer is entirely first-party (the build vendors no `syn`): the
+//! token rules run over a hand-rolled scanner ([`lexer`]), and the
+//! concurrency pass runs over a tolerant recursive-descent parser
+//! ([`parse`]) producing a lightweight AST ([`ast`]), a per-crate symbol
+//! table, and a shard-reachability call graph ([`resolve`]). DESIGN.md §8
+//! records what that scope excludes.
 
+pub mod ast;
+pub mod concurrency;
 pub mod design_rules;
 pub mod diagnostics;
 pub mod lexer;
+pub mod parse;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod walk;
 
@@ -47,4 +61,4 @@ pub use design_rules::{
 };
 pub use diagnostics::{Diagnostic, Severity};
 pub use report::{is_failure, render_human, render_json};
-pub use walk::{scan_workspace, WalkError};
+pub use walk::{scan_paths, scan_workspace, WalkError};

@@ -1,0 +1,840 @@
+//! A tolerant recursive-descent parser over the [`crate::lexer`] token
+//! stream, producing the lightweight [`Ast`].
+//!
+//! First-party by design (the build vendors no `syn`, PR 4's ethos): the
+//! grammar subset is exactly what the ICN rules consume — item structure,
+//! impl-block self types, fn signatures (receiver + parameter text), and
+//! fn bodies reduced to call sites and identifier uses. Expression
+//! structure, patterns, and types beyond their token text are out of
+//! scope.
+//!
+//! The parser is *total*: it never panics and always terminates, because
+//! every path either consumes at least one token or returns with the
+//! cursor advanced. Anything unrecognized is skipped one token at a time
+//! (recorded as [`ItemKind::Other`]); balanced-delimiter skips are
+//! EOF-safe. `tests/parser_props.rs` pins both properties over every
+//! `.rs` file in the repository.
+
+use crate::ast::{Ast, Body, Call, FnDef, Item, ItemKind, Receiver, Span, StaticDef};
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// Keywords that can be followed by `(` without being a call.
+const NON_CALL_KEYWORDS: [&str; 28] = [
+    "if", "while", "for", "match", "return", "loop", "break", "continue", "in", "as", "let",
+    "else", "move", "mut", "ref", "unsafe", "async", "await", "yield", "dyn", "impl", "fn",
+    "where", "pub", "use", "box", "true", "false",
+];
+
+/// Parse one lexed file into its [`Ast`].
+#[must_use]
+pub fn parse(lexed: &LexedFile) -> Ast {
+    let mut parser = Parser {
+        t: &lexed.tokens,
+        i: 0,
+        out: Ast::default(),
+    };
+    let end = parser.t.len();
+    let ctx = Ctx {
+        self_ty: None,
+        trait_name: None,
+        is_test: false,
+    };
+    parser.items(end, &ctx);
+    parser.out
+}
+
+/// Inherited item context: the enclosing impl block and test-ness.
+#[derive(Debug, Clone, Default)]
+struct Ctx {
+    self_ty: Option<String>,
+    trait_name: Option<String>,
+    is_test: bool,
+}
+
+struct Parser<'a> {
+    t: &'a [Token],
+    i: usize,
+    out: Ast,
+}
+
+impl Parser<'_> {
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.t.get(i)
+    }
+
+    fn is_punct(&self, i: usize, ch: char) -> bool {
+        self.tok(i).is_some_and(|t| t.is_punct(ch))
+    }
+
+    fn is_kw(&self, i: usize, word: &str) -> bool {
+        self.tok(i).is_some_and(|t| t.is_ident(word))
+    }
+
+    fn line_of(&self, i: usize) -> u32 {
+        self.tok(i.min(self.t.len().saturating_sub(1)))
+            .map_or(1, |t| t.line)
+    }
+
+    fn span(&self, first_tok: usize, end_tok: usize) -> Span {
+        let end_tok = end_tok.clamp(first_tok.saturating_add(1), self.t.len().max(1));
+        Span {
+            first_line: self.line_of(first_tok),
+            last_line: self.line_of(end_tok.saturating_sub(1)),
+            first_tok,
+            end_tok,
+        }
+    }
+
+    fn push_item(&mut self, kind: ItemKind, name: &str, first_tok: usize) {
+        let span = self.span(first_tok, self.i);
+        self.out.items.push(Item {
+            kind,
+            name: name.to_string(),
+            span,
+        });
+    }
+
+    /// Parse items until `end` (exclusive) or a closing `}` that drops the
+    /// nesting below `0` (the caller consumes that brace).
+    fn items(&mut self, end: usize, ctx: &Ctx) {
+        while self.i < end.min(self.t.len()) {
+            if self.is_punct(self.i, '}') {
+                return;
+            }
+            self.item(ctx);
+        }
+    }
+
+    /// Parse one item; always advances the cursor.
+    #[allow(clippy::too_many_lines)]
+    fn item(&mut self, ctx: &Ctx) {
+        let start = self.i;
+        if self
+            .tok(self.i)
+            .is_some_and(|t| t.kind == TokenKind::DocComment)
+        {
+            self.i += 1;
+            return;
+        }
+        // Attributes — `#[…]` and inner `#![…]` — fold test-ness in.
+        let mut is_test = ctx.is_test;
+        while self.is_punct(self.i, '#')
+            && (self.is_punct(self.i + 1, '[')
+                || (self.is_punct(self.i + 1, '!') && self.is_punct(self.i + 2, '[')))
+        {
+            is_test |= self.attr_is_test(self.i);
+            self.i = self.skip_attr(self.i);
+        }
+        // Visibility.
+        if self.is_kw(self.i, "pub") {
+            self.i += 1;
+            if self.is_punct(self.i, '(') {
+                self.i = self.skip_balanced(self.i, '(', ')');
+            }
+        }
+        // Qualifiers before the item keyword.
+        loop {
+            if self.is_kw(self.i, "default")
+                || self.is_kw(self.i, "unsafe")
+                || self.is_kw(self.i, "async")
+                || (self.is_kw(self.i, "const") && self.is_kw(self.i + 1, "fn"))
+            {
+                self.i += 1;
+            } else if self.is_kw(self.i, "extern")
+                && self
+                    .tok(self.i + 1)
+                    .is_some_and(|t| t.kind == TokenKind::Str)
+                && (self.is_kw(self.i + 2, "fn") || self.is_kw(self.i + 2, "unsafe"))
+            {
+                self.i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(kw) = self.tok(self.i) else {
+            self.i += 1;
+            return;
+        };
+        if kw.kind != TokenKind::Ident {
+            // Stray punctuation at item level (e.g. a semicolon).
+            self.i += 1;
+            return;
+        }
+        match kw.text.as_str() {
+            "fn" => self.fn_item(ctx, is_test, start),
+            "struct" | "enum" | "union" => {
+                let kind = match kw.text.as_str() {
+                    "struct" => ItemKind::Struct,
+                    "enum" => ItemKind::Enum,
+                    _ => ItemKind::Union,
+                };
+                self.i += 1;
+                let name = self.ident_at(self.i);
+                self.i += usize::from(!name.is_empty());
+                self.skip_to_body_or_semi();
+                if self.is_punct(self.i, '(') {
+                    // Tuple struct: fields, then the trailing semicolon.
+                    self.i = self.skip_balanced(self.i, '(', ')');
+                    self.skip_to_body_or_semi();
+                }
+                if self.is_punct(self.i, '{') {
+                    self.i = self.skip_balanced(self.i, '{', '}');
+                } else if self.is_punct(self.i, ';') {
+                    self.i += 1;
+                }
+                self.push_item(kind, &name, start);
+            }
+            "trait" => {
+                self.i += 1;
+                let name = self.ident_at(self.i);
+                self.i += usize::from(!name.is_empty());
+                self.skip_to_body_or_semi();
+                if self.is_punct(self.i, '{') {
+                    let close = self.matching_close(self.i, '{', '}');
+                    self.i += 1;
+                    let inner = Ctx {
+                        self_ty: Some(name.clone()),
+                        trait_name: None,
+                        is_test,
+                    };
+                    self.items(close, &inner);
+                    self.i = close.saturating_add(1).min(self.t.len());
+                } else if self.is_punct(self.i, ';') {
+                    self.i += 1;
+                }
+                self.push_item(ItemKind::Trait, &name, start);
+            }
+            "impl" => self.impl_item(is_test, start),
+            "mod" => {
+                self.i += 1;
+                let name = self.ident_at(self.i);
+                self.i += usize::from(!name.is_empty());
+                if self.is_punct(self.i, '{') {
+                    let close = self.matching_close(self.i, '{', '}');
+                    self.i += 1;
+                    let inner = Ctx {
+                        self_ty: None,
+                        trait_name: None,
+                        is_test,
+                    };
+                    self.items(close, &inner);
+                    self.i = close.saturating_add(1).min(self.t.len());
+                } else if self.is_punct(self.i, ';') {
+                    self.i += 1;
+                }
+                self.push_item(ItemKind::Mod, &name, start);
+            }
+            "use" => {
+                self.i += 1;
+                self.skip_to_semi();
+                self.push_item(ItemKind::Use, "", start);
+            }
+            "const" => {
+                self.i += 1;
+                let name = self.ident_at(self.i);
+                self.i += usize::from(!name.is_empty());
+                self.skip_to_semi_balanced();
+                self.push_item(ItemKind::Const, &name, start);
+            }
+            "static" => {
+                let line = kw.line;
+                self.i += 1;
+                let mutable = self.is_kw(self.i, "mut");
+                self.i += usize::from(mutable);
+                let name = self.ident_at(self.i);
+                self.i += usize::from(!name.is_empty());
+                self.skip_to_semi_balanced();
+                self.out.statics.push(StaticDef {
+                    name: name.clone(),
+                    mutable,
+                    is_test,
+                    line,
+                });
+                self.push_item(ItemKind::Static, &name, start);
+            }
+            "type" => {
+                self.i += 1;
+                let name = self.ident_at(self.i);
+                self.i += usize::from(!name.is_empty());
+                self.skip_to_semi_balanced();
+                self.push_item(ItemKind::TypeAlias, &name, start);
+            }
+            "macro_rules" => {
+                self.i += 1; // macro_rules
+                if self.is_punct(self.i, '!') {
+                    self.i += 1;
+                }
+                let name = self.ident_at(self.i);
+                self.i += usize::from(!name.is_empty());
+                if self.is_punct(self.i, '{') {
+                    self.i = self.skip_balanced(self.i, '{', '}');
+                } else if self.is_punct(self.i, '(') {
+                    self.i = self.skip_balanced(self.i, '(', ')');
+                    if self.is_punct(self.i, ';') {
+                        self.i += 1;
+                    }
+                } else if self.is_punct(self.i, '[') {
+                    self.i = self.skip_balanced(self.i, '[', ']');
+                    if self.is_punct(self.i, ';') {
+                        self.i += 1;
+                    }
+                }
+                self.push_item(ItemKind::MacroDef, &name, start);
+            }
+            "extern" => {
+                self.i += 1;
+                if self.tok(self.i).is_some_and(|t| t.kind == TokenKind::Str) {
+                    self.i += 1;
+                }
+                if self.is_punct(self.i, '{') {
+                    self.i = self.skip_balanced(self.i, '{', '}');
+                } else {
+                    self.skip_to_semi();
+                }
+                self.push_item(ItemKind::Extern, "", start);
+            }
+            _ => {
+                // Unrecognized: record the token and move on.
+                self.i += 1;
+                self.push_item(ItemKind::Other, "", start);
+            }
+        }
+    }
+
+    /// Parse `fn name<…>(params) -> Ret where … { body }` (or `;`).
+    fn fn_item(&mut self, ctx: &Ctx, is_test: bool, start: usize) {
+        let line = self.line_of(self.i);
+        self.i += 1; // fn
+        let name = self.ident_at(self.i);
+        self.i += usize::from(!name.is_empty());
+        let is_test = is_test || ctx.is_test;
+        if self.is_punct(self.i, '<') {
+            self.i = self.skip_angles(self.i);
+        }
+        let mut receiver = Receiver::None;
+        let mut params = String::new();
+        if self.is_punct(self.i, '(') {
+            let close = self.matching_close(self.i, '(', ')');
+            receiver = self.receiver_of(self.i + 1, close);
+            params = self
+                .t
+                .get(self.i + 1..close)
+                .unwrap_or(&[])
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            self.i = close.saturating_add(1).min(self.t.len());
+        }
+        // Return type / where clause, then the body (or `;`).
+        let mut body = None;
+        while self.i < self.t.len() {
+            if self.is_punct(self.i, ';') {
+                self.i += 1;
+                break;
+            }
+            if self.is_punct(self.i, '{') {
+                body = Some(self.body());
+                break;
+            }
+            if self.is_punct(self.i, '(') {
+                self.i = self.skip_balanced(self.i, '(', ')');
+            } else if self.is_punct(self.i, '[') {
+                self.i = self.skip_balanced(self.i, '[', ']');
+            } else if self.is_punct(self.i, '<') {
+                self.i = self.skip_angles(self.i);
+            } else {
+                self.i += 1;
+            }
+        }
+        let span = self.span(start, self.i);
+        self.out.fns.push(FnDef {
+            name: name.clone(),
+            receiver,
+            self_ty: ctx.self_ty.clone(),
+            trait_name: ctx.trait_name.clone(),
+            params,
+            is_test,
+            span,
+            line,
+            body,
+        });
+        self.push_item(ItemKind::Fn, &name, start);
+    }
+
+    /// Parse `impl<…> [Trait for] Type { items }`.
+    fn impl_item(&mut self, is_test: bool, start: usize) {
+        self.i += 1; // impl
+        if self.is_punct(self.i, '<') {
+            self.i = self.skip_angles(self.i);
+        }
+        // Collect path segments until the body, watching for `for`.
+        let mut before_for: Vec<String> = Vec::new();
+        let mut after_for: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        while self.i < self.t.len() {
+            if self.is_punct(self.i, '{') || self.is_kw(self.i, "where") {
+                break;
+            }
+            if self.is_punct(self.i, ';') {
+                // Degenerate impl; consume and bail.
+                self.i += 1;
+                self.push_item(ItemKind::Impl, "", start);
+                return;
+            }
+            if self.is_punct(self.i, '<') {
+                self.i = self.skip_angles(self.i);
+                continue;
+            }
+            if self.is_punct(self.i, '(') {
+                self.i = self.skip_balanced(self.i, '(', ')');
+                continue;
+            }
+            if self.is_kw(self.i, "for") {
+                saw_for = true;
+                self.i += 1;
+                continue;
+            }
+            if let Some(t) = self.tok(self.i) {
+                if t.kind == TokenKind::Ident && t.text != "dyn" {
+                    if saw_for {
+                        after_for.push(t.text.clone());
+                    } else {
+                        before_for.push(t.text.clone());
+                    }
+                }
+            }
+            self.i += 1;
+        }
+        if self.is_kw(self.i, "where") {
+            while self.i < self.t.len() && !self.is_punct(self.i, '{') {
+                if self.is_punct(self.i, '<') {
+                    self.i = self.skip_angles(self.i);
+                } else {
+                    self.i += 1;
+                }
+            }
+        }
+        let (self_ty, trait_name) = if saw_for {
+            (after_for.last().cloned(), before_for.last().cloned())
+        } else {
+            (before_for.last().cloned(), None)
+        };
+        if self.is_punct(self.i, '{') {
+            let close = self.matching_close(self.i, '{', '}');
+            self.i += 1;
+            let inner = Ctx {
+                self_ty: self_ty.clone(),
+                trait_name,
+                is_test,
+            };
+            self.items(close, &inner);
+            self.i = close.saturating_add(1).min(self.t.len());
+        }
+        self.push_item(ItemKind::Impl, self_ty.as_deref().unwrap_or(""), start);
+    }
+
+    /// Parse a `{ … }` body at the cursor: record the token range and
+    /// extract call sites and identifier uses.
+    fn body(&mut self) -> Body {
+        let open = self.i;
+        let close = self.matching_close(open, '{', '}');
+        let first_tok = open + 1;
+        let mut body = Body {
+            first_tok,
+            end_tok: close,
+            calls: Vec::new(),
+            idents: Vec::new(),
+        };
+        let mut k = first_tok;
+        while k < close {
+            let Some(t) = self.tok(k) else { break };
+            if t.kind == TokenKind::Ident {
+                body.idents.push(k);
+                let callable = !NON_CALL_KEYWORDS.contains(&t.text.as_str());
+                if callable && self.is_punct(k + 1, '(') {
+                    let method = k >= 1 && self.is_punct(k - 1, '.');
+                    let qualifier = (k >= 3
+                        && self.is_punct(k - 1, ':')
+                        && self.is_punct(k - 2, ':')
+                        && self.tok(k - 3).is_some_and(|q| q.kind == TokenKind::Ident))
+                    .then(|| self.tok(k - 3).map_or(String::new(), |q| q.text.clone()));
+                    body.calls.push(Call {
+                        name: t.text.clone(),
+                        qualifier,
+                        method,
+                        line: t.line,
+                        tok: k,
+                    });
+                }
+            }
+            k += 1;
+        }
+        self.i = close.saturating_add(1).min(self.t.len());
+        body
+    }
+
+    /// The receiver declared in the parameter range `[from, to)`.
+    fn receiver_of(&self, from: usize, to: usize) -> Receiver {
+        let mut j = from;
+        if j >= to {
+            return Receiver::None;
+        }
+        if self.is_punct(j, '&') {
+            j += 1;
+            if self.tok(j).is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                j += 1;
+            }
+            let mutable = self.is_kw(j, "mut");
+            j += usize::from(mutable);
+            if self.is_kw(j, "self") {
+                return if mutable {
+                    Receiver::Mut
+                } else {
+                    Receiver::Shared
+                };
+            }
+            return Receiver::None;
+        }
+        let owned_mut = self.is_kw(j, "mut");
+        j += usize::from(owned_mut);
+        if !self.is_kw(j, "self") {
+            return Receiver::None;
+        }
+        // `self: &mut Self` / `self: Rc<Self>` — classify by the type text.
+        if self.is_punct(j + 1, ':') {
+            let mut saw_amp = false;
+            for k in j + 2..to {
+                if self.is_punct(k, '&') {
+                    saw_amp = true;
+                } else if self.is_kw(k, "mut") && saw_amp {
+                    return Receiver::Mut;
+                } else if self.is_punct(k, ',') {
+                    break;
+                }
+            }
+            return if saw_amp {
+                Receiver::Shared
+            } else {
+                Receiver::Owned
+            };
+        }
+        Receiver::Owned
+    }
+
+    /// The identifier at `i`, or empty.
+    fn ident_at(&self, i: usize) -> String {
+        self.tok(i)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map_or_else(String::new, |t| t.text.clone())
+    }
+
+    /// Skip to (but not past) the struct/enum body or terminator: stops at
+    /// `{`, `(`, or `;`, skipping generics and where clauses.
+    fn skip_to_body_or_semi(&mut self) {
+        while self.i < self.t.len() {
+            if self.is_punct(self.i, '{')
+                || self.is_punct(self.i, '(')
+                || self.is_punct(self.i, ';')
+            {
+                return;
+            }
+            if self.is_punct(self.i, '<') {
+                self.i = self.skip_angles(self.i);
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// Skip past the next `;` (EOF-safe, no nesting awareness).
+    fn skip_to_semi(&mut self) {
+        while self.i < self.t.len() {
+            if self.is_punct(self.i, ';') {
+                self.i += 1;
+                return;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skip past the `;` that terminates an initialized item, honouring
+    /// nested `{}`/`()`/`[]` (const/static initializers contain statements).
+    fn skip_to_semi_balanced(&mut self) {
+        let mut depth = 0i64;
+        while self.i < self.t.len() {
+            if self.is_punct(self.i, '{')
+                || self.is_punct(self.i, '(')
+                || self.is_punct(self.i, '[')
+            {
+                depth += 1;
+            } else if self.is_punct(self.i, '}')
+                || self.is_punct(self.i, ')')
+                || self.is_punct(self.i, ']')
+            {
+                depth -= 1;
+                if depth < 0 {
+                    // Unbalanced close: let the caller's nesting handle it.
+                    return;
+                }
+            } else if self.is_punct(self.i, ';') && depth == 0 {
+                self.i += 1;
+                return;
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Index of the close matching the open delimiter at `open`
+    /// (EOF-clamped to the last token).
+    fn matching_close(&self, open: usize, open_ch: char, close_ch: char) -> usize {
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < self.t.len() {
+            if self.is_punct(k, open_ch) {
+                depth += 1;
+            } else if self.is_punct(k, close_ch) {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            k += 1;
+        }
+        self.t.len().saturating_sub(1)
+    }
+
+    /// One past the close matching the open delimiter at `open`.
+    fn skip_balanced(&self, open: usize, open_ch: char, close_ch: char) -> usize {
+        self.matching_close(open, open_ch, close_ch)
+            .saturating_add(1)
+            .min(self.t.len())
+    }
+
+    /// Skip a generics list starting at `<`. `->` arrows inside fn-pointer
+    /// bounds do not close the list; `;`/`{` at depth > 0 mean the `<` was
+    /// actually a comparison, so bail out rather than overrun the item.
+    fn skip_angles(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < self.t.len() {
+            if self.is_punct(k, '<') {
+                depth += 1;
+            } else if self.is_punct(k, '>') && !(k >= 1 && self.is_punct(k - 1, '-')) {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            } else if self.is_punct(k, ';') || self.is_punct(k, '{') {
+                return k;
+            }
+            k += 1;
+        }
+        self.t.len()
+    }
+
+    /// Does the attribute at `#` mark test-only code? Exactly
+    /// `#[cfg(test)]` or `#[test]` (`cfg(not(test))` must not match).
+    fn attr_is_test(&self, i: usize) -> bool {
+        let open = if self.is_punct(i + 1, '!') {
+            i + 2
+        } else {
+            i + 1
+        };
+        let close = self.matching_close(open, '[', ']');
+        let inner: Vec<&str> = self
+            .t
+            .get(open + 1..close)
+            .unwrap_or(&[])
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        inner == ["test"] || inner == ["cfg", "(", "test", ")"]
+    }
+
+    /// One past the attribute starting at `#`.
+    fn skip_attr(&self, i: usize) -> usize {
+        let open = if self.is_punct(i + 1, '!') {
+            i + 2
+        } else {
+            i + 1
+        };
+        if !self.is_punct(open, '[') {
+            return i + 1;
+        }
+        self.skip_balanced(open, '[', ']')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> Ast {
+        parse(&lex(src))
+    }
+
+    fn fn_named<'a>(ast: &'a Ast, name: &str) -> &'a FnDef {
+        ast.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("fn {name} parsed"))
+    }
+
+    #[test]
+    fn free_fn_and_receiver_kinds() {
+        let ast = parsed(
+            "fn free(x: u32) -> u32 { x }\n\
+             struct S;\n\
+             impl S {\n\
+                 fn by_ref(&self) {}\n\
+                 fn by_mut(&mut self, n: u32) {}\n\
+                 fn by_val(self) {}\n\
+                 fn assoc() {}\n\
+                 fn typed(self: &mut Self) {}\n\
+             }\n",
+        );
+        assert_eq!(fn_named(&ast, "free").receiver, Receiver::None);
+        assert_eq!(fn_named(&ast, "by_ref").receiver, Receiver::Shared);
+        assert_eq!(fn_named(&ast, "by_mut").receiver, Receiver::Mut);
+        assert_eq!(fn_named(&ast, "by_val").receiver, Receiver::Owned);
+        assert_eq!(fn_named(&ast, "assoc").receiver, Receiver::None);
+        assert_eq!(fn_named(&ast, "typed").receiver, Receiver::Mut);
+        assert_eq!(fn_named(&ast, "by_mut").self_ty.as_deref(), Some("S"));
+        assert!(fn_named(&ast, "free").self_ty.is_none());
+    }
+
+    #[test]
+    fn impl_trait_for_type_records_both_names() {
+        let ast = parsed(
+            "impl core::fmt::Display for WalkError {\n\
+                 fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result { todo!() }\n\
+             }\n\
+             impl<T: Clone> Holder<T> {\n\
+                 fn held(&self) {}\n\
+             }\n",
+        );
+        let fmt = fn_named(&ast, "fmt");
+        assert_eq!(fmt.self_ty.as_deref(), Some("WalkError"));
+        assert_eq!(fmt.trait_name.as_deref(), Some("Display"));
+        let held = fn_named(&ast, "held");
+        assert_eq!(held.self_ty.as_deref(), Some("Holder"));
+        assert!(held.trait_name.is_none());
+    }
+
+    #[test]
+    fn body_calls_and_method_calls_are_extracted() {
+        let lexed = lex("fn driver(e: &mut Engine) {\n\
+                 e.step();\n\
+                 helper(1);\n\
+                 Module::assoc(2);\n\
+                 let cb = &callback_fn;\n\
+                 if cond(x) { loop_body() }\n\
+             }\n");
+        let ast = parse(&lexed);
+        let body = fn_named(&ast, "driver").body.as_ref().expect("body");
+        let names: Vec<(&str, bool)> = body
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.method))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("step", true),
+                ("helper", false),
+                ("assoc", false),
+                ("cond", false),
+                ("loop_body", false),
+            ]
+        );
+        let assoc = body
+            .calls
+            .iter()
+            .find(|c| c.name == "assoc")
+            .expect("assoc");
+        assert_eq!(assoc.qualifier.as_deref(), Some("Module"));
+        // The bare `callback_fn` reference is captured as an ident use even
+        // though it is never called.
+        assert!(body
+            .idents
+            .iter()
+            .any(|&k| lexed.tokens[k].is_ident("callback_fn")));
+    }
+
+    #[test]
+    fn cfg_test_marks_fns_and_nested_mods() {
+        let ast = parsed(
+            "fn real() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+                 #[test]\n\
+                 fn case() { helper(); }\n\
+             }\n\
+             #[cfg(not(test))]\n\
+             fn also_real() {}\n",
+        );
+        assert!(!fn_named(&ast, "real").is_test);
+        assert!(fn_named(&ast, "helper").is_test);
+        assert!(fn_named(&ast, "case").is_test);
+        assert!(!fn_named(&ast, "also_real").is_test);
+    }
+
+    #[test]
+    fn statics_and_items_are_recorded() {
+        let ast = parsed(
+            "static COUNT: u64 = 0;\n\
+             static mut DANGER: u64 = 0;\n\
+             const LIMIT: usize = 4;\n\
+             type Alias = u32;\n\
+             use std::fmt;\n\
+             enum E { A, B }\n",
+        );
+        assert_eq!(ast.statics.len(), 2);
+        assert!(!ast.statics[0].mutable);
+        assert!(ast.statics[1].mutable);
+        assert_eq!(ast.statics[1].name, "DANGER");
+        let kinds: Vec<ItemKind> = ast.items.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&ItemKind::Static));
+        assert!(kinds.contains(&ItemKind::Const));
+        assert!(kinds.contains(&ItemKind::TypeAlias));
+        assert!(kinds.contains(&ItemKind::Use));
+        assert!(kinds.contains(&ItemKind::Enum));
+    }
+
+    #[test]
+    fn raw_identifier_items_do_not_derail_the_parser() {
+        // Before the lexer fix, `r#fn` leaked a bare `fn` keyword token
+        // that opened a phantom function here.
+        let ast = parsed("fn real() { let r#fn = 1; let r#type = r#fn; }\nfn second() {}\n");
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real", "second"]);
+    }
+
+    #[test]
+    fn generics_with_fn_pointer_bounds_do_not_confuse_the_parser() {
+        let ast = parsed(
+            "fn apply<F: Fn(usize) -> bool>(f: F) -> bool { f(1) }\n\
+             fn after() {}\n",
+        );
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["apply", "after"]);
+    }
+
+    #[test]
+    fn spans_are_ordered_and_in_bounds() {
+        let src = "fn a() { b(); }\nstruct S { x: u32 }\nimpl S { fn m(&self) {} }\n";
+        let lexed = lex(src);
+        let ast = parse(&lexed);
+        let lines = src.lines().count() as u32;
+        for item in &ast.items {
+            assert!(item.span.first_line >= 1);
+            assert!(item.span.first_line <= item.span.last_line);
+            assert!(item.span.last_line <= lines);
+            assert!(item.span.first_tok < item.span.end_tok);
+            assert!(item.span.end_tok <= lexed.tokens.len());
+        }
+    }
+}

@@ -46,22 +46,49 @@ fn plural(n: usize) -> &'static str {
 
 /// The machine-readable report envelope. (Owns its diagnostics: the
 /// vendored serde_derive cannot derive on lifetime-generic types.)
+///
+/// Version history: v1 had no `summary`; v2 (PR 9) added the per-rule-code
+/// summary block so CI snapshot diffs read at a glance.
 #[derive(Debug, Serialize)]
 struct JsonReport {
     version: u32,
     errors: usize,
     warnings: usize,
+    /// Per-rule-code counts, sorted by code; only codes that fired appear.
+    summary: Vec<RuleCount>,
     diagnostics: Vec<Diagnostic>,
 }
 
-/// Render diagnostics as a stable pretty-printed JSON document.
+/// One row of the per-rule summary.
+#[derive(Debug, Serialize)]
+struct RuleCount {
+    code: String,
+    count: usize,
+}
+
+/// Render diagnostics as a stable pretty-printed JSON document: counts, a
+/// per-rule-code summary, then the diagnostics in (file, line, code) order.
 #[must_use]
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let errors = error_count(diags);
+    let mut summary: Vec<RuleCount> = Vec::new();
+    for d in diags {
+        match summary.binary_search_by(|r| r.code.as_str().cmp(&d.code)) {
+            Ok(i) => summary[i].count += 1,
+            Err(i) => summary.insert(
+                i,
+                RuleCount {
+                    code: d.code.clone(),
+                    count: 1,
+                },
+            ),
+        }
+    }
     let report = JsonReport {
-        version: 1,
+        version: 2,
         errors,
         warnings: diags.len() - errors,
+        summary,
         diagnostics: diags.to_vec(),
     };
     let mut body = serde_json::to_string_pretty(&report).unwrap_or_else(|_| "{}".to_string());
@@ -119,12 +146,29 @@ mod tests {
     fn json_roundtrips_and_counts() {
         let text = render_json(&sample());
         let value: serde_json::Value = serde_json::from_str(&text).expect("valid json");
-        assert_eq!(value["version"], 1);
+        assert_eq!(value["version"], 2);
         assert_eq!(value["errors"], 1);
         assert_eq!(value["warnings"], 1);
         assert_eq!(value["diagnostics"][0]["code"], "ICN003");
         assert_eq!(value["diagnostics"][0]["severity"], "error");
         assert_eq!(value["diagnostics"][0]["line"], 7);
+    }
+
+    #[test]
+    fn json_summary_counts_per_code_sorted() {
+        let mut diags = sample();
+        diags.extend(sample()); // two of each code
+        let text = render_json(&diags);
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+        let summary = value["summary"].as_array().expect("summary array");
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0]["code"], "ICN000");
+        assert_eq!(summary[0]["count"], 2);
+        assert_eq!(summary[1]["code"], "ICN003");
+        assert_eq!(summary[1]["count"], 2);
+        // A clean run has an empty (but present) summary.
+        let clean: serde_json::Value = serde_json::from_str(&render_json(&[])).expect("valid json");
+        assert_eq!(clean["summary"].as_array().map(Vec::len), Some(0));
     }
 
     #[test]

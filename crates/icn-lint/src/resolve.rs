@@ -1,0 +1,273 @@
+//! Per-crate symbol table and call graph over the parsed ASTs.
+//!
+//! Resolution is deliberately name-based and over-approximate: an
+//! identifier use inside a function body that matches the name of any
+//! non-test function in the crate creates a call edge. That catches
+//! direct calls, `Type::assoc(…)` paths, method calls by name, and —
+//! crucially for the sharded engine — *bare function references* like
+//! `&vacate_chunk` passed as kernels to the dispatcher. Over-approximating
+//! the graph makes shard-reachability a superset of the truth, which is
+//! the conservative direction for determinism rules: a false edge can at
+//! worst demand an `allow` annotation, never hide a violation.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ast::{Ast, FnDef, StaticDef};
+use crate::lexer::LexedFile;
+use crate::parse::parse;
+
+/// One lexed + parsed source file inside a crate.
+#[derive(Debug)]
+pub struct FileUnit {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// The lexed token stream (spans and allow directives).
+    pub lexed: LexedFile,
+    /// The parsed AST.
+    pub ast: Ast,
+}
+
+/// A function id: index into [`CrateIndex::fns`].
+pub type FnId = usize;
+
+/// One function in the crate-wide registry.
+#[derive(Debug)]
+pub struct FnEntry {
+    /// Index of the owning file in [`CrateIndex::files`].
+    pub file: usize,
+    /// Index into that file's [`Ast::fns`].
+    pub fn_idx: usize,
+}
+
+/// The per-crate symbol table and call graph.
+#[derive(Debug, Default)]
+pub struct CrateIndex {
+    /// Every source file of the crate, in walk order.
+    pub files: Vec<FileUnit>,
+    /// Every non-test function, in (file, source) order.
+    pub fns: Vec<FnEntry>,
+    /// Name → function ids (functions sharing a name all resolve).
+    by_name: BTreeMap<String, Vec<FnId>>,
+    /// Non-test static name → (file index, static index).
+    statics: BTreeMap<String, (usize, usize)>,
+    /// Call edges: `callees[f]` holds every function id referenced from
+    /// `f`'s body by name.
+    callees: Vec<BTreeSet<FnId>>,
+}
+
+impl CrateIndex {
+    /// Build the index by parsing every file of one crate.
+    #[must_use]
+    pub fn build(files: Vec<(String, LexedFile)>) -> Self {
+        let mut index = CrateIndex::default();
+        for (rel_path, lexed) in files {
+            let ast = parse(&lexed);
+            let file = index.files.len();
+            for (fn_idx, def) in ast.fns.iter().enumerate() {
+                if def.is_test {
+                    continue;
+                }
+                let id = index.fns.len();
+                index.fns.push(FnEntry { file, fn_idx });
+                index.by_name.entry(def.name.clone()).or_default().push(id);
+            }
+            for (static_idx, def) in ast.statics.iter().enumerate() {
+                if !def.is_test {
+                    index.statics.insert(def.name.clone(), (file, static_idx));
+                }
+            }
+            index.files.push(FileUnit {
+                rel_path,
+                lexed,
+                ast,
+            });
+        }
+        index.callees = index
+            .fns
+            .iter()
+            .map(|entry| {
+                let unit = &index.files[entry.file];
+                let mut out = BTreeSet::new();
+                if let Some(body) = unit.ast.fns[entry.fn_idx].body.as_ref() {
+                    for &tok in &body.idents {
+                        if let Some(t) = unit.lexed.tokens.get(tok) {
+                            if let Some(ids) = index.by_name.get(&t.text) {
+                                out.extend(ids.iter().copied());
+                            }
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        index
+    }
+
+    /// The definition behind a function id.
+    #[must_use]
+    pub fn fn_def(&self, id: FnId) -> &FnDef {
+        &self.files[self.fns[id].file].ast.fns[self.fns[id].fn_idx]
+    }
+
+    /// The file owning a function id.
+    #[must_use]
+    pub fn fn_file(&self, id: FnId) -> &FileUnit {
+        &self.files[self.fns[id].file]
+    }
+
+    /// Function ids sharing `name`.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// The non-test static named `name`, if any.
+    #[must_use]
+    pub fn static_named(&self, name: &str) -> Option<&StaticDef> {
+        self.statics
+            .get(name)
+            .map(|&(file, idx)| &self.files[file].ast.statics[idx])
+    }
+
+    /// Iterate all non-test static names.
+    pub fn static_names(&self) -> impl Iterator<Item = &str> {
+        self.statics.keys().map(String::as_str)
+    }
+
+    /// Every function id referenced from `id`'s body.
+    #[must_use]
+    pub fn callees(&self, id: FnId) -> &BTreeSet<FnId> {
+        &self.callees[id]
+    }
+
+    /// The shard kernels: non-test functions defined in `shard.rs` whose
+    /// names end in `_chunk`. These are the chunk-execution entry points
+    /// the worker pool runs concurrently — the roots of the
+    /// shard-reachable set.
+    #[must_use]
+    pub fn shard_roots(&self) -> Vec<FnId> {
+        (0..self.fns.len())
+            .filter(|&id| {
+                let path = &self.fn_file(id).rel_path;
+                (path.ends_with("/shard.rs") || path == "src/shard.rs")
+                    && self.fn_def(id).name.ends_with("_chunk")
+            })
+            .collect()
+    }
+
+    /// Forward closure: every function reachable (by call edge) from the
+    /// given roots, roots included. Returned as a dense bitmap indexed
+    /// by [`FnId`].
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[FnId]) -> Vec<bool> {
+        let mut seen = vec![false; self.fns.len()];
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if r < seen.len() && !seen[r] {
+                seen[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for &g in &self.callees[f] {
+                if !seen[g] {
+                    seen[g] = true;
+                    queue.push_back(g);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn index_of(files: &[(&str, &str)]) -> CrateIndex {
+        CrateIndex::build(
+            files
+                .iter()
+                .map(|(path, src)| ((*path).to_string(), lex(src)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn shard_roots_are_chunk_fns_in_shard_rs() {
+        let index = index_of(&[
+            (
+                "crates/icn-sim/src/shard.rs",
+                "pub fn vacate_chunk(job: &mut u32) {}\n\
+                 pub fn grant_chunk(job: &mut u32) {}\n\
+                 pub fn schedule(n: usize) {}\n",
+            ),
+            (
+                "crates/icn-sim/src/engine.rs",
+                "pub fn drive() { vacate_chunk(&mut 0); }\n",
+            ),
+        ]);
+        let roots = index.shard_roots();
+        let names: Vec<&str> = roots
+            .iter()
+            .map(|&id| index.fn_def(id).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["vacate_chunk", "grant_chunk"]);
+    }
+
+    #[test]
+    fn bare_fn_references_create_call_edges() {
+        let index = index_of(&[(
+            "crates/x/src/lib.rs",
+            "fn kernel(n: u32) {}\n\
+             fn helper() {}\n\
+             fn dispatch() { let k = &kernel; run(k); }\n\
+             fn run(_k: &fn(u32)) {}\n",
+        )]);
+        let dispatch = index.lookup("dispatch")[0];
+        let kernel = index.lookup("kernel")[0];
+        let helper = index.lookup("helper")[0];
+        assert!(index.callees(dispatch).contains(&kernel));
+        assert!(!index.callees(dispatch).contains(&helper));
+    }
+
+    #[test]
+    fn reachability_is_transitive_and_skips_test_fns() {
+        let index = index_of(&[(
+            "crates/x/src/shard.rs",
+            "pub fn exec_chunk(n: u32) { step_one(n); }\n\
+             fn step_one(n: u32) { step_two(n); }\n\
+             fn step_two(_n: u32) {}\n\
+             fn unrelated() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { super::unrelated(); }\n\
+             }\n",
+        )]);
+        let reach = index.reachable_from(&index.shard_roots());
+        let is_reach = |name: &str| index.lookup(name).iter().any(|&id| reach[id]);
+        assert!(is_reach("exec_chunk"));
+        assert!(is_reach("step_one"));
+        assert!(is_reach("step_two"));
+        assert!(!is_reach("unrelated"));
+        // Test fns never enter the registry at all.
+        assert!(index.lookup("t").is_empty());
+    }
+
+    #[test]
+    fn statics_are_indexed_by_name() {
+        let index = index_of(&[(
+            "crates/x/src/lib.rs",
+            "static LIVE: u64 = 0;\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 static TEST_ONLY: u64 = 0;\n\
+             }\n",
+        )]);
+        assert!(index.static_named("LIVE").is_some());
+        assert!(index.static_named("TEST_ONLY").is_none());
+        assert_eq!(index.static_names().collect::<Vec<_>>(), vec!["LIVE"]);
+    }
+}

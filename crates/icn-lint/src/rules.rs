@@ -54,7 +54,7 @@ pub fn check_file(ctx: &FileContext, lexed: &LexedFile) -> Vec<Diagnostic> {
 
 /// Strip the bodies of `#[cfg(test)] mod … { … }` items: tests are allowed
 /// to panic, use `HashMap`, and compare floats at will.
-fn without_test_modules(tokens: &[Token]) -> Vec<Token> {
+pub(crate) fn without_test_modules(tokens: &[Token]) -> Vec<Token> {
     let mut out = Vec::with_capacity(tokens.len());
     let mut i = 0usize;
     while i < tokens.len() {
@@ -124,7 +124,7 @@ fn skip_attr(tokens: &[Token], i: usize) -> usize {
     tokens.len()
 }
 
-fn push_unless_allowed(
+pub(crate) fn push_unless_allowed(
     ctx: &FileContext,
     lexed: &LexedFile,
     diags: &mut Vec<Diagnostic>,

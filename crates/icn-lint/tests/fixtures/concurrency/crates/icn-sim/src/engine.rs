@@ -1,0 +1,56 @@
+//! The fixture engine: cycle orchestration and the effect merge.
+
+use crate::shard::{grant_chunk, vacate_chunk, Effects, State};
+
+/// The serial engine driving the sharded phases.
+pub(crate) struct Engine {
+    state: State,
+    chunks: Vec<Effects>,
+    grants: u64,
+}
+
+impl Engine {
+    /// Seeded ICN201 target: mutates engine state, so it must never be
+    /// shard-reachable — but `grant_chunk` calls it.
+    fn record_grant(&mut self, granted: u32) {
+        self.grants += u64::from(granted);
+    }
+
+    fn vacate_phase(&mut self) {
+        for effects in &mut self.chunks {
+            vacate_chunk(&self.state, effects);
+        }
+    }
+
+    fn grant_phase(&mut self) {
+        for effects in &mut self.chunks {
+            grant_chunk(&self.state, self, effects);
+        }
+        self.merge_effects();
+    }
+
+    /// One full cycle: vacate, then snapshot+grant — correctly paired.
+    fn step(&mut self) {
+        self.vacate_phase();
+        self.grant_phase();
+    }
+
+    /// Seeded ICN204: triggers the vacate broadcast without ever issuing
+    /// the grant broadcast, leaving the cycle half-done.
+    fn flush_only(&mut self) {
+        self.vacate_phase();
+    }
+
+    /// Seeded ICN205: merges chunk effects in *reverse* chunk order.
+    fn merge_effects(&mut self) {
+        for effects in self.chunks.iter().rev() {
+            self.grants += u64::from(effects.freed);
+        }
+    }
+}
+
+/// Seeded ICN203: a lock outside pool.rs.
+fn shared_log(lines: Vec<String>) {
+    let log = Mutex::new(lines);
+    drop(log);
+}

@@ -1,0 +1,6 @@
+//! Fixture crate: a miniature sharded engine that violates each ICN200
+//! concurrency rule exactly once (and none of ICN001–ICN005).
+
+mod engine;
+mod pool;
+mod shard;

@@ -1,0 +1,16 @@
+//! The worker pool: the one file where synchronization primitives are
+//! allowed (ICN203 confines them here).
+
+/// The two-barrier broadcast state — locks here are fine.
+pub(crate) struct Pool {
+    gate: Mutex<u64>,
+    work: Condvar,
+}
+
+impl Pool {
+    fn broadcast(&self) {
+        let epoch = self.gate.lock();
+        self.work.notify_all();
+        drop(epoch);
+    }
+}

@@ -1,0 +1,39 @@
+//! Shard kernels: the chunk-execution entry points the pool broadcasts.
+
+use crate::engine::Engine;
+
+/// Read-only per-cycle state shared by every chunk.
+pub(crate) struct State {
+    pub occupancy: Vec<u32>,
+}
+
+impl State {
+    fn snapshot(&self, module: usize) -> u32 {
+        self.occupancy[module]
+    }
+}
+
+/// Deferred effects a chunk is allowed to write.
+pub(crate) struct Effects {
+    pub freed: u32,
+    pub granted: u32,
+}
+
+/// Vacate kernel: free drained slots, snapshot occupancy.
+pub(crate) fn vacate_chunk(state: &State, effects: &mut Effects) {
+    effects.freed = state.snapshot(0);
+    tally(state);
+}
+
+/// Grant kernel: arbitrate ready heads against the snapshot.
+pub(crate) fn grant_chunk(state: &State, engine: &Engine, effects: &mut Effects) {
+    effects.granted = state.snapshot(1);
+    // Seeded ICN201: a grant shard calling a `&mut self` Engine method.
+    engine.record_grant(effects.granted);
+}
+
+/// Seeded ICN202: interior mutability in shard-reachable code.
+fn tally(state: &State) {
+    let cached = RefCell::new(0u32);
+    *cached.borrow_mut() += state.snapshot(2);
+}

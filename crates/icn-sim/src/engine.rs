@@ -72,8 +72,9 @@ use crate::metrics::{LatencyStats, SimResult, StageCounters};
 use crate::module::{InputPort, OutputPort, Stage};
 use crate::options::EngineOptions;
 use crate::packet::Packet;
+use crate::pool::run_jobs;
 use crate::shard::{
-    add_counters, grant_chunk, run_jobs, schedule, vacate_chunk, ExecState, GrantJob, GrantShared,
+    add_counters, grant_chunk, schedule, vacate_chunk, ExecState, GrantJob, GrantShared,
     ShardEffects, ShardScratch, StageMeta, VacateJob,
 };
 use crate::store::{PacketRef, PacketStore, NO_TRACE};

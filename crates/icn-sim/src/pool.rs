@@ -16,7 +16,7 @@
 //! epoch protocol still completes, then re-raised on the caller.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
@@ -193,6 +193,45 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Run one job per chunk: inline in order when `pool` is `None`, else
+/// claimed dynamically by every shard (pool workers + the caller) through
+/// an atomic counter. `perm`/`yield_bits` perturb the *dispatch* only —
+/// merge order is canonical, so results cannot depend on either.
+///
+/// This lives here (not in `shard.rs`) because it is synchronization, not
+/// shard logic: the claim counter and per-job locks are the hand-off
+/// between the barrier protocol and the chunk kernels, and ICN203 pins
+/// every cross-thread primitive to this file.
+pub(crate) fn run_jobs<J: Send>(
+    pool: Option<&WorkerPool>,
+    perm: Option<&[u32]>,
+    yield_bits: u64,
+    mut jobs: Vec<J>,
+    run: &(impl Fn(&mut J) + Sync),
+) {
+    let Some(pool) = pool else {
+        for job in &mut jobs {
+            run(job);
+        }
+        return;
+    };
+    let slots: Vec<parking_lot::Mutex<J>> = jobs.into_iter().map(parking_lot::Mutex::new).collect();
+    let next = AtomicUsize::new(0);
+    let work = move |_shard: usize| loop {
+        let claim = next.fetch_add(1, Ordering::Relaxed);
+        if claim >= slots.len() {
+            break;
+        }
+        if yield_bits >> (claim & 63) & 1 == 1 {
+            std::thread::yield_now();
+        }
+        let index = perm.map_or(claim, |p| p[claim] as usize);
+        // Uncontended by construction: each index is claimed exactly once.
+        run(&mut slots[index].lock());
+    };
+    pool.broadcast(&work);
+}
+
 /// One worker thread: spin-then-park for each epoch, run the job, report
 /// completion. Panics inside the job are recorded, never propagated here
 /// (the protocol must complete so `broadcast` can return and re-raise).
@@ -279,5 +318,39 @@ mod tests {
         }));
         assert!(caught.is_err(), "shard panic must reach the caller");
         drop(pool); // protocol completed; drop must not hang
+    }
+
+    #[test]
+    fn run_jobs_parallel_runs_every_job_once() {
+        let pool = WorkerPool::new(3);
+        let mut counts = vec![0u32; 64];
+        {
+            let jobs: Vec<&mut u32> = counts.iter_mut().collect();
+            run_jobs(Some(&pool), None, 0, jobs, &|job: &mut &mut u32| {
+                **job += 1;
+            });
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn run_jobs_with_permutation_still_runs_every_job_once() {
+        let pool = WorkerPool::new(2);
+        let mut p = crate::shard::PerturbState::new(7);
+        let yields = p.next_schedule(40);
+        let mut counts = [0u32; 40];
+        {
+            let jobs: Vec<&mut u32> = counts.iter_mut().collect();
+            run_jobs(
+                Some(&pool),
+                Some(&p.perm),
+                yields,
+                jobs,
+                &|job: &mut &mut u32| {
+                    **job += 1;
+                },
+            );
+        }
+        assert!(counts.iter().all(|&c| c == 1));
     }
 }

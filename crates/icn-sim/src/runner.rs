@@ -151,11 +151,13 @@ pub fn run_parallel(configs: Vec<SimConfig>) -> Vec<SimResult> {
 
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<SimResult>> = (0..configs.len()).map(|_| None).collect();
+    // icn-lint: allow(ICN203) -- batch runner over whole independent sims, outside the engine cycle; no shard state is shared
     let slots: Vec<parking_lot::Mutex<&mut Option<SimResult>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
+        results.iter_mut().map(parking_lot::Mutex::new).collect(); // icn-lint: allow(ICN203) -- same independent-sims hand-off as above
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
+            // icn-lint: allow(ICN203) -- one scoped thread per independent simulation; joins before return, never inside a cycle
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= configs.len() {

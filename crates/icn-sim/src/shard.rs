@@ -36,7 +36,6 @@
 
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::config::Arbitration;
 use crate::fault::{FaultState, Health};
@@ -150,7 +149,7 @@ pub(crate) struct PerturbState {
 }
 
 impl PerturbState {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         Self {
             rng: ChaCha12Rng::seed_from_u64(seed),
             perm: Vec::new(),
@@ -271,40 +270,6 @@ pub(crate) fn schedule<'a>(
         }
         _ => (None, 0),
     }
-}
-
-/// Run one job per chunk: inline in order when `pool` is `None`, else
-/// claimed dynamically by every shard (pool workers + the caller) through
-/// an atomic counter. `perm`/`yield_bits` perturb the *dispatch* only —
-/// merge order is canonical, so results cannot depend on either.
-pub(crate) fn run_jobs<J: Send>(
-    pool: Option<&WorkerPool>,
-    perm: Option<&[u32]>,
-    yield_bits: u64,
-    mut jobs: Vec<J>,
-    run: &(impl Fn(&mut J) + Sync),
-) {
-    let Some(pool) = pool else {
-        for job in &mut jobs {
-            run(job);
-        }
-        return;
-    };
-    let slots: Vec<parking_lot::Mutex<J>> = jobs.into_iter().map(parking_lot::Mutex::new).collect();
-    let next = AtomicUsize::new(0);
-    let work = move |_shard: usize| loop {
-        let claim = next.fetch_add(1, Ordering::Relaxed);
-        if claim >= slots.len() {
-            break;
-        }
-        if yield_bits >> (claim & 63) & 1 == 1 {
-            std::thread::yield_now();
-        }
-        let index = perm.map_or(claim, |p| p[claim] as usize);
-        // Uncontended by construction: each index is claimed exactly once.
-        run(&mut slots[index].lock());
-    };
-    pool.broadcast(&work);
 }
 
 /// One vacate-phase job: free drained slots in the chunk's input ports
@@ -701,39 +666,5 @@ mod tests {
             let expected: Vec<u32> = (0..n as u32).collect();
             assert_eq!(sorted, expected);
         }
-    }
-
-    #[test]
-    fn run_jobs_parallel_runs_every_job_once() {
-        let pool = WorkerPool::new(3);
-        let mut counts = vec![0u32; 64];
-        {
-            let jobs: Vec<&mut u32> = counts.iter_mut().collect();
-            run_jobs(Some(&pool), None, 0, jobs, &|job: &mut &mut u32| {
-                **job += 1;
-            });
-        }
-        assert!(counts.iter().all(|&c| c == 1));
-    }
-
-    #[test]
-    fn run_jobs_with_permutation_still_runs_every_job_once() {
-        let pool = WorkerPool::new(2);
-        let mut p = PerturbState::new(7);
-        let yields = p.next_schedule(40);
-        let mut counts = [0u32; 40];
-        {
-            let jobs: Vec<&mut u32> = counts.iter_mut().collect();
-            run_jobs(
-                Some(&pool),
-                Some(&p.perm),
-                yields,
-                jobs,
-                &|job: &mut &mut u32| {
-                    **job += 1;
-                },
-            );
-        }
-        assert!(counts.iter().all(|&c| c == 1));
     }
 }
