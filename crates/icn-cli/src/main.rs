@@ -137,7 +137,9 @@ fn usage() -> &'static str {
      \t fig1-topology, fig2-blocking, board-layout, clock-budget, example-2048,\n\
      \t cost, clock-schemes, blocking-validation, scaling, tech-evolution,\n\
      \t sim-validation, mesh-validation, loaded, ablations, roundtrip, queueing,\n\
-     \t fault-tolerance, saturation, explore,\n\
+     \t fault-tolerance, saturation,\n\
+     \t explore [--grid paper|bench|million|spec.json] [--threads N]\n\
+     \t         [--top K] [--json]\n\
      \t simulate [--load L] [--ports P] [--chip mcc|dmc] [--width W] [--seed S]\n\
      \t          [--fail-modules N] [--fail-links N] [--fault-seed S]\n\
      \t          [--retry-limit N] [--watchdog-cycles N]\n\
@@ -151,6 +153,7 @@ fn usage() -> &'static str {
      \t       [--baseline BENCH_PR3.json] [--update-baseline before|after]\n\
      \t bench --serve [--smoke] [--json]\n\
      \t bench --overhead [--smoke] [--json] [--iters N]\n\
+     \t bench --explore [--smoke] [--json] [--iters N] [--threads N]\n\
      \t lint [--json] [PATH ...]\n\
      \t lint config <spec.json> [--json]\n\
      \t serve [--addr HOST:PORT] [--workers N] [--sim-threads N]\n\
@@ -204,6 +207,14 @@ struct Options {
     /// `bench --overhead`: measure profiler-on vs profiler-off simulator
     /// throughput and record it in `BENCH_PR7.json`.
     overhead_bench: bool,
+    /// `bench --explore`: measure exploration throughput and record it
+    /// in `BENCH_PR10.json`.
+    explore_bench: bool,
+    /// `explore --grid`: a built-in grid name (`paper`, `bench`,
+    /// `million`) or a `GridSpec` JSON path.
+    grid: Option<String>,
+    /// `explore --top`: cap the rendered frontier rows / spot-checks.
+    top: Option<usize>,
     /// First bare (non-`--`) argument: the dump path for `inspect`.
     path: Option<String>,
 }
@@ -244,6 +255,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         deadline_ms: 0,
         serve_bench: false,
         overhead_bench: false,
+        explore_bench: false,
+        grid: None,
+        top: None,
         path: None,
     };
     let mut i = 0;
@@ -439,6 +453,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--serve" => opts.serve_bench = true,
             "--overhead" => opts.overhead_bench = true,
+            "--explore" => opts.explore_bench = true,
+            "--grid" => {
+                i += 1;
+                opts.grid = Some(
+                    args.get(i)
+                        .ok_or("--grid needs a built-in name (paper|bench|million) or a spec.json path")?
+                        .clone(),
+                );
+            }
+            "--top" => {
+                i += 1;
+                opts.top = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--top needs a row count")?,
+                );
+            }
             "--profile" => opts.profile = true,
             "--smoke" => opts.smoke = true,
             "--iters" => {
@@ -1195,6 +1226,260 @@ fn bench_overhead(opts: &Options) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Where `icn bench --explore` records its results.
+const EXPLORE_BENCH_OUT: &str = "BENCH_PR10.json";
+
+/// Spot-checks `icn explore --grid` runs against the simulator.
+const EXPLORE_SPOT_CHECKS: usize = 4;
+
+/// Resolve `--grid`: a built-in name first, else a `GridSpec` JSON file.
+fn load_grid(arg: &str) -> Result<icn_explore::GridSpec, Failure> {
+    if let Some(spec) = icn_explore::GridSpec::by_name(arg) {
+        return Ok(spec);
+    }
+    if !std::path::Path::new(arg).exists() {
+        return Err(Failure::Usage(format!(
+            "unknown grid `{arg}`: expected paper, bench, million, or a spec.json path"
+        )));
+    }
+    let text =
+        std::fs::read_to_string(arg).map_err(|e| Failure::Io(format!("reading {arg}: {e}")))?;
+    let spec: icn_explore::GridSpec = serde_json::from_str(&text)
+        .map_err(|e| Failure::Usage(format!("{arg}: invalid grid spec: {e}")))?;
+    spec.validate()
+        .map_err(|e| Failure::Usage(format!("{arg}: {e}")))?;
+    Ok(spec)
+}
+
+/// `icn explore --grid <…>` — the streaming engine: enumerate the grid,
+/// evaluate across `--threads` shards, and print the Pareto frontier
+/// (delay × area × pins × cost) with simulator spot-checks. Output is
+/// byte-identical at every thread count.
+fn explore_grid(opts: &Options) -> Result<(), Failure> {
+    let grid = opts.grid.as_deref().unwrap_or("paper");
+    let spec = load_grid(grid)?;
+    let options = icn_explore::ExploreOptions {
+        threads: opts.threads,
+        chunk: icn_explore::DEFAULT_CHUNK,
+        spot_checks: EXPLORE_SPOT_CHECKS,
+    };
+    let outcome = icn_explore::explore(&spec, &options, None).map_err(Failure::Usage)?;
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).expect("outcome serializes")
+        );
+        return Ok(());
+    }
+    println!(
+        "grid {}: {} candidates, {} feasible, {} on the Pareto frontier",
+        grid,
+        outcome.grid_candidates,
+        outcome.feasible,
+        outcome.frontier.len()
+    );
+    let mut t = TextTable::new(vec![
+        "#",
+        "tech",
+        "kind",
+        "N'",
+        "N",
+        "W",
+        "board",
+        "P",
+        "F (MHz)",
+        "delay (µs)",
+        "area (mm²)",
+        "pins",
+        "Δchips",
+    ]);
+    let shown = opts.top.unwrap_or(20).min(outcome.frontier.len());
+    for p in &outcome.frontier[..shown] {
+        t.row(vec![
+            p.index.to_string(),
+            p.tech.clone(),
+            p.kind.label().to_string(),
+            p.network_ports.to_string(),
+            p.chip_radix.to_string(),
+            p.width.to_string(),
+            p.board_ports.to_string(),
+            p.packet_bits.to_string(),
+            format!("{:.1}", p.frequency_mhz),
+            format!("{:.3}", p.delay_us),
+            format!("{:.2}", p.area_mm2),
+            p.pins.to_string(),
+            p.cost_chips.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    if shown < outcome.frontier.len() {
+        println!(
+            "({} more frontier rows; raise --top or use --json)",
+            outcome.frontier.len() - shown
+        );
+    }
+    for check in &outcome.spot_checks {
+        println!(
+            "spot-check #{}: {}-port N={} W={} P={} — closed-form {:.1} cycles, \
+             sim analytic {} cycles, sim min latency {} cycles",
+            check.index,
+            check.network_ports,
+            check.chip_radix,
+            check.width,
+            check.packet_bits,
+            check.closed_form_cycles,
+            check.sim_analytic_cycles,
+            check.sim_min_latency_cycles
+        );
+    }
+    if !outcome.spot_checks.is_empty() {
+        println!(
+            "simulator ranking agreement: {}",
+            if outcome.ranking_agrees { "yes" } else { "NO" }
+        );
+    }
+    Ok(())
+}
+
+/// `icn bench --explore` — exploration throughput: run the bench grid
+/// (`--smoke`) or the million-candidate grid, record best-of-N
+/// candidates-evaluated/sec and the frontier size into
+/// `BENCH_PR10.json`, and gate: throughput may not regress more than
+/// 25% against a like-for-like (same thread count) baseline, and the
+/// frontier size must match the baseline exactly (a cheap determinism
+/// gate — the frontier of a fixed grid never legitimately changes).
+fn bench_explore(opts: &Options) -> Result<(), Failure> {
+    use icn_bench::perf;
+
+    let (case, spec) = if opts.smoke {
+        ("explore_bench_grid", icn_explore::GridSpec::bench())
+    } else {
+        ("explore_million_grid", icn_explore::GridSpec::million())
+    };
+    let candidates = spec.candidate_count().map_err(Failure::Other)?;
+    let options = icn_explore::ExploreOptions {
+        threads: opts.threads,
+        chunk: icn_explore::DEFAULT_CHUNK,
+        spot_checks: 0,
+    };
+    eprintln!(
+        "measuring {case} ({candidates} candidates, {} thread(s), best of {})...",
+        opts.threads, opts.iters
+    );
+    let mut best_secs = f64::INFINITY;
+    let mut outcome: Option<icn_explore::ExploreOutcome> = None;
+    for _ in 0..opts.iters.max(1) {
+        let started = std::time::Instant::now();
+        let run = icn_explore::explore(&spec, &options, None).map_err(Failure::Other)?;
+        let secs = started.elapsed().as_secs_f64();
+        best_secs = best_secs.min(secs);
+        if let Some(previous) = &outcome {
+            if previous != &run {
+                return Err(Failure::Other(
+                    "exploration output varied between iterations".into(),
+                ));
+            }
+        }
+        outcome = Some(run);
+    }
+    let outcome = outcome.ok_or_else(|| Failure::Other("no bench iterations ran".into()))?;
+    let frontier_size = outcome.frontier.len();
+    let measurement = perf::Measurement {
+        name: format!("{case}_candidates_per_sec"),
+        ports: 0,
+        cycles: candidates,
+        best_secs,
+        cycles_per_sec: candidates as f64 / best_secs,
+        threads: opts.threads,
+        host_cores: perf::host_cores(),
+    };
+
+    let baseline = match perf::BaselineFile::load(EXPLORE_BENCH_OUT) {
+        Ok(file) => Some(file),
+        Err(_) if !std::path::Path::new(EXPLORE_BENCH_OUT).exists() => None,
+        Err(e) => return Err(Failure::Io(e)),
+    };
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&measurement).expect("measurements serialize")
+        );
+    } else {
+        println!(
+            "{case}: {candidates} candidates in {best_secs:.3}s — {:.0} candidates/sec, \
+             frontier {frontier_size}",
+            measurement.cycles_per_sec
+        );
+    }
+
+    if let Some(section) = &opts.update_baseline {
+        let mut file = baseline.unwrap_or_default();
+        if file.note.is_empty() {
+            file.note = "icn bench --explore baselines: candidates evaluated per wall-clock \
+                         second (gated at >25% regression, like-for-like threads) and the \
+                         frontier size (gated exactly — a determinism check)"
+                .to_string();
+        }
+        let entries = file.section_mut(section).map_err(Failure::Other)?;
+        entries.insert(
+            measurement.name.clone(),
+            perf::BaselineEntry {
+                cycles_per_sec: measurement.cycles_per_sec,
+                threads: measurement.threads,
+                host_cores: measurement.host_cores,
+            },
+        );
+        entries.insert(
+            format!("{case}_frontier_size"),
+            perf::BaselineEntry {
+                cycles_per_sec: frontier_size as f64,
+                threads: measurement.threads,
+                host_cores: measurement.host_cores,
+            },
+        );
+        file.store(EXPLORE_BENCH_OUT).map_err(Failure::Io)?;
+        println!("recorded {case} into `{section}` of {EXPLORE_BENCH_OUT}");
+        return Ok(());
+    }
+
+    let Some(baseline) = baseline else {
+        println!(
+            "no baseline at {EXPLORE_BENCH_OUT} — record one with \
+             `icn bench --explore --update-baseline after`"
+        );
+        return Ok(());
+    };
+    if let Some(entry) = baseline.after.get(&format!("{case}_frontier_size")) {
+        let recorded = entry.cycles_per_sec.round() as usize;
+        if recorded != frontier_size {
+            return Err(Failure::Other(format!(
+                "frontier size changed: baseline {recorded}, this run {frontier_size} — \
+                 exploration output is supposed to be deterministic"
+            )));
+        }
+        println!("{case}: frontier size {frontier_size} matches baseline");
+    }
+    match baseline.after.get(&measurement.name) {
+        None => println!(
+            "note: no `after` baseline for {}; skipping gate",
+            measurement.name
+        ),
+        Some(entry) if !perf::comparable(&measurement, *entry) => println!(
+            "note: {} baseline was recorded at {} thread(s), this run used {}; skipping gate",
+            measurement.name, entry.threads, measurement.threads
+        ),
+        Some(entry) => match perf::check_regression(&measurement, *entry) {
+            Ok(ratio) => println!(
+                "{}: ok ({:.0} candidates/sec, {:.2}x baseline)",
+                measurement.name, measurement.cycles_per_sec, ratio
+            ),
+            Err(msg) => return Err(Failure::Other(format!("exploration regression: {msg}"))),
+        },
+    }
+    Ok(())
+}
+
 /// One ad-hoc HTTP exchange against a spawned server (bench plumbing).
 fn http_call(addr: &str, method: &str, path: &str, body: &str) -> Result<String, String> {
     use std::io::{Read, Write};
@@ -1548,7 +1833,9 @@ fn run(args: &[String]) -> Result<(), Failure> {
         "serve" => serve(&opts)?,
         "bench" if opts.serve_bench => bench_serve(&opts)?,
         "bench" if opts.overhead_bench => bench_overhead(&opts)?,
+        "bench" if opts.explore_bench => bench_explore(&opts)?,
         "bench" => bench(&opts)?,
+        "explore" if opts.grid.is_some() => explore_grid(&opts)?,
         "explore" => {
             let designs = explore::explore(&opts.tech, &explore::ExploreSpec::paper_space());
             if opts.json {

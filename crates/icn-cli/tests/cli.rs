@@ -232,6 +232,40 @@ fn simulate_and_inspect_match_golden_fixtures_exactly() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Exact-match golden-file check of the default `icn explore` walk
+/// (satellite of PR 10): the §3.2 narrative, the `best()` pick, and the
+/// formatting are all pinned. Regenerate ONLY for an intentional change:
+///
+/// ```text
+/// cd crates/icn-cli/tests/fixtures
+/// icn explore > explore.stdout.txt
+/// ```
+#[test]
+fn explore_default_walk_matches_golden_fixture_exactly() {
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let golden = std::fs::read_to_string(fixtures.join("explore.stdout.txt"))
+        .unwrap_or_else(|e| panic!("reading fixture explore.stdout.txt: {e}"));
+    let (ok, stdout, stderr) = icn(&["explore"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        stdout, golden,
+        "default explore output drifted from the golden fixture"
+    );
+}
+
+/// The grid engine's determinism contract at the CLI surface: the JSON
+/// frontier for a grid is byte-identical regardless of worker count.
+#[test]
+fn explore_grid_output_is_byte_identical_across_thread_counts() {
+    let (ok, single, stderr) = icn(&["explore", "--grid", "paper", "--json", "--threads", "1"]);
+    assert!(ok, "{stderr}");
+    let (ok, quad, stderr) = icn(&["explore", "--grid", "paper", "--json", "--threads", "4"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(single, quad, "frontier bytes depend on thread count");
+    assert!(single.contains("\"frontier\""), "{single}");
+    assert!(single.contains("\"ranking_agrees\": true"), "{single}");
+}
+
 #[test]
 fn bench_smoke_runs_and_gates_against_a_baseline() {
     let dir = std::env::temp_dir().join(format!("icn-bench-test-{}", std::process::id()));
@@ -482,6 +516,10 @@ fn exit_codes_are_distinct_and_stable() {
         vec!["simulate", "--ports", "16", "--width", "0"],
         vec!["lint", "--frobnicate"],
         vec!["inspect"],
+        vec!["explore", "--grid"],
+        vec!["explore", "--top", "x"],
+        vec!["explore", "--grid", "no-such-grid"],
+        vec!["explore", "--grid", "Cargo.toml"],
     ] {
         let (code, _, stderr) = icn_status(&args);
         assert_eq!(code, 2, "args {args:?}: {stderr}");

@@ -69,7 +69,10 @@ impl ExploredDesign {
 
 /// All power-of-`radix` board sizes up to `max_board_ports` (each board
 /// hosts a whole number of full stages), capped at the network size.
-fn board_port_options(radix: u32, network_ports: u32, max_board_ports: u32) -> Vec<u32> {
+/// Shared with the `icn-explore` streaming engine so both explorers
+/// package a radix on exactly the same candidate boards.
+#[must_use]
+pub fn board_port_options(radix: u32, network_ports: u32, max_board_ports: u32) -> Vec<u32> {
     let mut options = Vec::new();
     let mut ports = radix;
     while ports <= max_board_ports && ports <= network_ports {
@@ -143,10 +146,26 @@ pub fn explore(tech: &Technology, spec: &ExploreSpec) -> Vec<ExploredDesign> {
     designs
 }
 
-/// The best feasible design of an exploration, if any.
+/// The best feasible design of an exploration, if any: the member of the
+/// single-objective (one-way delay) Pareto frontier with the lowest
+/// candidate index. With delay as the only axis the frontier holds
+/// exactly the minimum-delay feasible designs, so on the delay-sorted
+/// output of [`explore`] this is the same design the old
+/// first-feasible scan returned — but the ranking now runs through
+/// [`crate::pareto::Frontier`], the same dominance logic the
+/// `icn-explore` million-candidate engine uses.
 #[must_use]
 pub fn best(designs: &[ExploredDesign]) -> Option<&ExploredDesign> {
-    designs.iter().find(|d| d.report.feasible())
+    let mut frontier = crate::pareto::Frontier::new();
+    for (index, design) in designs.iter().enumerate() {
+        if design.report.feasible() {
+            frontier.insert(index as u64, [design.report.one_way.secs()], index);
+        }
+    }
+    frontier
+        .into_sorted()
+        .first()
+        .map(|entry| &designs[entry.item])
 }
 
 #[cfg(test)]
@@ -201,6 +220,19 @@ mod tests {
             })
             .unwrap();
         assert!(best.report.one_way <= paper.report.one_way);
+    }
+
+    #[test]
+    fn best_matches_the_first_feasible_scan() {
+        // `best()` now routes through the Pareto frontier; on the
+        // delay-sorted exploration output it must agree exactly with the
+        // historical first-feasible scan.
+        let designs = explore(&presets::paper1986(), &ExploreSpec::paper_space());
+        let scan = designs.iter().find(|d| d.report.feasible());
+        assert_eq!(
+            best(&designs).map(|d| &d.report.point),
+            scan.map(|d| &d.report.point)
+        );
     }
 
     #[test]

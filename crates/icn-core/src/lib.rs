@@ -11,6 +11,8 @@
 //!   (pins ↔ package ↔ trace ↔ clock);
 //! * [`explore`] — feasible-design enumeration and ranking over the
 //!   (kind, N, W) space;
+//! * [`pareto`] — the incremental multi-objective Pareto frontier that
+//!   ranking (and the `icn-explore` streaming engine) is built on;
 //! * [`experiments`] — one module per paper artifact (E1–E10 plus the
 //!   simulation extensions X1/X2 of DESIGN.md), each regenerating its table
 //!   or figure as text and as machine-readable JSON.
@@ -22,6 +24,7 @@ pub mod delay;
 pub mod design;
 pub mod experiments;
 pub mod explore;
+pub mod pareto;
 pub mod report;
 pub mod table;
 

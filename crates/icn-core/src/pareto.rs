@@ -1,0 +1,227 @@
+//! Incremental multi-objective Pareto frontier (minimise every axis).
+//!
+//! This is the one ranking primitive shared by [`crate::explore::best`]
+//! (single objective: one-way delay) and the `icn-explore` streaming
+//! engine (delay × area × pins × cost). Keeping both on the same
+//! dominance test means "best design" can never drift between the small
+//! paper walk and the million-candidate sweep.
+//!
+//! # Determinism
+//!
+//! The Pareto set of a finite multiset of objective vectors is unique —
+//! it does not depend on insertion order. [`Frontier::insert`] exploits
+//! that: a candidate dominated by any resident is rejected, otherwise
+//! residents it dominates are pruned (`Vec::retain`, which preserves
+//! order) and the candidate is appended. Because dominance is transitive,
+//! splitting a candidate stream into chunks, building per-chunk frontiers,
+//! and [`Frontier::merge`]-ing them **in chunk order** yields exactly the
+//! same set as one sequential pass — the argument `icn-explore` relies on
+//! for byte-identical output at any thread count or chunk size.
+//! [`Frontier::into_sorted`] additionally canonicalises the survivor
+//! order by candidate index, so serialised frontiers are reproducible
+//! even if a future caller inserts out of order.
+
+/// Does `a` dominate `b`? True when `a` is no worse on every axis and
+/// strictly better on at least one (all axes minimised). Vectors with a
+/// non-finite component never dominate and are never dominated: NaN or
+/// infinite objectives must be filtered by the caller (infeasible designs
+/// simply never enter a frontier).
+#[must_use]
+pub fn dominates<const K: usize>(a: &[f64; K], b: &[f64; K]) -> bool {
+    let mut strictly_better = false;
+    for axis in 0..K {
+        if !a[axis].is_finite() || !b[axis].is_finite() {
+            return false;
+        }
+        if a[axis] > b[axis] {
+            return false;
+        }
+        if a[axis] < b[axis] {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// One surviving frontier member: its position in the enumeration order,
+/// its objective vector, and the caller's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierEntry<T, const K: usize> {
+    /// Canonical candidate index (enumeration order), the tie-breaking
+    /// and serialisation key.
+    pub index: u64,
+    /// Objective vector, every axis minimised.
+    pub objectives: [f64; K],
+    /// Caller payload (the design the vector describes).
+    pub item: T,
+}
+
+/// An incremental Pareto frontier over `K` minimised objectives.
+///
+/// Memory is `O(frontier)`, never `O(candidates)`: dominated candidates
+/// are dropped on arrival and dominated residents are pruned by each
+/// accepted insert. Mutually non-dominating duplicates (equal vectors)
+/// are all kept — equality is not domination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frontier<T, const K: usize> {
+    entries: Vec<FrontierEntry<T, K>>,
+}
+
+impl<T, const K: usize> Default for Frontier<T, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const K: usize> Frontier<T, K> {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of members currently on the frontier.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current members, in insertion order (ascending `index` when the
+    /// caller inserts in enumeration order).
+    #[must_use]
+    pub fn entries(&self) -> &[FrontierEntry<T, K>] {
+        &self.entries
+    }
+
+    /// Offer one candidate. Returns `true` when the candidate joined the
+    /// frontier (pruning any residents it dominates), `false` when it was
+    /// dominated by a resident or carried a non-finite objective.
+    pub fn insert(&mut self, index: u64, objectives: [f64; K], item: T) -> bool {
+        if objectives.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        if self
+            .entries
+            .iter()
+            .any(|e| dominates(&e.objectives, &objectives))
+        {
+            return false;
+        }
+        self.entries
+            .retain(|e| !dominates(&objectives, &e.objectives));
+        self.entries.push(FrontierEntry {
+            index,
+            objectives,
+            item,
+        });
+        true
+    }
+
+    /// Fold another frontier in, inserting its members in their stored
+    /// order. Merging per-chunk frontiers in chunk order reproduces the
+    /// sequential result exactly (see the module docs).
+    pub fn merge(&mut self, other: Self) {
+        for entry in other.entries {
+            self.insert(entry.index, entry.objectives, entry.item);
+        }
+    }
+
+    /// Consume the frontier, returning members sorted by candidate index
+    /// — the canonical serialisation order.
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<FrontierEntry<T, K>> {
+        let mut entries = self.entries;
+        entries.sort_by_key(|e| e.index);
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: O(n²) scan keeping exactly the vectors
+    /// no other vector dominates.
+    fn brute_force<const K: usize>(vectors: &[[f64; K]]) -> Vec<usize> {
+        (0..vectors.len())
+            .filter(|&i| {
+                vectors[i].iter().all(|v| v.is_finite())
+                    && !vectors.iter().any(|other| dominates(other, &vectors[i]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(
+            !dominates(&[1.0, 2.0], &[1.0, 2.0]),
+            "equality is not domination"
+        );
+        assert!(
+            !dominates(&[1.0, 3.0], &[2.0, 2.0]),
+            "trade-offs do not dominate"
+        );
+        assert!(!dominates(&[f64::NAN, 0.0], &[1.0, 1.0]));
+        assert!(!dominates(&[0.0, 0.0], &[f64::INFINITY, 1.0]));
+    }
+
+    #[test]
+    fn incremental_matches_brute_force() {
+        let vectors: Vec<[f64; 3]> = vec![
+            [3.0, 1.0, 2.0],
+            [1.0, 3.0, 2.0],
+            [2.0, 2.0, 2.0],
+            [3.0, 1.0, 2.0], // duplicate of index 0: both kept
+            [4.0, 4.0, 4.0], // dominated
+            [1.0, 3.0, 1.9], // dominates index 1
+            [f64::NAN, 0.0, 0.0],
+        ];
+        let mut frontier = Frontier::new();
+        for (i, v) in vectors.iter().enumerate() {
+            frontier.insert(i as u64, *v, i);
+        }
+        let got: Vec<usize> = frontier.into_sorted().iter().map(|e| e.item).collect();
+        assert_eq!(got, brute_force(&vectors));
+    }
+
+    #[test]
+    fn chunked_merge_equals_sequential() {
+        let vectors: Vec<[f64; 2]> = (0..64)
+            .map(|i| {
+                let x = f64::from((i * 37) % 16);
+                let y = f64::from((i * 11) % 16);
+                [x, y]
+            })
+            .collect();
+        let mut sequential = Frontier::new();
+        for (i, v) in vectors.iter().enumerate() {
+            sequential.insert(i as u64, *v, i);
+        }
+        for chunk_size in [1usize, 3, 7, 16, 64] {
+            let mut merged = Frontier::new();
+            for (c, chunk) in vectors.chunks(chunk_size).enumerate() {
+                let mut local = Frontier::new();
+                for (j, v) in chunk.iter().enumerate() {
+                    let index = c * chunk_size + j;
+                    local.insert(index as u64, *v, index);
+                }
+                merged.merge(local);
+            }
+            assert_eq!(
+                merged.clone().into_sorted(),
+                sequential.clone().into_sorted(),
+                "chunk size {chunk_size} changed the frontier"
+            );
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Candidate evaluation: closed-form models → objective vector.
+//!
+//! The heavy part of evaluating a candidate — pin budget, board/rack
+//! layout, clock budget and the frequency fixed point — depends only on
+//! the "chassis" tuple (technology, kind, clock scheme, N', N, W), not
+//! on the packet size. Because the grid enumerates packet bits as the
+//! fastest axis, a sequential scan sees every packet variant of a
+//! chassis back to back, and a one-entry memo turns ~`|packet_bits|`
+//! full [`DesignPoint::evaluate`] calls into one. The memo is owned by
+//! the evaluator and an evaluator lives for exactly one chunk, so chunk
+//! boundaries can cost at most one redundant chassis evaluation — they
+//! can never change a result.
+
+use icn_core::delay;
+use icn_core::design::DesignPoint;
+use icn_core::explore::board_port_options;
+use icn_phys::{crossbar_area, delta_network_chips, ClockScheme, CrossbarKind};
+use icn_tech::Technology;
+use icn_units::{Frequency, Time};
+use serde::{Deserialize, Serialize};
+
+use crate::grid::GridSpec;
+
+/// Number of objectives the explorer minimises.
+pub const OBJECTIVES: usize = 4;
+
+/// One Pareto-frontier member, fully described for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Canonical grid index (ties broken and output ordered by this).
+    pub index: u64,
+    /// Technology preset name.
+    pub tech: String,
+    /// Crossbar kind.
+    pub kind: CrossbarKind,
+    /// Clock scheme.
+    pub clock_scheme: ClockScheme,
+    /// Full-network ports `N'`.
+    pub network_ports: u32,
+    /// Chip radix `N`.
+    pub chip_radix: u32,
+    /// Path width `W`.
+    pub width: u32,
+    /// Board ports the chassis chose for this radix.
+    pub board_ports: u32,
+    /// Packet size `P` in bits.
+    pub packet_bits: u32,
+    /// Achievable clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Objective 1: unloaded one-way delay in microseconds.
+    pub delay_us: f64,
+    /// Objective 2: crossbar die area in mm².
+    pub area_mm2: f64,
+    /// Objective 3: package pins per chip.
+    pub pins: u32,
+    /// Objective 4: extra network chips over the single-crossbar ideal
+    /// (the paper's Δ cost, eq. 6.1 spirit).
+    pub cost_chips: u64,
+}
+
+impl FrontierPoint {
+    /// The minimised objective vector: delay (s), area (mm²), pins, cost.
+    #[must_use]
+    pub fn objectives(&self) -> [f64; OBJECTIVES] {
+        [
+            self.delay_us * 1e-6,
+            self.area_mm2,
+            f64::from(self.pins),
+            self.cost_chips as f64,
+        ]
+    }
+}
+
+/// The packet-independent evaluation of a chassis tuple, reused across
+/// the innermost packet-bits axis.
+#[derive(Debug, Clone, Copy)]
+struct Chassis {
+    board_ports: u32,
+    frequency: Frequency,
+    pins: u32,
+    area_mm2: f64,
+    cost_chips: u64,
+}
+
+/// Evaluates candidates of one chunk in ascending index order.
+pub struct Evaluator<'a> {
+    spec: &'a GridSpec,
+    techs: &'a [Technology],
+    memo: Option<(u64, Option<Chassis>)>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// A fresh evaluator (cold memo) over `spec`, with the technology
+    /// axis already resolved to presets (see [`resolve_techs`]).
+    #[must_use]
+    pub fn new(spec: &'a GridSpec, techs: &'a [Technology]) -> Self {
+        Self {
+            spec,
+            techs,
+            memo: None,
+        }
+    }
+
+    /// Evaluate the candidate at `index`. `Some` iff the design is
+    /// feasible (fits its pins, die, board and clock budget); infeasible
+    /// and degenerate candidates (radix above the network size) return
+    /// `None` and never reach a frontier.
+    pub fn evaluate(&mut self, index: u64) -> Option<FrontierPoint> {
+        let candidate = self.spec.candidate(index);
+        let chassis_id = self.spec.chassis_id(index);
+        let chassis = match &self.memo {
+            Some((id, chassis)) if *id == chassis_id => *chassis,
+            _ => {
+                let computed = self.evaluate_chassis(index);
+                self.memo = Some((chassis_id, computed));
+                computed
+            }
+        }?;
+        let one_way = delay::unloaded_delay(
+            candidate.kind,
+            candidate.chip_radix,
+            candidate.width,
+            candidate.packet_bits,
+            candidate.network_ports,
+            chassis.frequency,
+        );
+        Some(FrontierPoint {
+            index,
+            tech: self
+                .techs
+                .get(candidate.tech_index)
+                .map(|t| t.name.clone())
+                .unwrap_or_default(),
+            kind: candidate.kind,
+            clock_scheme: candidate.clock_scheme,
+            network_ports: candidate.network_ports,
+            chip_radix: candidate.chip_radix,
+            width: candidate.width,
+            board_ports: chassis.board_ports,
+            packet_bits: candidate.packet_bits,
+            frequency_mhz: chassis.frequency.mhz(),
+            delay_us: one_way.micros(),
+            area_mm2: chassis.area_mm2,
+            pins: chassis.pins,
+            cost_chips: chassis.cost_chips,
+        })
+    }
+
+    /// Full evaluation of the packet-independent chassis: choose the
+    /// best board for the radix (highest achievable frequency among
+    /// feasible boards — exactly the minimum-delay rule of
+    /// `icn_core::explore`, since cycles don't depend on the board) and
+    /// capture the objective ingredients.
+    fn evaluate_chassis(&self, index: u64) -> Option<Chassis> {
+        let candidate = self.spec.candidate(index);
+        let tech = self.techs.get(candidate.tech_index)?;
+        if candidate.chip_radix > candidate.network_ports {
+            return None;
+        }
+        let boards = board_port_options(
+            candidate.chip_radix,
+            candidate.network_ports,
+            self.spec.max_board_ports_resolved(),
+        );
+        let mut best: Option<Chassis> = None;
+        for board_ports in boards {
+            let point = DesignPoint {
+                tech: tech.clone(),
+                kind: candidate.kind,
+                chip_radix: candidate.chip_radix,
+                width: candidate.width,
+                board_ports,
+                network_ports: candidate.network_ports,
+                packet_bits: candidate.packet_bits,
+                clock_scheme: candidate.clock_scheme,
+                memory_access: Time::from_nanos(self.spec.memory_access_ns_resolved()),
+            };
+            let report = point.evaluate();
+            if !report.feasible() {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some(b) => report.frequency.hz() > b.frequency.hz(),
+            };
+            if better {
+                best = Some(Chassis {
+                    board_ports,
+                    frequency: report.frequency,
+                    pins: report.pins.total(),
+                    area_mm2: crossbar_area(
+                        tech,
+                        candidate.kind,
+                        candidate.chip_radix,
+                        candidate.width,
+                    )
+                    .square_meters()
+                        * 1e6,
+                    cost_chips: delta_network_chips(candidate.network_ports, candidate.chip_radix),
+                });
+            }
+        }
+        best
+    }
+}
+
+/// Resolve the spec's technology names to presets, in axis order.
+///
+/// # Errors
+/// Returns a message naming the first unknown preset.
+pub fn resolve_techs(spec: &GridSpec) -> Result<Vec<Technology>, String> {
+    spec.techs
+        .iter()
+        .map(|name| {
+            icn_tech::presets::by_name(name)
+                .ok_or_else(|| format!("unknown technology preset `{name}`"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_feasible_set_matches_the_seed_explorer() {
+        // The streaming evaluator and the seed `icn_core::explore` must
+        // agree on which (kind, N, W) points of the paper space are
+        // feasible, on the boards they choose, and on the delays.
+        let spec = GridSpec::paper();
+        let techs = resolve_techs(&spec).unwrap();
+        let mut evaluator = Evaluator::new(&spec, &techs);
+        let n = spec.candidate_count().unwrap();
+        let mut feasible = Vec::new();
+        for index in 0..n {
+            if let Some(p) = evaluator.evaluate(index) {
+                feasible.push(p);
+            }
+        }
+        let seed = icn_core::explore::explore(
+            &icn_tech::presets::paper1986(),
+            &icn_core::explore::ExploreSpec::paper_space(),
+        );
+        let seed_feasible: Vec<_> = seed.iter().filter(|d| d.report.feasible()).collect();
+        assert_eq!(feasible.len(), seed_feasible.len());
+        for point in &feasible {
+            let twin = seed_feasible
+                .iter()
+                .find(|d| {
+                    let p = &d.report.point;
+                    p.kind == point.kind
+                        && p.chip_radix == point.chip_radix
+                        && p.width == point.width
+                })
+                .unwrap_or_else(|| panic!("seed lacks {point:?}"));
+            assert_eq!(twin.report.point.board_ports, point.board_ports);
+            assert!((twin.report.one_way.micros() - point.delay_us).abs() < 1e-9);
+            assert!((twin.report.frequency.mhz() - point.frequency_mhz).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn memo_never_changes_results() {
+        // Evaluating with a cold evaluator per candidate (no memo reuse)
+        // must equal one sequential evaluator with a warm memo.
+        let spec = GridSpec::bench();
+        let techs = resolve_techs(&spec).unwrap();
+        let mut warm = Evaluator::new(&spec, &techs);
+        // A slice in the middle of the grid, crossing chassis boundaries.
+        for index in 7_000..7_200u64 {
+            let warm_result = warm.evaluate(index);
+            let cold_result = Evaluator::new(&spec, &techs).evaluate(index);
+            assert_eq!(warm_result, cold_result, "index {index}");
+        }
+    }
+
+    #[test]
+    fn infeasible_candidates_return_none() {
+        let mut spec = GridSpec::paper();
+        spec.radices = vec![4096]; // bigger than the network
+        let techs = resolve_techs(&spec).unwrap();
+        let mut evaluator = Evaluator::new(&spec, &techs);
+        assert!(evaluator.evaluate(0).is_none());
+    }
+}

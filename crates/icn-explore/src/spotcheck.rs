@@ -1,0 +1,182 @@
+//! Simulator spot-checks of frontier points.
+//!
+//! The frontier is ranked by *closed-form* delay (eq. 4.2/4.5). The
+//! spot-checker picks the K lowest-delay frontier points, runs each
+//! through the event-driven simulator (`icn_sim::try_run`) under light
+//! uniform load, and verifies that the simulator's unloaded-latency
+//! floor ranks the designs the same way the closed form does — the §4
+//! cross-validation, applied to the explorer's own output.
+//!
+//! Everything here is deterministic: the simulator is seeded, the load
+//! is fixed, and the points are chosen by `(delay, index)` order.
+
+use icn_core::delay::unloaded_cycles;
+use icn_sim::{ChipModel, SimConfig};
+use icn_topology::StagePlan;
+use icn_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::eval::FrontierPoint;
+
+/// Simulate nothing above this port count — spot-checks are a sanity
+/// probe, not a load test.
+pub const MAX_SIM_PORTS: u32 = 4096;
+
+/// Uniform offered load per port; light enough that the latency floor
+/// is the unloaded path.
+const SPOT_LOAD: f64 = 0.02;
+
+/// One simulator spot-check of a frontier point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotCheck {
+    /// Canonical grid index of the checked point.
+    pub index: u64,
+    /// Network ports of the simulated plan.
+    pub network_ports: u32,
+    /// Chip radix.
+    pub chip_radix: u32,
+    /// Path width.
+    pub width: u32,
+    /// Packet bits.
+    pub packet_bits: u32,
+    /// Closed-form unloaded one-way delay, in cycles (fractional `P/W`).
+    pub closed_form_cycles: f64,
+    /// The simulator's §4 analytic unloaded prediction, in cycles.
+    pub sim_analytic_cycles: u64,
+    /// Minimum network latency the simulator measured, in cycles.
+    pub sim_min_latency_cycles: u64,
+}
+
+/// Map the physical crossbar kind onto the simulator's chip model.
+#[must_use]
+pub fn chip_model(kind: icn_phys::CrossbarKind) -> ChipModel {
+    match kind {
+        icn_phys::CrossbarKind::Mcc => ChipModel::Mcc,
+        icn_phys::CrossbarKind::Dmc => ChipModel::Dmc,
+    }
+}
+
+/// Spot-check up to `k` lowest-delay frontier points. Points whose
+/// network cannot be planned as a balanced power-of-two network (or
+/// that exceed [`MAX_SIM_PORTS`]) are skipped. Returns the checks in
+/// the order they were run plus whether the simulator's latency floor
+/// agreed with the closed-form delay ranking across every checked pair
+/// (±1 cycle slack for the closed form's fractional `P/W` against the
+/// simulator's whole flits).
+#[must_use]
+pub fn spot_check(frontier: &[FrontierPoint], k: usize) -> (Vec<SpotCheck>, bool) {
+    if k == 0 || frontier.is_empty() {
+        return (Vec::new(), true);
+    }
+    let mut by_delay: Vec<&FrontierPoint> = frontier.iter().collect();
+    by_delay.sort_by(|a, b| {
+        (a.delay_us, a.index)
+            .partial_cmp(&(b.delay_us, b.index))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut checks = Vec::new();
+    for point in by_delay {
+        if checks.len() >= k {
+            break;
+        }
+        if point.network_ports > MAX_SIM_PORTS {
+            continue;
+        }
+        let Some(plan) = StagePlan::balanced_pow2(point.network_ports, point.chip_radix) else {
+            continue;
+        };
+        let mut config = SimConfig::paper_baseline(
+            plan,
+            chip_model(point.kind),
+            point.width,
+            Workload::uniform(SPOT_LOAD),
+        );
+        config.packet_bits = point.packet_bits;
+        let analytic = config.analytic_unloaded_cycles();
+        config.warmup_cycles = analytic * 2;
+        config.measure_cycles = analytic * 2 + 200;
+        config.drain_cycles = analytic * 4 + 200;
+        let Ok(result) = icn_sim::try_run(config) else {
+            continue;
+        };
+        checks.push(SpotCheck {
+            index: point.index,
+            network_ports: point.network_ports,
+            chip_radix: point.chip_radix,
+            width: point.width,
+            packet_bits: point.packet_bits,
+            closed_form_cycles: unloaded_cycles(
+                point.kind,
+                point.chip_radix,
+                point.width,
+                point.packet_bits,
+                point.network_ports,
+            ),
+            sim_analytic_cycles: analytic,
+            sim_min_latency_cycles: result.network_latency.min,
+        });
+    }
+
+    // Ranking agreement: walking the checks in closed-form order (they
+    // were produced sorted by delay, and cycles at a fixed frequency
+    // order like delays only per-chassis, so re-sort by the closed-form
+    // cycle count), the simulator's analytic floor must not decrease by
+    // more than the fractional-flit slack.
+    let mut by_cycles = checks.clone();
+    by_cycles.sort_by(|a, b| {
+        (a.closed_form_cycles, a.index)
+            .partial_cmp(&(b.closed_form_cycles, b.index))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let agrees = by_cycles
+        .windows(2)
+        .all(|pair| pair[1].sim_analytic_cycles + 1 >= pair[0].sim_analytic_cycles);
+    (checks, agrees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{resolve_techs, Evaluator};
+    use crate::grid::GridSpec;
+
+    fn paper_frontier_points() -> Vec<FrontierPoint> {
+        let spec = GridSpec::paper();
+        let techs = resolve_techs(&spec).unwrap();
+        let mut evaluator = Evaluator::new(&spec, &techs);
+        (0..spec.candidate_count().unwrap())
+            .filter_map(|i| evaluator.evaluate(i))
+            .collect()
+    }
+
+    #[test]
+    fn spot_checks_are_deterministic_and_bounded() {
+        let points = paper_frontier_points();
+        let (a, agrees_a) = spot_check(&points, 3);
+        let (b, agrees_b) = spot_check(&points, 3);
+        assert_eq!(a, b);
+        assert_eq!(agrees_a, agrees_b);
+        assert!(a.len() <= 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn simulator_floor_is_at_least_the_analytic_prediction() {
+        let points = paper_frontier_points();
+        let (checks, _) = spot_check(&points, 2);
+        for check in &checks {
+            assert!(
+                check.sim_min_latency_cycles >= check.sim_analytic_cycles,
+                "{check:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_k_is_a_no_op() {
+        let (checks, agrees) = spot_check(&paper_frontier_points(), 0);
+        assert!(checks.is_empty());
+        assert!(agrees);
+    }
+}

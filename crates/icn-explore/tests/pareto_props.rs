@@ -1,0 +1,97 @@
+//! Property tests for the exploration engine's ranking core: the
+//! incremental Pareto frontier must equal the O(n²) brute-force Pareto
+//! set on random candidate batches, under any chunking of the input.
+
+use icn_core::pareto::{dominates, Frontier};
+use proptest::prelude::*;
+
+/// Objective vectors drawn from a small lattice so that domination,
+/// ties and duplicates all actually occur. The four base-8 digits of a
+/// single draw become the four objectives.
+fn arbitrary_batch() -> impl Strategy<Value = Vec<[f64; 4]>> {
+    proptest::collection::vec(
+        (0u32..4096).prop_map(|v| {
+            [
+                f64::from(v & 7),
+                f64::from((v >> 3) & 7),
+                f64::from((v >> 6) & 7),
+                f64::from((v >> 9) & 7),
+            ]
+        }),
+        0..120,
+    )
+}
+
+/// The O(n²) reference: keep exactly the vectors no other vector
+/// dominates.
+fn brute_force(vectors: &[[f64; 4]]) -> Vec<u64> {
+    (0..vectors.len())
+        .filter(|&i| !vectors.iter().any(|other| dominates(other, &vectors[i])))
+        .map(|i| i as u64)
+        .collect()
+}
+
+fn incremental(vectors: &[[f64; 4]]) -> Frontier<usize, 4> {
+    let mut frontier = Frontier::new();
+    for (i, v) in vectors.iter().enumerate() {
+        frontier.insert(i as u64, *v, i);
+    }
+    frontier
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental insertion retains exactly the brute-force Pareto set.
+    #[test]
+    fn incremental_equals_brute_force(batch in arbitrary_batch()) {
+        let frontier = incremental(&batch);
+        let got: Vec<u64> = frontier.into_sorted().iter().map(|e| e.index).collect();
+        prop_assert_eq!(got, brute_force(&batch));
+    }
+
+    /// Splitting the batch into chunks, building per-chunk frontiers and
+    /// merging them in chunk order gives the same canonical result as
+    /// one sequential pass — the engine's determinism argument.
+    #[test]
+    fn chunked_merge_equals_sequential(batch in arbitrary_batch(), chunk in 1usize..40) {
+        let sequential = incremental(&batch).into_sorted();
+        let mut merged = Frontier::new();
+        for (c, part) in batch.chunks(chunk).enumerate() {
+            let mut local = Frontier::new();
+            for (j, v) in part.iter().enumerate() {
+                let index = c * chunk + j;
+                local.insert(index as u64, *v, index);
+            }
+            merged.merge(local);
+        }
+        prop_assert_eq!(merged.into_sorted(), sequential);
+    }
+
+    /// Frontier members never dominate each other, and every rejected
+    /// candidate is dominated by some member.
+    #[test]
+    fn frontier_is_mutually_non_dominating(batch in arbitrary_batch()) {
+        let members = incremental(&batch).into_sorted();
+        for a in &members {
+            for b in &members {
+                // Equal vectors never dominate, so this also holds for
+                // a member against itself.
+                prop_assert!(
+                    !dominates(&a.objectives, &b.objectives),
+                    "frontier member dominates another"
+                );
+            }
+        }
+        let kept: std::collections::BTreeSet<u64> =
+            members.iter().map(|e| e.index).collect();
+        for (i, v) in batch.iter().enumerate() {
+            if !kept.contains(&(i as u64)) {
+                prop_assert!(
+                    batch.iter().any(|other| dominates(other, v)),
+                    "candidate {i} was dropped but is non-dominated"
+                );
+            }
+        }
+    }
+}

@@ -21,15 +21,19 @@ pub struct FileContext {
 }
 
 impl FileContext {
-    /// ICN001/ICN003 scope: the deterministic simulation library.
+    /// ICN001/ICN003 scope: the deterministic simulation library and the
+    /// exploration engine whose output must be byte-identical at any
+    /// thread count.
     fn is_sim_library(&self) -> bool {
-        self.crate_name == "icn-sim"
+        self.crate_name == "icn-sim" || self.crate_name == "icn-explore"
     }
 
-    /// ICN002 scope: simulation logic — the engine and the workload/traffic
-    /// generators that feed it.
+    /// ICN002 scope: simulation logic — the engine, the workload/traffic
+    /// generators that feed it, and the deterministic exploration engine.
     fn is_simulation_logic(&self) -> bool {
-        self.crate_name == "icn-sim" || self.crate_name == "icn-workloads"
+        self.crate_name == "icn-sim"
+            || self.crate_name == "icn-workloads"
+            || self.crate_name == "icn-explore"
     }
 }
 

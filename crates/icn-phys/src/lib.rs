@@ -35,9 +35,10 @@ pub mod rack;
 pub mod signal;
 pub mod tline;
 
-pub use area::{dmc_area, max_crossbar, mcc_area, CrossbarKind};
+pub use area::{crossbar_area, dmc_area, max_crossbar, mcc_area, CrossbarKind};
 pub use board::BoardLayout;
 pub use clock::{ClockBudget, ClockScheme};
+pub use cost::{delta_network_chips, CostComparison};
 pub use pins::PinBudget;
 pub use rack::RackLayout;
 pub use signal::PathDelay;

@@ -9,6 +9,7 @@
 //! land on the same cache entry, while any semantic difference (a seed, a
 //! cycle count) yields a distinct key.
 
+use icn_explore::GridSpec;
 use icn_sim::{ChipModel, FaultPlan, RetryPolicy, SimConfig, TelemetryConfig};
 use icn_topology::StagePlan;
 use icn_workloads::{Pattern, Workload};
@@ -32,13 +33,18 @@ pub enum Priority {
     High,
 }
 
-/// Server-side guard rails on what one `/v1/simulate` job may cost.
+/// Server-side guard rails on what one `/v1/simulate` or `/v1/explore`
+/// job may cost.
 #[derive(Debug, Clone, Copy)]
 pub struct Limits {
     /// Largest accepted network (`ports`).
     pub max_ports: u32,
     /// Cap on `warmup + measure + drain` cycles for one job.
     pub max_total_cycles: u64,
+    /// Largest grid one `/v1/explore` job may enumerate.
+    pub max_candidates: u64,
+    /// Most simulator spot-checks one `/v1/explore` job may request.
+    pub max_spot_checks: usize,
 }
 
 impl Default for Limits {
@@ -46,6 +52,8 @@ impl Default for Limits {
         Self {
             max_ports: 4096,
             max_total_cycles: 2_000_000,
+            max_candidates: 5_000_000,
+            max_spot_checks: 16,
         }
     }
 }
@@ -209,6 +217,82 @@ impl SimulateRequest {
         // error as a client message rather than letting a worker hit it.
         config.validate().map_err(|e| e.to_string())?;
         Ok(config)
+    }
+}
+
+/// Body of `POST /v1/explore`: a design-space sweep as an asynchronous
+/// job. Either a built-in grid by name (`"grid": "paper"`) or an inline
+/// [`GridSpec`] (`"spec": {...}`); defaults to the paper grid.
+#[derive(Debug, Clone, Default, Deserialize)]
+pub struct ExploreRequest {
+    /// Built-in grid name: `"paper"`, `"bench"`, or `"million"`.
+    /// Mutually exclusive with `spec`.
+    #[serde(default)]
+    pub grid: Option<String>,
+    /// Inline grid axes. Mutually exclusive with `grid`.
+    #[serde(default)]
+    pub spec: Option<GridSpec>,
+    /// Simulator spot-checks of the lowest-delay frontier points
+    /// (default 0; capped by [`Limits::max_spot_checks`]). Changes the
+    /// response body, so it enters the cache key.
+    #[serde(default)]
+    pub spot_checks: Option<usize>,
+    /// Admission priority (default `Normal`); a service concern,
+    /// excluded from the cache key like `/v1/simulate`'s.
+    #[serde(default)]
+    pub priority: Option<Priority>,
+    /// Wall-clock budget in milliseconds (default: the server's
+    /// `--deadline-ms`, 0 = none). Excluded from the cache key.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+}
+
+/// The fully resolved `/v1/explore` job: the canonical form that is
+/// hashed into the content key, journaled, and recovered after a crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedExplore {
+    /// The grid to enumerate.
+    pub spec: GridSpec,
+    /// How many frontier points to spot-check in the simulator.
+    pub spot_checks: usize,
+}
+
+impl ExploreRequest {
+    /// Resolve the request into the canonical [`ResolvedExplore`],
+    /// applying defaults and the server's [`Limits`].
+    ///
+    /// # Errors
+    /// Returns a client-facing message (served as HTTP 400) when both
+    /// `grid` and `spec` are given, the grid name is unknown, the spec
+    /// fails validation, or the job exceeds the limits.
+    pub fn resolve(&self, limits: &Limits) -> Result<ResolvedExplore, String> {
+        let spec = match (&self.grid, &self.spec) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "give either a built-in `grid` name or an inline `spec`, not both".to_string(),
+                )
+            }
+            (Some(name), None) => GridSpec::by_name(name)
+                .ok_or_else(|| format!("unknown grid `{name}`: expected paper, bench, million"))?,
+            (None, Some(spec)) => spec.clone(),
+            (None, None) => GridSpec::paper(),
+        };
+        spec.validate()?;
+        let candidates = spec.candidate_count()?;
+        if candidates > limits.max_candidates {
+            return Err(format!(
+                "grid has {candidates} candidates, exceeding this server's limit of {}",
+                limits.max_candidates
+            ));
+        }
+        let spot_checks = self.spot_checks.unwrap_or(0);
+        if spot_checks > limits.max_spot_checks {
+            return Err(format!(
+                "spot_checks {spot_checks} exceeds this server's limit of {}",
+                limits.max_spot_checks
+            ));
+        }
+        Ok(ResolvedExplore { spec, spot_checks })
     }
 }
 

@@ -34,8 +34,21 @@ use std::time::Instant;
 
 use icn_sim::SimConfig;
 
-use crate::api::Priority;
+use crate::api::{Priority, ResolvedExplore};
 use crate::telemetry::Progress;
+
+/// What a claimed job actually computes. `/v1/simulate` and
+/// `/v1/explore` share one queue — admission, coalescing, shedding,
+/// deadlines, journaling and recovery are payload-agnostic; only the
+/// worker's run path matches on the variant. Boxed so the queue entry
+/// stays small whichever endpoint dominates the traffic.
+#[derive(Debug)]
+pub enum JobPayload {
+    /// A validated cycle-level simulation (`POST /v1/simulate`).
+    Simulate(Box<SimConfig>),
+    /// A resolved design-space sweep (`POST /v1/explore`).
+    Explore(Box<ResolvedExplore>),
+}
 
 /// Mean service time assumed before any job has completed, in
 /// microseconds (the `Retry-After` fallback; half a second).
@@ -139,8 +152,8 @@ pub struct TakenJob {
     pub id: u64,
     /// Content key of the configuration.
     pub key: String,
-    /// The validated configuration to simulate.
-    pub config: SimConfig,
+    /// The validated work to run.
+    pub payload: JobPayload,
     /// Absolute wall-clock deadline, if the job carries one.
     pub deadline: Option<Instant>,
     /// Progress counters to feed from the engine's event stream.
@@ -161,8 +174,8 @@ pub struct RestoredJob {
     pub deadline_ms: Option<u64>,
     /// Canonical configuration JSON (journaled form).
     pub canonical: Arc<String>,
-    /// Parsed configuration; required when `outcome` is `None`.
-    pub config: Option<SimConfig>,
+    /// Parsed payload; required when `outcome` is `None`.
+    pub payload: Option<JobPayload>,
     /// Terminal outcome, if the job reached one before the crash.
     pub outcome: Option<Result<Arc<String>, String>>,
 }
@@ -212,7 +225,7 @@ struct Job {
     priority: Priority,
     deadline_ms: Option<u64>,
     deadline: Option<Instant>,
-    config: Option<SimConfig>,
+    payload: Option<JobPayload>,
     state: JobState,
     result: Option<Arc<String>>,
     error: Option<String>,
@@ -296,14 +309,14 @@ impl JobQueue {
         (self.capacity * 3 / 4).max(1)
     }
 
-    /// Try to enqueue a job for `config` under content `key`.
+    /// Try to enqueue a job for `payload` under content `key`.
     ///
     /// `canonical` is the resolved configuration's canonical JSON (kept
     /// for journaling); `deadline_ms` is the job's wall-clock budget.
     pub fn enqueue(
         &self,
         key: &str,
-        config: SimConfig,
+        payload: JobPayload,
         canonical: Arc<String>,
         priority: Priority,
         deadline_ms: Option<u64>,
@@ -336,7 +349,7 @@ impl JobQueue {
                 priority,
                 deadline_ms,
                 deadline,
-                config: Some(config),
+                payload: Some(payload),
                 state: JobState::Queued,
                 result: None,
                 error: None,
@@ -368,7 +381,7 @@ impl JobQueue {
             priority: job.priority,
             deadline_ms: job.deadline_ms,
             deadline: None,
-            config: None,
+            payload: None,
             state: JobState::Queued,
             result: None,
             error: None,
@@ -398,7 +411,7 @@ impl JobQueue {
                     .deadline_ms
                     .filter(|&ms| ms > 0)
                     .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
-                entry.config = job.config;
+                entry.payload = job.payload;
                 inner.active_by_key.insert(job.key.clone(), job.id);
                 inner.bands[band(job.priority)].push_back(job.id);
                 inner.enqueued += 1;
@@ -419,11 +432,11 @@ impl JobQueue {
                 inner.running += 1;
                 let job = inner.jobs.get_mut(&id).expect("queued job exists");
                 job.state = JobState::Running;
-                let config = job.config.take().expect("queued job holds its config");
+                let payload = job.payload.take().expect("queued job holds its payload");
                 return Some(TakenJob {
                     id,
                     key: job.key.clone(),
-                    config,
+                    payload,
                     deadline: job.deadline,
                     progress: Arc::clone(&job.progress),
                 });
@@ -606,7 +619,13 @@ mod tests {
     }
 
     fn push(q: &JobQueue, key: &str, seed: u64, priority: Priority) -> Enqueue {
-        q.enqueue(key, config(seed), canon(seed), priority, None)
+        q.enqueue(
+            key,
+            JobPayload::Simulate(Box::new(config(seed))),
+            canon(seed),
+            priority,
+            None,
+        )
     }
 
     #[test]
@@ -735,7 +754,7 @@ mod tests {
             priority: Priority::Normal,
             deadline_ms: None,
             canonical: canon(3),
-            config: None,
+            payload: None,
             outcome: Some(Ok(Arc::new("{\"x\":1}".into()))),
         });
         q.restore(RestoredJob {
@@ -744,7 +763,7 @@ mod tests {
             priority: Priority::High,
             deadline_ms: Some(60_000),
             canonical: canon(5),
-            config: Some(config(5)),
+            payload: Some(JobPayload::Simulate(Box::new(config(5)))),
             outcome: None,
         });
         let done = q.snapshot(3).unwrap();
@@ -769,7 +788,7 @@ mod tests {
             priority: Priority::Normal,
             deadline_ms: None,
             canonical: canon(1),
-            config: Some(config(1)),
+            payload: Some(JobPayload::Simulate(Box::new(config(1)))),
             outcome: None,
         });
         q.restore(RestoredJob {
@@ -778,7 +797,7 @@ mod tests {
             priority: Priority::Normal,
             deadline_ms: None,
             canonical: canon(1),
-            config: Some(config(1)),
+            payload: Some(JobPayload::Simulate(Box::new(config(1)))),
             outcome: None,
         });
         let taken = q.take().unwrap();

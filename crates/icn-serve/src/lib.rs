@@ -14,6 +14,12 @@
 //!   returned immediately (`200`, `x-icn-cache: hit`), otherwise the job
 //!   is queued (`202` with polling URLs) or rejected with `429` +
 //!   `Retry-After` when the bounded queue is full.
+//! * `POST /v1/explore` — design-space exploration as an asynchronous
+//!   job: a grid (built-in name or inline axes) is resolved, checked
+//!   against the server's candidate limit, and run through the
+//!   `icn-explore` streaming engine; the result is the Pareto frontier
+//!   plus optional simulator spot-checks, cached by content like every
+//!   other endpoint. Progress streams as ndjson frontier updates.
 //! * `GET /v1/jobs/:id` / `GET /v1/jobs/:id/result` — job status (with
 //!   live progress counters) and the finished result body.
 //! * `GET /v1/jobs/:id/stream` — chunked ndjson progress stream, fed by
@@ -77,10 +83,14 @@ pub mod spill;
 pub mod telemetry;
 pub mod trace;
 
-pub use api::{content_key, Limits, Priority, SimulateRequest, MIN_WATCHDOG_CYCLES};
+pub use api::{
+    content_key, ExploreRequest, Limits, Priority, ResolvedExplore, SimulateRequest,
+    MIN_WATCHDOG_CYCLES,
+};
 pub use cache::{CacheStats, ResultCache};
 pub use jobs::{
-    retry_after_secs, Enqueue, JobQueue, JobSnapshot, JobState, QueueStats, DEFAULT_MEAN_SERVICE_US,
+    retry_after_secs, Enqueue, JobPayload, JobQueue, JobSnapshot, JobState, QueueStats,
+    DEFAULT_MEAN_SERVICE_US,
 };
 pub use journal::{Journal, Record, Recovery};
 pub use metrics::{parse_exposition, Exposition, MetricFamily, MetricSample, MetricsSnapshot};

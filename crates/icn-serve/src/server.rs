@@ -40,12 +40,12 @@ use icn_sim::{SimConfig, SimError};
 use serde::Serialize;
 use serde_json::Value;
 
-use crate::api::{content_key, Limits, SimulateRequest};
+use crate::api::{content_key, ExploreRequest, Limits, ResolvedExplore, SimulateRequest};
 use crate::cache::{CacheStats, ResultCache};
 use crate::http::{read_request, ChunkedResponse, HttpError, Request, Response};
 use crate::jobs::{
-    retry_after_secs, Enqueue, JobQueue, JobRecord, JobSnapshot, JobState, QueueStats, RestoredJob,
-    TakenJob,
+    retry_after_secs, Enqueue, JobPayload, JobQueue, JobRecord, JobSnapshot, JobState, QueueStats,
+    RestoredJob, TakenJob,
 };
 use crate::journal::{compaction_records, CompactionJob, Journal, Record};
 use crate::metrics::{self, MetricsSnapshot};
@@ -279,8 +279,19 @@ impl Server {
                         Some(Err(message)) => Some(Err(message)),
                         None => None,
                     };
+                    // The journal's `config` field is the endpoint's
+                    // canonical form; the content key's endpoint prefix
+                    // says which parser applies.
                     let parsed = if outcome.is_none() {
-                        serde_json::from_str::<SimConfig>(&job.config).ok()
+                        if job.key.starts_with("explore:") {
+                            serde_json::from_str::<ResolvedExplore>(&job.config)
+                                .ok()
+                                .map(|r| JobPayload::Explore(Box::new(r)))
+                        } else {
+                            serde_json::from_str::<SimConfig>(&job.config)
+                                .ok()
+                                .map(|c| JobPayload::Simulate(Box::new(c)))
+                        }
                     } else {
                         None
                     };
@@ -299,7 +310,7 @@ impl Server {
                         priority: job.priority,
                         deadline_ms: job.deadline_ms,
                         canonical: Arc::new(job.config),
-                        config: parsed,
+                        payload: parsed,
                         outcome,
                     });
                 }
@@ -552,14 +563,51 @@ fn run_job(
     }
 }
 
-/// One simulation worker: claim, journal the claim, run behind a panic
-/// guard and deadline, publish to the cache, journal the outcome.
+/// Run one design-space exploration behind a panic guard. The engine's
+/// wave-merge progress hook feeds the job's counters (`cycle` :=
+/// candidates evaluated, `injected` := grid size, `delivered` := live
+/// frontier size), which is what `/v1/jobs/:id/stream` renders as
+/// frontier updates. The response body is the `ExploreOutcome` JSON —
+/// free of wall-clock fields, so cache hits stay byte-identical.
+fn run_explore_job(
+    state: &ServerState,
+    resolved: &ResolvedExplore,
+    progress: &Arc<crate::telemetry::Progress>,
+) -> Result<Arc<String>, String> {
+    let total = resolved.spec.candidate_count().unwrap_or(0);
+    progress.injected.store(total, Ordering::Relaxed);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // The shard budget is the same deployment knob simulations use;
+        // the engine's output bytes are identical at any thread count.
+        let options = icn_explore::ExploreOptions {
+            threads: state.config.sim_threads,
+            chunk: icn_explore::DEFAULT_CHUNK,
+            spot_checks: resolved.spot_checks,
+        };
+        let report = |evaluated: u64, frontier: u64| {
+            progress.cycle.store(evaluated, Ordering::Relaxed);
+            progress.delivered.store(frontier, Ordering::Relaxed);
+        };
+        icn_explore::explore(&resolved.spec, &options, Some(&report))
+    }));
+    match result {
+        Ok(Ok(outcome)) => match serde_json::to_string(&outcome) {
+            Ok(body) => Ok(Arc::new(body)),
+            Err(e) => Err(format!("serializing outcome: {e}")),
+        },
+        Ok(Err(message)) => Err(message),
+        Err(_) => Err("exploration panicked; see server logs".to_string()),
+    }
+}
+
+/// One job worker: claim, journal the claim, run behind a panic guard
+/// and deadline, publish to the cache, journal the outcome.
 fn job_worker(state: &ServerState) {
     while let Some(taken) = state.jobs.take() {
         let TakenJob {
             id,
             key,
-            config,
+            payload,
             deadline,
             progress,
         } = taken;
@@ -574,7 +622,10 @@ fn job_worker(state: &ServerState) {
                     .event(ServeEvent::DeadlineExceeded { job: id });
                 Err("deadline exceeded before the job started".to_string())
             }
-            deadline => run_job(state, id, config, progress, deadline),
+            deadline => match payload {
+                JobPayload::Simulate(config) => run_job(state, id, *config, progress, deadline),
+                JobPayload::Explore(resolved) => run_explore_job(state, &resolved, &progress),
+            },
         };
         let micros = elapsed_micros(started);
         match &outcome {
@@ -752,11 +803,12 @@ fn route(state: &ServerState, request: &Request, trace_id: &str, started: Instan
         }
         ("POST", "/v1/evaluate") => evaluate(state, &request.body),
         ("POST", "/v1/simulate") => simulate(state, &request.body, trace_id, started),
+        ("POST", "/v1/explore") => explore(state, &request.body, trace_id, started),
         ("GET", _) if path.starts_with("/v1/jobs/") => job_endpoints(state, path),
         (
             _,
-            "/v1/evaluate" | "/v1/simulate" | "/v1/shutdown" | "/v1/healthz" | "/v1/stats"
-            | "/v1/metrics",
+            "/v1/evaluate" | "/v1/simulate" | "/v1/explore" | "/v1/shutdown" | "/v1/healthz"
+            | "/v1/stats" | "/v1/metrics",
         ) => Response::json(
             405,
             error_body(&format!("method {method} not allowed here")),
@@ -856,10 +908,80 @@ fn simulate(state: &ServerState, body: &[u8], trace_id: &str, started: Instant) 
         Some(ms) => Some(ms),
         None => (state.config.default_deadline_ms > 0).then_some(state.config.default_deadline_ms),
     };
-    let canonical = Arc::new(canonical);
+    submit_job(
+        state,
+        &key,
+        JobPayload::Simulate(Box::new(config)),
+        Arc::new(canonical),
+        priority,
+        deadline_ms,
+        trace,
+    )
+}
+
+/// `POST /v1/explore`: serve a finished sweep from the cache or enqueue
+/// it as a job on the same bounded queue `/v1/simulate` uses — the same
+/// coalescing, shedding, journaling, and polling/streaming URLs apply.
+fn explore(state: &ServerState, body: &[u8], trace_id: &str, started: Instant) -> Response {
+    let mut trace = TraceBuilder::new(trace_id.to_string(), started);
+    let parse_started = Instant::now();
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::json(400, error_body("body is not UTF-8"));
+    };
+    let request: ExploreRequest = match serde_json::from_str(text) {
+        Ok(request) => request,
+        Err(e) => return Response::json(400, error_body(&format!("invalid explore request: {e}"))),
+    };
+    let resolved = match request.resolve(&state.config.limits) {
+        Ok(resolved) => resolved,
+        Err(message) => return Response::json(400, error_body(&message)),
+    };
+    let canonical = match serde_json::to_string(&resolved) {
+        Ok(canonical) => canonical,
+        Err(e) => return Response::json(500, error_body(&format!("canonicalizing grid: {e}"))),
+    };
+    trace.span("parse", parse_started);
+    let key = content_key("explore", &canonical);
+    let lookup_started = Instant::now();
+    if let Some(body) = state.cache.lock().get(&key) {
+        state.telemetry.event(ServeEvent::CacheHit { key });
+        return Response::json(200, body.as_str()).with_header("x-icn-cache", "hit");
+    }
+    trace.span("cache_lookup", lookup_started);
+    state
+        .telemetry
+        .event(ServeEvent::CacheMiss { key: key.clone() });
+    let priority = request.priority.unwrap_or_default();
+    let deadline_ms = match request.deadline_ms {
+        Some(0) => None,
+        Some(ms) => Some(ms),
+        None => (state.config.default_deadline_ms > 0).then_some(state.config.default_deadline_ms),
+    };
+    submit_job(
+        state,
+        &key,
+        JobPayload::Explore(Box::new(resolved)),
+        Arc::new(canonical),
+        priority,
+        deadline_ms,
+        trace,
+    )
+}
+
+/// The shared submit tail: enqueue a payload, journal the submit, and
+/// answer 202/429/503 — identical semantics for every job endpoint.
+fn submit_job(
+    state: &ServerState,
+    key: &str,
+    payload: JobPayload,
+    canonical: Arc<String>,
+    priority: crate::api::Priority,
+    deadline_ms: Option<u64>,
+    mut trace: TraceBuilder,
+) -> Response {
     match state
         .jobs
-        .enqueue(&key, config, Arc::clone(&canonical), priority, deadline_ms)
+        .enqueue(key, payload, Arc::clone(&canonical), priority, deadline_ms)
     {
         Enqueue::Enqueued(id) => {
             let journal_started = Instant::now();
@@ -867,7 +989,7 @@ fn simulate(state: &ServerState, body: &[u8], trace_id: &str, started: Instant) 
                 state,
                 &Record::Submit {
                     id,
-                    key: key.clone(),
+                    key: key.to_string(),
                     priority,
                     deadline_ms,
                     config: canonical.as_str().to_string(),
@@ -876,9 +998,10 @@ fn simulate(state: &ServerState, body: &[u8], trace_id: &str, started: Instant) 
             if state.journal.is_some() {
                 trace.span("journal_append", journal_started);
             }
-            state
-                .telemetry
-                .event(ServeEvent::JobEnqueued { job: id, key });
+            state.telemetry.event(ServeEvent::JobEnqueued {
+                job: id,
+                key: key.to_string(),
+            });
             state.traces.submitted(id, trace);
             accepted(id, "queued")
         }

@@ -602,3 +602,78 @@ fn shutdown_endpoint_drains_and_telemetry_dump_is_written() {
         .any(|l| matches!(l, icn_serve::ServeDumpLine::Sample(_))));
     let _ = std::fs::remove_file(&dump);
 }
+
+#[test]
+fn explore_job_completes_caches_and_streams() {
+    let (addr, handle, join) = start(test_config());
+
+    // Submit the paper grid with two simulator spot-checks.
+    let body = r#"{"grid":"paper","spot_checks":2}"#;
+    let first = call(addr, "POST", "/v1/explore", body);
+    assert_eq!(first.status, 202, "{}", first.body);
+    let result_url = json_str(&first.body, "result_url");
+    let result = poll_result(addr, &result_url, Duration::from_secs(60));
+    assert_eq!(result.status, 200, "{}", result.body);
+    assert!(
+        result.body.contains("\"frontier\""),
+        "outcome body carries the frontier: {}",
+        result.body
+    );
+    assert_eq!(json_u64(&result.body, "grid_candidates"), 32);
+    assert!(
+        result.body.contains("\"ranking_agrees\":true"),
+        "{}",
+        result.body
+    );
+
+    // The identical sweep again: inline cache hit, byte-identical.
+    let second = call(addr, "POST", "/v1/explore", body);
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_eq!(second.header("x-icn-cache"), Some("hit"));
+    assert_eq!(second.body, result.body);
+
+    // A different spelling of the same sweep (the paper grid is the
+    // default) also lands on the same cache entry.
+    let spelled = call(addr, "POST", "/v1/explore", r#"{"spot_checks":2}"#);
+    assert_eq!(spelled.status, 200, "{}", spelled.body);
+    assert_eq!(spelled.header("x-icn-cache"), Some("hit"));
+    assert_eq!(spelled.body, result.body);
+
+    // The ndjson stream of a finished job parses: every line is a JSON
+    // object for this job, the last one terminal with a result_url.
+    let stream_url = json_str(&first.body, "stream_url");
+    let streamed = call(addr, "GET", &stream_url, "");
+    assert_eq!(streamed.status, 200);
+    let payload: String = streamed
+        .body
+        .split("\r\n")
+        .filter(|part| part.starts_with('{'))
+        .collect::<Vec<_>>()
+        .join("");
+    let lines: Vec<&str> = payload.split('\n').filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "{}", streamed.body);
+    for line in &lines {
+        assert!(line.starts_with("{\"job\":"), "unparsed line: {line}");
+        assert!(line.ends_with('}'), "unparsed line: {line}");
+    }
+    assert!(lines.last().unwrap().contains("\"status\":\"done\""));
+    assert!(lines.last().unwrap().contains("result_url"));
+
+    // Bad requests are client errors, not jobs.
+    let bad = call(addr, "POST", "/v1/explore", r#"{"grid":"nope"}"#);
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let both = call(
+        addr,
+        "POST",
+        "/v1/explore",
+        r#"{"grid":"paper","spec":{"techs":["paper-1986-mos-pga"]}}"#,
+    );
+    assert_eq!(both.status, 400, "{}", both.body);
+    let greedy = call(addr, "POST", "/v1/explore", r#"{"spot_checks":999}"#);
+    assert_eq!(greedy.status, 400, "{}", greedy.body);
+
+    handle.shutdown();
+    let summary = join.join().expect("server thread");
+    assert_eq!(summary.jobs_completed, 1);
+    assert_eq!(summary.jobs_failed, 0);
+}

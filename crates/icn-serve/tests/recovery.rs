@@ -390,3 +390,60 @@ fn unparseable_journaled_config_fails_closed() {
     join.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn journaled_explore_job_is_rerun_after_a_crash() {
+    let dir = scratch("explore-replay");
+    let journal_path = dir.join("jobs.journal");
+
+    // Derive the canonical form and content key through the same public
+    // API the live `/v1/explore` handler uses.
+    let request: icn_serve::ExploreRequest =
+        serde_json::from_str(r#"{"grid":"paper","spot_checks":1}"#).unwrap();
+    let resolved = request.resolve(&Limits::default()).expect("resolvable");
+    let canonical = serde_json::to_string(&resolved).expect("canonical");
+    let key = content_key("explore", &canonical);
+    assert!(key.starts_with("explore:"), "prefix drives recovery");
+
+    // A journal whose only job is an explore sweep that never finished.
+    {
+        let mut journal = Journal::open(&journal_path).unwrap();
+        journal
+            .append(&Record::Submit {
+                id: 1,
+                key: key.clone(),
+                priority: Priority::Normal,
+                deadline_ms: None,
+                config: canonical.clone(),
+            })
+            .unwrap();
+        journal.append(&Record::Start { id: 1 }).unwrap();
+    }
+
+    let server = Server::bind(serve_config(&dir)).expect("bind over crashed journal");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    // The sweep re-runs to completion from the journaled canonical form.
+    let (status, body) = poll_result(addr, 1);
+    assert_eq!(status, 200, "recovered explore job finished: {body}");
+    assert!(body.contains("\"frontier\""), "got {body}");
+    assert!(body.contains("\"grid_candidates\":32"), "got {body}");
+
+    // Re-POST of the same sweep answers from the repopulated cache,
+    // byte-identical to the recovered run.
+    let (status, headers, hit) = call(
+        addr,
+        "POST",
+        "/v1/explore",
+        r#"{"grid":"paper","spot_checks":1}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-icn-cache"), Some("hit"));
+    assert_eq!(hit, body);
+
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

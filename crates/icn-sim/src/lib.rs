@@ -64,6 +64,7 @@ pub use fault::{FaultEvent, FaultPlan, FaultTarget, RetryPolicy, StallReport};
 pub use metrics::{LatencyStats, SimResult, StageCounters};
 pub use options::EngineOptions;
 pub use packet::{Packet, PacketStatus};
+pub use pool::WorkerPool;
 pub use roundtrip::{run_roundtrip, RoundTripConfig, RoundTripResult};
 pub use runner::{
     run, run_parallel, run_trace, run_with_options, run_with_sink, sweep_load,

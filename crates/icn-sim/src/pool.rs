@@ -75,7 +75,11 @@ struct Shared {
 
 /// A fixed-size pool of persistent worker threads driven by
 /// [`WorkerPool::broadcast`].
-pub(crate) struct WorkerPool {
+///
+/// Public since PR 10: the `icn-explore` batch evaluator fans candidate
+/// chunks across the same pool the sharded engine uses, inheriting its
+/// determinism discipline (no clocks, panic-safe broadcast).
+pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: usize,
     handles: Vec<JoinHandle<()>>,
